@@ -1,0 +1,43 @@
+//! Algorithm 2 (Weighted Update) vs the Appendix A.8 max-entropy estimator:
+//! the design choice the paper justifies by efficiency ("almost the same
+//! accuracy while with higher efficiency").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmdr_core::estimation::{max_entropy, weighted_update, PairAnswer};
+use std::hint::black_box;
+
+fn pairs_for(lambda: usize) -> (Vec<PairAnswer>, Vec<f64>) {
+    let marginals: Vec<f64> = (0..lambda).map(|i| 0.3 + 0.05 * i as f64).collect();
+    let mut pairs = Vec::new();
+    for i in 0..lambda {
+        for j in (i + 1)..lambda {
+            // Mild positive correlation on top of the product.
+            let f = (marginals[i] * marginals[j] * 1.2).min(1.0);
+            pairs.push(PairAnswer { i, j, f });
+        }
+    }
+    (pairs, marginals)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda_estimation");
+    for &lambda in &[3usize, 4, 6, 8, 10] {
+        let (pairs, marginals) = pairs_for(lambda);
+        group.bench_with_input(
+            BenchmarkId::new("weighted_update", lambda),
+            &pairs,
+            |b, pairs| b.iter(|| black_box(weighted_update(lambda, pairs, 1e-7, 100))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_entropy", lambda),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| black_box(max_entropy(lambda, pairs, &marginals, 1e-7, 100)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Timed kernels of the grid substrate: Norm-Sub, the attribute-consistency
+//! step, and Algorithm 1 (response-matrix construction) across domain sizes
+//! — the per-pair cost that dominates HDG's Phase 3 setup (Fig. 3's c sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmdr_grid::consistency::{post_process, PostProcessConfig};
+use privmdr_grid::pairs::pair_list;
+use privmdr_grid::response_matrix::build_response_matrix;
+use privmdr_grid::{norm_sub, Grid1d, Grid2d};
+use std::hint::black_box;
+
+fn noisy(i: usize, scale: f64) -> f64 {
+    ((i as f64) * 0.7).sin() * scale + 1.0 / 64.0
+}
+
+fn bench_norm_sub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("norm_sub");
+    for &len in &[64usize, 4096, 65_536] {
+        let base: Vec<f64> = (0..len).map(|i| noisy(i, 0.01)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &base, |b, base| {
+            b.iter(|| {
+                let mut x = base.clone();
+                norm_sub(&mut x, 1.0);
+                black_box(x)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2_post_process");
+    for &d in &[3usize, 6, 10] {
+        let cdom = 64usize;
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut one_d: Vec<Option<Grid1d>> = (0..d)
+                    .map(|t| {
+                        Some(
+                            Grid1d::from_freqs(
+                                t,
+                                16,
+                                cdom,
+                                (0..16).map(|i| noisy(i + t, 0.02)).collect(),
+                            )
+                            .unwrap(),
+                        )
+                    })
+                    .collect();
+                let mut two_d: Vec<Grid2d> = pair_list(d)
+                    .into_iter()
+                    .map(|(j, k)| {
+                        Grid2d::from_freqs(
+                            (j, k),
+                            4,
+                            cdom,
+                            (0..16).map(|i| noisy(i + j + 3 * k, 0.02)).collect(),
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                post_process(d, &mut one_d, &mut two_d, &PostProcessConfig::default());
+                black_box((one_d, two_d))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_response_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_response_matrix");
+    group.sample_size(20);
+    for &cdom in &[64usize, 256, 1024] {
+        // Consistent product-form inputs (the post-Phase-2 situation).
+        let g1 = 16.min(cdom);
+        let g2 = 4;
+        let f1: Vec<f64> = {
+            let raw: Vec<f64> = (0..g1).map(|i| 1.0 + (i as f64 * 0.3).cos().abs()).collect();
+            let t: f64 = raw.iter().sum();
+            raw.iter().map(|x| x / t).collect()
+        };
+        let gj = Grid1d::from_freqs(0, g1, cdom, f1.clone()).unwrap();
+        let gk = Grid1d::from_freqs(1, g1, cdom, f1.clone()).unwrap();
+        let blk = |b: usize| -> f64 {
+            f1[b * (g1 / g2)..(b + 1) * (g1 / g2)].iter().sum()
+        };
+        let mut f2 = vec![0.0; g2 * g2];
+        for a in 0..g2 {
+            for bcol in 0..g2 {
+                f2[a * g2 + bcol] = blk(a) * blk(bcol);
+            }
+        }
+        let gjk = Grid2d::from_freqs((0, 1), g2, cdom, f2).unwrap();
+        group.bench_with_input(BenchmarkId::new("c", cdom), &cdom, |b, _| {
+            b.iter(|| black_box(build_response_matrix(&gj, &gk, &gjk, 1e-7, 100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_norm_sub, bench_consistency, bench_response_matrix);
+criterion_main!(benches);

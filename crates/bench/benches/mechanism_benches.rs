@@ -1,0 +1,58 @@
+//! End-to-end mechanism cost at a reduced population: fit (the private
+//! collection protocol + post-processing) and answering a 200-query
+//! workload — the per-repetition cost underlying every figure cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmdr_bench::Approach;
+use privmdr_data::DatasetSpec;
+use privmdr_query::workload::WorkloadBuilder;
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_fit_n50k_d4_c64");
+    group.sample_size(10);
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(50_000, 4, 64, 42);
+    for approach in [
+        Approach::Uni,
+        Approach::Msw,
+        Approach::Calm,
+        Approach::Hio,
+        Approach::Lhio,
+        Approach::Tdg,
+        Approach::Hdg,
+    ] {
+        let mech = approach.mechanism();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.name()),
+            &ds,
+            |b, ds| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mech.fit(ds, 1.0, seed).expect("fit"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_200_queries_lambda4");
+    group.sample_size(10);
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(50_000, 6, 64, 43);
+    let queries = WorkloadBuilder::new(6, 64, 7).random(4, 0.5, 200);
+    for approach in [Approach::Msw, Approach::Calm, Approach::Lhio, Approach::Tdg, Approach::Hdg]
+    {
+        let model = approach.mechanism().fit(&ds, 1.0, 1).expect("fit");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.name()),
+            &queries,
+            |b, queries| b.iter(|| black_box(model.answer_all(queries))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_answering);
+criterion_main!(benches);

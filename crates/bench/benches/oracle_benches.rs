@@ -1,0 +1,81 @@
+//! Throughput of the LDP frequency-oracle substrates: per-user perturbation,
+//! aggregation, and the exact-vs-fast collection modes whose gap makes the
+//! full evaluation sweep tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privmdr_oracles::grr::Grr;
+use privmdr_oracles::olh::Olh;
+use privmdr_oracles::sw::SquareWave;
+use privmdr_oracles::SimMode;
+use privmdr_util::rng::derive_rng;
+use std::hint::black_box;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+
+    let olh = Olh::new(1.0, 64).unwrap();
+    group.bench_function("olh_10k_users", |b| {
+        let mut rng = derive_rng(1, &[0]);
+        b.iter(|| {
+            for i in 0..n {
+                black_box(olh.perturb((i % 64) as usize, &mut rng));
+            }
+        })
+    });
+
+    let grr = Grr::new(1.0, 64).unwrap();
+    group.bench_function("grr_10k_users", |b| {
+        let mut rng = derive_rng(1, &[1]);
+        b.iter(|| {
+            for i in 0..n {
+                black_box(grr.perturb((i % 64) as usize, &mut rng));
+            }
+        })
+    });
+
+    let sw = SquareWave::new(1.0, 64).unwrap();
+    group.bench_function("sw_10k_users", |b| {
+        let mut rng = derive_rng(1, &[2]);
+        b.iter(|| {
+            for i in 0..n {
+                black_box(sw.perturb((i % 64) as f64 / 64.0, &mut rng));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_collect_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olh_collect");
+    for &n in &[2_000usize, 20_000] {
+        let values: Vec<u32> = (0..n as u32).map(|i| i % 64).collect();
+        let olh = Olh::new(1.0, 64).unwrap();
+        group.bench_with_input(BenchmarkId::new("exact", n), &values, |b, values| {
+            let mut rng = derive_rng(2, &[n as u64]);
+            b.iter(|| black_box(olh.collect(values, SimMode::Exact, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("fast", n), &values, |b, values| {
+            let mut rng = derive_rng(3, &[n as u64]);
+            b.iter(|| black_box(olh.collect(values, SimMode::Fast, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sw_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sw_em_reconstruction");
+    for &bins in &[64usize, 256] {
+        let sw = SquareWave::new(1.0, bins).unwrap();
+        let values: Vec<u32> = (0..20_000u32).map(|i| i % bins as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &values, |b, values| {
+            let mut rng = derive_rng(4, &[bins as u64]);
+            b.iter(|| black_box(sw.collect(values, SimMode::Fast, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_collect_modes, bench_sw_em);
+criterion_main!(benches);

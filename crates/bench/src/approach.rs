@@ -1,0 +1,160 @@
+//! The mechanism variants appearing in the paper's figure legends.
+
+use privmdr_core::{
+    Calm, EstimatorKind, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni,
+};
+
+/// A named mechanism variant (legend entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Approach {
+    /// Uniform-guess benchmark.
+    Uni,
+    /// Multiplied Square Wave.
+    Msw,
+    /// CALM 2-D marginals.
+    Calm,
+    /// Full d-dimensional HIO.
+    Hio,
+    /// Low-dimensional HIO.
+    Lhio,
+    /// Two-Dimensional Grids.
+    Tdg,
+    /// Hybrid-Dimensional Grids (guideline granularities).
+    Hdg,
+    /// TDG without Phase 2 (Appendix A.1).
+    ITdg,
+    /// HDG without Phase 2 (Appendix A.1).
+    IHdg,
+    /// HDG pinned to fixed granularities (Figs. 7, 16).
+    HdgFixed {
+        /// 1-D granularity.
+        g1: usize,
+        /// 2-D granularity.
+        g2: usize,
+    },
+    /// HDG with an overridden 1-D user fraction σ (Fig. 15 / A.5).
+    HdgSigma {
+        /// Fraction of users assigned to 1-D grids.
+        sigma: f64,
+    },
+    /// HDG with the Appendix A.8 max-entropy λ-estimator (ablation).
+    HdgMaxEnt,
+}
+
+impl Approach {
+    /// Legend label.
+    pub fn name(&self) -> String {
+        match self {
+            Approach::Uni => "Uni".into(),
+            Approach::Msw => "MSW".into(),
+            Approach::Calm => "CALM".into(),
+            Approach::Hio => "HIO".into(),
+            Approach::Lhio => "LHIO".into(),
+            Approach::Tdg => "TDG".into(),
+            Approach::Hdg => "HDG".into(),
+            Approach::ITdg => "ITDG".into(),
+            Approach::IHdg => "IHDG".into(),
+            Approach::HdgFixed { g1, g2 } => format!("HDG({g1},{g2})"),
+            Approach::HdgSigma { sigma } => format!("HDG(sigma={sigma})"),
+            Approach::HdgMaxEnt => "HDG-MaxEnt".into(),
+        }
+    }
+
+    /// Instantiates the mechanism.
+    pub fn mechanism(&self) -> Box<dyn Mechanism + Send + Sync> {
+        let base = MechanismConfig::default();
+        match *self {
+            Approach::Uni => Box::new(Uni),
+            Approach::Msw => Box::new(Msw::new(base)),
+            Approach::Calm => Box::new(Calm::new(base)),
+            Approach::Hio => Box::new(HioMechanism::new(base)),
+            Approach::Lhio => Box::new(Lhio::new(base)),
+            Approach::Tdg => Box::new(Tdg::new(base)),
+            Approach::Hdg => Box::new(Hdg::new(base)),
+            Approach::ITdg => Box::new(Tdg::new(base.without_post_process())),
+            Approach::IHdg => Box::new(Hdg::new(base.without_post_process())),
+            Approach::HdgFixed { g1, g2 } => {
+                Box::new(Hdg::new(base.with_granularities(g1, g2)))
+            }
+            Approach::HdgSigma { sigma } => Box::new(Hdg::new(base.with_sigma(sigma))),
+            Approach::HdgMaxEnt => Box::new(Hdg::new(MechanismConfig {
+                estimator: EstimatorKind::MaxEntropy,
+                ..base
+            })),
+        }
+    }
+
+    /// The full Fig. 1 legend: all seven approaches.
+    pub fn all_seven() -> Vec<Approach> {
+        vec![
+            Approach::Uni,
+            Approach::Msw,
+            Approach::Calm,
+            Approach::Hio,
+            Approach::Lhio,
+            Approach::Tdg,
+            Approach::Hdg,
+        ]
+    }
+
+    /// The legend of figures that omit HIO (its MAE dwarfs the axis).
+    pub fn six_without_hio() -> Vec<Approach> {
+        vec![
+            Approach::Uni,
+            Approach::Msw,
+            Approach::Calm,
+            Approach::Lhio,
+            Approach::Tdg,
+            Approach::Hdg,
+        ]
+    }
+
+    /// The Fig. 7/16 guideline-verification ladder of fixed granularities
+    /// for `c = 64`, plus guideline HDG last.
+    pub fn guideline_ladder() -> Vec<Approach> {
+        let mut out: Vec<Approach> = [
+            (4, 2),
+            (8, 2),
+            (8, 4),
+            (16, 2),
+            (16, 4),
+            (16, 8),
+            (32, 2),
+            (32, 4),
+            (32, 8),
+            (32, 16),
+        ]
+        .iter()
+        .map(|&(g1, g2)| Approach::HdgFixed { g1, g2 })
+        .collect();
+        out.push(Approach::Hdg);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = Approach::all_seven().iter().map(|a| a.name()).collect();
+        names.extend(Approach::guideline_ladder().iter().map(|a| a.name()));
+        names.push(Approach::ITdg.name());
+        names.push(Approach::IHdg.name());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len() - 1, "only HDG appears twice (ladder)");
+    }
+
+    #[test]
+    fn every_variant_instantiates() {
+        for a in Approach::all_seven() {
+            let _ = a.mechanism();
+        }
+        let _ = Approach::HdgFixed { g1: 16, g2: 4 }.mechanism();
+        let _ = Approach::HdgSigma { sigma: 0.3 }.mechanism();
+        let _ = Approach::HdgMaxEnt.mechanism();
+    }
+}

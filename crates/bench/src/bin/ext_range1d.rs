@@ -1,0 +1,110 @@
+//! Extension experiment: 1-D range-query estimators under LDP.
+//!
+//! The paper's §1/§6 positions TDG/HDG against prior art that handles only
+//! one-dimensional ranges — Cormode et al.'s hierarchical intervals and
+//! Haar wavelets \[9\] and Li et al.'s Square Wave \[31\]. This runner compares
+//! all of them (plus HDG's own 1-D grid substrate) on 1-D range workloads,
+//! reproducing the regime where SW's EM reconstruction and hierarchical
+//! estimators shine at different budgets.
+
+use privmdr_bench::report::{emit, Table};
+use privmdr_bench::Scale;
+use privmdr_data::DatasetSpec;
+use privmdr_grid::Grid1d;
+use privmdr_hierarchy::range1d::{HaarRange1d, HierarchicalRange1d};
+use privmdr_oracles::sw::SquareWave;
+use privmdr_oracles::SimMode;
+use privmdr_util::rng::derive_rng;
+use privmdr_util::stats::Summary;
+use rand::RngExt;
+
+fn main() {
+    let scale = Scale::from_args();
+    let c = 64usize;
+    let eps_sweep = scale.eps_sweep();
+    let mut tables = Vec::new();
+
+    for spec in [DatasetSpec::Ipums, DatasetSpec::Bfive, DatasetSpec::Laplace { rho: 0.8 }] {
+        let ds = spec.generate(scale.n, 1, c, scale.seed);
+        let values: Vec<u16> = (0..ds.len()).map(|u| ds.value(u, 0)).collect();
+        // 1-D range workload of volume 0.5.
+        let mut wl_rng = derive_rng(scale.seed, &[0x1d]);
+        let ranges: Vec<(usize, usize)> = (0..scale.queries)
+            .map(|_| {
+                let lo = wl_rng.random_range(0..=c / 2);
+                (lo, lo + c / 2 - 1)
+            })
+            .collect();
+        let truths: Vec<f64> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                values.iter().filter(|&&v| (lo..=hi).contains(&(v as usize))).count() as f64
+                    / values.len() as f64
+            })
+            .collect();
+
+        let mut table = Table::new(
+            format!("ext_range1d: {} (1-D range MAE vs epsilon)", spec.name()),
+            "epsilon",
+            eps_sweep.iter().map(|e| format!("{e:.1}")).collect(),
+        );
+        type Estimator<'a> = Box<dyn Fn(f64, u64) -> Vec<f64> + 'a>;
+        let estimators: Vec<(&str, Estimator)> = vec![
+            (
+                "SquareWave+EM",
+                Box::new(|eps, seed| {
+                    let mut rng = derive_rng(seed, &[1]);
+                    let sw = SquareWave::new(eps, c).expect("params");
+                    let v32: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+                    let dist = sw.collect(&v32, SimMode::Fast, &mut rng);
+                    ranges.iter().map(|&(lo, hi)| dist[lo..=hi].iter().sum()).collect()
+                }),
+            ),
+            (
+                "Hierarchy(b=4)+CI",
+                Box::new(|eps, seed| {
+                    let mut rng = derive_rng(seed, &[2]);
+                    let m =
+                        HierarchicalRange1d::fit(4, c, &values, eps, SimMode::Fast, &mut rng)
+                            .expect("fit");
+                    ranges.iter().map(|&(lo, hi)| m.answer(lo, hi)).collect()
+                }),
+            ),
+            (
+                "HaarWavelet",
+                Box::new(|eps, seed| {
+                    let mut rng = derive_rng(seed, &[3]);
+                    let m = HaarRange1d::fit(c, &values, eps, SimMode::Fast, &mut rng)
+                        .expect("fit");
+                    ranges.iter().map(|&(lo, hi)| m.answer(lo, hi)).collect()
+                }),
+            ),
+            (
+                "HDG-1D-grid(g1=16)",
+                Box::new(|eps, seed| {
+                    let mut rng = derive_rng(seed, &[4]);
+                    let g = Grid1d::collect(0, 16, c, &values, eps, SimMode::Fast, &mut rng)
+                        .expect("fit");
+                    ranges.iter().map(|&(lo, hi)| g.answer_uniform(lo, hi)).collect()
+                }),
+            ),
+        ];
+        for (name, estimator) in estimators {
+            let row: Vec<Summary> = eps_sweep
+                .iter()
+                .map(|&eps| {
+                    let maes: Vec<f64> = (0..scale.reps)
+                        .map(|rep| {
+                            let est = estimator(eps, scale.seed ^ rep.wrapping_mul(7919));
+                            privmdr_query::mae(&est, &truths)
+                        })
+                        .collect();
+                    Summary::of(&maes)
+                })
+                .collect();
+            table.push_row(name, row);
+        }
+        tables.push(table);
+    }
+    emit("ext_range1d", &tables);
+}

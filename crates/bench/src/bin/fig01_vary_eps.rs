@@ -1,0 +1,15 @@
+//! Fig. 1: MAE vs ε on all four datasets, λ = 2 and 4, all seven approaches.
+use privmdr_bench::figures::fig_vary_eps;
+use privmdr_bench::{Approach, Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    fig_vary_eps(
+        &ctx,
+        "fig01",
+        &DatasetSpec::main_four(),
+        &[2, 4],
+        &Approach::all_seven(),
+    );
+}

@@ -1,0 +1,9 @@
+//! Fig. 2: MAE vs dimensional query volume ω, λ = 2 and 4.
+use privmdr_bench::figures::sweeps::vary_omega;
+use privmdr_bench::{Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    vary_omega(&ctx, "fig02", &DatasetSpec::main_four(), &[2, 4]);
+}

@@ -1,0 +1,8 @@
+//! Fig. 3: MAE vs domain size c on the synthetic datasets, λ = 2 and 4.
+use privmdr_bench::figures::sweeps::vary_c;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    vary_c(&ctx, "fig03", &[2, 4]);
+}

@@ -1,0 +1,9 @@
+//! Fig. 4: MAE vs number of attributes d, λ = 2 and 4.
+use privmdr_bench::figures::sweeps::vary_d;
+use privmdr_bench::{Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    vary_d(&ctx, "fig04", &DatasetSpec::main_four(), &[2, 4]);
+}

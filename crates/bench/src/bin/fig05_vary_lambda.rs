@@ -1,0 +1,8 @@
+//! Fig. 5: MAE vs query dimension λ (d = 10 so λ reaches 10).
+use privmdr_bench::figures::sweeps::vary_lambda;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    vary_lambda(&ctx, "fig05");
+}

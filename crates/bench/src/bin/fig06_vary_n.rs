@@ -1,0 +1,8 @@
+//! Fig. 6: MAE vs population n on the synthetic datasets, λ = 2 and 4.
+use privmdr_bench::figures::sweeps::vary_n;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    vary_n(&ctx, "fig06", &[2, 4]);
+}

@@ -1,0 +1,8 @@
+//! Fig. 7: guideline-chosen granularities vs every fixed (g1, g2), d = 6.
+use privmdr_bench::figures::guideline_check;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    guideline_check::run(&ctx, "fig07", &[6]);
+}

@@ -1,0 +1,8 @@
+//! Fig. 8 / Appendix A.1: Phase-2 ablation (ITDG/IHDG vs TDG/HDG).
+use privmdr_bench::figures::sweeps::components;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    components(&ctx, "fig08", &[2, 4]);
+}

@@ -1,0 +1,9 @@
+//! Figs. 9–10 / Appendix A.2: per-query standard-error distributions.
+use privmdr_bench::figures::error_dist;
+use privmdr_bench::{Approach, Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    error_dist::run(&ctx, "fig09", Approach::Tdg);
+    error_dist::run(&ctx, "fig10", Approach::Hdg);
+}

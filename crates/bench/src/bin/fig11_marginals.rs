@@ -1,0 +1,8 @@
+//! Fig. 11 / Appendix A.3: all 2-D marginal queries vs ε.
+use privmdr_bench::figures::sweeps::full_marginals;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    full_marginals(&ctx, "fig11");
+}

@@ -1,0 +1,8 @@
+//! Fig. 12 / Appendix A.3: all 2-D range queries (ω = 0.5) vs ε.
+use privmdr_bench::figures::sweeps::full_ranges;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    full_ranges(&ctx, "fig12");
+}

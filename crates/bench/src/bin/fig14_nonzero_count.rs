@@ -1,0 +1,8 @@
+//! Fig. 14 / Appendix A.4: non-0-count high-dimensional queries (ω = 0.7).
+use privmdr_bench::figures::sweeps::count_extremes;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    count_extremes(&ctx, "fig14", false);
+}

@@ -1,0 +1,8 @@
+//! Fig. 15 / Appendix A.5: HDG MAE vs the user-split fraction σ = n1/n.
+use privmdr_bench::figures::sigma_split;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    sigma_split::run(&ctx, "fig15");
+}

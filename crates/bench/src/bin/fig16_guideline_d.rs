@@ -1,0 +1,8 @@
+//! Fig. 16 / Appendix A.5: guideline verification at d = 4, 8, 10.
+use privmdr_bench::figures::guideline_check;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    guideline_check::run(&ctx, "fig16", &[4, 8, 10]);
+}

@@ -1,0 +1,8 @@
+//! Fig. 17 / Appendix A.6: Algorithm 1 (response matrix) convergence.
+use privmdr_bench::figures::convergence;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    convergence::alg1(&ctx, "fig17");
+}

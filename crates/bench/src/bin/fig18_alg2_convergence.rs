@@ -1,0 +1,8 @@
+//! Fig. 18 / Appendix A.6: Algorithm 2 (λ-D estimation) convergence.
+use privmdr_bench::figures::convergence;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    convergence::alg2(&ctx, "fig18");
+}

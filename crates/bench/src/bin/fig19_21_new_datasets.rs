@@ -1,0 +1,13 @@
+//! Figs. 19–21 / Appendix A.7: Loan and Acs stand-ins — ε, ω, and d sweeps.
+use privmdr_bench::figures::sweeps::{vary_d, vary_omega};
+use privmdr_bench::figures::fig_vary_eps;
+use privmdr_bench::{Approach, Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    let datasets = DatasetSpec::appendix_two();
+    fig_vary_eps(&ctx, "fig19", &datasets, &[2, 4], &Approach::all_seven());
+    vary_omega(&ctx, "fig20", &datasets, &[2, 4]);
+    vary_d(&ctx, "fig21", &datasets, &[2, 4]);
+}

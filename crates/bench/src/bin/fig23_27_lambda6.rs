@@ -1,0 +1,24 @@
+//! Figs. 23–27: the λ = 6 variants of Figs. 1, 2, 3, 4, 6.
+//!
+//! HIO is omitted at λ = 6 (the paper itself drops it from most of these
+//! panels because its MAE exceeds the axis; exact-mode HIO at λ = 6 is also
+//! the single most expensive cell in the whole suite).
+use privmdr_bench::figures::fig_vary_eps;
+use privmdr_bench::figures::sweeps::{vary_c, vary_d, vary_n, vary_omega};
+use privmdr_bench::{Approach, Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    fig_vary_eps(
+        &ctx,
+        "fig23",
+        &DatasetSpec::main_four(),
+        &[6],
+        &Approach::six_without_hio(),
+    );
+    vary_omega(&ctx, "fig24", &DatasetSpec::main_four(), &[6]);
+    vary_c(&ctx, "fig25", &[6]);
+    vary_d(&ctx, "fig26", &DatasetSpec::main_four(), &[6]);
+    vary_n(&ctx, "fig27", &[6]);
+}

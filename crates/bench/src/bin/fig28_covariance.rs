@@ -1,0 +1,8 @@
+//! Fig. 28: covariance sweep on the synthetic datasets, λ = 2, 4, 6.
+use privmdr_bench::figures::sweeps::covariance_sweep;
+use privmdr_bench::{Ctx, Scale};
+
+fn main() {
+    let ctx = Ctx::new(Scale::from_args());
+    covariance_sweep(&ctx, "fig28");
+}

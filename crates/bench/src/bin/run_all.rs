@@ -1,0 +1,47 @@
+//! Runs the entire evaluation suite (every figure and table) at the
+//! selected scale. At `--quick` this is a smoke test; default reproduces
+//! all trends; `--full` is the paper's scale.
+use privmdr_bench::figures::{
+    self, convergence, error_dist, guideline_check, sigma_split, sweeps, table2,
+};
+use privmdr_bench::{Approach, Ctx, Scale};
+use privmdr_data::DatasetSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("running full suite at {:?} scale (n={}, reps={}, |Q|={})",
+        scale.tier, scale.n, scale.reps, scale.queries);
+    let ctx = Ctx::new(scale);
+    let started = std::time::Instant::now();
+
+    table2::run("table2");
+    figures::fig_vary_eps(&ctx, "fig01", &DatasetSpec::main_four(), &[2, 4], &Approach::all_seven());
+    sweeps::vary_omega(&ctx, "fig02", &DatasetSpec::main_four(), &[2, 4]);
+    sweeps::vary_c(&ctx, "fig03", &[2, 4]);
+    sweeps::vary_d(&ctx, "fig04", &DatasetSpec::main_four(), &[2, 4]);
+    sweeps::vary_lambda(&ctx, "fig05");
+    sweeps::vary_n(&ctx, "fig06", &[2, 4]);
+    guideline_check::run(&ctx, "fig07", &[6]);
+    sweeps::components(&ctx, "fig08", &[2, 4]);
+    error_dist::run(&ctx, "fig09", Approach::Tdg);
+    error_dist::run(&ctx, "fig10", Approach::Hdg);
+    sweeps::full_marginals(&ctx, "fig11");
+    sweeps::full_ranges(&ctx, "fig12");
+    sweeps::count_extremes(&ctx, "fig13", true);
+    sweeps::count_extremes(&ctx, "fig14", false);
+    sigma_split::run(&ctx, "fig15");
+    guideline_check::run(&ctx, "fig16", &[4, 8, 10]);
+    convergence::alg1(&ctx, "fig17");
+    convergence::alg2(&ctx, "fig18");
+    figures::fig_vary_eps(&ctx, "fig19", &DatasetSpec::appendix_two(), &[2, 4], &Approach::all_seven());
+    sweeps::vary_omega(&ctx, "fig20", &DatasetSpec::appendix_two(), &[2, 4]);
+    sweeps::vary_d(&ctx, "fig21", &DatasetSpec::appendix_two(), &[2, 4]);
+    figures::fig_vary_eps(&ctx, "fig23", &DatasetSpec::main_four(), &[6], &Approach::six_without_hio());
+    sweeps::vary_omega(&ctx, "fig24", &DatasetSpec::main_four(), &[6]);
+    sweeps::vary_c(&ctx, "fig25", &[6]);
+    sweeps::vary_d(&ctx, "fig26", &DatasetSpec::main_four(), &[6]);
+    sweeps::vary_n(&ctx, "fig27", &[6]);
+    sweeps::covariance_sweep(&ctx, "fig28");
+
+    println!("\nsuite finished in {:.1?}", started.elapsed());
+}

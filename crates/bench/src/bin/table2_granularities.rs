@@ -1,0 +1,6 @@
+//! Table 2: recommended granularities under the guideline (pure computation).
+use privmdr_bench::figures::table2;
+
+fn main() {
+    table2::run("table2");
+}

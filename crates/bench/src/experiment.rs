@@ -1,0 +1,233 @@
+//! Cached experiment context and parallel MAE measurement.
+//!
+//! One figure evaluates hundreds of (dataset, approach, parameter) cells
+//! that share datasets and workloads; [`Ctx`] caches both so ground truth is
+//! computed once per (dataset, workload) pair, and [`Ctx::mae`] measures one
+//! cell (several repetitions of fit + answer).
+
+use crate::approach::Approach;
+use crate::scale::Scale;
+use privmdr_data::{Dataset, DatasetSpec};
+use privmdr_query::workload::{true_answers, WorkloadBuilder};
+use privmdr_query::RangeQuery;
+use privmdr_util::rng::derive_seed;
+use privmdr_util::stats::Summary;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A workload family (paper §5.1, A.3, A.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// `|Q|` random λ-D queries of volume ω.
+    Random {
+        /// Query dimension.
+        lambda: usize,
+        /// Dimensional query volume.
+        omega: f64,
+    },
+    /// All 2-D range queries of volume ω (Fig. 12).
+    Full2dRanges {
+        /// Dimensional query volume.
+        omega: f64,
+    },
+    /// All 2-D marginal cells (Fig. 11).
+    Full2dMarginals,
+    /// Rejection-sampled zero-count λ-D queries (Fig. 13).
+    ZeroCount {
+        /// Query dimension.
+        lambda: usize,
+        /// Dimensional query volume.
+        omega: f64,
+    },
+    /// Rejection-sampled non-zero-count λ-D queries (Fig. 14).
+    NonZeroCount {
+        /// Query dimension.
+        lambda: usize,
+        /// Dimensional query volume.
+        omega: f64,
+    },
+}
+
+impl WorkloadKind {
+    fn cache_key(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+type DsKey = (String, usize, usize, usize);
+type WlKey = (DsKey, String);
+type WorkloadEntry = Arc<(Vec<RangeQuery>, Vec<f64>)>;
+
+/// Shared context: scale + dataset/workload caches.
+pub struct Ctx {
+    /// The experiment scale (population, repetitions, query count).
+    pub scale: Scale,
+    datasets: Mutex<HashMap<DsKey, Arc<Dataset>>>,
+    workloads: Mutex<HashMap<WlKey, WorkloadEntry>>,
+}
+
+impl Ctx {
+    /// Creates a context at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Ctx { scale, datasets: Mutex::new(HashMap::new()), workloads: Mutex::new(HashMap::new()) }
+    }
+
+    /// The dataset for `(spec, n, d, c)`, generated once and shared.
+    pub fn dataset(&self, spec: DatasetSpec, n: usize, d: usize, c: usize) -> Arc<Dataset> {
+        let key = (spec.name(), n, d, c);
+        if let Some(ds) = self.datasets.lock().expect("poisoned").get(&key) {
+            return Arc::clone(ds);
+        }
+        let seed = derive_seed(self.scale.seed, &[0xda7a, n as u64, d as u64, c as u64]);
+        let ds = Arc::new(spec.generate(n, d, c, seed));
+        self.datasets
+            .lock()
+            .expect("poisoned")
+            .entry(key)
+            .or_insert(ds)
+            .clone()
+    }
+
+    /// The `(queries, ground truth)` for a workload over a dataset,
+    /// computed once and shared.
+    pub fn workload(
+        &self,
+        spec: DatasetSpec,
+        n: usize,
+        d: usize,
+        c: usize,
+        kind: WorkloadKind,
+    ) -> WorkloadEntry {
+        let ds_key = (spec.name(), n, d, c);
+        let key = (ds_key, kind.cache_key());
+        if let Some(wl) = self.workloads.lock().expect("poisoned").get(&key) {
+            return Arc::clone(wl);
+        }
+        let ds = self.dataset(spec, n, d, c);
+        let wl_seed = derive_seed(self.scale.seed, &[0x3017, d as u64, c as u64]);
+        let builder = WorkloadBuilder::new(d, c, wl_seed);
+        let queries = match kind {
+            WorkloadKind::Random { lambda, omega } => {
+                builder.random(lambda, omega, self.scale.queries)
+            }
+            WorkloadKind::Full2dRanges { omega } => builder.full_2d_ranges(omega),
+            WorkloadKind::Full2dMarginals => builder.full_2d_marginals(),
+            WorkloadKind::ZeroCount { lambda, omega } => {
+                builder.zero_count(&ds, lambda, omega, self.scale.queries)
+            }
+            WorkloadKind::NonZeroCount { lambda, omega } => {
+                builder.nonzero_count(&ds, lambda, omega, self.scale.queries)
+            }
+        };
+        let truths = true_answers(&ds, &queries);
+        let entry = Arc::new((queries, truths));
+        self.workloads
+            .lock()
+            .expect("poisoned")
+            .entry(key)
+            .or_insert(entry)
+            .clone()
+    }
+
+    /// Measures one cell: fits `approach` `reps` times (different seeds) and
+    /// summarizes the per-repetition MAEs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mae(
+        &self,
+        spec: DatasetSpec,
+        n: usize,
+        d: usize,
+        c: usize,
+        approach: &Approach,
+        epsilon: f64,
+        kind: WorkloadKind,
+    ) -> Summary {
+        let ds = self.dataset(spec, n, d, c);
+        let wl = self.workload(spec, n, d, c, kind);
+        let (queries, truths) = (&wl.0, &wl.1);
+        let mech = approach.mechanism();
+        let maes: Vec<f64> = (0..self.scale.reps)
+            .map(|rep| {
+                let seed = derive_seed(
+                    self.scale.seed,
+                    &[0xf17, rep, (epsilon * 1e6) as u64, n as u64],
+                );
+                match mech.fit(&ds, epsilon, seed) {
+                    Ok(model) => privmdr_query::mae(&model.answer_all(queries), truths),
+                    Err(e) => {
+                        eprintln!("warn: {} failed to fit: {e}", approach.name());
+                        f64::NAN
+                    }
+                }
+            })
+            .filter(|m| m.is_finite())
+            .collect();
+        Summary::of(&maes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> Ctx {
+        let mut scale = Scale::quick();
+        scale.n = 5_000;
+        scale.reps = 2;
+        scale.queries = 10;
+        Ctx::new(scale)
+    }
+
+    #[test]
+    fn dataset_cache_shares_instances() {
+        let ctx = tiny_ctx();
+        let a = ctx.dataset(DatasetSpec::Ipums, 5000, 3, 16);
+        let b = ctx.dataset(DatasetSpec::Ipums, 5000, 3, 16);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.dataset(DatasetSpec::Ipums, 5000, 4, 16);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn workload_cache_shares_instances() {
+        let ctx = tiny_ctx();
+        let kind = WorkloadKind::Random { lambda: 2, omega: 0.5 };
+        let a = ctx.workload(DatasetSpec::Ipums, 5000, 3, 16, kind);
+        let b = ctx.workload(DatasetSpec::Ipums, 5000, 3, 16, kind);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.0.len(), 10);
+        assert_eq!(a.0.len(), a.1.len());
+    }
+
+    #[test]
+    fn mae_cell_runs_all_approaches() {
+        let ctx = tiny_ctx();
+        for approach in [Approach::Uni, Approach::Msw, Approach::Tdg, Approach::Hdg] {
+            let s = ctx.mae(
+                DatasetSpec::Normal { rho: 0.8 },
+                5000,
+                3,
+                16,
+                &approach,
+                1.0,
+                WorkloadKind::Random { lambda: 2, omega: 0.5 },
+            );
+            assert_eq!(s.count, 2, "{}", approach.name());
+            assert!(s.mean.is_finite() && s.mean >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uni_beats_nothing_hdg_beats_uni() {
+        let mut scale = Scale::quick();
+        scale.n = 40_000;
+        scale.reps = 2;
+        scale.queries = 30;
+        let ctx = Ctx::new(scale);
+        let spec = DatasetSpec::Normal { rho: 0.8 };
+        let kind = WorkloadKind::Random { lambda: 2, omega: 0.5 };
+        let uni = ctx.mae(spec, 40_000, 4, 32, &Approach::Uni, 1.0, kind);
+        let hdg = ctx.mae(spec, 40_000, 4, 32, &Approach::Hdg, 1.0, kind);
+        assert!(hdg.mean < uni.mean, "HDG {} vs Uni {}", hdg.mean, uni.mean);
+    }
+}

@@ -1,0 +1,161 @@
+//! Figs. 17–18 / Appendix A.6: convergence of Algorithms 1 and 2.
+//!
+//! * Algorithm 1: for each ε, fit HDG's post-processed grids, rebuild every
+//!   pair's response matrix with a per-sweep observer, and report the mean
+//!   total change per step across the `(d choose 2)` matrices.
+//! * Algorithm 2: for each ε, fit an HDG model, split each λ=4 query into
+//!   its six associated 2-D queries (answered through the public model),
+//!   and trace the Weighted-Update change per step, averaged over queries.
+
+use super::{DEFAULT_C, DEFAULT_D, DEFAULT_OMEGA};
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::report::{emit, Table};
+use crate::scale::Tier;
+use privmdr_core::estimation::{weighted_update_observed, PairAnswer};
+use privmdr_core::hdg::fit_hdg_grids;
+use privmdr_core::{Hdg, Mechanism, MechanismConfig};
+use privmdr_data::DatasetSpec;
+use privmdr_grid::response_matrix::build_response_matrix_observed;
+use privmdr_query::{Predicate, RangeQuery};
+use privmdr_util::rng::derive_seed;
+use privmdr_util::stats::Summary;
+
+fn eps_rows(ctx: &Ctx) -> Vec<f64> {
+    match ctx.scale.tier {
+        Tier::Quick => vec![1.0],
+        _ => vec![0.2, 0.6, 1.0, 1.4, 1.8],
+    }
+}
+
+/// Fig. 17: Algorithm 1 (response matrix) convergence.
+pub fn alg1(ctx: &Ctx, fig: &str) {
+    let steps = 50usize;
+    let mut tables = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let ds = ctx.dataset(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C);
+        let mut table = Table::new(
+            format!("{fig}: {} (Algorithm 1 total change per step)", spec.name()),
+            "step",
+            (1..=steps).map(|s| s.to_string()).collect(),
+        );
+        for &eps in &eps_rows(ctx) {
+            let seed = derive_seed(ctx.scale.seed, &[0xa191, (eps * 100.0) as u64]);
+            let cfg = MechanismConfig::default();
+            let (one_d, two_d) =
+                fit_hdg_grids(&ds, eps, seed, &cfg).expect("HDG grids fit");
+            // Average the change trace across all pairs.
+            let mut acc = vec![0.0f64; steps];
+            for grid in &two_d {
+                let (j, k) = grid.attrs();
+                let mut trace = vec![f64::NAN; steps];
+                let mut obs = |step: usize, change: f64| {
+                    if step - 1 < steps {
+                        trace[step - 1] = change;
+                    }
+                };
+                let _ = build_response_matrix_observed(
+                    &one_d[j],
+                    &one_d[k],
+                    grid,
+                    0.0, // run all `steps` sweeps for the full curve
+                    steps,
+                    Some(&mut obs),
+                );
+                for (a, t) in acc.iter_mut().zip(&trace) {
+                    *a += if t.is_nan() { 0.0 } else { *t };
+                }
+            }
+            let row: Vec<Summary> = acc
+                .iter()
+                .map(|&total| Summary {
+                    mean: total / two_d.len() as f64,
+                    std_dev: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                    count: two_d.len(),
+                })
+                .collect();
+            table.push_row(format!("eps={eps:.1}"), row);
+        }
+        tables.push(table);
+    }
+    emit(fig, &tables);
+}
+
+/// Fig. 18: Algorithm 2 (λ-D estimation) convergence at λ = 4.
+pub fn alg2(ctx: &Ctx, fig: &str) {
+    let steps = 100usize;
+    let lambda = 4usize;
+    let mut tables = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let ds = ctx.dataset(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C);
+        let wl = ctx.workload(
+            spec,
+            ctx.scale.n,
+            DEFAULT_D,
+            DEFAULT_C,
+            WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+        );
+        let mut table = Table::new(
+            format!("{fig}: {} (Algorithm 2 total change per step, lambda=4)", spec.name()),
+            "step",
+            (1..=steps).map(|s| s.to_string()).collect(),
+        );
+        for &eps in &eps_rows(ctx) {
+            let seed = derive_seed(ctx.scale.seed, &[0xa192, (eps * 100.0) as u64]);
+            let model = Hdg::default().fit(&ds, eps, seed).expect("HDG fit");
+            let mut acc = vec![0.0f64; steps];
+            let mut counted = 0usize;
+            for q in wl.0.iter().take(50) {
+                // Split into the associated 2-D queries via the public API.
+                let preds = q.predicates();
+                let mut pairs = Vec::new();
+                for i in 0..preds.len() {
+                    for j in (i + 1)..preds.len() {
+                        let q2 = RangeQuery::new(
+                            vec![
+                                Predicate {
+                                    attr: preds[i].attr,
+                                    lo: preds[i].lo,
+                                    hi: preds[i].hi,
+                                },
+                                Predicate {
+                                    attr: preds[j].attr,
+                                    lo: preds[j].lo,
+                                    hi: preds[j].hi,
+                                },
+                            ],
+                            DEFAULT_C,
+                        )
+                        .expect("valid sub-query");
+                        pairs.push(PairAnswer { i, j, f: model.answer(&q2).clamp(0.0, 1.0) });
+                    }
+                }
+                let mut trace = vec![0.0f64; steps];
+                let mut obs = |step: usize, change: f64| {
+                    if step - 1 < steps {
+                        trace[step - 1] = change;
+                    }
+                };
+                let _ = weighted_update_observed(lambda, &pairs, 0.0, steps, Some(&mut obs));
+                for (a, t) in acc.iter_mut().zip(&trace) {
+                    *a += t;
+                }
+                counted += 1;
+            }
+            let row: Vec<Summary> = acc
+                .iter()
+                .map(|&total| Summary {
+                    mean: total / counted.max(1) as f64,
+                    std_dev: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                    count: counted,
+                })
+                .collect();
+            table.push_row(format!("eps={eps:.1}"), row);
+        }
+        tables.push(table);
+    }
+    emit(fig, &tables);
+}

@@ -1,0 +1,76 @@
+//! Figs. 9–10 / Appendix A.2: distribution of per-query standard errors for
+//! TDG and HDG.
+//!
+//! For each dataset and λ ∈ {2, 4}, fit the mechanism `reps` times, average
+//! each query's absolute error across repetitions (the appendix's
+//! methodology), and report a 10-bucket histogram.
+
+use super::{DEFAULT_C, DEFAULT_D, DEFAULT_EPS, DEFAULT_OMEGA};
+use crate::approach::Approach;
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::report::{emit, Table};
+use privmdr_data::DatasetSpec;
+use privmdr_util::rng::derive_seed;
+use privmdr_util::stats::{Histogram, Summary};
+
+/// Runs the error-distribution experiment for one approach (Fig. 9 = TDG,
+/// Fig. 10 = HDG).
+pub fn run(ctx: &Ctx, fig: &str, approach: Approach) {
+    let mut tables = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        for lambda in [2usize, 4] {
+            let kind = WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA };
+            let ds = ctx.dataset(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C);
+            let wl = ctx.workload(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C, kind);
+            let (queries, truths) = (&wl.0, &wl.1);
+            let mech = approach.mechanism();
+
+            // Mean absolute error per query across repetitions.
+            let mut per_query = vec![0.0f64; queries.len()];
+            let mut fitted = 0usize;
+            for rep in 0..ctx.scale.reps {
+                let seed = derive_seed(ctx.scale.seed, &[0xe44, rep]);
+                let Ok(model) = mech.fit(&ds, DEFAULT_EPS, seed) else { continue };
+                let est = model.answer_all(queries);
+                for ((pq, e), t) in per_query.iter_mut().zip(&est).zip(truths) {
+                    *pq += (e - t).abs();
+                }
+                fitted += 1;
+            }
+            if fitted == 0 {
+                continue;
+            }
+            per_query.iter_mut().for_each(|x| *x /= fitted as f64);
+
+            let max_err = per_query.iter().cloned().fold(0.0, f64::max).max(1e-6);
+            let mut hist = Histogram::new(0.0, max_err * 1.0001, 10);
+            for &e in &per_query {
+                hist.add(e);
+            }
+            let mut table = Table::new(
+                format!(
+                    "{fig}: {} standard-error distribution, {}, lambda={lambda}",
+                    approach.name(),
+                    spec.name()
+                ),
+                "error bucket center",
+                hist.rows().iter().map(|(center, _)| format!("{center:.3}")).collect(),
+            );
+            table.push_row(
+                "queries",
+                hist.rows()
+                    .iter()
+                    .map(|&(_, count)| Summary {
+                        mean: count as f64,
+                        std_dev: 0.0,
+                        min: 0.0,
+                        max: 0.0,
+                        count: 1,
+                    })
+                    .collect(),
+            );
+            tables.push(table);
+        }
+    }
+    emit(fig, &tables);
+}

@@ -1,0 +1,57 @@
+//! Figs. 7 and 16: effectiveness of the granularity guideline.
+//!
+//! Every fixed `(g1, g2)` combination for `c = 64` is run as its own HDG
+//! variant and compared against guideline-driven HDG across the ε sweep;
+//! the guideline should track the best fixed combination everywhere.
+
+use super::{DEFAULT_C, DEFAULT_OMEGA};
+use crate::approach::Approach;
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::report::{emit, Table};
+use privmdr_data::DatasetSpec;
+
+/// Runs the guideline verification at the given attribute counts
+/// (`&[6]` for Fig. 7; `&[4, 8, 10]` for Fig. 16).
+pub fn run(ctx: &Ctx, fig: &str, d_values: &[usize]) {
+    let eps = ctx.scale.eps_sweep();
+    let ladder = Approach::guideline_ladder();
+    let kind = WorkloadKind::Random { lambda: 2, omega: DEFAULT_OMEGA };
+    let mut tables = Vec::new();
+    for &d in d_values {
+        for spec in DatasetSpec::main_four() {
+            let mut table = Table::new(
+                format!("{fig}: {}, d={d} (guideline vs fixed granularities)", spec.name()),
+                "epsilon",
+                eps.iter().map(|e| format!("{e:.1}")).collect(),
+            );
+            let cells: Vec<(Approach, f64)> = ladder
+                .iter()
+                .flat_map(|&a| eps.iter().map(move |&e| (a, e)))
+                .collect();
+            let results = crate::parallel::par_map(&cells, |&(a, e)| {
+                ctx.mae(spec, ctx.scale.n, d, DEFAULT_C, &a, e, kind)
+            });
+            for (ai, a) in ladder.iter().enumerate() {
+                table.push_row(a.name(), results[ai * eps.len()..(ai + 1) * eps.len()].to_vec());
+            }
+            // Regret diagnostic: guideline MAE / best fixed MAE per epsilon.
+            let hdg_row = &results[(ladder.len() - 1) * eps.len()..];
+            let mut regret = Vec::with_capacity(eps.len());
+            for (ei, hdg) in hdg_row.iter().enumerate() {
+                let best = (0..ladder.len() - 1)
+                    .map(|ai| results[ai * eps.len() + ei].mean)
+                    .fold(f64::INFINITY, f64::min);
+                regret.push(privmdr_util::stats::Summary {
+                    mean: hdg.mean / best.max(1e-12),
+                    std_dev: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                    count: hdg.count,
+                });
+            }
+            table.push_row("guideline/best ratio", regret);
+            tables.push(table);
+        }
+    }
+    emit(fig, &tables);
+}

@@ -1,0 +1,94 @@
+//! One module per paper figure/table. Each exposes `run(&Ctx)` which prints
+//! markdown tables and writes `results/<fig>.csv`.
+
+pub mod convergence;
+pub mod error_dist;
+pub mod guideline_check;
+pub mod sigma_split;
+pub mod sweeps;
+pub mod table2;
+
+use crate::approach::Approach;
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::report::{emit, Table};
+use privmdr_data::DatasetSpec;
+
+/// Paper defaults shared by every figure (§5.1).
+pub const DEFAULT_D: usize = 6;
+/// Default attribute domain size.
+pub const DEFAULT_C: usize = 64;
+/// Default dimensional query volume.
+pub const DEFAULT_OMEGA: f64 = 0.5;
+/// Default privacy budget when a figure sweeps another axis.
+pub const DEFAULT_EPS: f64 = 1.0;
+
+/// Fig. 1 (and 23): MAE vs ε for every dataset and λ.
+pub fn fig_vary_eps(
+    ctx: &Ctx,
+    fig: &str,
+    datasets: &[DatasetSpec],
+    lambdas: &[usize],
+    approaches: &[Approach],
+) {
+    let eps = ctx.scale.eps_sweep();
+    let mut tables = Vec::new();
+    for &spec in datasets {
+        for &lambda in lambdas {
+            let kind = WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA };
+            let mut table = Table::new(
+                format!("{fig}: {}, lambda={lambda} (MAE vs epsilon)", spec.name()),
+                "epsilon",
+                eps.iter().map(|e| format!("{e:.1}")).collect(),
+            );
+            let cells: Vec<(Approach, f64)> = approaches
+                .iter()
+                .flat_map(|&a| eps.iter().map(move |&e| (a, e)))
+                .collect();
+            let results = crate::parallel::par_map(&cells, |&(a, e)| {
+                ctx.mae(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C, &a, e, kind)
+            });
+            for (ai, a) in approaches.iter().enumerate() {
+                let row = results[ai * eps.len()..(ai + 1) * eps.len()].to_vec();
+                table.push_row(a.name(), row);
+            }
+            tables.push(table);
+        }
+    }
+    emit(fig, &tables);
+}
+
+/// Generic single-parameter sweep driver used by Figs. 2–6, 11–14, 19–28.
+///
+/// `x_values` labels the sweep; `cell` maps `(x index, approach)` to the
+/// `(spec, n, d, c, epsilon, workload)` of one measurement.
+#[allow(clippy::type_complexity)]
+pub fn run_generic_sweep(
+    ctx: &Ctx,
+    fig: &str,
+    subplots: Vec<(
+        String,
+        Vec<String>,
+        Box<dyn Fn(usize, &Approach) -> (DatasetSpec, usize, usize, usize, f64, WorkloadKind) + Sync>,
+    )>,
+    approaches: &[Approach],
+    x_label: &str,
+) {
+    let mut tables = Vec::new();
+    for (title, x_values, cell_fn) in subplots {
+        let mut table = Table::new(title, x_label, x_values.clone());
+        let cells: Vec<(usize, Approach)> = approaches
+            .iter()
+            .flat_map(|&a| (0..x_values.len()).map(move |xi| (xi, a)))
+            .collect();
+        let results = crate::parallel::par_map(&cells, |&(xi, a)| {
+            let (spec, n, d, c, e, kind) = cell_fn(xi, &a);
+            ctx.mae(spec, n, d, c, &a, e, kind)
+        });
+        for (ai, a) in approaches.iter().enumerate() {
+            let row = results[ai * x_values.len()..(ai + 1) * x_values.len()].to_vec();
+            table.push_row(a.name(), row);
+        }
+        tables.push(table);
+    }
+    emit(fig, &tables);
+}

@@ -1,0 +1,57 @@
+//! Fig. 15 / Appendix A.5: justifying the user split σ = n1/n.
+//!
+//! For each ε, HDG runs with σ swept from 0.1 to 0.9; the default
+//! equal-population split σ0 = d/(d + (d choose 2)) should sit in the flat
+//! optimum the paper reports (σ ∈ [0.2, 0.6]).
+
+use super::{DEFAULT_C, DEFAULT_D, DEFAULT_OMEGA};
+use crate::approach::Approach;
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::report::{emit, Table};
+use crate::scale::Tier;
+use privmdr_data::DatasetSpec;
+
+/// Runs the σ sweep.
+pub fn run(ctx: &Ctx, fig: &str) {
+    let sigmas: Vec<f64> = (1..=9).map(|i| 0.1 * i as f64).collect();
+    let eps_rows: Vec<f64> = match ctx.scale.tier {
+        Tier::Quick => vec![1.0],
+        _ => vec![0.2, 0.6, 1.0, 1.4, 1.8],
+    };
+    let kind = WorkloadKind::Random { lambda: 2, omega: DEFAULT_OMEGA };
+    let mut tables = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let mut table = Table::new(
+            format!("{fig}: {} (HDG MAE vs sigma = n1/n)", spec.name()),
+            "sigma",
+            sigmas.iter().map(|s| format!("{s:.1}")).collect(),
+        );
+        let cells: Vec<(f64, f64)> = eps_rows
+            .iter()
+            .flat_map(|&e| sigmas.iter().map(move |&s| (e, s)))
+            .collect();
+        let results = crate::parallel::par_map(&cells, |&(e, s)| {
+            ctx.mae(
+                spec,
+                ctx.scale.n,
+                DEFAULT_D,
+                DEFAULT_C,
+                &Approach::HdgSigma { sigma: s },
+                e,
+                kind,
+            )
+        });
+        for (ei, &e) in eps_rows.iter().enumerate() {
+            table.push_row(
+                format!("eps={e:.1}"),
+                results[ei * sigmas.len()..(ei + 1) * sigmas.len()].to_vec(),
+            );
+        }
+        tables.push(table);
+    }
+    println!(
+        "\n(default sigma0 = d/(d + C(d,2)) = {:.4} for d = {DEFAULT_D})",
+        privmdr_grid::guideline::default_sigma(DEFAULT_D)
+    );
+    emit(fig, &tables);
+}

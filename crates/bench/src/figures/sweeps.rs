@@ -1,0 +1,302 @@
+//! Parameter-sweep figures: Figs. 2–6, 11–14, 19–21, 23–28.
+//!
+//! All delegate to [`run_generic_sweep`]; each function encodes one paper
+//! figure's axes, datasets, and legend.
+
+use super::{run_generic_sweep, DEFAULT_C, DEFAULT_D, DEFAULT_EPS, DEFAULT_OMEGA};
+use crate::approach::Approach;
+use crate::experiment::{Ctx, WorkloadKind};
+use crate::scale::Tier;
+use privmdr_data::DatasetSpec;
+
+type CellFn =
+    Box<dyn Fn(usize, &Approach) -> (DatasetSpec, usize, usize, usize, f64, WorkloadKind) + Sync>;
+
+/// Fig. 2 (24 at λ=6, 20 for Loan/Acs): MAE vs ω.
+pub fn vary_omega(ctx: &Ctx, fig: &str, datasets: &[DatasetSpec], lambdas: &[usize]) {
+    let omegas = ctx.scale.omega_sweep();
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for &spec in datasets {
+        for &lambda in lambdas {
+            let omegas_c = omegas.clone();
+            subplots.push((
+                format!("{fig}: {}, lambda={lambda} (MAE vs omega)", spec.name()),
+                omegas.iter().map(|o| format!("{o:.1}")).collect(),
+                Box::new(move |xi, _| {
+                    (
+                        spec,
+                        n,
+                        DEFAULT_D,
+                        DEFAULT_C,
+                        DEFAULT_EPS,
+                        WorkloadKind::Random { lambda, omega: omegas_c[xi] },
+                    )
+                }),
+            ));
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::all_seven(), "omega");
+}
+
+/// Fig. 3 (25 at λ=6): MAE vs domain size c on the synthetic datasets.
+pub fn vary_c(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
+    let cs: Vec<usize> = match ctx.scale.tier {
+        Tier::Quick => vec![16, 64],
+        Tier::Default => vec![16, 32, 64, 128, 256],
+        Tier::Full => vec![16, 32, 64, 128, 256, 512, 1024],
+    };
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::synthetic_two() {
+        for &lambda in lambdas {
+            let cs_c = cs.clone();
+            subplots.push((
+                format!("{fig}: {}, lambda={lambda} (MAE vs c)", spec.name()),
+                cs.iter().map(|c| format!("{c}")).collect(),
+                Box::new(move |xi, _| {
+                    (
+                        spec,
+                        n,
+                        DEFAULT_D,
+                        cs_c[xi],
+                        DEFAULT_EPS,
+                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                    )
+                }),
+            ));
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "c");
+}
+
+/// Fig. 4 (26 at λ=6, 21 for Loan/Acs): MAE vs number of attributes d.
+pub fn vary_d(ctx: &Ctx, fig: &str, datasets: &[DatasetSpec], lambdas: &[usize]) {
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for &spec in datasets {
+        for &lambda in lambdas {
+            let ds: Vec<usize> = (lambda.max(3)..=10).collect();
+            let ds_c = ds.clone();
+            subplots.push((
+                format!("{fig}: {}, lambda={lambda} (MAE vs d)", spec.name()),
+                ds.iter().map(|d| format!("{d}")).collect(),
+                Box::new(move |xi, _| {
+                    (
+                        spec,
+                        n,
+                        ds_c[xi],
+                        DEFAULT_C,
+                        DEFAULT_EPS,
+                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                    )
+                }),
+            ));
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "d");
+}
+
+/// Fig. 5: MAE vs query dimension λ (needs d = 10 so λ can reach 10; the
+/// paper's caption says d = 6 but its x-axis runs to λ = 10 — see
+/// EXPERIMENTS.md).
+pub fn vary_lambda(ctx: &Ctx, fig: &str) {
+    let lambdas: Vec<usize> = match ctx.scale.tier {
+        Tier::Quick => vec![2, 4, 6],
+        _ => (2..=10).collect(),
+    };
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let lambdas_c = lambdas.clone();
+        subplots.push((
+            format!("{fig}: {} (MAE vs lambda, d=10)", spec.name()),
+            lambdas.iter().map(|l| format!("{l}")).collect(),
+            Box::new(move |xi, _| {
+                (
+                    spec,
+                    n,
+                    10,
+                    DEFAULT_C,
+                    DEFAULT_EPS,
+                    WorkloadKind::Random { lambda: lambdas_c[xi], omega: DEFAULT_OMEGA },
+                )
+            }),
+        ));
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "lambda");
+}
+
+/// Fig. 6 (27 at λ=6): MAE vs population n on the synthetic datasets.
+pub fn vary_n(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
+    let ns: Vec<usize> = match ctx.scale.tier {
+        Tier::Quick => vec![20_000, 50_000],
+        Tier::Default => vec![50_000, 100_000, 200_000, 400_000, 800_000],
+        Tier::Full => vec![100_000, 316_228, 1_000_000, 3_162_278, 10_000_000],
+    };
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::synthetic_two() {
+        for &lambda in lambdas {
+            let ns_c = ns.clone();
+            subplots.push((
+                format!("{fig}: {}, lambda={lambda} (MAE vs n)", spec.name()),
+                ns.iter().map(|n| format!("{:.1}", (*n as f64).log10())).collect(),
+                Box::new(move |xi, _| {
+                    (
+                        spec,
+                        ns_c[xi],
+                        DEFAULT_D,
+                        DEFAULT_C,
+                        DEFAULT_EPS,
+                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                    )
+                }),
+            ));
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::all_seven(), "lg(n)");
+}
+
+/// Fig. 11: full 2-D marginal workloads vs ε.
+pub fn full_marginals(ctx: &Ctx, fig: &str) {
+    let eps = ctx.scale.eps_sweep();
+    let n = ctx.scale.n;
+    // Marginal workloads enumerate (d choose 2)·c² queries; keep c modest.
+    let c = if ctx.scale.tier == Tier::Full { DEFAULT_C } else { 32 };
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let eps_c = eps.clone();
+        subplots.push((
+            format!("{fig}: {} (full 2-D marginals, MAE vs epsilon, c={c})", spec.name()),
+            eps.iter().map(|e| format!("{e:.1}")).collect(),
+            Box::new(move |xi, _| {
+                (spec, n, DEFAULT_D, c, eps_c[xi], WorkloadKind::Full2dMarginals)
+            }),
+        ));
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "epsilon");
+}
+
+/// Fig. 12: full 2-D range workloads (ω = 0.5) vs ε.
+pub fn full_ranges(ctx: &Ctx, fig: &str) {
+    let eps = ctx.scale.eps_sweep();
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let eps_c = eps.clone();
+        subplots.push((
+            format!("{fig}: {} (full 2-D ranges, MAE vs epsilon)", spec.name()),
+            eps.iter().map(|e| format!("{e:.1}")).collect(),
+            Box::new(move |xi, _| {
+                (
+                    spec,
+                    n,
+                    DEFAULT_D,
+                    DEFAULT_C,
+                    eps_c[xi],
+                    WorkloadKind::Full2dRanges { omega: DEFAULT_OMEGA },
+                )
+            }),
+        ));
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "epsilon");
+}
+
+/// Figs. 13–14: zero-count (ω = 0.3) / non-zero-count (ω = 0.7) queries at
+/// high λ, d = 10.
+pub fn count_extremes(ctx: &Ctx, fig: &str, zero: bool) {
+    let lambdas: Vec<usize> = match ctx.scale.tier {
+        Tier::Quick => vec![6, 8],
+        _ => (6..=10).collect(),
+    };
+    let n = ctx.scale.n;
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        let lambdas_c = lambdas.clone();
+        let label = if zero { "0-count" } else { "non-0-count" };
+        subplots.push((
+            format!("{fig}: {} ({label} queries, MAE vs lambda, d=10)", spec.name()),
+            lambdas.iter().map(|l| format!("{l}")).collect(),
+            Box::new(move |xi, _| {
+                let lambda = lambdas_c[xi];
+                let kind = if zero {
+                    WorkloadKind::ZeroCount { lambda, omega: 0.3 }
+                } else {
+                    WorkloadKind::NonZeroCount { lambda, omega: 0.7 }
+                };
+                (spec, n, 10, DEFAULT_C, DEFAULT_EPS, kind)
+            }),
+        ));
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "lambda");
+}
+
+/// Fig. 28: covariance sweep on the synthetic datasets.
+pub fn covariance_sweep(ctx: &Ctx, fig: &str) {
+    let eps = ctx.scale.eps_sweep();
+    let n = ctx.scale.n;
+    let covs = match ctx.scale.tier {
+        Tier::Quick => vec![0.0, 0.8],
+        _ => vec![0.0, 0.2, 0.6, 1.0],
+    };
+    let lambdas: Vec<usize> = match ctx.scale.tier {
+        Tier::Quick => vec![2],
+        _ => vec![2, 4, 6],
+    };
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for laplace in [false, true] {
+        for &cov in &covs {
+            for &lambda in &lambdas {
+                let spec = if laplace {
+                    DatasetSpec::Laplace { rho: cov }
+                } else {
+                    DatasetSpec::Normal { rho: cov }
+                };
+                let eps_c = eps.clone();
+                subplots.push((
+                    format!("{fig}: {}, Cov={cov}, lambda={lambda}", spec.name()),
+                    eps.iter().map(|e| format!("{e:.1}")).collect(),
+                    Box::new(move |xi, _| {
+                        (
+                            spec,
+                            n,
+                            DEFAULT_D,
+                            DEFAULT_C,
+                            eps_c[xi],
+                            WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                        )
+                    }),
+                ));
+            }
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &Approach::six_without_hio(), "epsilon");
+}
+
+/// Fig. 8 / Appendix A.1: component-wise analysis (Phase-2 ablation).
+pub fn components(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
+    let eps = ctx.scale.eps_sweep();
+    let n = ctx.scale.n;
+    let legend = [Approach::ITdg, Approach::IHdg, Approach::Tdg, Approach::Hdg];
+    let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
+    for spec in DatasetSpec::main_four() {
+        for &lambda in lambdas {
+            let eps_c = eps.clone();
+            subplots.push((
+                format!("{fig}: {}, lambda={lambda} (Phase-2 ablation)", spec.name()),
+                eps.iter().map(|e| format!("{e:.1}")).collect(),
+                Box::new(move |xi, _| {
+                    (
+                        spec,
+                        n,
+                        DEFAULT_D,
+                        DEFAULT_C,
+                        eps_c[xi],
+                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                    )
+                }),
+            ));
+        }
+    }
+    run_generic_sweep(ctx, fig, subplots, &legend, "epsilon");
+}

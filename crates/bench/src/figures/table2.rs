@@ -1,0 +1,52 @@
+//! Table 2: the recommended (g1, g2) granularities.
+//!
+//! Pure computation — no data, no noise. The unit test in
+//! `privmdr-grid::guideline` asserts bit-exact agreement with the paper;
+//! this runner regenerates the table for the README/EXPERIMENTS record.
+
+use crate::report::{emit, Table};
+use privmdr_grid::guideline::{choose_granularities, GuidelineParams};
+use privmdr_util::stats::Summary;
+
+/// Prints the full Table 2 grid.
+pub fn run(fig: &str) {
+    let eps: Vec<f64> = (1..=10).map(|i| 0.2 * i as f64).collect();
+    let params = GuidelineParams::default();
+    let rows: Vec<(usize, f64)> = (3..=10)
+        .map(|d| (d, 6.0))
+        .chain((0..=10).map(|i| (6usize, 5.0 + 0.2 * i as f64)))
+        .collect();
+
+    let mut table = Table::new(
+        format!("{fig}: recommended (g1, g2), alpha1=0.7, alpha2=0.03, c=64"),
+        "d, lg(n)",
+        eps.iter().map(|e| format!("eps={e:.1}")).collect(),
+    );
+    // The Table type carries numeric summaries; encode g1*1000 + g2 so the
+    // CSV stays machine-readable, and print a human-readable table too.
+    let mut pretty = String::new();
+    for &(d, lg_n) in &rows {
+        let n = 10f64.powf(lg_n).round() as usize;
+        let mut cells = Vec::new();
+        let mut line = format!("| {d}, {lg_n:.1} |");
+        for &e in &eps {
+            let g = choose_granularities(n, d, e, 64, &params);
+            line.push_str(&format!(" {},{} |", g.g1, g.g2));
+            cells.push(Summary {
+                mean: (g.g1 * 1000 + g.g2) as f64,
+                std_dev: 0.0,
+                min: g.g1 as f64,
+                max: g.g2 as f64,
+                count: 1,
+            });
+        }
+        pretty.push_str(&line);
+        pretty.push('\n');
+        table.push_row(format!("d={d}, lg(n)={lg_n:.1}"), cells);
+    }
+    println!("\n### {fig} (human-readable)\n");
+    println!("| d, lg(n) |{}", eps.iter().map(|e| format!(" {e:.1} |")).collect::<String>());
+    println!("|---|{}", "---|".repeat(eps.len()));
+    print!("{pretty}");
+    emit(fig, &[table]);
+}

@@ -1,0 +1,28 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§5 and the appendix).
+//!
+//! Each figure has a binary in `src/bin/` (e.g.
+//! `cargo run --release -p privmdr-bench --bin fig01_vary_eps`); all share
+//! the machinery here:
+//!
+//! * [`approach`] — the mechanism variants appearing in figure legends;
+//! * [`scale`] — the `--quick` / default / `--full` experiment scales (the
+//!   paper's full scale is n = 10⁶, 10 repetitions, |Q| = 200);
+//! * [`experiment`] — cached datasets/workloads + parallel MAE measurement;
+//! * [`report`] — markdown/CSV table emission;
+//! * [`figures`] — one module per paper figure/table.
+//!
+//! Results are printed as markdown tables (one per subplot) and written as
+//! CSV under `results/` for diffing against the paper.
+
+pub mod approach;
+pub mod experiment;
+pub mod figures;
+pub mod parallel;
+pub mod report;
+pub mod scale;
+
+pub use approach::Approach;
+pub use experiment::{Ctx, WorkloadKind};
+pub use report::Table;
+pub use scale::Scale;

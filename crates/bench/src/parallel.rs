@@ -1,0 +1,73 @@
+//! Minimal scoped-thread work distribution (no external thread pool).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on `available_parallelism` threads, preserving
+/// order. Items are claimed through an atomic cursor, so uneven cell costs
+/// (HIO vs Uni) balance naturally.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = threads.min(items.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slot_ptr = SlotVec(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            let slot_ptr = &slot_ptr;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let r = f(&items[idx]);
+                // SAFETY: each index is claimed by exactly one thread (the
+                // atomic cursor hands out unique values) and `slots` outlives
+                // the scope, so this write is exclusive and in-bounds.
+                unsafe { *slot_ptr.0.add(idx) = Some(r) };
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot written")).collect()
+}
+
+/// Send/Sync wrapper for the raw slot pointer; safe because slot indices are
+/// partitioned by the atomic cursor (see SAFETY above).
+struct SlotVec<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SlotVec<R> {}
+unsafe impl<R: Send> Sync for SlotVec<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            // Simulate uneven costs.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc.wrapping_add(x)
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

@@ -1,0 +1,161 @@
+//! Result tables: markdown to stdout, CSV to `results/`.
+
+use privmdr_util::stats::Summary;
+use std::io::Write;
+use std::path::Path;
+
+/// One figure subplot: MAE series per approach over an x-axis sweep.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Subplot title, e.g. `"Fig 1(a) Ipums, lambda=2"`.
+    pub title: String,
+    /// x-axis name, e.g. `"epsilon"`.
+    pub x_label: String,
+    /// x-axis tick labels.
+    pub x_values: Vec<String>,
+    /// `(series name, one summary per x value)`.
+    pub rows: Vec<(String, Vec<Summary>)>,
+}
+
+impl Table {
+    /// Creates an empty table for the given sweep.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        x_values: Vec<String>,
+    ) -> Self {
+        Table { title: title.into(), x_label: x_label.into(), x_values, rows: Vec::new() }
+    }
+
+    /// Appends a series; its length must match the x-axis.
+    pub fn push_row(&mut self, name: impl Into<String>, series: Vec<Summary>) {
+        assert_eq!(series.len(), self.x_values.len(), "series length mismatch");
+        self.rows.push((name.into(), series));
+    }
+
+    /// Renders the table as markdown (MAE means; `±std` when repetitions
+    /// vary enough to matter).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for x in &self.x_values {
+            out.push_str(&format!(" {x} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.x_values {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (name, series) in &self.rows {
+            out.push_str(&format!("| {name} |"));
+            for s in series {
+                out.push_str(&format!(" {} |", format_mae(s)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout (locked + buffered).
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(self.to_markdown().as_bytes());
+    }
+
+    /// CSV rows: `title,series,x,mean,std,count`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("title,series,x,mae_mean,mae_std,reps\n");
+        for (name, series) in &self.rows {
+            for (x, s) in self.x_values.iter().zip(series) {
+                out.push_str(&format!(
+                    "{},{},{},{:.6e},{:.6e},{}\n",
+                    csv_escape(&self.title),
+                    csv_escape(name),
+                    csv_escape(x),
+                    s.mean,
+                    s.std_dev,
+                    s.count
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Scientific-ish MAE formatting matching the paper's log-scale figures.
+fn format_mae(s: &Summary) -> String {
+    if s.count == 0 {
+        return "-".into();
+    }
+    if s.mean == 0.0 {
+        return "0".into();
+    }
+    format!("{:.3e}", s.mean)
+}
+
+/// Appends tables to `results/<file>.csv` (creating `results/`), then
+/// prints them to stdout.
+pub fn emit(file_stem: &str, tables: &[Table]) {
+    for t in tables {
+        t.print();
+    }
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{file_stem}.csv"));
+        let mut csv = String::new();
+        for t in tables {
+            csv.push_str(&t.to_csv());
+        }
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("warn: could not write {}: {e}", path.display());
+        } else {
+            println!("\n[wrote results/{file_stem}.csv]");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(mean: f64) -> Summary {
+        Summary { mean, std_dev: 0.01, min: mean, max: mean, count: 3 }
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Fig X", "eps", vec!["0.5".into(), "1.0".into()]);
+        t.push_row("HDG", vec![s(0.01), s(0.005)]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| eps | 0.5 | 1.0 |"));
+        assert!(md.contains("| HDG | 1.000e-2 | 5.000e-3 |"));
+    }
+
+    #[test]
+    fn csv_shape_and_escaping() {
+        let mut t = Table::new("Fig, Y", "x", vec!["a".into()]);
+        t.push_row("M", vec![s(0.5)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("title,series,x,"));
+        assert!(csv.contains("\"Fig, Y\",M,a,5.000000e-1,1.000000e-2,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new("T", "x", vec!["a".into(), "b".into()]);
+        t.push_row("M", vec![s(0.1)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Experiment scales.
+//!
+//! The paper's full setting (n = 10⁶ users, 10 repetitions, |Q| = 200)
+//! takes hours across all figures; the default scale keeps every trend
+//! while finishing in minutes, and `--quick` smoke-tests a figure in
+//! seconds. All three run the same code paths.
+
+/// Scale tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Smoke test: tiny population, 1–2 repetitions.
+    Quick,
+    /// Default: reduced population, trends intact.
+    Default,
+    /// The paper's full evaluation scale.
+    Full,
+}
+
+/// Global experiment scale, parsed from CLI arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Base number of users `n`.
+    pub n: usize,
+    /// Repetitions per cell (the paper uses 10).
+    pub reps: u64,
+    /// Random queries per workload (the paper uses 200).
+    pub queries: usize,
+    /// Master seed for everything.
+    pub seed: u64,
+    /// Which tier was selected.
+    pub tier: Tier,
+}
+
+impl Scale {
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Scale { n: 40_000, reps: 2, queries: 40, seed: 0x9d72, tier: Tier::Quick }
+    }
+
+    /// Default reduced scale.
+    pub fn default_scale() -> Self {
+        Scale { n: 200_000, reps: 3, queries: 100, seed: 0x9d72, tier: Tier::Default }
+    }
+
+    /// The paper's scale.
+    pub fn full() -> Self {
+        Scale { n: 1_000_000, reps: 10, queries: 200, seed: 0x9d72, tier: Tier::Full }
+    }
+
+    /// Parses `--quick`, `--full`, `--n N`, `--reps R`, `--queries Q`,
+    /// `--seed S` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Scale::quick()
+        } else if args.iter().any(|a| a == "--full") {
+            Scale::full()
+        } else {
+            Scale::default_scale()
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut grab = |target: &mut u64| {
+                if let Some(v) = it.next().and_then(|s| s.parse::<u64>().ok()) {
+                    *target = v;
+                }
+            };
+            match a.as_str() {
+                "--n" => {
+                    let mut v = scale.n as u64;
+                    grab(&mut v);
+                    scale.n = v as usize;
+                }
+                "--reps" => grab(&mut scale.reps),
+                "--queries" => {
+                    let mut v = scale.queries as u64;
+                    grab(&mut v);
+                    scale.queries = v as usize;
+                }
+                "--seed" => grab(&mut scale.seed),
+                _ => {}
+            }
+        }
+        scale
+    }
+
+    /// The ε sweep used by most figures (0.2 to 2.0).
+    pub fn eps_sweep(&self) -> Vec<f64> {
+        match self.tier {
+            Tier::Quick => vec![0.5, 1.0, 2.0],
+            _ => (1..=10).map(|i| 0.2 * i as f64).collect(),
+        }
+    }
+
+    /// The ω sweep of Fig. 2 (0.1 to 0.9).
+    pub fn omega_sweep(&self) -> Vec<f64> {
+        match self.tier {
+            Tier::Quick => vec![0.3, 0.5, 0.7],
+            _ => (1..=9).map(|i| 0.1 * i as f64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered() {
+        assert!(Scale::quick().n < Scale::default_scale().n);
+        assert!(Scale::default_scale().n < Scale::full().n);
+        assert_eq!(Scale::full().reps, 10);
+        assert_eq!(Scale::full().queries, 200);
+    }
+
+    #[test]
+    fn sweeps_match_paper_at_full() {
+        let s = Scale::full();
+        assert_eq!(s.eps_sweep().len(), 10);
+        assert!((s.eps_sweep()[0] - 0.2).abs() < 1e-12);
+        assert!((s.eps_sweep()[9] - 2.0).abs() < 1e-12);
+        assert_eq!(s.omega_sweep().len(), 9);
+    }
+}

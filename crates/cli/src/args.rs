@@ -1,0 +1,123 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs plus bare flags (`--truth`).
+#[derive(Debug, Default, Clone)]
+pub struct ParsedArgs {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses an argument list. A token starting with `--` followed by a
+    /// non-`--` token is a key/value pair; otherwise it is a flag.
+    pub fn parse(argv: &[String]) -> Self {
+        let mut out = ParsedArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(key) = token.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    out.values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                out.flags.push(key.to_string());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// A string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required string value, with a helpful error.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A parsed numeric value (supports `1e6`-style floats for counts).
+    pub fn number<T: FromF64>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => {
+                let f: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--{key}: '{raw}' is not a number"))?;
+                Ok(Some(T::from_f64(f)))
+            }
+        }
+    }
+
+    /// A required numeric value.
+    pub fn require_number<T: FromF64>(&self, key: &str) -> Result<T, String> {
+        self.number(key)?.ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Whether a bare flag was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Numeric conversion for CLI values (`--n 1e6` should work for counts).
+pub trait FromF64 {
+    /// Converts from the parsed f64.
+    fn from_f64(f: f64) -> Self;
+}
+
+impl FromF64 for f64 {
+    fn from_f64(f: f64) -> Self {
+        f
+    }
+}
+
+impl FromF64 for usize {
+    fn from_f64(f: f64) -> Self {
+        f.max(0.0).round() as usize
+    }
+}
+
+impl FromF64 for u64 {
+    fn from_f64(f: f64) -> Self {
+        f.max(0.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = ParsedArgs::parse(&argv("--n 1e6 --spec ipums --truth --c 64"));
+        assert_eq!(a.require_number::<usize>("n").unwrap(), 1_000_000);
+        assert_eq!(a.get("spec"), Some("ipums"));
+        assert!(a.flag("truth"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.require_number::<usize>("c").unwrap(), 64);
+    }
+
+    #[test]
+    fn missing_and_malformed() {
+        let a = ParsedArgs::parse(&argv("--n abc"));
+        assert!(a.require("spec").is_err());
+        assert!(a.number::<usize>("n").is_err());
+        assert!(a.number::<usize>("absent").unwrap().is_none());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = ParsedArgs::parse(&argv("--truth --verbose"));
+        assert!(a.flag("truth"));
+        assert!(a.flag("verbose"));
+    }
+}

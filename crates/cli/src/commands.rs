@@ -1,0 +1,236 @@
+//! The CLI subcommands.
+
+use crate::args::ParsedArgs;
+use privmdr_core::{Calm, Hdg, Lhio, Mechanism, Msw, Tdg, Uni};
+use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
+use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
+use privmdr_query::parse::parse_workload;
+use privmdr_query::workload::true_answers;
+
+/// `privmdr synth`: generate a CSV dataset.
+pub fn synth(args: &ParsedArgs) -> Result<String, String> {
+    let spec = match args.require("spec")? {
+        "ipums" => DatasetSpec::Ipums,
+        "bfive" => DatasetSpec::Bfive,
+        "loan" => DatasetSpec::Loan,
+        "acs" => DatasetSpec::Acs,
+        "normal" => DatasetSpec::Normal { rho: args.number("rho")?.unwrap_or(0.8) },
+        "laplace" => DatasetSpec::Laplace { rho: args.number("rho")?.unwrap_or(0.8) },
+        other => return Err(format!("unknown --spec '{other}'")),
+    };
+    let n: usize = args.require_number("n")?;
+    let d: usize = args.require_number("d")?;
+    let c: usize = args.require_number("c")?;
+    let seed: u64 = args.number("seed")?.unwrap_or(1);
+    if !privmdr_util::is_pow2(c) || c < 2 {
+        return Err(format!("--c {c} must be a power of two >= 2"));
+    }
+    let ds = spec.generate(n, d, c, seed);
+    let csv = dataset_to_csv(&ds);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!("wrote {n} x {d} dataset ({}) to {path}", spec.name()))
+        }
+        None => Ok(csv),
+    }
+}
+
+/// `privmdr fit-query`: fit a mechanism and answer a workload.
+pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
+    let c: usize = args.require_number("c")?;
+    let data_path = args.require("data")?;
+    let text = std::fs::read_to_string(data_path)
+        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let ds = dataset_from_csv(&text, c).map_err(|e| format!("{data_path}: {e}"))?;
+
+    let queries_path = args.require("queries")?;
+    let q_text = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("reading {queries_path}: {e}"))?;
+    let queries = parse_workload(&q_text, c)
+        .map_err(|(line, e)| format!("{queries_path}:{line}: {e}"))?;
+    if queries.is_empty() {
+        return Err(format!("{queries_path}: no queries"));
+    }
+    if let Some(bad) = queries.iter().find(|q| q.attrs().any(|a| a >= ds.dims())) {
+        return Err(format!("query '{bad}' references an attribute outside the data"));
+    }
+
+    let epsilon: f64 = args.require_number("epsilon")?;
+    let seed: u64 = args.number("seed")?.unwrap_or(1);
+    let mech: Box<dyn Mechanism> = match args.require("mechanism")? {
+        "uni" => Box::new(Uni),
+        "msw" => Box::new(Msw::default()),
+        "calm" => Box::new(Calm::default()),
+        "lhio" => Box::new(Lhio::default()),
+        "tdg" => Box::new(Tdg::default()),
+        "hdg" => Box::new(Hdg::default()),
+        other => return Err(format!("unknown --mechanism '{other}'")),
+    };
+    let model = mech.fit(&ds, epsilon, seed).map_err(|e| e.to_string())?;
+    let estimates = model.answer_all(&queries);
+
+    let mut out = String::new();
+    if args.flag("truth") {
+        let truths = true_answers(&ds, &queries);
+        out.push_str("query,estimate,truth,abs_error\n");
+        for ((q, e), t) in queries.iter().zip(&estimates).zip(&truths) {
+            out.push_str(&format!("\"{q}\",{e:.6},{t:.6},{:.6}\n", (e - t).abs()));
+        }
+        out.push_str(&format!(
+            "# MAE over {} queries: {:.6}\n",
+            queries.len(),
+            privmdr_query::mae(&estimates, &truths)
+        ));
+    } else {
+        out.push_str("query,estimate\n");
+        for (q, e) in queries.iter().zip(&estimates) {
+            out.push_str(&format!("\"{q}\",{e:.6}\n"));
+        }
+    }
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &out).map_err(|e| format!("writing {path}: {e}"))?;
+        return Ok(format!("wrote {} answers to {path}", queries.len()));
+    }
+    Ok(out)
+}
+
+/// `privmdr guideline`: print the recommended granularities.
+pub fn guideline(args: &ParsedArgs) -> Result<String, String> {
+    let n: usize = args.require_number("n")?;
+    let d: usize = args.require_number("d")?;
+    let c: usize = args.require_number("c")?;
+    if d < 2 {
+        return Err("--d must be at least 2".into());
+    }
+    if !privmdr_util::is_pow2(c) || c < 2 {
+        return Err(format!("--c {c} must be a power of two >= 2"));
+    }
+    let params = GuidelineParams {
+        alpha1: args.number("alpha1")?.unwrap_or(0.7),
+        alpha2: args.number("alpha2")?.unwrap_or(0.03),
+        sigma: args.number("sigma")?,
+    };
+    let mut out = format!(
+        "granularity guideline for n={n}, d={d}, c={c} (alpha1={}, alpha2={})\n",
+        params.alpha1, params.alpha2
+    );
+    out.push_str("eps   HDG(g1,g2)   TDG(g2)\n");
+    for i in 1..=10 {
+        let eps = 0.2 * i as f64;
+        let g = choose_granularities(n, d, eps, c, &params);
+        let t = choose_tdg_granularity(n, d, eps, c, &params);
+        out.push_str(&format!("{eps:<5.1} ({:>3},{:>3})    {t:>3}\n", g.g1, g.g2));
+    }
+    Ok(out)
+}
+
+/// `privmdr info`: dataset summary.
+pub fn info(args: &ParsedArgs) -> Result<String, String> {
+    let c: usize = args.require_number("c")?;
+    let data_path = args.require("data")?;
+    let text = std::fs::read_to_string(data_path)
+        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let ds = dataset_from_csv(&text, c).map_err(|e| format!("{data_path}: {e}"))?;
+    Ok(summarize(&ds))
+}
+
+/// Shape, per-attribute sketch, and pairwise correlations of a dataset.
+pub fn summarize(ds: &Dataset) -> String {
+    let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
+    let mut out = format!("{n} users x {d} attributes, domain 0..{c}\n\n");
+    for t in 0..d {
+        let mut hist = [0usize; 8];
+        let mut sum = 0.0;
+        for u in 0..n {
+            let v = ds.value(u, t) as usize;
+            hist[v * 8 / c] += 1;
+            sum += v as f64;
+        }
+        let spark: String = hist
+            .iter()
+            .map(|&h| {
+                let levels = [' ', '.', ':', '+', '*', '#'];
+                let idx = (h * 5).div_ceil(n.max(1)).min(5);
+                levels[idx]
+            })
+            .collect();
+        out.push_str(&format!("a{t}: mean {:>6.2}  octile sketch [{spark}]\n", sum / n as f64));
+    }
+    if d >= 2 {
+        out.push_str("\npairwise correlation:\n");
+        for j in 0..d {
+            for k in (j + 1)..d {
+                out.push_str(&format!(
+                    "  (a{j}, a{k}): {:+.3}\n",
+                    privmdr_data::synth::empirical_correlation(ds, j, k)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn argv(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn synth_to_stdout_and_validation() {
+        let out = synth(&argv("--spec normal --rho 0.5 --n 20 --d 3 --c 16")).unwrap();
+        assert!(out.starts_with("a0,a1,a2\n"));
+        assert_eq!(out.lines().count(), 21);
+        assert!(synth(&argv("--spec nosuch --n 10 --d 2 --c 16")).is_err());
+        assert!(synth(&argv("--spec ipums --n 10 --d 2 --c 60")).is_err());
+        assert!(synth(&argv("--spec ipums --d 2 --c 64")).is_err()); // no n
+    }
+
+    #[test]
+    fn guideline_prints_table() {
+        let out = guideline(&argv("--n 1e6 --d 6 --c 64")).unwrap();
+        assert!(out.contains("eps"));
+        // The paper's Table 2 headline cell at eps=1.0.
+        assert!(out.contains("( 16,  4)"), "{out}");
+        assert!(guideline(&argv("--n 100 --d 1 --c 64")).is_err());
+    }
+
+    #[test]
+    fn summarize_mentions_shape_and_correlation() {
+        let ds = DatasetSpec::Normal { rho: 0.9 }.generate(2000, 2, 16, 3);
+        let s = summarize(&ds);
+        assert!(s.contains("2000 users x 2 attributes"));
+        assert!(s.contains("(a0, a1)"));
+    }
+
+    #[test]
+    fn fit_query_end_to_end_via_files() {
+        let dir = std::env::temp_dir().join("privmdr_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let queries_path = dir.join("queries.txt");
+        let ds = DatasetSpec::Ipums.generate(5000, 3, 16, 9);
+        std::fs::write(&data_path, dataset_to_csv(&ds)).unwrap();
+        std::fs::write(&queries_path, "0:0-7\na1 in [2, 9] AND a2 in [0, 15]\n").unwrap();
+        let cmd = format!(
+            "--data {} --c 16 --mechanism hdg --epsilon 2.0 --queries {} --truth",
+            data_path.display(),
+            queries_path.display()
+        );
+        let out = fit_query(&argv(&cmd)).unwrap();
+        assert!(out.starts_with("query,estimate,truth,abs_error\n"), "{out}");
+        assert!(out.contains("# MAE over 2 queries"));
+        // Unknown attribute in the workload is caught up front.
+        std::fs::write(&queries_path, "7:0-3\n").unwrap();
+        let cmd = format!(
+            "--data {} --c 16 --mechanism uni --epsilon 1.0 --queries {}",
+            data_path.display(),
+            queries_path.display()
+        );
+        assert!(fit_query(&argv(&cmd)).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Implementation of the `privmdr` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `synth` — generate a CSV dataset from one of the built-in generators;
+//! * `fit-query` — run an LDP mechanism over a CSV dataset and answer a
+//!   workload file of range queries;
+//! * `guideline` — print the paper's recommended grid granularities;
+//! * `info` — summarize a CSV dataset (shape, per-attribute histogram
+//!   sketch, pairwise correlations).
+//!
+//! The logic lives in this library so tests can drive it without spawning
+//! processes; `main.rs` is a thin wrapper.
+
+pub mod args;
+pub mod commands;
+
+use args::ParsedArgs;
+
+/// Runs the CLI; returns the text to print or a user-facing error message.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    let parsed = ParsedArgs::parse(rest);
+    match command.as_str() {
+        "synth" => commands::synth(&parsed),
+        "fit-query" => commands::fit_query(&parsed),
+        "guideline" => commands::guideline(&parsed),
+        "info" => commands::info(&parsed),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> String {
+    "privmdr — multi-dimensional range queries under local differential privacy
+
+USAGE:
+    privmdr <COMMAND> [OPTIONS]
+
+COMMANDS:
+    synth       generate a CSV dataset
+                  --spec ipums|bfive|loan|acs|normal|laplace  [--rho R]
+                  --n N --d D --c C [--seed S] [--out FILE]
+    fit-query   fit a mechanism and answer a query workload
+                  --data FILE --c C --mechanism uni|msw|calm|lhio|tdg|hdg
+                  --epsilon E --queries FILE [--seed S] [--truth]
+    guideline   print recommended grid granularities (paper Table 2)
+                  --n N --d D --c C [--alpha1 A] [--alpha2 A]
+    info        summarize a CSV dataset
+                  --data FILE --c C
+
+Query workload files take one query per line, either form:
+    a0 in [3, 40] AND a2 in [1, 5]
+    0:3-40, 2:1-5
+"
+    .to_string()
+}

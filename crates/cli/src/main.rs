@@ -1,0 +1,17 @@
+//! `privmdr` CLI entry point; all logic lives in the library for testing.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match privmdr_cli::run(&argv) {
+        Ok(output) => {
+            use std::io::Write;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let _ = lock.write_all(output.as_bytes());
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

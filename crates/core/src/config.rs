@@ -1,0 +1,119 @@
+//! Shared mechanism configuration.
+
+use privmdr_grid::consistency::PostProcessConfig;
+use privmdr_grid::guideline::{Granularities, GuidelineParams};
+use privmdr_oracles::SimMode;
+
+/// Which λ>2 estimator to use (paper §4.4 vs Appendix A.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// Algorithm 2: Weighted Update — the paper's choice (faster, equally
+    /// accurate).
+    #[default]
+    WeightedUpdate,
+    /// Maximum-entropy iterative scaling over all 2^λ cells with the four
+    /// per-pair constraints (Appendix A.8).
+    MaxEntropy,
+}
+
+/// Configuration shared by all mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismConfig {
+    /// Exact per-user protocol vs fast aggregate sampling (see
+    /// `privmdr-oracles`). HIO always runs exact.
+    pub sim_mode: SimMode,
+    /// Phase-2 post-processing; disable for the ITDG/IHDG ablations.
+    pub post_process: PostProcessConfig,
+    /// Granularity guideline constants (α1, α2, σ).
+    pub guideline: GuidelineParams,
+    /// Overrides the guideline with fixed `(g1, g2)` (Figs. 7 and 16 sweep
+    /// all combinations).
+    pub granularity_override: Option<Granularities>,
+    /// Hierarchy branching factor for HIO/LHIO (the paper sets `b = 4`).
+    pub branching: usize,
+    /// Convergence threshold of Algorithm 1 (response matrix); the paper
+    /// uses any value below `1/n`.
+    pub rm_threshold: f64,
+    /// Sweep cap for Algorithm 1 (relevant when post-processing is off and
+    /// inputs are inconsistent; the paper's Appendix A.1 uses 100).
+    pub rm_max_iters: usize,
+    /// Convergence threshold of Algorithm 2 (λ-D estimation).
+    pub est_threshold: f64,
+    /// Iteration cap for Algorithm 2.
+    pub est_max_iters: usize,
+    /// λ>2 estimator selection.
+    pub estimator: EstimatorKind,
+    /// EMS smoothing for the Square Wave EM reconstruction (MSW).
+    pub sw_smoothing: bool,
+}
+
+impl Default for MechanismConfig {
+    fn default() -> Self {
+        MechanismConfig {
+            sim_mode: SimMode::Fast,
+            post_process: PostProcessConfig::default(),
+            guideline: GuidelineParams::default(),
+            granularity_override: None,
+            branching: 4,
+            rm_threshold: 1e-7,
+            rm_max_iters: 100,
+            est_threshold: 1e-7,
+            est_max_iters: 100,
+            estimator: EstimatorKind::WeightedUpdate,
+            sw_smoothing: false,
+        }
+    }
+}
+
+impl MechanismConfig {
+    /// Exact per-user protocol variant (tests, small-scale validation).
+    pub fn exact() -> Self {
+        MechanismConfig { sim_mode: SimMode::Exact, ..Default::default() }
+    }
+
+    /// The ITDG/IHDG ablation: Phase 2 disabled (Appendix A.1). Algorithm
+    /// 1/2 then run on possibly-negative inputs, capped at 100 iterations
+    /// exactly as the appendix prescribes.
+    pub fn without_post_process(mut self) -> Self {
+        self.post_process.enabled = false;
+        self
+    }
+
+    /// Fixes the grid granularities instead of using the guideline.
+    pub fn with_granularities(mut self, g1: usize, g2: usize) -> Self {
+        self.granularity_override = Some(Granularities { g1, g2 });
+        self
+    }
+
+    /// Overrides the 1-D user fraction σ = n1/n (Fig. 15).
+    pub fn with_sigma(mut self, sigma: f64) -> Self {
+        self.guideline.sigma = Some(sigma);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = MechanismConfig::default();
+        assert_eq!(cfg.branching, 4);
+        assert_eq!(cfg.guideline.alpha1, 0.7);
+        assert_eq!(cfg.guideline.alpha2, 0.03);
+        assert!(cfg.post_process.enabled);
+        assert_eq!(cfg.estimator, EstimatorKind::WeightedUpdate);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = MechanismConfig::default()
+            .without_post_process()
+            .with_granularities(16, 4)
+            .with_sigma(0.3);
+        assert!(!cfg.post_process.enabled);
+        assert_eq!(cfg.granularity_override, Some(Granularities { g1: 16, g2: 4 }));
+        assert_eq!(cfg.guideline.sigma, Some(0.3));
+    }
+}

@@ -1,0 +1,265 @@
+//! λ-dimensional estimation from 2-D answers (paper §4.4, Algorithm 2;
+//! Appendix A.8).
+//!
+//! A λ-D query `q` splits into `(λ choose 2)` associated 2-D queries. The
+//! estimated answer vector `z` has `2^λ` entries, one per combination of
+//! "interval or complement" across the λ predicates (entry `mask` uses the
+//! query interval for attribute positions whose bit is set). Weighted
+//! Update repeatedly rescales, for each pair `(i, j)`, the `2^{λ−2}` entries
+//! whose bits `i` and `j` are both set so they sum to the measured 2-D
+//! answer, until the total change per sweep falls below a threshold. The
+//! final answer is `z[11…1]`.
+//!
+//! The appendix's Maximum-Entropy alternative constrains all four
+//! sign-combinations per pair (deriving the complements from 1-D answers)
+//! plus global normalization; it converges to the max-entropy distribution
+//! but more slowly — the reason the paper prefers Weighted Update.
+
+/// Observer invoked with `(sweep, total_change)` after each sweep (Fig. 18).
+pub type SweepObserver<'a> = &'a mut dyn FnMut(usize, f64);
+
+/// One measured 2-D answer for positions `(i, j)` within the query's
+/// attribute list (`i < j < λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairAnswer {
+    /// First attribute position within the query (not the global index).
+    pub i: usize,
+    /// Second attribute position within the query.
+    pub j: usize,
+    /// Measured 2-D answer `f_{q(i,j)}`, clamped to `[0, 1]` by callers.
+    pub f: f64,
+}
+
+/// Algorithm 2: estimates the full answer vector `z` (length `2^λ`) from
+/// the associated 2-D answers.
+pub fn weighted_update(
+    lambda: usize,
+    pair_answers: &[PairAnswer],
+    threshold: f64,
+    max_iters: usize,
+) -> Vec<f64> {
+    weighted_update_observed(lambda, pair_answers, threshold, max_iters, None)
+}
+
+/// [`weighted_update`] with a per-sweep convergence observer.
+pub fn weighted_update_observed(
+    lambda: usize,
+    pair_answers: &[PairAnswer],
+    threshold: f64,
+    max_iters: usize,
+    mut observer: Option<SweepObserver<'_>>,
+) -> Vec<f64> {
+    assert!((2..=20).contains(&lambda), "lambda out of range");
+    let size = 1usize << lambda;
+    let mut z = vec![1.0 / size as f64; size];
+    let mut change = f64::INFINITY;
+    let mut sweep = 0usize;
+    while sweep < max_iters.max(1) && change >= threshold {
+        change = 0.0;
+        for pa in pair_answers {
+            let both = (1usize << pa.i) | (1usize << pa.j);
+            let mut y = 0.0;
+            for (mask, &v) in z.iter().enumerate() {
+                if mask & both == both {
+                    y += v;
+                }
+            }
+            if y == 0.0 {
+                continue; // Algorithm 2 line 6
+            }
+            let factor = pa.f / y;
+            for (mask, v) in z.iter_mut().enumerate() {
+                if mask & both == both {
+                    let new = *v * factor;
+                    change += (new - *v).abs();
+                    *v = new;
+                }
+            }
+        }
+        sweep += 1;
+        if let Some(obs) = observer.as_mut() {
+            obs(sweep, change);
+        }
+    }
+    z
+}
+
+/// Convenience: the λ-D query answer `z[11…1]` from Algorithm 2.
+pub fn estimate_lambda_answer(
+    lambda: usize,
+    pair_answers: &[PairAnswer],
+    threshold: f64,
+    max_iters: usize,
+) -> f64 {
+    let z = weighted_update(lambda, pair_answers, threshold, max_iters);
+    z[(1usize << lambda) - 1]
+}
+
+/// Appendix A.8: maximum-entropy estimation by iterative scaling.
+///
+/// Besides the `(λ choose 2)` positive-quadrant answers, this uses the 1-D
+/// answers `f_i` of each queried interval to derive all four
+/// sign-combination constraints per pair:
+/// `f(+,+) = f_{ij}`, `f(+,−) = f_i − f_{ij}`, `f(−,+) = f_j − f_{ij}`,
+/// `f(−,−) = 1 − f_i − f_j + f_{ij}` (each clamped to `[0, 1]`), plus
+/// normalization of `z` to total mass 1 each sweep.
+pub fn max_entropy(
+    lambda: usize,
+    pair_answers: &[PairAnswer],
+    one_d_answers: &[f64],
+    threshold: f64,
+    max_iters: usize,
+) -> Vec<f64> {
+    assert!((2..=20).contains(&lambda), "lambda out of range");
+    assert_eq!(one_d_answers.len(), lambda, "one 1-D answer per position");
+    let size = 1usize << lambda;
+    let mut z = vec![1.0 / size as f64; size];
+    let mut change = f64::INFINITY;
+    let mut sweep = 0usize;
+    while sweep < max_iters.max(1) && change >= threshold {
+        change = 0.0;
+        for pa in pair_answers {
+            let (bi, bj) = (1usize << pa.i, 1usize << pa.j);
+            let fi = one_d_answers[pa.i].clamp(0.0, 1.0);
+            let fj = one_d_answers[pa.j].clamp(0.0, 1.0);
+            let fij = pa.f.clamp(0.0, 1.0);
+            // Constraints for the four sign quadrants of the pair.
+            let quadrants = [
+                (bi | bj, bi | bj, fij),
+                (bi | bj, bi, (fi - fij).clamp(0.0, 1.0)),
+                (bi | bj, bj, (fj - fij).clamp(0.0, 1.0)),
+                (bi | bj, 0, (1.0 - fi - fj + fij).clamp(0.0, 1.0)),
+            ];
+            for (select, want, target) in quadrants {
+                let mut y = 0.0;
+                for (mask, &v) in z.iter().enumerate() {
+                    if mask & select == want {
+                        y += v;
+                    }
+                }
+                if y == 0.0 {
+                    continue;
+                }
+                let factor = target / y;
+                for (mask, v) in z.iter_mut().enumerate() {
+                    if mask & select == want {
+                        let new = *v * factor;
+                        change += (new - *v).abs();
+                        *v = new;
+                    }
+                }
+            }
+        }
+        // Normalization constraint.
+        let total: f64 = z.iter().sum();
+        if total > 0.0 {
+            for v in z.iter_mut() {
+                *v /= total;
+            }
+        }
+        sweep += 1;
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds all pair answers for independent attributes with marginal
+    /// interval masses `f`.
+    fn independent_pairs(f: &[f64]) -> Vec<PairAnswer> {
+        let mut out = Vec::new();
+        for i in 0..f.len() {
+            for j in (i + 1)..f.len() {
+                out.push(PairAnswer { i, j, f: f[i] * f[j] });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_product_case_lambda3() {
+        // Independent attributes: the constraint set is consistent and the
+        // answer should approach the product (the max-entropy solution).
+        let f = [0.5, 0.5, 0.5];
+        let est = estimate_lambda_answer(3, &independent_pairs(&f), 1e-12, 500);
+        let want = 0.125;
+        assert!((est - want).abs() < 0.02, "est {est} want {want}");
+    }
+
+    #[test]
+    fn symmetric_lambda4() {
+        let f = [0.5; 4];
+        let est = estimate_lambda_answer(4, &independent_pairs(&f), 1e-12, 500);
+        assert!((est - 0.0625).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn perfectly_correlated_pairs() {
+        // All pairwise answers 0.5 and marginals 0.5: the consistent joints
+        // put mass 0.5 on "all in" and 0.5 on "all out"; Algorithm 2 should
+        // estimate z[full] near 0.5, far above the product 0.125.
+        let pairs: Vec<PairAnswer> = (0..3)
+            .flat_map(|i| ((i + 1)..3).map(move |j| PairAnswer { i, j, f: 0.5 }))
+            .collect();
+        let est = estimate_lambda_answer(3, &pairs, 1e-12, 500);
+        // Algorithm 2's pairwise log-linear family cannot express the exact
+        // two-point joint (that needs higher-order terms), but the estimate
+        // must land far above the independence product 0.125.
+        assert!(est > 0.25, "correlated estimate {est}");
+    }
+
+    #[test]
+    fn zero_pair_answer_forces_zero() {
+        // If one 2-D answer is 0, the full conjunction must be 0.
+        let mut pairs = independent_pairs(&[0.5, 0.5, 0.5]);
+        pairs[0].f = 0.0;
+        let est = estimate_lambda_answer(3, &pairs, 1e-12, 500);
+        assert!(est.abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn convergence_observer_reports_decay() {
+        let pairs = independent_pairs(&[0.4, 0.6, 0.3, 0.7]);
+        let mut trace = Vec::new();
+        let mut obs = |s: usize, ch: f64| trace.push((s, ch));
+        let _ = weighted_update_observed(4, &pairs, 1e-12, 200, Some(&mut obs));
+        assert!(trace.len() >= 2);
+        let first = trace[0].1;
+        let last = trace.last().unwrap().1;
+        assert!(last < first, "change must decay: first {first}, last {last}");
+    }
+
+    #[test]
+    fn max_entropy_matches_weighted_update_on_consistent_inputs() {
+        let f = [0.4, 0.5, 0.6];
+        let pairs = independent_pairs(&f);
+        let wu = estimate_lambda_answer(3, &pairs, 1e-12, 500);
+        let me = max_entropy(3, &pairs, &f, 1e-12, 500);
+        let me_ans = me[7];
+        let want = 0.4 * 0.5 * 0.6;
+        assert!((wu - want).abs() < 0.03, "wu {wu}");
+        assert!((me_ans - want).abs() < 0.01, "me {me_ans}");
+        // Max-entropy z is a proper distribution.
+        assert!((me.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(me.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn max_entropy_handles_correlation_better_with_marginals() {
+        // Correlated case: f_i = 0.5, f_ij = 0.45 (near-perfect correlation).
+        let pairs: Vec<PairAnswer> = (0..3)
+            .flat_map(|i| ((i + 1)..3).map(move |j| PairAnswer { i, j, f: 0.45 }))
+            .collect();
+        let me = max_entropy(3, &pairs, &[0.5, 0.5, 0.5], 1e-12, 1000);
+        let est = me[7];
+        assert!(est > 0.3, "correlated max-ent estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda out of range")]
+    fn lambda_one_is_rejected() {
+        let _ = weighted_update(1, &[], 1e-9, 10);
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared query-answering shell for pairwise mechanisms.
+//!
+//! CALM, LHIO, TDG and HDG all expose the same interface after fitting:
+//! they can answer any 1-D or 2-D range query directly, and λ > 2 queries
+//! are estimated from the `(λ choose 2)` associated 2-D answers (paper
+//! §4.4). [`SplitModel`] implements that protocol once over anything that
+//! provides the two primitive answers.
+
+use crate::config::{EstimatorKind, MechanismConfig};
+use crate::estimation::{estimate_lambda_answer, max_entropy, PairAnswer};
+use crate::Model;
+use privmdr_query::RangeQuery;
+
+/// The two primitive answers a pairwise mechanism provides.
+pub trait PairAnswerer: Send + Sync {
+    /// Attribute domain size `c`.
+    fn domain(&self) -> usize;
+
+    /// Answer of the 2-D range query `rect` over the ordered pair `(j, k)`.
+    fn answer_2d(&self, pair: (usize, usize), rect: ((usize, usize), (usize, usize))) -> f64;
+
+    /// Answer of a 1-D range query on `attr`.
+    fn answer_1d(&self, attr: usize, interval: (usize, usize)) -> f64;
+}
+
+/// [`Model`] implementation over any [`PairAnswerer`].
+pub struct SplitModel<A> {
+    answerer: A,
+    estimator: EstimatorKind,
+    est_threshold: f64,
+    est_max_iters: usize,
+}
+
+impl<A: PairAnswerer> SplitModel<A> {
+    /// Wraps a fitted pairwise answerer with the λ>2 estimation settings.
+    pub fn new(answerer: A, cfg: &MechanismConfig) -> Self {
+        SplitModel {
+            answerer,
+            estimator: cfg.estimator,
+            est_threshold: cfg.est_threshold,
+            est_max_iters: cfg.est_max_iters,
+        }
+    }
+
+    /// Access to the wrapped answerer (tests, diagnostics).
+    pub fn inner(&self) -> &A {
+        &self.answerer
+    }
+
+    /// Collects the `(λ choose 2)` associated 2-D answers of `query`,
+    /// clamped to `[0, 1]` as Weighted Update requires non-negative
+    /// constraint targets.
+    fn pair_answers(&self, query: &RangeQuery) -> Vec<PairAnswer> {
+        let preds = query.predicates();
+        let mut out = Vec::with_capacity(preds.len() * (preds.len() - 1) / 2);
+        for i in 0..preds.len() {
+            for j in (i + 1)..preds.len() {
+                let (pi, pj) = (preds[i], preds[j]);
+                let f = self
+                    .answerer
+                    .answer_2d((pi.attr, pj.attr), ((pi.lo, pi.hi), (pj.lo, pj.hi)))
+                    .clamp(0.0, 1.0);
+                out.push(PairAnswer { i, j, f });
+            }
+        }
+        out
+    }
+}
+
+impl<A: PairAnswerer> Model for SplitModel<A> {
+    fn answer(&self, query: &RangeQuery) -> f64 {
+        let preds = query.predicates();
+        match preds.len() {
+            1 => self.answerer.answer_1d(preds[0].attr, (preds[0].lo, preds[0].hi)),
+            2 => self.answerer.answer_2d(
+                (preds[0].attr, preds[1].attr),
+                ((preds[0].lo, preds[0].hi), (preds[1].lo, preds[1].hi)),
+            ),
+            lambda => {
+                let pairs = self.pair_answers(query);
+                match self.estimator {
+                    EstimatorKind::WeightedUpdate => estimate_lambda_answer(
+                        lambda,
+                        &pairs,
+                        self.est_threshold,
+                        self.est_max_iters,
+                    ),
+                    EstimatorKind::MaxEntropy => {
+                        let one_d: Vec<f64> = preds
+                            .iter()
+                            .map(|p| {
+                                self.answerer
+                                    .answer_1d(p.attr, (p.lo, p.hi))
+                                    .clamp(0.0, 1.0)
+                            })
+                            .collect();
+                        let z = max_entropy(
+                            lambda,
+                            &pairs,
+                            &one_d,
+                            self.est_threshold,
+                            self.est_max_iters,
+                        );
+                        z[(1usize << lambda) - 1]
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+
+    /// A noiseless answerer backed by an explicit product distribution.
+    struct ProductAnswerer {
+        c: usize,
+        marginals: Vec<Vec<f64>>,
+    }
+
+    impl PairAnswerer for ProductAnswerer {
+        fn domain(&self) -> usize {
+            self.c
+        }
+        fn answer_2d(
+            &self,
+            (j, k): (usize, usize),
+            ((lo_j, hi_j), (lo_k, hi_k)): ((usize, usize), (usize, usize)),
+        ) -> f64 {
+            let a: f64 = self.marginals[j][lo_j..=hi_j].iter().sum();
+            let b: f64 = self.marginals[k][lo_k..=hi_k].iter().sum();
+            a * b
+        }
+        fn answer_1d(&self, attr: usize, (lo, hi): (usize, usize)) -> f64 {
+            self.marginals[attr][lo..=hi].iter().sum()
+        }
+    }
+
+    fn model() -> SplitModel<ProductAnswerer> {
+        let c = 8;
+        let marginals = vec![vec![1.0 / 8.0; 8]; 4];
+        SplitModel::new(ProductAnswerer { c, marginals }, &MechanismConfig::default())
+    }
+
+    #[test]
+    fn one_and_two_d_pass_through() {
+        let m = model();
+        let q = RangeQuery::from_triples(&[(0, 0, 3)], 8).unwrap();
+        assert!((m.answer(&q) - 0.5).abs() < 1e-12);
+        let q = RangeQuery::from_triples(&[(0, 0, 3), (2, 0, 1)], 8).unwrap();
+        assert!((m.answer(&q) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_3_estimates_product() {
+        let m = model();
+        let q = RangeQuery::from_triples(&[(0, 0, 3), (1, 0, 3), (2, 0, 3)], 8).unwrap();
+        let est = m.answer(&q);
+        assert!((est - 0.125).abs() < 0.02, "est {est}");
+    }
+
+    #[test]
+    fn max_entropy_estimator_also_works() {
+        let cfg = MechanismConfig {
+            estimator: EstimatorKind::MaxEntropy,
+            ..MechanismConfig::default()
+        };
+        let c = 8;
+        let marginals = vec![vec![1.0 / 8.0; 8]; 4];
+        let m = SplitModel::new(ProductAnswerer { c, marginals }, &cfg);
+        let q = RangeQuery::from_triples(&[(0, 0, 3), (1, 0, 3), (3, 0, 3)], 8).unwrap();
+        let est = m.answer(&q);
+        assert!((est - 0.125).abs() < 0.01, "est {est}");
+    }
+
+    #[test]
+    fn answer_all_matches_answer() {
+        let m = model();
+        let qs = vec![
+            RangeQuery::from_triples(&[(0, 0, 3)], 8).unwrap(),
+            RangeQuery::from_triples(&[(0, 0, 3), (1, 4, 7)], 8).unwrap(),
+        ];
+        let batch = m.answer_all(&qs);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], m.answer(&qs[0]));
+        assert_eq!(batch[1], m.answer(&qs[1]));
+    }
+}

@@ -1,0 +1,55 @@
+//! Uni: the uniform-guess benchmark (paper §5.1).
+//!
+//! Uni ignores the data entirely and answers every query with the fraction
+//! of the data space it selects. Any mechanism worse than Uni is adding
+//! noise faster than information — the paper uses it as the floor all LDP
+//! approaches must beat (HIO fails to at small ε, Fig. 1).
+
+use crate::{Mechanism, MechanismError, Model};
+use privmdr_data::Dataset;
+use privmdr_query::RangeQuery;
+
+/// The uniform-guess benchmark mechanism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uni;
+
+struct UniModel {
+    c: usize,
+}
+
+impl Model for UniModel {
+    fn answer(&self, query: &RangeQuery) -> f64 {
+        query.volume(self.c)
+    }
+}
+
+impl Mechanism for Uni {
+    fn name(&self) -> &'static str {
+        "Uni"
+    }
+
+    fn fit(
+        &self,
+        ds: &Dataset,
+        _epsilon: f64,
+        _seed: u64,
+    ) -> Result<Box<dyn Model>, MechanismError> {
+        Ok(Box::new(UniModel { c: ds.domain() }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_data::DatasetSpec;
+
+    #[test]
+    fn answers_are_query_volumes() {
+        let ds = DatasetSpec::Ipums.generate(100, 3, 16, 1);
+        let model = Uni.fit(&ds, 1.0, 0).unwrap();
+        let q = RangeQuery::from_triples(&[(0, 0, 7), (2, 0, 3)], 16).unwrap();
+        assert!((model.answer(&q) - 0.5 * 0.25).abs() < 1e-12);
+        let q = RangeQuery::from_triples(&[(1, 0, 15)], 16).unwrap();
+        assert!((model.answer(&q) - 1.0).abs() < 1e-12);
+    }
+}

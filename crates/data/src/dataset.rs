@@ -1,0 +1,182 @@
+//! The in-memory record table (paper §3.1).
+//!
+//! `n` users each hold a `d`-dimensional record of ordinal values in
+//! `0..c` (0-based internally; the paper writes `[c] = {1..c}`), with `c` a
+//! power of two. Storage is row-major `Vec<u16>` — the largest evaluated
+//! domain is `c = 2¹⁰`, so `u16` halves memory traffic versus `u32` on the
+//! million-record tables the experiments sweep.
+
+/// Errors from invalid dataset construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// Domain size must be a power of two of at least 2 (paper §3.1).
+    BadDomain(usize),
+    /// The flat row buffer must hold exactly `n·d` values.
+    BadShape { len: usize, d: usize },
+    /// A value lies outside `0..c`.
+    ValueOutOfDomain { value: u16, domain: usize },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::BadDomain(c) => {
+                write!(f, "domain {c} must be a power of two >= 2")
+            }
+            DatasetError::BadShape { len, d } => {
+                write!(f, "row buffer of {len} values is not a multiple of d = {d}")
+            }
+            DatasetError::ValueOutOfDomain { value, domain } => {
+                write!(f, "value {value} outside domain 0..{domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A table of `n` users × `d` ordinal attributes over domain `0..c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    d: usize,
+    c: usize,
+    rows: Vec<u16>,
+}
+
+impl Dataset {
+    /// Wraps a row-major buffer (`rows[u*d + t]` = user `u`, attribute `t`).
+    pub fn new(rows: Vec<u16>, d: usize, c: usize) -> Result<Self, DatasetError> {
+        if !privmdr_util::is_pow2(c) || c < 2 {
+            return Err(DatasetError::BadDomain(c));
+        }
+        if d == 0 || !rows.len().is_multiple_of(d) {
+            return Err(DatasetError::BadShape { len: rows.len(), d });
+        }
+        if let Some(&bad) = rows.iter().find(|&&v| v as usize >= c) {
+            return Err(DatasetError::ValueOutOfDomain { value: bad, domain: c });
+        }
+        Ok(Dataset { d, c, rows })
+    }
+
+    /// Number of users `n`.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.d
+    }
+
+    /// Whether the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of attributes `d`.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Attribute domain size `c`.
+    pub fn domain(&self) -> usize {
+        self.c
+    }
+
+    /// User `u`'s record.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u16] {
+        &self.rows[u * self.d..(u + 1) * self.d]
+    }
+
+    /// User `u`'s value of attribute `t`.
+    #[inline]
+    pub fn value(&self, u: usize, t: usize) -> u16 {
+        self.rows[u * self.d + t]
+    }
+
+    /// The raw row-major buffer (used by HIO, which walks whole records).
+    pub fn raw_rows(&self) -> &[u16] {
+        &self.rows
+    }
+
+    /// Attribute `t`'s values for a user group, in group order.
+    pub fn gather_attr(&self, t: usize, users: &[u32]) -> Vec<u16> {
+        users.iter().map(|&u| self.value(u as usize, t)).collect()
+    }
+
+    /// Attribute-pair values `(v_j, v_k)` for a user group, in group order.
+    pub fn gather_pair(&self, (j, k): (usize, usize), users: &[u32]) -> Vec<(u16, u16)> {
+        users
+            .iter()
+            .map(|&u| (self.value(u as usize, j), self.value(u as usize, k)))
+            .collect()
+    }
+
+    /// Restricts the table to `keep` attributes (the Fig. 4 `d` sweep
+    /// generates one wide table and truncates it).
+    pub fn with_dims(&self, keep: usize) -> Dataset {
+        assert!(keep >= 1 && keep <= self.d);
+        let n = self.len();
+        let mut rows = Vec::with_capacity(n * keep);
+        for u in 0..n {
+            rows.extend_from_slice(&self.row(u)[..keep]);
+        }
+        Dataset { d: keep, c: self.c, rows }
+    }
+
+    /// Exact (non-private) joint histogram of a pair, row-major `c × c` —
+    /// ground truth for tests and the full-marginal workloads (Fig. 11).
+    pub fn pair_histogram(&self, (j, k): (usize, usize)) -> Vec<f64> {
+        let mut h = vec![0f64; self.c * self.c];
+        let n = self.len().max(1) as f64;
+        for u in 0..self.len() {
+            h[self.value(u, j) as usize * self.c + self.value(u, k) as usize] += 1.0;
+        }
+        h.iter_mut().for_each(|x| *x /= n);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Dataset::new(vec![0, 1, 2, 3], 2, 4).is_ok());
+        assert!(matches!(Dataset::new(vec![0; 4], 2, 3), Err(DatasetError::BadDomain(3))));
+        assert!(matches!(
+            Dataset::new(vec![0; 5], 2, 4),
+            Err(DatasetError::BadShape { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![0, 4], 2, 4),
+            Err(DatasetError::ValueOutOfDomain { value: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = Dataset::new(vec![0, 1, 2, 3, 1, 0], 3, 4).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.row(1), &[3, 1, 0]);
+        assert_eq!(ds.value(0, 2), 2);
+        assert_eq!(ds.gather_attr(1, &[1, 0]), vec![1, 1]);
+        assert_eq!(ds.gather_pair((0, 2), &[0, 1]), vec![(0, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn with_dims_truncates_rows() {
+        let ds = Dataset::new(vec![0, 1, 2, 3, 1, 0], 3, 4).unwrap();
+        let narrow = ds.with_dims(2);
+        assert_eq!(narrow.dims(), 2);
+        assert_eq!(narrow.row(0), &[0, 1]);
+        assert_eq!(narrow.row(1), &[3, 1]);
+    }
+
+    #[test]
+    fn pair_histogram_counts() {
+        let ds = Dataset::new(vec![0, 1, 0, 1, 3, 2], 2, 4).unwrap();
+        let h = ds.pair_histogram((0, 1));
+        assert!((h[1] - 2.0 / 3.0).abs() < 1e-12); // (0,1) twice
+        assert!((h[3 * 4 + 2] - 1.0 / 3.0).abs() < 1e-12); // (3,2) once
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text dataset I/O.
+//!
+//! Deployments bring their own records; this module reads/writes the
+//! trivial interchange format the `privmdr` CLI uses: one user per line,
+//! comma-separated integer values in `0..c`, optional `#` comments and an
+//! optional header line (detected by non-numeric content, skipped).
+
+use crate::dataset::{Dataset, DatasetError};
+
+/// Errors from parsing a dataset file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// A cell failed to parse as an integer.
+    BadCell {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A row has a different arity than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Values found.
+        got: usize,
+        /// Values expected.
+        expected: usize,
+    },
+    /// No data rows found.
+    Empty,
+    /// The parsed table violates dataset invariants.
+    Dataset(DatasetError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadCell { line, token } => {
+                write!(f, "line {line}: '{token}' is not a value in 0..65536")
+            }
+            IoError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} values, expected {expected}")
+            }
+            IoError::Empty => write!(f, "no data rows"),
+            IoError::Dataset(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Parses a CSV string into a dataset over domain `c`.
+pub fn dataset_from_csv(text: &str, c: usize) -> Result<Dataset, IoError> {
+    let mut rows: Vec<u16> = Vec::new();
+    let mut d: Option<usize> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Skip one non-numeric header line.
+        if d.is_none() && cells.iter().any(|t| t.parse::<u16>().is_err()) {
+            continue;
+        }
+        let expected = *d.get_or_insert(cells.len());
+        if cells.len() != expected {
+            return Err(IoError::RaggedRow { line: idx + 1, got: cells.len(), expected });
+        }
+        for token in cells {
+            let v: u16 = token.parse().map_err(|_| IoError::BadCell {
+                line: idx + 1,
+                token: token.to_string(),
+            })?;
+            rows.push(v);
+        }
+    }
+    let d = d.ok_or(IoError::Empty)?;
+    Dataset::new(rows, d, c).map_err(IoError::Dataset)
+}
+
+/// Serializes a dataset to CSV (with an attribute header).
+pub fn dataset_to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = (0..ds.dims()).map(|t| format!("a{t}")).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for u in 0..ds.len() {
+        let row: Vec<String> = ds.row(u).iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ds = crate::spec::DatasetSpec::Ipums.generate(50, 3, 16, 1);
+        let csv = dataset_to_csv(&ds);
+        let back = dataset_from_csv(&csv, 16).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn parses_comments_blank_lines_and_header() {
+        let text = "# comment\nage,income\n\n1,2\n3, 4\n";
+        let ds = dataset_from_csv(text, 8).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_cells() {
+        assert!(matches!(
+            dataset_from_csv("1,2\n3\n", 8),
+            Err(IoError::RaggedRow { line: 2, got: 1, expected: 2 })
+        ));
+        assert!(matches!(
+            dataset_from_csv("1,2\n3,x\n", 8),
+            Err(IoError::BadCell { line: 2, .. })
+        ));
+        assert!(matches!(dataset_from_csv("# nothing\n", 8), Err(IoError::Empty)));
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        assert!(matches!(dataset_from_csv("1,9\n", 8), Err(IoError::Dataset(_))));
+    }
+}

@@ -1,0 +1,62 @@
+//! Datasets for the evaluation (paper §5.1, Appendix A.7).
+//!
+//! * [`dataset`] — the in-memory record table all mechanisms consume.
+//! * [`synth`] — multivariate Normal and Laplace generators with a tunable
+//!   equicorrelation coefficient (the paper's `Normal`/`Laplace` datasets
+//!   and the Fig. 28 covariance sweep).
+//! * [`real_like`] — seeded stand-ins for the four real datasets (Ipums,
+//!   Bfive, Loan, Acs). The originals cannot be redistributed; these
+//!   generators replicate the properties the mechanisms are sensitive to —
+//!   marginal shape (skew, atoms, multi-modality) and pairwise correlation
+//!   strength — as documented per generator and in DESIGN.md §3.6.
+//! * [`spec`] — a small enum naming every dataset so the benchmark harness
+//!   can sweep them uniformly.
+
+pub mod dataset;
+pub mod io;
+pub mod real_like;
+pub mod spec;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetError};
+pub use io::{dataset_from_csv, dataset_to_csv};
+pub use spec::DatasetSpec;
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ~1.5e-7), used for Gaussian-copula marginal transforms.
+pub(crate) fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_7),
+            (-1.0, 0.158_655_3),
+            (2.0, 0.977_249_9),
+            (-3.0, 0.001_349_9),
+        ];
+        for (x, want) in cases {
+            let got = normal_cdf(x);
+            assert!((got - want).abs() < 1e-5, "cdf({x}) = {got}, want {want}");
+        }
+    }
+}

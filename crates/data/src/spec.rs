@@ -1,0 +1,119 @@
+//! Named dataset specifications for the benchmark harness.
+//!
+//! Every evaluation figure sweeps one or more of these; the enum keeps the
+//! naming, default correlation, and generator dispatch in one place.
+
+use crate::dataset::Dataset;
+use crate::{real_like, synth};
+
+/// A dataset the paper evaluates on, generatable at any `(n, d, c)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetSpec {
+    /// IPUMS-like census stand-in.
+    Ipums,
+    /// Big-Five-like response-time stand-in (weak correlation).
+    Bfive,
+    /// Lending-Club-like loan stand-in (Appendix A.7).
+    Loan,
+    /// ACS-like survey stand-in (Appendix A.7).
+    Acs,
+    /// Multivariate normal with pairwise covariance `rho` (default 0.8).
+    Normal {
+        /// Pairwise correlation coefficient.
+        rho: f64,
+    },
+    /// Multivariate Laplace with pairwise covariance `rho` (default 0.8).
+    Laplace {
+        /// Pairwise correlation coefficient.
+        rho: f64,
+    },
+}
+
+impl DatasetSpec {
+    /// The paper's four default evaluation datasets (Figs. 1–5).
+    pub fn main_four() -> [DatasetSpec; 4] {
+        [
+            DatasetSpec::Ipums,
+            DatasetSpec::Bfive,
+            DatasetSpec::Normal { rho: 0.8 },
+            DatasetSpec::Laplace { rho: 0.8 },
+        ]
+    }
+
+    /// The two synthetic datasets (Figs. 3, 6, 28).
+    pub fn synthetic_two() -> [DatasetSpec; 2] {
+        [DatasetSpec::Normal { rho: 0.8 }, DatasetSpec::Laplace { rho: 0.8 }]
+    }
+
+    /// The Appendix A.7 additional real-like datasets (Figs. 19–21).
+    pub fn appendix_two() -> [DatasetSpec; 2] {
+        [DatasetSpec::Loan, DatasetSpec::Acs]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            DatasetSpec::Ipums => "Ipums".into(),
+            DatasetSpec::Bfive => "Bfive".into(),
+            DatasetSpec::Loan => "Loan".into(),
+            DatasetSpec::Acs => "Acs".into(),
+            DatasetSpec::Normal { rho } => {
+                if (rho - 0.8).abs() < 1e-9 {
+                    "Normal".into()
+                } else {
+                    format!("Normal(rho={rho})")
+                }
+            }
+            DatasetSpec::Laplace { rho } => {
+                if (rho - 0.8).abs() < 1e-9 {
+                    "Laplace".into()
+                } else {
+                    format!("Laplace(rho={rho})")
+                }
+            }
+        }
+    }
+
+    /// Generates the dataset at the given shape, deterministic in `seed`.
+    pub fn generate(&self, n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+        match *self {
+            DatasetSpec::Ipums => real_like::ipums_like(n, d, c, seed),
+            DatasetSpec::Bfive => real_like::bfive_like(n, d, c, seed),
+            DatasetSpec::Loan => real_like::loan_like(n, d, c, seed),
+            DatasetSpec::Acs => real_like::acs_like(n, d, c, seed),
+            DatasetSpec::Normal { rho } => synth::normal(n, d, c, rho, seed),
+            DatasetSpec::Laplace { rho } => synth::laplace(n, d, c, rho, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_generate_valid_datasets() {
+        let specs = [
+            DatasetSpec::Ipums,
+            DatasetSpec::Bfive,
+            DatasetSpec::Loan,
+            DatasetSpec::Acs,
+            DatasetSpec::Normal { rho: 0.8 },
+            DatasetSpec::Laplace { rho: 0.0 },
+        ];
+        for spec in specs {
+            let ds = spec.generate(300, 5, 32, 42);
+            assert_eq!(ds.len(), 300);
+            assert_eq!(ds.dims(), 5);
+            assert_eq!(ds.domain(), 32);
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DatasetSpec::Normal { rho: 0.8 }.name(), "Normal");
+        assert_eq!(DatasetSpec::Normal { rho: 0.2 }.name(), "Normal(rho=0.2)");
+        assert_eq!(DatasetSpec::Ipums.name(), "Ipums");
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for dataset generation.
+
+use privmdr_data::DatasetSpec;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    prop_oneof![
+        Just(DatasetSpec::Ipums),
+        Just(DatasetSpec::Bfive),
+        Just(DatasetSpec::Loan),
+        Just(DatasetSpec::Acs),
+        (0.0f64..1.0).prop_map(|rho| DatasetSpec::Normal { rho }),
+        (0.0f64..1.0).prop_map(|rho| DatasetSpec::Laplace { rho }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator respects the requested shape and domain for any
+    /// valid parameters, and is deterministic in its seed.
+    #[test]
+    fn generators_shape_and_determinism(
+        spec in arb_spec(),
+        n in 1usize..400,
+        d in 2usize..7,
+        c_exp in 2u32..8,
+        seed in any::<u64>(),
+    ) {
+        let c = 1usize << c_exp;
+        let a = spec.generate(n, d, c, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a.dims(), d);
+        prop_assert_eq!(a.domain(), c);
+        for u in 0..n {
+            for t in 0..d {
+                prop_assert!((a.value(u, t) as usize) < c);
+            }
+        }
+        let b = spec.generate(n, d, c, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pair histograms are distributions consistent with gather_pair.
+    #[test]
+    fn pair_histogram_is_distribution(
+        n in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let ds = DatasetSpec::Loan.generate(n, 3, 16, seed);
+        let h = ds.pair_histogram((0, 2));
+        prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&x| x >= 0.0));
+        // Spot-check one cell against direct counting.
+        let users: Vec<u32> = (0..n as u32).collect();
+        let pairs = ds.gather_pair((0, 2), &users);
+        let (v0, v1) = pairs[0];
+        let direct =
+            pairs.iter().filter(|&&p| p == (v0, v1)).count() as f64 / n as f64;
+        prop_assert!((h[v0 as usize * 16 + v1 as usize] - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,201 @@
+//! 1-D grids (paper §4.1, HDG Phase 1).
+//!
+//! A 1-D grid partitions one attribute's domain `[c]` into `g1` equal cells
+//! and holds (noisy) cell frequencies. HDG introduces these finer-grained
+//! grids to correct the uniformity assumption TDG must make inside its
+//! coarse 2-D cells.
+
+use crate::{check_geometry, GridError};
+use privmdr_oracles::olh::Olh;
+use privmdr_oracles::SimMode;
+use rand::Rng;
+
+/// A binned frequency view of a single attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid1d {
+    attr: usize,
+    g: usize,
+    c: usize,
+    /// Cell frequencies, length `g`. Public so Phase-2 post-processing can
+    /// adjust them in place.
+    pub freqs: Vec<f64>,
+}
+
+impl Grid1d {
+    /// Wraps existing cell frequencies (used by tests and post-processing).
+    pub fn from_freqs(
+        attr: usize,
+        g: usize,
+        c: usize,
+        freqs: Vec<f64>,
+    ) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        assert_eq!(freqs.len(), g, "frequency vector must have g entries");
+        Ok(Grid1d { attr, g, c, freqs })
+    }
+
+    /// Phase 1: builds the grid from one user group's raw attribute values
+    /// via OLH at budget `epsilon`.
+    pub fn collect<R: Rng + ?Sized>(
+        attr: usize,
+        g: usize,
+        c: usize,
+        values: &[u16],
+        epsilon: f64,
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        privmdr_oracles::validate_epsilon(epsilon)
+            .map_err(|_| GridError::BadEpsilon(epsilon))?;
+        let width = (c / g) as u16;
+        let cells: Vec<u32> = values.iter().map(|&v| (v / width) as u32).collect();
+        let olh = Olh::new(epsilon, g).expect("validated geometry implies valid domain");
+        let freqs = olh.collect(&cells, mode, rng);
+        Ok(Grid1d { attr, g, c, freqs })
+    }
+
+    /// Noiseless construction from exact values (ε = ∞ reference).
+    pub fn from_exact(attr: usize, g: usize, c: usize, values: &[u16]) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        let width = (c / g) as u16;
+        let mut freqs = vec![0f64; g];
+        for &v in values {
+            freqs[(v / width) as usize] += 1.0;
+        }
+        let n = values.len().max(1) as f64;
+        freqs.iter_mut().for_each(|f| *f /= n);
+        Ok(Grid1d { attr, g, c, freqs })
+    }
+
+    /// The attribute this grid describes.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Number of cells `g1`.
+    pub fn granularity(&self) -> usize {
+        self.g
+    }
+
+    /// Attribute domain size `c`.
+    pub fn domain(&self) -> usize {
+        self.c
+    }
+
+    /// Values per cell, `c / g1`.
+    #[inline]
+    pub fn cell_width(&self) -> usize {
+        self.c / self.g
+    }
+
+    /// Cell index containing value `v`.
+    #[inline]
+    pub fn cell_of(&self, v: usize) -> usize {
+        debug_assert!(v < self.c);
+        v / self.cell_width()
+    }
+
+    /// Inclusive value interval `[lo, hi]` covered by cell `i`.
+    #[inline]
+    pub fn cell_bounds(&self, i: usize) -> (usize, usize) {
+        let w = self.cell_width();
+        (i * w, (i + 1) * w - 1)
+    }
+
+    /// Answer of the 1-D range query `[lo, hi]` (inclusive), assuming values
+    /// inside each cell are uniformly distributed.
+    pub fn answer_uniform(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi < self.c);
+        let w = self.cell_width();
+        let (first, last) = (lo / w, hi / w);
+        let mut total = 0.0;
+        for cell in first..=last {
+            let (c_lo, c_hi) = self.cell_bounds(cell);
+            let overlap = (hi.min(c_hi) + 1 - lo.max(c_lo)) as f64;
+            total += self.freqs[cell] * overlap / w as f64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(Grid1d::from_freqs(0, 3, 64, vec![0.0; 3]).is_err()); // not pow2
+        assert!(Grid1d::from_freqs(0, 128, 64, vec![0.0; 128]).is_err()); // g > c
+        assert!(Grid1d::from_freqs(0, 8, 63, vec![0.0; 8]).is_err()); // c not pow2
+        assert!(Grid1d::from_freqs(0, 8, 64, vec![0.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn cell_indexing_round_trips() {
+        let g = Grid1d::from_freqs(2, 8, 64, vec![0.0; 8]).unwrap();
+        assert_eq!(g.cell_width(), 8);
+        for v in 0..64 {
+            let cell = g.cell_of(v);
+            let (lo, hi) = g.cell_bounds(cell);
+            assert!(lo <= v && v <= hi);
+        }
+        assert_eq!(g.cell_of(0), 0);
+        assert_eq!(g.cell_of(63), 7);
+    }
+
+    #[test]
+    fn exact_grid_counts_correctly() {
+        let values: Vec<u16> = vec![0, 1, 8, 9, 63, 63, 63, 63];
+        let g = Grid1d::from_exact(0, 8, 64, &values).unwrap();
+        assert!((g.freqs[0] - 0.25).abs() < 1e-12);
+        assert!((g.freqs[1] - 0.25).abs() < 1e-12);
+        assert!((g.freqs[7] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_answer_full_and_partial_cells() {
+        // One cell (8 values wide) holds all mass.
+        let mut freqs = vec![0.0; 8];
+        freqs[2] = 1.0; // values 16..=23
+        let g = Grid1d::from_freqs(0, 8, 64, freqs).unwrap();
+        assert!((g.answer_uniform(16, 23) - 1.0).abs() < 1e-12);
+        assert!((g.answer_uniform(0, 63) - 1.0).abs() < 1e-12);
+        // Half the cell.
+        assert!((g.answer_uniform(16, 19) - 0.5).abs() < 1e-12);
+        // Single value inside the cell: 1/8 of its mass.
+        assert!((g.answer_uniform(20, 20) - 0.125).abs() < 1e-12);
+        // Outside.
+        assert!(g.answer_uniform(0, 15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collected_grid_is_unbiased() {
+        let n = 30_000usize;
+        let values: Vec<u16> = (0..n).map(|i| if i < n / 2 { 5 } else { 40 }).collect();
+        let mut sums = [0.0f64; 8];
+        let reps = 30;
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(r);
+            let g = Grid1d::collect(0, 8, 64, &values, 1.0, SimMode::Fast, &mut rng).unwrap();
+            for (s, f) in sums.iter_mut().zip(&g.freqs) {
+                *s += f;
+            }
+        }
+        // Cells 0 (values 0..8) and 5 (40..48) each hold half the mass.
+        assert!((sums[0] / reps as f64 - 0.5).abs() < 0.02);
+        assert!((sums[5] / reps as f64 - 0.5).abs() < 0.02);
+        assert!((sums[3] / reps as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn g_equal_c_degenerates_to_full_histogram() {
+        let values: Vec<u16> = vec![0, 0, 1, 3];
+        let g = Grid1d::from_exact(0, 4, 4, &values).unwrap();
+        assert_eq!(g.cell_width(), 1);
+        assert!((g.answer_uniform(0, 0) - 0.5).abs() < 1e-12);
+        assert!((g.answer_uniform(3, 3) - 0.25).abs() < 1e-12);
+    }
+}

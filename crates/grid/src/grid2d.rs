@@ -1,0 +1,227 @@
+//! 2-D grids (paper §4.1, Phase 1 of both TDG and HDG).
+//!
+//! A 2-D grid partitions the joint domain `[c] × [c]` of an attribute pair
+//! into `g2 × g2` equal cells. Cell frequencies are collected through OLH
+//! from the user group assigned to the pair, and are the only source of
+//! pairwise-correlation information in TDG/HDG.
+
+use crate::{check_geometry, GridError};
+use privmdr_oracles::olh::Olh;
+use privmdr_oracles::SimMode;
+use rand::Rng;
+
+/// A binned joint-frequency view of an attribute pair `(j, k)` with `j < k`.
+///
+/// Cells are stored row-major: index `a * g + b` covers the `a`-th interval
+/// of attribute `j` crossed with the `b`-th interval of attribute `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2d {
+    attrs: (usize, usize),
+    g: usize,
+    c: usize,
+    /// Cell frequencies, length `g²`; public for Phase-2 post-processing.
+    pub freqs: Vec<f64>,
+}
+
+impl Grid2d {
+    /// Wraps existing cell frequencies (tests, post-processing).
+    pub fn from_freqs(
+        attrs: (usize, usize),
+        g: usize,
+        c: usize,
+        freqs: Vec<f64>,
+    ) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        assert!(attrs.0 < attrs.1, "pair must be ordered (j < k)");
+        assert_eq!(freqs.len(), g * g, "frequency vector must have g² entries");
+        Ok(Grid2d { attrs, g, c, freqs })
+    }
+
+    /// Phase 1: builds the grid from one user group's raw value pairs
+    /// `(v_j, v_k)` via OLH at budget `epsilon`.
+    pub fn collect<R: Rng + ?Sized>(
+        attrs: (usize, usize),
+        g: usize,
+        c: usize,
+        value_pairs: &[(u16, u16)],
+        epsilon: f64,
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        assert!(attrs.0 < attrs.1, "pair must be ordered (j < k)");
+        privmdr_oracles::validate_epsilon(epsilon)
+            .map_err(|_| GridError::BadEpsilon(epsilon))?;
+        let width = (c / g) as u16;
+        let cells: Vec<u32> = value_pairs
+            .iter()
+            .map(|&(vj, vk)| (vj / width) as u32 * g as u32 + (vk / width) as u32)
+            .collect();
+        let olh = Olh::new(epsilon, g * g).expect("validated geometry implies valid domain");
+        let freqs = olh.collect(&cells, mode, rng);
+        Ok(Grid2d { attrs, g, c, freqs })
+    }
+
+    /// Noiseless construction from exact value pairs (ε = ∞ reference).
+    pub fn from_exact(
+        attrs: (usize, usize),
+        g: usize,
+        c: usize,
+        value_pairs: &[(u16, u16)],
+    ) -> Result<Self, GridError> {
+        check_geometry(g, c)?;
+        assert!(attrs.0 < attrs.1, "pair must be ordered (j < k)");
+        let width = (c / g) as u16;
+        let mut freqs = vec![0f64; g * g];
+        for &(vj, vk) in value_pairs {
+            freqs[(vj / width) as usize * g + (vk / width) as usize] += 1.0;
+        }
+        let n = value_pairs.len().max(1) as f64;
+        freqs.iter_mut().for_each(|f| *f /= n);
+        Ok(Grid2d { attrs, g, c, freqs })
+    }
+
+    /// The ordered attribute pair `(j, k)`.
+    pub fn attrs(&self) -> (usize, usize) {
+        self.attrs
+    }
+
+    /// Per-axis granularity `g2`.
+    pub fn granularity(&self) -> usize {
+        self.g
+    }
+
+    /// Attribute domain size `c`.
+    pub fn domain(&self) -> usize {
+        self.c
+    }
+
+    /// Values per cell side, `c / g2`.
+    #[inline]
+    pub fn cell_width(&self) -> usize {
+        self.c / self.g
+    }
+
+    /// Frequency of cell `(a, b)`.
+    #[inline]
+    pub fn cell(&self, a: usize, b: usize) -> f64 {
+        self.freqs[a * self.g + b]
+    }
+
+    /// Inclusive value interval covered by row/column index `i`.
+    #[inline]
+    pub fn cell_bounds(&self, i: usize) -> (usize, usize) {
+        let w = self.cell_width();
+        (i * w, (i + 1) * w - 1)
+    }
+
+    /// Marginal cell frequencies on one side of the pair (`0` = attribute
+    /// `j`, `1` = attribute `k`), length `g2`.
+    pub fn marginal(&self, side: usize) -> Vec<f64> {
+        assert!(side < 2);
+        let mut out = vec![0f64; self.g];
+        for a in 0..self.g {
+            for b in 0..self.g {
+                let idx = if side == 0 { a } else { b };
+                out[idx] += self.cell(a, b);
+            }
+        }
+        out
+    }
+
+    /// TDG-style answer of the 2-D range query
+    /// `[lo_j, hi_j] × [lo_k, hi_k]` (inclusive): fully-covered cells
+    /// contribute their frequency, partially-covered cells contribute the
+    /// uniform fraction of their frequency (the uniformity assumption,
+    /// paper Phase 3 / Example 1).
+    pub fn answer_uniform(&self, rect: ((usize, usize), (usize, usize))) -> f64 {
+        let ((lo_j, hi_j), (lo_k, hi_k)) = rect;
+        debug_assert!(lo_j <= hi_j && hi_j < self.c);
+        debug_assert!(lo_k <= hi_k && hi_k < self.c);
+        let w = self.cell_width() as f64;
+        let (first_a, last_a) = (lo_j / self.cell_width(), hi_j / self.cell_width());
+        let (first_b, last_b) = (lo_k / self.cell_width(), hi_k / self.cell_width());
+        let mut total = 0.0;
+        for a in first_a..=last_a {
+            let (a_lo, a_hi) = self.cell_bounds(a);
+            let frac_a = (hi_j.min(a_hi) + 1 - lo_j.max(a_lo)) as f64 / w;
+            for b in first_b..=last_b {
+                let (b_lo, b_hi) = self.cell_bounds(b);
+                let frac_b = (hi_k.min(b_hi) + 1 - lo_k.max(b_lo)) as f64 / w;
+                total += self.cell(a, b) * frac_a * frac_b;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(Grid2d::from_freqs((0, 1), 3, 64, vec![0.0; 9]).is_err());
+        assert!(Grid2d::from_freqs((0, 1), 4, 64, vec![0.0; 16]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_pair_rejected() {
+        let _ = Grid2d::from_freqs((1, 0), 4, 64, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn exact_counting_and_marginals() {
+        // 4 points in a c=8, g=2 grid (cell width 4).
+        let pairs: Vec<(u16, u16)> = vec![(0, 0), (1, 7), (6, 2), (7, 7)];
+        let g = Grid2d::from_exact((0, 1), 2, 8, &pairs).unwrap();
+        assert!((g.cell(0, 0) - 0.25).abs() < 1e-12); // (0,0)
+        assert!((g.cell(0, 1) - 0.25).abs() < 1e-12); // (1,7)
+        assert!((g.cell(1, 0) - 0.25).abs() < 1e-12); // (6,2)
+        assert!((g.cell(1, 1) - 0.25).abs() < 1e-12); // (7,7)
+        assert_eq!(g.marginal(0), vec![0.5, 0.5]);
+        assert_eq!(g.marginal(1), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn uniform_answer_matches_geometry() {
+        // All mass in cell (1,1) of a 2x2 grid over c=8: values 4..=7 each axis.
+        let mut freqs = vec![0.0; 4];
+        freqs[3] = 1.0;
+        let g = Grid2d::from_freqs((0, 1), 2, 8, freqs).unwrap();
+        assert!((g.answer_uniform(((4, 7), (4, 7))) - 1.0).abs() < 1e-12);
+        assert!((g.answer_uniform(((0, 7), (0, 7))) - 1.0).abs() < 1e-12);
+        // Quarter of the cell area -> quarter of the mass under uniformity.
+        assert!((g.answer_uniform(((4, 5), (4, 5))) - 0.25).abs() < 1e-12);
+        assert!(g.answer_uniform(((0, 3), (0, 3))).abs() < 1e-12);
+        // Half along one axis only.
+        assert!((g.answer_uniform(((4, 7), (4, 5))) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collected_grid_is_unbiased() {
+        let n = 40_000usize;
+        // Perfectly correlated pair: both attrs equal, half at 5, half at 40.
+        let pairs: Vec<(u16, u16)> = (0..n)
+            .map(|i| if i < n / 2 { (5, 5) } else { (40, 40) })
+            .collect();
+        let reps = 30;
+        let mut c00 = 0.0;
+        let mut c55 = 0.0;
+        let mut off = 0.0;
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(900 + r);
+            let g =
+                Grid2d::collect((0, 1), 8, 64, &pairs, 1.0, SimMode::Fast, &mut rng).unwrap();
+            c00 += g.cell(0, 0);
+            c55 += g.cell(5, 5);
+            off += g.cell(0, 5);
+        }
+        assert!((c00 / reps as f64 - 0.5).abs() < 0.03);
+        assert!((c55 / reps as f64 - 0.5).abs() < 0.03);
+        assert!((off / reps as f64).abs() < 0.03);
+    }
+}

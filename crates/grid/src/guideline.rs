@@ -1,0 +1,217 @@
+//! The granularity guideline (paper §4.6, Table 2).
+//!
+//! Choosing grid granularities is a bias–variance trade-off: finer grids
+//! raise noise error (more cells per query), coarser grids raise
+//! non-uniformity error (more mass in partially covered cells). Minimizing
+//! the sum of the two squared errors gives
+//!
+//! * `g1 = ∛( n1 (eᵋ−1)² α1² / (2 m1 eᵋ) )` for 1-D grids, and
+//! * `g2 = √( 2 α2 (eᵋ−1) √( n2 / (m2 eᵋ) ) )` for 2-D grids,
+//!
+//! each rounded to the closest power of two and clamped to `[2, c]`. The
+//! constants `α1 = 0.7`, `α2 = 0.03` are the paper's recommended dataset-
+//! independent settings; `n_i`/`m_i` are the user count and group count
+//! dedicated to i-D grids (equal per-group populations by default).
+
+use crate::pairs::pair_count;
+use privmdr_util::pow2::granularity_from;
+
+/// Tunable constants of the guideline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuidelineParams {
+    /// Non-uniformity constant for 1-D grids (paper recommends 0.7).
+    pub alpha1: f64,
+    /// Non-uniformity constant for 2-D grids (paper recommends 0.03).
+    pub alpha2: f64,
+    /// Fraction `σ = n1/n` of users assigned to 1-D grids. `None` uses the
+    /// equal-group-population default `σ0 = d / (d + (d choose 2))`
+    /// (Appendix A.5 sweeps this).
+    pub sigma: Option<f64>,
+}
+
+impl Default for GuidelineParams {
+    fn default() -> Self {
+        GuidelineParams { alpha1: 0.7, alpha2: 0.03, sigma: None }
+    }
+}
+
+/// The chosen granularities for HDG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Granularities {
+    /// 1-D grid granularity.
+    pub g1: usize,
+    /// 2-D grid granularity (per axis).
+    pub g2: usize,
+}
+
+/// The default 1-D user fraction `σ0 = m1 / (m1 + m2)`, which makes every
+/// group's population equal.
+pub fn default_sigma(d: usize) -> f64 {
+    let m1 = d as f64;
+    let m2 = pair_count(d) as f64;
+    m1 / (m1 + m2)
+}
+
+/// HDG's guideline: granularities for `n` users over `d` attributes of
+/// domain `c` at privacy budget `epsilon`.
+pub fn choose_granularities(
+    n: usize,
+    d: usize,
+    epsilon: f64,
+    c: usize,
+    params: &GuidelineParams,
+) -> Granularities {
+    assert!(d >= 2, "HDG needs at least two attributes");
+    let sigma = params.sigma.unwrap_or_else(|| default_sigma(d)).clamp(0.0, 1.0);
+    let n1 = n as f64 * sigma;
+    let n2 = n as f64 * (1.0 - sigma);
+    let m1 = d as f64;
+    let m2 = pair_count(d) as f64;
+    let g1 = granularity_from(g1_raw(n1, m1, epsilon, params.alpha1), 2, c);
+    let g2 = granularity_from(g2_raw(n2, m2, epsilon, params.alpha2), 2, c);
+    // The consistency step reconciles grids on g2-blocks, which requires the
+    // 1-D grids to be at least as fine; the raw formulas already satisfy
+    // this everywhere in Table 2, so the max is a safety net.
+    Granularities { g1: g1.max(g2), g2 }
+}
+
+/// TDG's guideline: only 2-D grids exist, so all `n` users and
+/// `(d choose 2)` groups go to them.
+pub fn choose_tdg_granularity(
+    n: usize,
+    d: usize,
+    epsilon: f64,
+    c: usize,
+    params: &GuidelineParams,
+) -> usize {
+    assert!(d >= 2, "TDG needs at least two attributes");
+    let m2 = pair_count(d) as f64;
+    granularity_from(g2_raw(n as f64, m2, epsilon, params.alpha2), 2, c)
+}
+
+/// Real-valued minimizer for 1-D grids (before rounding):
+/// `∛( n1 (eᵋ−1)² α1² / (2 m1 eᵋ) )`.
+fn g1_raw(n1: f64, m1: f64, epsilon: f64, alpha1: f64) -> f64 {
+    let e = epsilon.exp();
+    (n1 * (e - 1.0).powi(2) * alpha1 * alpha1 / (2.0 * m1 * e)).cbrt()
+}
+
+/// Real-valued minimizer for 2-D grids (before rounding):
+/// `√( 2 α2 (eᵋ−1) √( n2 / (m2 eᵋ) ) )`.
+fn g2_raw(n2: f64, m2: f64, epsilon: f64, alpha2: f64) -> f64 {
+    let e = epsilon.exp();
+    (2.0 * alpha2 * (e - 1.0) * (n2 / (m2 * e)).sqrt()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sigma_matches_equal_groups() {
+        // d = 6: sigma0 = 6 / 21.
+        assert!((default_sigma(6) - 6.0 / 21.0).abs() < 1e-12);
+        assert!((default_sigma(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_cell_d6_n1e6_eps1() {
+        // The worked example from DESIGN.md: (g1, g2) = (16, 4).
+        let g = choose_granularities(1_000_000, 6, 1.0, 64, &GuidelineParams::default());
+        assert_eq!((g.g1, g.g2), (16, 4));
+    }
+
+    #[test]
+    fn granularities_monotone_in_epsilon_and_n() {
+        let p = GuidelineParams::default();
+        let mut prev = (0usize, 0usize);
+        for eps in [0.2, 0.6, 1.0, 1.4, 1.8] {
+            let g = choose_granularities(1_000_000, 6, eps, 1024, &p);
+            assert!(g.g1 >= prev.0 && g.g2 >= prev.1, "eps {eps}");
+            prev = (g.g1, g.g2);
+        }
+        let small = choose_granularities(100_000, 6, 1.0, 1024, &p);
+        let large = choose_granularities(10_000_000, 6, 1.0, 1024, &p);
+        assert!(large.g1 > small.g1 && large.g2 >= small.g2);
+    }
+
+    #[test]
+    fn clamps_to_domain() {
+        let p = GuidelineParams::default();
+        let g = choose_granularities(100_000_000, 3, 2.0, 16, &p);
+        assert!(g.g1 <= 16 && g.g2 <= 16);
+        let g = choose_granularities(100, 10, 0.2, 64, &p);
+        assert!(g.g1 >= 2 && g.g2 >= 2);
+    }
+
+    #[test]
+    fn tdg_uses_all_users_for_2d() {
+        // With all n users on 2-D grids, TDG's g2 is >= HDG's at equal n.
+        let p = GuidelineParams::default();
+        let hdg = choose_granularities(1_000_000, 6, 1.0, 64, &p);
+        let tdg = choose_tdg_granularity(1_000_000, 6, 1.0, 64, &p);
+        assert!(tdg >= hdg.g2);
+    }
+
+    #[test]
+    fn sigma_override_shifts_budget() {
+        let p_low = GuidelineParams { sigma: Some(0.1), ..Default::default() };
+        let p_high = GuidelineParams { sigma: Some(0.9), ..Default::default() };
+        let lo = choose_granularities(1_000_000, 6, 1.0, 1024, &p_low);
+        let hi = choose_granularities(1_000_000, 6, 1.0, 1024, &p_high);
+        // More 1-D users => finer 1-D grids; fewer 2-D users => coarser 2-D.
+        assert!(hi.g1 >= lo.g1);
+        assert!(hi.g2 <= lo.g2);
+    }
+
+    /// Reproduces the paper's Table 2 in full: recommended `(g1, g2)` with
+    /// `α1 = 0.7`, `α2 = 0.03`, `c = 64` for every row `(d, lg n)` and
+    /// `ε ∈ {0.2, …, 2.0}`.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn reproduces_paper_table_2() {
+        #[rustfmt::skip]
+        let table: &[(usize, f64, [(usize, usize); 10])] = &[
+            (3, 6.0, [(8,2),(16,4),(32,4),(32,4),(32,4),(32,4),(32,8),(64,8),(64,8),(64,8)]),
+            (4, 6.0, [(8,2),(16,2),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4),(32,8),(64,8)]),
+            (5, 6.0, [(8,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4),(32,8)]),
+            (6, 6.0, [(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4)]),
+            (7, 6.0, [(8,2),(8,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4)]),
+            (8, 6.0, [(8,2),(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4)]),
+            (9, 6.0, [(8,2),(8,2),(16,2),(16,2),(16,4),(16,4),(16,4),(32,4),(32,4),(32,4)]),
+            (10, 6.0, [(4,2),(8,2),(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4)]),
+            (6, 5.0, [(4,2),(4,2),(8,2),(8,2),(8,2),(16,2),(16,2),(16,2),(16,2),(16,4)]),
+            (6, 5.2, [(4,2),(8,2),(8,2),(8,2),(16,2),(16,2),(16,2),(16,4),(16,4),(16,4)]),
+            (6, 5.4, [(4,2),(8,2),(8,2),(16,2),(16,2),(16,2),(16,4),(16,4),(16,4),(32,4)]),
+            (6, 5.6, [(4,2),(8,2),(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4)]),
+            (6, 5.8, [(8,2),(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4)]),
+            (6, 6.0, [(8,2),(16,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4)]),
+            (6, 6.2, [(8,2),(16,2),(16,4),(16,4),(32,4),(32,4),(32,4),(32,4),(32,4),(32,8)]),
+            (6, 6.4, [(8,2),(16,2),(16,4),(32,4),(32,4),(32,4),(32,4),(32,8),(64,8),(64,8)]),
+            (6, 6.6, [(16,2),(16,4),(32,4),(32,4),(32,4),(32,4),(32,8),(64,8),(64,8),(64,8)]),
+            (6, 6.8, [(16,2),(16,4),(32,4),(32,4),(32,4),(64,8),(64,8),(64,8),(64,8),(64,8)]),
+            (6, 7.0, [(16,2),(32,4),(32,4),(32,4),(64,8),(64,8),(64,8),(64,8),(64,8),(64,8)]),
+        ];
+        let params = GuidelineParams::default();
+        let mut mismatches = Vec::new();
+        for &(d, lg_n, expected) in table {
+            let n = 10f64.powf(lg_n).round() as usize;
+            for (col, &(want_g1, want_g2)) in expected.iter().enumerate() {
+                let eps = 0.2 * (col + 1) as f64;
+                let got = choose_granularities(n, d, eps, 64, &params);
+                if (got.g1, got.g2) != (want_g1, want_g2) {
+                    mismatches.push(format!(
+                        "d={d} lg(n)={lg_n} eps={eps:.1}: got ({},{}) want ({want_g1},{want_g2})",
+                        got.g1, got.g2
+                    ));
+                }
+            }
+        }
+        assert!(
+            mismatches.is_empty(),
+            "{} of 190 Table-2 cells disagree:\n{}",
+            mismatches.len(),
+            mismatches.join("\n")
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Grid substrates for TDG and HDG (paper §4).
+//!
+//! * [`grid1d`] / [`grid2d`] — binned frequency grids over single attributes
+//!   and attribute pairs, collected through OLH (Phase 1).
+//! * [`norm_sub`](mod@norm_sub) — the Norm-Sub non-negativity step (Phase 2).
+//! * [`consistency`] — the optimal weighted-average consistency step across
+//!   grids sharing an attribute (Phase 2).
+//! * [`response_matrix`] — Algorithm 1: building the c×c response matrix
+//!   from {G(j), G(k), G(j,k)} via Weighted Update (Phase 3, HDG).
+//! * [`guideline`] — §4.6's rule for choosing granularities g1, g2
+//!   (reproduces the paper's Table 2).
+//! * [`prefix`] — 2-D prefix-sum tables giving O(1) rectangle sums when
+//!   answering range queries.
+//! * [`pairs`] — canonical ordering of the (d choose 2) attribute pairs.
+
+pub mod consistency;
+pub mod grid1d;
+pub mod grid2d;
+pub mod guideline;
+pub mod norm_sub;
+pub mod pairs;
+pub mod prefix;
+pub mod response_matrix;
+
+pub use consistency::{enforce_attribute_consistency, post_process, PostProcessConfig};
+pub use grid1d::Grid1d;
+pub use grid2d::Grid2d;
+pub use guideline::{choose_granularities, Granularities, GuidelineParams};
+pub use norm_sub::norm_sub;
+pub use pairs::{pair_count, pair_index, pair_list};
+pub use prefix::PrefixSum2d;
+pub use response_matrix::{build_response_matrix, ResponseMatrix};
+
+/// Errors from invalid grid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// Granularity must be a power of two in `[1, c]` dividing the domain.
+    BadGranularity { granularity: usize, domain: usize },
+    /// Domain must be a power of two (paper §3.1).
+    BadDomain(usize),
+    /// The privacy budget must be strictly positive and finite.
+    BadEpsilon(f64),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::BadGranularity { granularity, domain } => write!(
+                f,
+                "granularity {granularity} must be a power of two dividing domain {domain}"
+            ),
+            GridError::BadDomain(c) => {
+                write!(f, "domain size {c} must be a power of two >= 2")
+            }
+            GridError::BadEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+pub(crate) fn check_geometry(g: usize, c: usize) -> Result<(), GridError> {
+    if !privmdr_util::is_pow2(c) || c < 2 {
+        return Err(GridError::BadDomain(c));
+    }
+    if !privmdr_util::is_pow2(g) || g == 0 || g > c {
+        return Err(GridError::BadGranularity { granularity: g, domain: c });
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Norm-Sub non-negativity step (paper §4.2; Wang et al., NDSS'20).
+//!
+//! Frequency estimates coming out of an LDP oracle can be negative and need
+//! not sum to 1. Norm-Sub repairs both: clamp negatives to zero, subtract the
+//! (signed) surplus evenly from the positive entries, and repeat until no new
+//! negatives appear. The result is the Euclidean-style projection used
+//! throughout the paper's Phase 2.
+
+/// Applies Norm-Sub in place so the entries become non-negative and sum to
+/// `total` (1 for a full grid).
+///
+/// Degenerate all-non-positive inputs become the uniform vector.
+pub fn norm_sub(x: &mut [f64], total: f64) {
+    assert!(total >= 0.0 && total.is_finite());
+    if x.is_empty() {
+        return;
+    }
+    // Each round either terminates or strictly reduces the number of positive
+    // entries, so `len + 1` rounds always suffice.
+    for _ in 0..=x.len() {
+        let mut pos_count = 0usize;
+        let mut pos_sum = 0.0f64;
+        for v in x.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            } else if *v > 0.0 {
+                pos_count += 1;
+                pos_sum += *v;
+            }
+        }
+        if pos_count == 0 {
+            let u = total / x.len() as f64;
+            x.fill(u);
+            return;
+        }
+        let diff = (pos_sum - total) / pos_count as f64;
+        if diff.abs() < 1e-15 {
+            return;
+        }
+        let mut created_negative = false;
+        for v in x.iter_mut() {
+            if *v > 0.0 {
+                *v -= diff;
+                created_negative |= *v < 0.0;
+            }
+        }
+        if !created_negative {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(x: &[f64], total: f64) {
+        assert!(x.iter().all(|&v| v >= 0.0), "negative entry in {x:?}");
+        let s: f64 = x.iter().sum();
+        assert!((s - total).abs() < 1e-9, "sum {s} != {total}");
+    }
+
+    #[test]
+    fn already_valid_is_untouched() {
+        let mut x = vec![0.25, 0.25, 0.5];
+        norm_sub(&mut x, 1.0);
+        assert_eq!(x, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn clamps_negatives_and_renormalizes() {
+        let mut x = vec![-0.1, 0.6, 0.7];
+        norm_sub(&mut x, 1.0);
+        assert_valid(&x, 1.0);
+        assert_eq!(x[0], 0.0);
+        // Surplus 0.3 removed evenly from the two positives.
+        assert!((x[1] - 0.45).abs() < 1e-12);
+        assert!((x[2] - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascading_rounds() {
+        // First subtraction pushes a small positive negative, forcing a
+        // second round.
+        let mut x = vec![0.05, 0.9, 0.9];
+        norm_sub(&mut x, 1.0);
+        assert_valid(&x, 1.0);
+        assert_eq!(x[0], 0.0);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deficit_distributes_to_positives() {
+        let mut x = vec![0.2, 0.2, 0.0];
+        norm_sub(&mut x, 1.0);
+        assert_valid(&x, 1.0);
+        // Zero entries stay zero; deficit added to positives.
+        assert_eq!(x[2], 0.0);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_all_negative_becomes_uniform() {
+        let mut x = vec![-0.5, -0.1, -0.2, -0.2];
+        norm_sub(&mut x, 1.0);
+        assert_valid(&x, 1.0);
+        assert!(x.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn custom_total() {
+        let mut x = vec![1.0, -1.0, 2.0];
+        norm_sub(&mut x, 0.5);
+        assert_valid(&x, 0.5);
+    }
+
+    #[test]
+    fn total_zero_zeroes_everything() {
+        let mut x = vec![0.5, -0.5, 0.25];
+        norm_sub(&mut x, 0.0);
+        assert_valid(&x, 0.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut x = vec![0.4, -0.2, 0.9, -0.05, 0.3];
+        norm_sub(&mut x, 1.0);
+        let once = x.clone();
+        norm_sub(&mut x, 1.0);
+        assert_eq!(x, once);
+    }
+}

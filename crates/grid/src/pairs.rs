@@ -1,0 +1,56 @@
+//! Canonical ordering of attribute pairs.
+//!
+//! TDG/HDG/CALM/LHIO all maintain one structure per unordered attribute pair
+//! `(j, k)` with `j < k`. This module fixes the enumeration order
+//! (lexicographic) so that group assignments, grid storage, and query routing
+//! agree across crates.
+
+/// Number of unordered pairs over `d` attributes: `d·(d−1)/2`.
+#[inline]
+pub fn pair_count(d: usize) -> usize {
+    d * d.saturating_sub(1) / 2
+}
+
+/// All pairs `(j, k)` with `j < k < d`, in lexicographic order.
+pub fn pair_list(d: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(pair_count(d));
+    for j in 0..d {
+        for k in (j + 1)..d {
+            out.push((j, k));
+        }
+    }
+    out
+}
+
+/// Index of pair `(j, k)` (with `j < k`) in [`pair_list`]'s order.
+#[inline]
+pub fn pair_index(j: usize, k: usize, d: usize) -> usize {
+    debug_assert!(j < k && k < d);
+    // Pairs starting with attributes < j come first: sum_{i<j} (d-1-i).
+    j * d - j * (j + 1) / 2 + (k - j - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(6), 15);
+        assert_eq!(pair_count(10), 45);
+    }
+
+    #[test]
+    fn index_matches_list_for_all_d() {
+        for d in 2..=12 {
+            let list = pair_list(d);
+            assert_eq!(list.len(), pair_count(d));
+            for (idx, &(j, k)) in list.iter().enumerate() {
+                assert_eq!(pair_index(j, k, d), idx, "d={d} pair=({j},{k})");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the grid substrate.
+
+use privmdr_grid::consistency::{post_process, PostProcessConfig};
+use privmdr_grid::pairs::{pair_index, pair_list};
+use privmdr_grid::response_matrix::build_response_matrix;
+use privmdr_grid::{norm_sub, Grid1d, Grid2d};
+use proptest::prelude::*;
+
+fn arb_granularity() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 4, 8, 16])
+}
+
+proptest! {
+    /// Norm-Sub reaches a valid distribution from any starting vector and
+    /// any non-negative target total.
+    #[test]
+    fn norm_sub_reaches_target(
+        xs in prop::collection::vec(-5.0f64..5.0, 1..128),
+        total in 0.0f64..3.0,
+    ) {
+        let mut v = xs;
+        norm_sub(&mut v, total);
+        prop_assert!(v.iter().all(|&x| x >= -1e-12));
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6, "sum {} target {}", sum, total);
+    }
+
+    /// Grid cell indexing round-trips for every value and geometry.
+    #[test]
+    fn grid1d_cell_roundtrip(g in arb_granularity(), v_raw in 0usize..1024) {
+        let c = 64usize;
+        let grid = Grid1d::from_freqs(0, g, c, vec![0.0; g]).unwrap();
+        let v = v_raw % c;
+        let cell = grid.cell_of(v);
+        let (lo, hi) = grid.cell_bounds(cell);
+        prop_assert!(lo <= v && v <= hi);
+        prop_assert_eq!(hi - lo + 1, c / g);
+    }
+
+    /// The uniform-interpolation answer is linear in the interval: for a
+    /// uniform grid it equals the interval's relative length.
+    #[test]
+    fn uniform_grid_answers_volume(
+        g in arb_granularity(),
+        lo in 0usize..64,
+        len in 0usize..64,
+    ) {
+        let c = 64usize;
+        let hi = (lo + len).min(c - 1);
+        let grid = Grid1d::from_freqs(0, g, c, vec![1.0 / g as f64; g]).unwrap();
+        let want = (hi - lo + 1) as f64 / c as f64;
+        prop_assert!((grid.answer_uniform(lo, hi) - want).abs() < 1e-9);
+    }
+
+    /// 2-D uniform grids answer the rectangle's relative area.
+    #[test]
+    fn uniform_grid2d_answers_area(
+        g in arb_granularity(),
+        lo1 in 0usize..32, len1 in 0usize..32,
+        lo2 in 0usize..32, len2 in 0usize..32,
+    ) {
+        let c = 32usize;
+        let g = g.min(c);
+        let (hi1, hi2) = ((lo1 + len1).min(c - 1), (lo2 + len2).min(c - 1));
+        let grid =
+            Grid2d::from_freqs((0, 1), g, c, vec![1.0 / (g * g) as f64; g * g]).unwrap();
+        let want = ((hi1 - lo1 + 1) * (hi2 - lo2 + 1)) as f64 / (c * c) as f64;
+        prop_assert!((grid.answer_uniform(((lo1, hi1), (lo2, hi2))) - want).abs() < 1e-9);
+    }
+
+    /// Marginals of a 2-D grid sum to the grid total on both sides.
+    #[test]
+    fn grid2d_marginals_conserve_mass(
+        freqs in prop::collection::vec(0.0f64..1.0, 16),
+    ) {
+        let grid = Grid2d::from_freqs((0, 1), 4, 16, freqs.clone()).unwrap();
+        let total: f64 = freqs.iter().sum();
+        for side in 0..2 {
+            let m = grid.marginal(side);
+            prop_assert!((m.iter().sum::<f64>() - total).abs() < 1e-9);
+        }
+    }
+
+    /// pair_index is a bijection onto 0..pair_count for every d.
+    #[test]
+    fn pair_index_bijective(d in 2usize..12) {
+        let list = pair_list(d);
+        let mut seen = vec![false; list.len()];
+        for &(j, k) in &list {
+            let idx = pair_index(j, k, d);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Post-processing always yields valid grids (non-negative, total 1)
+    /// regardless of the (arbitrary noisy) input frequencies.
+    #[test]
+    fn post_process_total_correctness(
+        seed_freqs in prop::collection::vec(-0.2f64..0.5, 16),
+    ) {
+        let d = 3usize;
+        let c = 16usize;
+        let mut one_d: Vec<Option<Grid1d>> = (0..d)
+            .map(|t| {
+                let f: Vec<f64> =
+                    (0..8).map(|i| seed_freqs[(i + t) % seed_freqs.len()]).collect();
+                Some(Grid1d::from_freqs(t, 8, c, f).unwrap())
+            })
+            .collect();
+        let mut two_d: Vec<Grid2d> = pair_list(d)
+            .into_iter()
+            .map(|(j, k)| {
+                let f: Vec<f64> = (0..16)
+                    .map(|i| seed_freqs[(i + j + 5 * k) % seed_freqs.len()])
+                    .collect();
+                Grid2d::from_freqs((j, k), 4, c, f).unwrap()
+            })
+            .collect();
+        post_process(d, &mut one_d, &mut two_d, &PostProcessConfig::default());
+        for g in one_d.iter().flatten() {
+            prop_assert!(g.freqs.iter().all(|&f| f >= -1e-12));
+            prop_assert!((g.freqs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+        for g in &two_d {
+            prop_assert!(g.freqs.iter().all(|&f| f >= -1e-12));
+            prop_assert!((g.freqs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The response matrix is a finite non-negative array whose total tracks
+    /// the (normalized) 2-D grid for any valid (post-processed-like) input.
+    #[test]
+    fn response_matrix_is_valid_distribution(
+        raw1 in prop::collection::vec(0.001f64..1.0, 8),
+        raw2 in prop::collection::vec(0.001f64..1.0, 8),
+        raw_joint in prop::collection::vec(0.001f64..1.0, 16),
+    ) {
+        let c = 16usize;
+        let norm = |v: Vec<f64>| {
+            let t: f64 = v.iter().sum();
+            v.into_iter().map(|x| x / t).collect::<Vec<_>>()
+        };
+        let gj = Grid1d::from_freqs(0, 8, c, norm(raw1)).unwrap();
+        let gk = Grid1d::from_freqs(1, 8, c, norm(raw2)).unwrap();
+        let gjk = Grid2d::from_freqs((0, 1), 4, c, norm(raw_joint)).unwrap();
+        let m = build_response_matrix(&gj, &gk, &gjk, 1e-9, 60);
+        prop_assert!(m.entries().iter().all(|v| v.is_finite() && *v >= 0.0));
+        let total: f64 = m.entries().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {}", total);
+        // Rectangle sums agree with direct summation on a spot check.
+        let direct: f64 = (0..8).flat_map(|a| (0..8).map(move |b| (a, b)))
+            .map(|(a, b)| m.value(a, b)).sum();
+        prop_assert!((m.rect_sum(((0, 7), (0, 7))) - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Constrained inference over noisy hierarchies (Hay et al., VLDB'10;
+//! paper §3.4).
+//!
+//! Different levels of a noisy hierarchy estimate the same masses
+//! independently, so they disagree. Constrained inference computes the
+//! least-squares-consistent hierarchy in two linear passes (all node
+//! estimates here share one variance because every level comes from an
+//! equal-population user group through OLH):
+//!
+//! 1. **Bottom-up weighted averaging** — each internal node's estimate is
+//!    blended with the sum of its children's:
+//!    `z_v = α_k y_v + (1 − α_k) Σ z_child`, `α_k = (bᵏ − bᵏ⁻¹)/(bᵏ − 1)`
+//!    for a node of height `k`.
+//! 2. **Top-down mean consistency** — children are shifted so they sum to
+//!    their parent: `u_child = z_child + (u_parent − Σ z_siblings)/b`.
+//!
+//! LHIO needs the 2-D adaptation (paper §3.4): run the 1-D pass along the
+//! first attribute (for every fixed second-attribute level and interval),
+//! then along the second.
+
+
+#![allow(clippy::needless_range_loop)]
+/// 1-D constrained inference in place.
+///
+/// `levels[ℓ]` holds the `bˡ` noisy interval frequencies of level `ℓ`
+/// (so `levels.len() = h + 1`). After the call, every parent equals the sum
+/// of its children and the estimates are the uniform-variance least-squares
+/// solution.
+pub fn constrain_hierarchy_1d(levels: &mut [Vec<f64>], b: usize) {
+    let h = levels.len().saturating_sub(1);
+    if h == 0 {
+        return;
+    }
+    for (l, lv) in levels.iter().enumerate() {
+        debug_assert_eq!(lv.len(), b.pow(l as u32), "level {l} has wrong arity");
+    }
+
+    // Pass 1: bottom-up weighted averaging into z (reuse the level storage).
+    // Height k = h - level; alpha blends own estimate vs. children's sum.
+    for level in (0..h).rev() {
+        let k = (h - level) as u32;
+        let bk = (b as f64).powi(k as i32);
+        let bk1 = (b as f64).powi(k as i32 - 1);
+        let alpha = (bk - bk1) / (bk - 1.0);
+        let (upper, lower) = levels.split_at_mut(level + 1);
+        let this = &mut upper[level];
+        let children = &lower[0];
+        for (i, z) in this.iter_mut().enumerate() {
+            let child_sum: f64 = children[i * b..(i + 1) * b].iter().sum();
+            *z = alpha * *z + (1.0 - alpha) * child_sum;
+        }
+    }
+
+    // Pass 2: top-down mean consistency.
+    for level in 1..=h {
+        let (upper, lower) = levels.split_at_mut(level);
+        let parents = &upper[level - 1];
+        let this = &mut lower[0];
+        for (p, &u_parent) in parents.iter().enumerate() {
+            let group = &mut this[p * b..(p + 1) * b];
+            let z_sum: f64 = group.iter().sum();
+            let shift = (u_parent - z_sum) / b as f64;
+            for z in group {
+                *z += shift;
+            }
+        }
+    }
+}
+
+/// 2-D constrained inference in place (the paper's LHIO adaptation).
+///
+/// `levels[ℓ1][ℓ2]` holds the `b^{ℓ1} × b^{ℓ2}` frequencies of the 2-D level
+/// `(ℓ1, ℓ2)`, row-major in the first attribute. The 1-D operation runs
+/// twice: along attribute 1 for every fixed `(ℓ2, i2)` column, then along
+/// attribute 2 for every fixed `(ℓ1, i1)` row.
+pub fn constrain_hierarchy_2d(levels: &mut [Vec<Vec<f64>>], b: usize) {
+    let h = levels.len().saturating_sub(1);
+    if h == 0 {
+        return;
+    }
+
+    // Along attribute 1: for each ℓ2 and each interval i2 of attribute 2,
+    // the column {levels[ℓ1][ℓ2][· , i2]} forms a 1-D hierarchy.
+    for l2 in 0..=h {
+        let n2 = b.pow(l2 as u32);
+        for i2 in 0..n2 {
+            let mut column: Vec<Vec<f64>> = (0..=h)
+                .map(|l1| {
+                    let n1 = b.pow(l1 as u32);
+                    (0..n1).map(|i1| levels[l1][l2][i1 * n2 + i2]).collect()
+                })
+                .collect();
+            constrain_hierarchy_1d(&mut column, b);
+            for (l1, col) in column.iter().enumerate() {
+                let n1 = b.pow(l1 as u32);
+                for i1 in 0..n1 {
+                    levels[l1][l2][i1 * n2 + i2] = col[i1];
+                }
+            }
+        }
+    }
+
+    // Along attribute 2: for each ℓ1 and each interval i1 of attribute 1.
+    for l1 in 0..=h {
+        let n1 = b.pow(l1 as u32);
+        for i1 in 0..n1 {
+            let mut row: Vec<Vec<f64>> = (0..=h)
+                .map(|l2| {
+                    let n2 = b.pow(l2 as u32);
+                    levels[l1][l2][i1 * n2..(i1 + 1) * n2].to_vec()
+                })
+                .collect();
+            constrain_hierarchy_1d(&mut row, b);
+            for (l2, r) in row.iter().enumerate() {
+                let n2 = b.pow(l2 as u32);
+                levels[l1][l2][i1 * n2..(i1 + 1) * n2].copy_from_slice(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::rng::derive_rng;
+    use privmdr_util::sampling::standard_normal;
+    use privmdr_util::stats::std_dev;
+
+    fn assert_consistent_1d(levels: &[Vec<f64>], b: usize) {
+        for level in 0..levels.len() - 1 {
+            for (i, &parent) in levels[level].iter().enumerate() {
+                let child_sum: f64 = levels[level + 1][i * b..(i + 1) * b].iter().sum();
+                assert!(
+                    (parent - child_sum).abs() < 1e-9,
+                    "level {level} node {i}: {parent} vs children {child_sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_input_is_fixed_point() {
+        // Build an exactly consistent hierarchy; CI must not change it.
+        let b = 2;
+        let leaves = vec![0.1, 0.2, 0.05, 0.15, 0.1, 0.1, 0.2, 0.1];
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let cur = levels.last().unwrap();
+            let parent: Vec<f64> =
+                cur.chunks(b).map(|chunk| chunk.iter().sum()).collect();
+            levels.push(parent);
+        }
+        levels.reverse();
+        let original = levels.clone();
+        constrain_hierarchy_1d(&mut levels, b);
+        for (l, (got, want)) in levels.iter().zip(&original).enumerate() {
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-9, "level {l} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_always_consistent() {
+        let b = 4usize;
+        let mut rng = derive_rng(42, &[0]);
+        let mut levels: Vec<Vec<f64>> = (0..=3u32)
+            .map(|l| (0..b.pow(l)).map(|_| standard_normal(&mut rng)).collect())
+            .collect();
+        constrain_hierarchy_1d(&mut levels, b);
+        assert_consistent_1d(&levels, b);
+    }
+
+    #[test]
+    fn ci_preserves_total_in_expectation_and_reduces_variance() {
+        // Noisy observations of a known hierarchy; CI estimates of the root
+        // should have smaller variance than the raw root estimate.
+        let b = 4usize;
+        let h = 3usize;
+        let true_leaves: Vec<f64> = (0..b.pow(h as u32)).map(|i| (i % 7) as f64).collect();
+        let mut true_levels = vec![true_leaves];
+        while true_levels.last().unwrap().len() > 1 {
+            let cur = true_levels.last().unwrap();
+            true_levels.push(cur.chunks(b).map(|c| c.iter().sum()).collect());
+        }
+        true_levels.reverse();
+
+        let sigma = 1.0;
+        let reps = 300;
+        let mut raw_mid = Vec::new();
+        let mut ci_mid = Vec::new();
+        for r in 0..reps {
+            let mut rng = derive_rng(7, &[r]);
+            let mut noisy: Vec<Vec<f64>> = true_levels
+                .iter()
+                .map(|lv| lv.iter().map(|&v| v + sigma * standard_normal(&mut rng)).collect())
+                .collect();
+            raw_mid.push(noisy[1][2]);
+            constrain_hierarchy_1d(&mut noisy, b);
+            ci_mid.push(noisy[1][2]);
+        }
+        let raw_sd = std_dev(&raw_mid);
+        let ci_sd = std_dev(&ci_mid);
+        assert!(
+            ci_sd < raw_sd * 0.9,
+            "CI should shrink node std: raw {raw_sd}, ci {ci_sd}"
+        );
+        // Unbiasedness: means stay near the true value.
+        let want = true_levels[1][2];
+        let got = privmdr_util::stats::mean(&ci_mid);
+        assert!((got - want).abs() < 4.0 * ci_sd / (reps as f64).sqrt() + 0.2);
+    }
+
+    #[test]
+    fn two_d_output_is_consistent_along_both_attributes() {
+        let b = 2usize;
+        let h = 2usize;
+        let mut rng = derive_rng(9, &[1]);
+        let mut levels: Vec<Vec<Vec<f64>>> = (0..=h)
+            .map(|l1| {
+                (0..=h)
+                    .map(|l2| {
+                        (0..b.pow(l1 as u32) * b.pow(l2 as u32))
+                            .map(|_| standard_normal(&mut rng))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        constrain_hierarchy_2d(&mut levels, b);
+
+        // Along attribute 1: refining ℓ1 at fixed ℓ2 preserves column sums.
+        for l2 in 0..=h {
+            let n2 = b.pow(l2 as u32);
+            for l1 in 0..h {
+                let n1 = b.pow(l1 as u32);
+                for i1 in 0..n1 {
+                    for i2 in 0..n2 {
+                        let parent = levels[l1][l2][i1 * n2 + i2];
+                        let children: f64 = (0..b)
+                            .map(|ch| levels[l1 + 1][l2][(i1 * b + ch) * n2 + i2])
+                            .sum();
+                        assert!(
+                            (parent - children).abs() < 1e-9,
+                            "attr1 ({l1},{l2}) node ({i1},{i2})"
+                        );
+                    }
+                }
+            }
+        }
+        // Along attribute 2.
+        for l1 in 0..=h {
+            let n1 = b.pow(l1 as u32);
+            for l2 in 0..h {
+                let n2 = b.pow(l2 as u32);
+                for i1 in 0..n1 {
+                    for i2 in 0..n2 {
+                        let parent = levels[l1][l2][i1 * n2 + i2];
+                        let children: f64 = (0..b)
+                            .map(|ch| levels[l1][l2 + 1][i1 * n2 * b + i2 * b + ch])
+                            .sum();
+                        assert!(
+                            (parent - children).abs() < 1e-9,
+                            "attr2 ({l1},{l2}) node ({i1},{i2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_level_is_noop() {
+        let mut levels = vec![vec![1.0]];
+        constrain_hierarchy_1d(&mut levels, 4);
+        assert_eq!(levels, vec![vec![1.0]]);
+    }
+}

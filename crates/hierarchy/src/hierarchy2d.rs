@@ -1,0 +1,294 @@
+//! 2-D hierarchies over attribute pairs — the LHIO substrate (paper §3.4).
+//!
+//! LHIO assigns one user group per attribute pair and lets that group build a
+//! 2-D hierarchy: the group is subdivided into `(h+1)²` subgroups, one per
+//! 2-D level `(ℓ1, ℓ2)`, and each subgroup reports its 2-D interval through
+//! OLH over the `b^{ℓ1+ℓ2}` intervals of that level. The noisy levels are
+//! then fused by 2-D constrained inference, after which the hierarchy is
+//! internally consistent and any 2-D range query can be answered either from
+//! the minimal node decomposition or (equivalently) from the leaf level.
+
+use crate::constrained::constrain_hierarchy_2d;
+use crate::hierarchy1d::Hierarchy1d;
+use crate::HierarchyError;
+use privmdr_oracles::olh::Olh;
+use privmdr_oracles::partition::partition_equal;
+use privmdr_oracles::SimMode;
+use rand::Rng;
+
+/// A collected (and optionally constrained) 2-D hierarchy for one pair.
+#[derive(Debug, Clone)]
+pub struct Hierarchy2d {
+    attrs: (usize, usize),
+    geom: Hierarchy1d,
+    /// Unpadded attribute domain (`<=` the padded `geom.domain()`).
+    c_real: usize,
+    /// `levels[ℓ1][ℓ2]`: row-major `b^{ℓ1} × b^{ℓ2}` interval frequencies.
+    levels: Vec<Vec<Vec<f64>>>,
+}
+
+impl Hierarchy2d {
+    /// Phase 1 for one pair: splits the pair's user group into `(h+1)²`
+    /// level subgroups and estimates every level histogram with OLH.
+    ///
+    /// `c` need not be a power of `b`; the domain is padded upward and the
+    /// padding carries zero mass.
+    pub fn collect<R: Rng + ?Sized>(
+        attrs: (usize, usize),
+        branching: usize,
+        c: usize,
+        value_pairs: &[(u16, u16)],
+        epsilon: f64,
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Result<Self, HierarchyError> {
+        privmdr_oracles::validate_epsilon(epsilon)
+            .map_err(|_| HierarchyError::BadEpsilon(epsilon))?;
+        let padded = Hierarchy1d::padded_domain(branching, c);
+        let geom = Hierarchy1d::new(branching, padded)?;
+        let h = geom.height();
+        let n_levels = (h + 1) * (h + 1);
+        let subgroups = partition_equal(value_pairs.len(), n_levels, rng);
+
+        let mut levels: Vec<Vec<Vec<f64>>> = Vec::with_capacity(h + 1);
+        for l1 in 0..=h {
+            let mut row = Vec::with_capacity(h + 1);
+            for l2 in 0..=h {
+                let users = &subgroups[l1 * (h + 1) + l2];
+                row.push(collect_level(&geom, l1, l2, value_pairs, users, epsilon, mode, rng));
+            }
+            levels.push(row);
+        }
+        Ok(Hierarchy2d { attrs, geom, c_real: c, levels })
+    }
+
+    /// Noiseless construction (ε = ∞ reference) computing every level from
+    /// exact counts.
+    pub fn from_exact(
+        attrs: (usize, usize),
+        branching: usize,
+        c: usize,
+        value_pairs: &[(u16, u16)],
+    ) -> Result<Self, HierarchyError> {
+        let padded = Hierarchy1d::padded_domain(branching, c);
+        let geom = Hierarchy1d::new(branching, padded)?;
+        let h = geom.height();
+        let n = value_pairs.len().max(1) as f64;
+        let mut levels = Vec::with_capacity(h + 1);
+        for l1 in 0..=h {
+            let n1 = geom.nodes_at(l1);
+            let mut row = Vec::with_capacity(h + 1);
+            for l2 in 0..=h {
+                let n2 = geom.nodes_at(l2);
+                let mut freqs = vec![0f64; n1 * n2];
+                for &(v1, v2) in value_pairs {
+                    let i1 = geom.node_of(l1, v1 as usize);
+                    let i2 = geom.node_of(l2, v2 as usize);
+                    freqs[i1 * n2 + i2] += 1.0;
+                }
+                freqs.iter_mut().for_each(|f| *f /= n);
+                row.push(freqs);
+            }
+            levels.push(row);
+        }
+        Ok(Hierarchy2d { attrs, geom, c_real: c, levels })
+    }
+
+    /// The ordered attribute pair.
+    pub fn attrs(&self) -> (usize, usize) {
+        self.attrs
+    }
+
+    /// Hierarchy geometry (padded domain).
+    pub fn geometry(&self) -> &Hierarchy1d {
+        &self.geom
+    }
+
+    /// Unpadded domain size.
+    pub fn domain(&self) -> usize {
+        self.c_real
+    }
+
+    /// Applies the paper's 2-D constrained inference in place.
+    pub fn constrain(&mut self) {
+        constrain_hierarchy_2d(&mut self.levels, self.geom.branching());
+    }
+
+    /// Answers the 2-D range query `[lo1, hi1] × [lo2, hi2]` (inclusive) by
+    /// summing the minimal node decomposition on each axis.
+    pub fn answer_range(&self, r1: (usize, usize), r2: (usize, usize)) -> f64 {
+        let nodes1 = self.geom.decompose(r1.0, r1.1);
+        let nodes2 = self.geom.decompose(r2.0, r2.1);
+        let mut total = 0.0;
+        for &(l1, i1) in &nodes1 {
+            for &(l2, i2) in &nodes2 {
+                let n2 = self.geom.nodes_at(l2);
+                total += self.levels[l1][l2][i1 * n2 + i2];
+            }
+        }
+        total
+    }
+
+    /// The leaf level as a row-major padded `c_pad × c_pad` matrix. After
+    /// [`Self::constrain`], every coarser level equals aggregations of this
+    /// matrix, so downstream consumers can operate on leaves alone.
+    pub fn leaves(&self) -> &[f64] {
+        let h = self.geom.height();
+        &self.levels[h][h]
+    }
+
+    /// Mutable level access for tests and cross-pair post-processing.
+    pub fn level_mut(&mut self, l1: usize, l2: usize) -> &mut Vec<f64> {
+        &mut self.levels[l1][l2]
+    }
+}
+
+/// Collects one `(ℓ1, ℓ2)` level histogram from its subgroup.
+#[allow(clippy::too_many_arguments)]
+fn collect_level<R: Rng + ?Sized>(
+    geom: &Hierarchy1d,
+    l1: usize,
+    l2: usize,
+    value_pairs: &[(u16, u16)],
+    users: &[u32],
+    epsilon: f64,
+    mode: SimMode,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n1 = geom.nodes_at(l1);
+    let n2 = geom.nodes_at(l2);
+    let domain = n1 * n2;
+    if domain == 1 {
+        // The root level carries no information: the total is 1 by
+        // definition, no reports needed.
+        return vec![1.0];
+    }
+    let cells: Vec<u32> = users
+        .iter()
+        .map(|&u| {
+            let (v1, v2) = value_pairs[u as usize];
+            (geom.node_of(l1, v1 as usize) * n2 + geom.node_of(l2, v2 as usize)) as u32
+        })
+        .collect();
+    let olh = Olh::new(epsilon, domain).expect("domain >= 2 checked above");
+    olh.collect(&cells, mode, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::rng::derive_rng;
+
+    fn corner_pairs(n: usize) -> Vec<(u16, u16)> {
+        // Half the mass at (2, 2), half at (13, 13): correlated corners.
+        (0..n).map(|i| if i % 2 == 0 { (2, 2) } else { (13, 13) }).collect()
+    }
+
+    #[test]
+    fn exact_hierarchy_answers_exactly() {
+        let pairs = corner_pairs(1000);
+        let hier = Hierarchy2d::from_exact((0, 1), 4, 16, &pairs).unwrap();
+        assert!((hier.answer_range((0, 15), (0, 15)) - 1.0).abs() < 1e-12);
+        assert!((hier.answer_range((0, 7), (0, 7)) - 0.5).abs() < 1e-12);
+        assert!((hier.answer_range((8, 15), (8, 15)) - 0.5).abs() < 1e-12);
+        assert!(hier.answer_range((0, 7), (8, 15)).abs() < 1e-12);
+        assert!((hier.answer_range((2, 2), (2, 2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padding_carries_zero_mass() {
+        // c = 10 pads to 16 under b=4... (4^2); values 10..16 must be empty.
+        let pairs: Vec<(u16, u16)> = (0..100).map(|i| (i % 10, (i * 3) % 10)).collect();
+        let hier = Hierarchy2d::from_exact((0, 1), 4, 10, &pairs).unwrap();
+        assert_eq!(hier.geometry().domain(), 16);
+        assert!((hier.answer_range((0, 9), (0, 9)) - 1.0).abs() < 1e-12);
+        assert!(hier.answer_range((10, 15), (0, 15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collected_hierarchy_is_roughly_unbiased() {
+        let pairs = corner_pairs(40_000);
+        let mut sum_q = 0.0;
+        let reps = 20;
+        for r in 0..reps {
+            let mut rng = derive_rng(31, &[r]);
+            let hier = Hierarchy2d::collect(
+                (0, 1),
+                4,
+                16,
+                &pairs,
+                1.0,
+                SimMode::Fast,
+                &mut rng,
+            )
+            .unwrap();
+            sum_q += hier.answer_range((0, 7), (0, 7));
+        }
+        let mean = sum_q / reps as f64;
+        assert!((mean - 0.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn constrain_makes_levels_agree_with_leaves() {
+        let pairs = corner_pairs(20_000);
+        let mut rng = derive_rng(5, &[0]);
+        let mut hier =
+            Hierarchy2d::collect((0, 1), 2, 16, &pairs, 1.0, SimMode::Fast, &mut rng).unwrap();
+        hier.constrain();
+        // Any range answered via decomposition must equal the leaf sum.
+        let leaves = hier.leaves().to_vec();
+        let c = hier.geometry().domain();
+        for (r1, r2) in [((0, 11), (2, 15)), ((1, 12), (0, 7)), ((0, 15), (0, 15))] {
+            let via_nodes = hier.answer_range(r1, r2);
+            let mut via_leaves = 0.0;
+            for v1 in r1.0..=r1.1 {
+                for v2 in r2.0..=r2.1 {
+                    via_leaves += leaves[v1 * c + v2];
+                }
+            }
+            assert!(
+                (via_nodes - via_leaves).abs() < 1e-9,
+                "range {r1:?}x{r2:?}: {via_nodes} vs {via_leaves}"
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_estimates_beat_raw_for_large_ranges() {
+        // CI pools all levels, so large-range answers should have visibly
+        // smaller spread than leaf-only summing. Statistical, seeded.
+        let pairs = corner_pairs(30_000);
+        let reps = 30;
+        let (mut raw_err, mut ci_err) = (0.0f64, 0.0f64);
+        for r in 0..reps {
+            let mut rng = derive_rng(77, &[r]);
+            let mut hier = Hierarchy2d::collect(
+                (0, 1),
+                2,
+                16,
+                &pairs,
+                0.5,
+                SimMode::Fast,
+                &mut rng,
+            )
+            .unwrap();
+            let truth = 0.5;
+            // Raw: sum the leaf level over the half-domain square.
+            let c = hier.geometry().domain();
+            let leaves = hier.leaves();
+            let mut raw = 0.0;
+            for v1 in 0..8 {
+                for v2 in 0..8 {
+                    raw += leaves[v1 * c + v2];
+                }
+            }
+            raw_err += (raw - truth).abs();
+            hier.constrain();
+            ci_err += (hier.answer_range((0, 7), (0, 7)) - truth).abs();
+        }
+        assert!(
+            ci_err < raw_err * 0.8,
+            "CI should help large ranges: raw {raw_err}, ci {ci_err}"
+        );
+    }
+}

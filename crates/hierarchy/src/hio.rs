@@ -1,0 +1,295 @@
+//! HIO: the d-dimensional hierarchy baseline (paper §3.3; Wang et al.,
+//! SIGMOD'19).
+//!
+//! HIO builds one 1-D hierarchy per attribute and crosses them: a *d-dim
+//! level* is a vector `(ℓ1, …, ℓd)` and holds `∏ b^{ℓt}` d-dim intervals.
+//! Users are split into `(h+1)^d` groups, one per d-dim level, and each
+//! group reports which d-dim interval its record falls in through OLH.
+//!
+//! The interval count at deep levels is astronomically large (`c^d` at the
+//! leaves), so frequencies are never materialized: each group retains its
+//! raw OLH reports ([`OlhReportSet`]) and a query estimates only the
+//! intervals its decomposition touches, memoizing them for reuse.
+//!
+//! This is the baseline the paper shows failing challenges 2 and 3: with
+//! `(h+1)^d` groups each holds `n/(h+1)^d` users, so the noise per estimate
+//! is enormous — reproduced by the Fig. 1 experiments.
+
+
+#![allow(clippy::needless_range_loop)]
+use crate::hierarchy1d::Hierarchy1d;
+use crate::HierarchyError;
+use privmdr_oracles::olh::{Olh, OlhReportSet};
+use privmdr_oracles::partition::partition_equal;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One d-dim level: its level vector, interval radix strides, and reports.
+#[derive(Debug)]
+struct HioGroup {
+    /// `ℓt` per attribute.
+    levels: Vec<u8>,
+    /// Stride of attribute `t` in the mixed-radix interval index.
+    strides: Vec<u64>,
+    /// Total interval count `∏ b^{ℓt}`.
+    domain: u64,
+    /// Retained reports; `None` for the all-roots level (domain 1).
+    reports: Option<OlhReportSet>,
+}
+
+/// A fitted HIO model.
+#[derive(Debug)]
+pub struct Hio {
+    geom: Hierarchy1d,
+    d: usize,
+    c_real: usize,
+    groups: Vec<HioGroup>,
+    /// Memoized `(group, interval) -> estimate`; queries often share nodes.
+    cache: Mutex<HashMap<(u32, u64), f64>>,
+}
+
+impl Hio {
+    /// Fits HIO on row-major records (`rows[u * d + t]` = user `u`'s value
+    /// of attribute `t`) with branching factor `branching` at budget
+    /// `epsilon`. Exact per-user OLH reports are always used — HIO's levels
+    /// are too large for materialized fast simulation.
+    pub fn fit<R: Rng + ?Sized>(
+        rows: &[u16],
+        d: usize,
+        c: usize,
+        branching: usize,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Self, HierarchyError> {
+        assert!(d >= 1 && rows.len().is_multiple_of(d), "rows must be n*d values");
+        privmdr_oracles::validate_epsilon(epsilon)
+            .map_err(|_| HierarchyError::BadEpsilon(epsilon))?;
+        let n = rows.len() / d;
+        let padded = Hierarchy1d::padded_domain(branching, c);
+        let geom = Hierarchy1d::new(branching, padded)?;
+        let h = geom.height();
+        let m = (h + 1).pow(d as u32);
+        let user_groups = partition_equal(n, m, rng);
+
+        let mut groups = Vec::with_capacity(m);
+        let mut cells: Vec<u64> = Vec::new();
+        for (gi, users) in user_groups.iter().enumerate() {
+            let levels = level_vector(gi, d, h);
+            let mut strides = vec![0u64; d];
+            let mut domain = 1u64;
+            for t in (0..d).rev() {
+                strides[t] = domain;
+                domain *= geom.nodes_at(levels[t] as usize) as u64;
+            }
+            let reports = if domain <= 1 {
+                None
+            } else {
+                cells.clear();
+                cells.reserve(users.len());
+                for &u in users {
+                    let row = &rows[u as usize * d..(u as usize + 1) * d];
+                    let mut cell = 0u64;
+                    for t in 0..d {
+                        cell += geom.node_of(levels[t] as usize, row[t] as usize) as u64
+                            * strides[t];
+                    }
+                    cells.push(cell);
+                }
+                let olh = Olh::new(epsilon, domain as usize)
+                    .expect("domain >= 2 checked above");
+                Some(OlhReportSet::collect(olh, &cells, rng))
+            };
+            groups.push(HioGroup { levels, strides, domain, reports });
+        }
+        Ok(Hio { geom, d, c_real: c, groups, cache: Mutex::new(HashMap::new()) })
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Unpadded attribute domain size.
+    pub fn domain(&self) -> usize {
+        self.c_real
+    }
+
+    /// Number of d-dim levels (user groups), `(h+1)^d`.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Level vector and interval count of group `gi` (diagnostics).
+    pub fn group_info(&self, gi: usize) -> (&[u8], u64) {
+        let g = &self.groups[gi];
+        (&g.levels, g.domain)
+    }
+
+    /// Answers a multi-dimensional range query given as one inclusive
+    /// interval per attribute (use `(0, c-1)` for attributes the query does
+    /// not restrict, as §3.3 prescribes).
+    pub fn answer(&self, intervals: &[(usize, usize)]) -> f64 {
+        assert_eq!(intervals.len(), self.d, "one interval per attribute");
+        // Decompose each attribute's interval into hierarchy nodes.
+        let decomps: Vec<Vec<(usize, usize)>> = intervals
+            .iter()
+            .map(|&(lo, hi)| self.geom.decompose(lo, hi.min(self.c_real - 1)))
+            .collect();
+        // Walk the cartesian product with an odometer.
+        let mut pick = vec![0usize; self.d];
+        let mut total = 0.0;
+        loop {
+            total += self.estimate_combo(&decomps, &pick);
+            // Advance the odometer.
+            let mut t = 0;
+            loop {
+                if t == self.d {
+                    return total;
+                }
+                pick[t] += 1;
+                if pick[t] < decomps[t].len() {
+                    break;
+                }
+                pick[t] = 0;
+                t += 1;
+            }
+        }
+    }
+
+    /// Estimates the frequency of one d-dim interval combination.
+    fn estimate_combo(&self, decomps: &[Vec<(usize, usize)>], pick: &[usize]) -> f64 {
+        let h = self.geom.height();
+        let mut group_idx = 0usize;
+        for t in 0..self.d {
+            let (level, _) = decomps[t][pick[t]];
+            group_idx = group_idx * (h + 1) + level;
+        }
+        // level_vector uses the same mixed-radix (attr 0 most significant).
+        let group = &self.groups[group_idx];
+        let mut cell = 0u64;
+        for t in 0..self.d {
+            let (_, idx) = decomps[t][pick[t]];
+            cell += idx as u64 * group.strides[t];
+        }
+        match &group.reports {
+            None => 1.0, // the all-roots level: the full domain has mass 1
+            Some(set) => {
+                let key = (group_idx as u32, cell);
+                if let Some(&v) = self.cache.lock().expect("poisoned").get(&key) {
+                    return v;
+                }
+                let v = set.estimate(cell as usize);
+                self.cache.lock().expect("poisoned").insert(key, v);
+                v
+            }
+        }
+    }
+}
+
+/// Decodes group index `gi` into its level vector (attr 0 most significant).
+fn level_vector(gi: usize, d: usize, h: usize) -> Vec<u8> {
+    let mut levels = vec![0u8; d];
+    let mut rest = gi;
+    for t in (0..d).rev() {
+        levels[t] = (rest % (h + 1)) as u8;
+        rest /= h + 1;
+    }
+    debug_assert_eq!(rest, 0);
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::rng::derive_rng;
+
+    fn rows_2d(n: usize) -> Vec<u16> {
+        // Two attributes, half the users at (2, 10), half at (12, 3).
+        let mut rows = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            if i % 2 == 0 {
+                rows.extend_from_slice(&[2, 10]);
+            } else {
+                rows.extend_from_slice(&[12, 3]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn level_vector_round_trips() {
+        let (d, h) = (3usize, 2usize);
+        for gi in 0..(h + 1).pow(d as u32) {
+            let lv = level_vector(gi, d, h);
+            let mut back = 0usize;
+            for t in 0..d {
+                back = back * (h + 1) + lv[t] as usize;
+            }
+            assert_eq!(back, gi);
+        }
+    }
+
+    #[test]
+    fn group_count_matches_formula() {
+        let rows = rows_2d(2000);
+        let mut rng = derive_rng(1, &[0]);
+        let hio = Hio::fit(&rows, 2, 16, 4, 1.0, &mut rng).unwrap();
+        // h = 2 for c=16, b=4 -> (h+1)^d = 9 groups.
+        assert_eq!(hio.group_count(), 9);
+    }
+
+    #[test]
+    fn full_domain_query_answers_one_exactly() {
+        // The all-roots combination is deterministic: no noise at all.
+        let rows = rows_2d(500);
+        let mut rng = derive_rng(2, &[0]);
+        let hio = Hio::fit(&rows, 2, 16, 4, 1.0, &mut rng).unwrap();
+        let full = hio.answer(&[(0, 15), (0, 15)]);
+        assert!((full - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_are_unbiased_over_repeats() {
+        let rows = rows_2d(20_000);
+        let reps = 15;
+        let mut acc = 0.0;
+        for r in 0..reps {
+            let mut rng = derive_rng(3, &[r]);
+            let hio = Hio::fit(&rows, 2, 16, 4, 2.0, &mut rng).unwrap();
+            // Query capturing exactly the (2, 10) half.
+            acc += hio.answer(&[(0, 7), (8, 15)]);
+        }
+        let mean = acc / reps as f64;
+        assert!((mean - 0.5).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn cache_is_used_across_queries() {
+        let rows = rows_2d(1000);
+        let mut rng = derive_rng(4, &[0]);
+        let hio = Hio::fit(&rows, 2, 16, 2, 1.0, &mut rng).unwrap();
+        let a1 = hio.answer(&[(0, 7), (0, 15)]);
+        let cached = hio.cache.lock().unwrap().len();
+        assert!(cached > 0);
+        // Same query again: identical answer (memoized, no re-randomness).
+        let a2 = hio.answer(&[(0, 7), (0, 15)]);
+        assert_eq!(a1, a2);
+        assert_eq!(hio.cache.lock().unwrap().len(), cached);
+    }
+
+    #[test]
+    fn three_dims_with_unqueried_attribute() {
+        let n = 9000;
+        let mut rows = Vec::with_capacity(n * 3);
+        for i in 0..n {
+            let v = if i % 3 == 0 { 1 } else { 14 };
+            rows.extend_from_slice(&[v, (i % 16) as u16, 7]);
+        }
+        let mut rng = derive_rng(5, &[0]);
+        let hio = Hio::fit(&rows, 3, 16, 4, 2.0, &mut rng).unwrap();
+        // lambda = 1 query expanded with full intervals.
+        let est = hio.answer(&[(0, 7), (0, 15), (0, 15)]);
+        assert!((est - 1.0 / 3.0).abs() < 0.25, "est {est}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Interval hierarchies and the hierarchy-based baselines (paper §3.3–3.4).
+//!
+//! * [`hierarchy1d`] — the branching-factor-`b` interval hierarchy over a
+//!   single attribute, with minimal-node range decomposition.
+//! * [`constrained`] — Hay et al.'s constrained inference (weighted
+//!   bottom-up averaging + top-down mean consistency), in 1-D and the
+//!   paper's 2-D adaptation for LHIO.
+//! * [`hierarchy2d`] — a 2-D hierarchy over an attribute pair: one OLH-
+//!   estimated histogram per `(ℓ1, ℓ2)` level pair, fused by 2-D constrained
+//!   inference.
+//! * [`hio`] — the HIO baseline: a full d-dimensional hierarchy with
+//!   `(h+1)^d` user groups and lazy per-interval OLH estimation.
+//! * [`range1d`] — the 1-D range-query estimators the paper cites as prior
+//!   art (hierarchical intervals and Haar wavelets, Cormode et al.).
+
+pub mod constrained;
+pub mod hierarchy1d;
+pub mod hierarchy2d;
+pub mod hio;
+pub mod range1d;
+
+pub use constrained::{constrain_hierarchy_1d, constrain_hierarchy_2d};
+pub use hierarchy1d::Hierarchy1d;
+pub use hierarchy2d::Hierarchy2d;
+pub use hio::Hio;
+pub use range1d::{HaarRange1d, HierarchicalRange1d};
+
+/// Errors from invalid hierarchy parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierarchyError {
+    /// Branching factor must be at least 2.
+    BadBranching(usize),
+    /// Domain must be a positive power of the branching factor (pad first).
+    BadDomain { domain: usize, branching: usize },
+    /// The privacy budget must be strictly positive and finite.
+    BadEpsilon(f64),
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::BadBranching(b) => write!(f, "branching factor {b} must be >= 2"),
+            HierarchyError::BadDomain { domain, branching } => write!(
+                f,
+                "domain {domain} must be a positive power of the branching factor {branching}"
+            ),
+            HierarchyError::BadEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}

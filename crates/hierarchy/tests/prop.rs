@@ -1,0 +1,107 @@
+//! Property tests for hierarchies and constrained inference.
+
+use privmdr_hierarchy::constrained::constrain_hierarchy_1d;
+use privmdr_hierarchy::Hierarchy1d;
+use proptest::prelude::*;
+
+proptest! {
+    /// Decomposition produces nodes strictly inside the query range, each
+    /// level-aligned, and minimal in the sense that no two sibling groups
+    /// could merge (every node's parent is not fully contained).
+    #[test]
+    fn decomposition_nodes_are_maximal(
+        b in 2usize..5,
+        h in 1usize..4,
+        raw_lo in 0usize..4096,
+        raw_len in 0usize..4096,
+    ) {
+        let c = b.pow(h as u32);
+        let lo = raw_lo % c;
+        let hi = (lo + raw_len % (c - lo).max(1)).min(c - 1);
+        let hier = Hierarchy1d::new(b, c).unwrap();
+        for (level, idx) in hier.decompose(lo, hi) {
+            let (n_lo, n_hi) = hier.node_bounds(level, idx);
+            prop_assert!(lo <= n_lo && n_hi <= hi, "node outside query");
+            if level > 0 {
+                // The parent must NOT be fully contained (else the greedy
+                // cover would have taken it instead).
+                let (p_lo, p_hi) = hier.node_bounds(level - 1, idx / b);
+                prop_assert!(
+                    p_lo < lo || p_hi > hi,
+                    "non-maximal node at level {} idx {}", level, idx
+                );
+            }
+        }
+    }
+
+    /// Constrained inference always outputs a parent-equals-children
+    /// consistent hierarchy and preserves the root total it computes.
+    #[test]
+    fn ci_output_consistent(
+        b in 2usize..4,
+        h in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut levels: Vec<Vec<f64>> = (0..=h)
+            .map(|l| {
+                (0..b.pow(l as u32))
+                    .map(|i| {
+                        let x = privmdr_util::hash::mix64(seed ^ (l as u64) << 32 ^ i as u64);
+                        (x % 1000) as f64 / 1000.0 - 0.3
+                    })
+                    .collect()
+            })
+            .collect();
+        constrain_hierarchy_1d(&mut levels, b);
+        for l in 0..h {
+            for (i, &parent) in levels[l].iter().enumerate() {
+                let kids: f64 = levels[l + 1][i * b..(i + 1) * b].iter().sum();
+                prop_assert!((parent - kids).abs() < 1e-9);
+            }
+        }
+        // Leaf total equals the root.
+        let leaf_total: f64 = levels[h].iter().sum();
+        prop_assert!((leaf_total - levels[0][0]).abs() < 1e-9);
+    }
+
+    /// CI is a projection: applying it twice equals applying it once.
+    #[test]
+    fn ci_is_idempotent(seed in any::<u64>()) {
+        let b = 3usize;
+        let h = 3usize;
+        let mut levels: Vec<Vec<f64>> = (0..=h)
+            .map(|l| {
+                (0..b.pow(l as u32))
+                    .map(|i| {
+                        let x = privmdr_util::hash::mix64(seed ^ (l as u64) << 16 ^ i as u64);
+                        (x % 997) as f64 / 997.0
+                    })
+                    .collect()
+            })
+            .collect();
+        constrain_hierarchy_1d(&mut levels, b);
+        let once = levels.clone();
+        constrain_hierarchy_1d(&mut levels, b);
+        for (la, lb) in levels.iter().zip(&once) {
+            for (a, b2) in la.iter().zip(lb) {
+                prop_assert!((a - b2).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Padding covers every domain and node geometry tiles exactly.
+    #[test]
+    fn padded_geometry_tiles(b in 2usize..6, c_raw in 1usize..2000) {
+        let padded = Hierarchy1d::padded_domain(b, c_raw);
+        prop_assert!(padded >= c_raw);
+        let hier = Hierarchy1d::new(b, padded).unwrap();
+        for level in 0..=hier.height() {
+            let nodes = hier.nodes_at(level);
+            let (first_lo, _) = hier.node_bounds(level, 0);
+            let (_, last_hi) = hier.node_bounds(level, nodes - 1);
+            prop_assert_eq!(first_lo, 0);
+            prop_assert_eq!(last_hi, padded - 1);
+            prop_assert_eq!(hier.node_width(level) * nodes, padded);
+        }
+    }
+}

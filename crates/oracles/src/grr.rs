@@ -1,0 +1,265 @@
+//! Generalized Randomized Response (paper §2.2, Eq. 1–2).
+//!
+//! A user holding `v ∈ [c]` reports `v` with probability
+//! `p = eᵋ / (eᵋ + c − 1)` and each other value with probability
+//! `p' = 1 / (eᵋ + c − 1)`. The aggregator unbiases the observed counts with
+//! `f̂_v = (count_v/n − p') / (p − p')`.
+
+use crate::{check_domain, check_epsilon, OracleError, SimMode};
+use privmdr_util::sampling::binomial;
+use rand::{Rng, RngExt};
+
+/// A configured GRR mechanism over a fixed categorical domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grr {
+    epsilon: f64,
+    domain: usize,
+    p: f64,
+    p_prime: f64,
+}
+
+impl Grr {
+    /// Creates a GRR mechanism for `domain` values at privacy budget
+    /// `epsilon`.
+    pub fn new(epsilon: f64, domain: usize) -> Result<Self, OracleError> {
+        check_epsilon(epsilon)?;
+        check_domain(domain)?;
+        let e = epsilon.exp();
+        let denom = e + domain as f64 - 1.0;
+        Ok(Grr { epsilon, domain, p: e / denom, p_prime: 1.0 / denom })
+    }
+
+    /// The probability of reporting the true value.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The probability of reporting any specific other value.
+    pub fn p_prime(&self) -> f64 {
+        self.p_prime
+    }
+
+    /// Domain size `c`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Perturbs a single value (the client side of the protocol).
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
+        debug_assert!(value < self.domain);
+        if rng.random::<f64>() < self.p {
+            value
+        } else {
+            // Uniform over the other c-1 values.
+            let mut other = rng.random_range(0..self.domain - 1);
+            if other >= value {
+                other += 1;
+            }
+            other
+        }
+    }
+
+    /// Aggregates perturbed reports into unbiased frequency estimates.
+    pub fn aggregate(&self, reports: &[u32]) -> Vec<f64> {
+        let n = reports.len();
+        let mut counts = vec![0u64; self.domain];
+        for &r in reports {
+            counts[r as usize] += 1;
+        }
+        self.unbias(&counts, n)
+    }
+
+    /// Collects frequency estimates from true `values` in one call,
+    /// dispatching on the simulation mode.
+    pub fn collect<R: Rng + ?Sized>(
+        &self,
+        values: &[u32],
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        match mode {
+            SimMode::Exact => {
+                let reports: Vec<u32> = values
+                    .iter()
+                    .map(|&v| self.perturb(v as usize, rng) as u32)
+                    .collect();
+                self.aggregate(&reports)
+            }
+            SimMode::Fast => {
+                let mut true_counts = vec![0u64; self.domain];
+                for &v in values {
+                    true_counts[v as usize] += 1;
+                }
+                self.collect_fast(&true_counts, rng)
+            }
+        }
+    }
+
+    /// Fast path: samples the observed count of each value directly.
+    ///
+    /// Observed count of `v` = `Binomial(n_v, p) + Binomial(n − n_v, p')`:
+    /// holders of `v` report it w.p. `p`, every other user w.p. `p'`.
+    pub fn collect_fast<R: Rng + ?Sized>(&self, true_counts: &[u64], rng: &mut R) -> Vec<f64> {
+        debug_assert_eq!(true_counts.len(), self.domain);
+        let n: u64 = true_counts.iter().sum();
+        let counts: Vec<u64> = true_counts
+            .iter()
+            .map(|&t| binomial(rng, t, self.p) + binomial(rng, n - t, self.p_prime))
+            .collect();
+        self.unbias(&counts, n as usize)
+    }
+
+    fn unbias(&self, counts: &[u64], n: usize) -> Vec<f64> {
+        let n = n.max(1) as f64;
+        counts
+            .iter()
+            .map(|&cnt| (cnt as f64 / n - self.p_prime) / (self.p - self.p_prime))
+            .collect()
+    }
+
+    /// Estimation variance for one frequency (Eq. 2):
+    /// `Var = (c − 2 + eᵋ) / ((eᵋ − 1)² n)`.
+    pub fn variance(&self, n: usize) -> f64 {
+        let e = self.epsilon.exp();
+        (self.domain as f64 - 2.0 + e) / ((e - 1.0).powi(2) * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::stats::mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Grr::new(0.0, 4).is_err());
+        assert!(Grr::new(-1.0, 4).is_err());
+        assert!(Grr::new(f64::NAN, 4).is_err());
+        assert!(Grr::new(1.0, 1).is_err());
+        assert!(Grr::new(1.0, 2).is_ok());
+    }
+
+    #[test]
+    fn probabilities_satisfy_ldp_ratio() {
+        for eps in [0.1, 0.5, 1.0, 2.0] {
+            for c in [2usize, 8, 64] {
+                let g = Grr::new(eps, c).unwrap();
+                let ratio = g.p() / g.p_prime();
+                assert!(
+                    (ratio - eps.exp()).abs() < 1e-9,
+                    "p/p' must equal e^eps exactly"
+                );
+                // Mass balances: p + (c-1) p' == 1.
+                let total = g.p() + (c as f64 - 1.0) * g.p_prime();
+                assert!((total - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_ldp_ratio_bound() {
+        // Frequency of each output under input v vs input v' stays within
+        // e^eps (the definition of eps-LDP), checked empirically.
+        let eps = 1.0;
+        let c = 8;
+        let g = Grr::new(eps, c).unwrap();
+        let n = 200_000;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hist_a = vec![0f64; c];
+        let mut hist_b = vec![0f64; c];
+        for _ in 0..n {
+            hist_a[g.perturb(0, &mut rng)] += 1.0;
+            hist_b[g.perturb(3, &mut rng)] += 1.0;
+        }
+        for y in 0..c {
+            let (a, b) = (hist_a[y].max(1.0), hist_b[y].max(1.0));
+            let ratio = a / b;
+            assert!(
+                ratio < eps.exp() * 1.15 && ratio > (-eps).exp() / 1.15,
+                "output {y}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_estimates_are_unbiased() {
+        let g = Grr::new(1.0, 8).unwrap();
+        let n = 40_000usize;
+        // True distribution: value 2 has frequency 0.5, value 5 has 0.25,
+        // rest spread over value 0.
+        let mut values = Vec::with_capacity(n);
+        values.extend(std::iter::repeat_n(2u32, n / 2));
+        values.extend(std::iter::repeat_n(5u32, n / 4));
+        values.extend(std::iter::repeat_n(0u32, n - n / 2 - n / 4));
+        let reps = 40;
+        let mut est2 = Vec::new();
+        let mut est5 = Vec::new();
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(100 + r);
+            let f = g.collect(&values, SimMode::Exact, &mut rng);
+            est2.push(f[2]);
+            est5.push(f[5]);
+        }
+        assert!((mean(&est2) - 0.5).abs() < 0.01, "{}", mean(&est2));
+        assert!((mean(&est5) - 0.25).abs() < 0.01, "{}", mean(&est5));
+    }
+
+    #[test]
+    fn fast_matches_exact_in_distribution() {
+        // Same mean and (approximately) the Eq.-2 variance in both modes.
+        let g = Grr::new(1.0, 16).unwrap();
+        let n = 10_000usize;
+        let values: Vec<u32> = (0..n).map(|i| if i < n / 10 { 7 } else { 1 }).collect();
+        let reps = 300;
+        let mut exact = Vec::new();
+        let mut fast = Vec::new();
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(2_000 + r);
+            exact.push(g.collect(&values, SimMode::Exact, &mut rng)[7]);
+            let mut rng = StdRng::seed_from_u64(9_000 + r);
+            fast.push(g.collect(&values, SimMode::Fast, &mut rng)[7]);
+        }
+        let (me, mf) = (mean(&exact), mean(&fast));
+        assert!((me - 0.1).abs() < 0.01, "exact mean {me}");
+        assert!((mf - 0.1).abs() < 0.01, "fast mean {mf}");
+        let ve = privmdr_util::stats::std_dev(&exact).powi(2);
+        let vf = privmdr_util::stats::std_dev(&fast).powi(2);
+        assert!(
+            (ve - vf).abs() < 0.5 * ve.max(vf),
+            "variances diverge: exact {ve} fast {vf}"
+        );
+    }
+
+    #[test]
+    fn variance_formula_matches_empirical() {
+        let g = Grr::new(1.0, 16).unwrap();
+        let n = 20_000usize;
+        // All users hold value 0; measure the estimator variance of a
+        // zero-frequency cell, which Eq. 2 approximates.
+        let values = vec![0u32; n];
+        let reps = 400;
+        let mut ests = Vec::new();
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(31_000 + r);
+            ests.push(g.collect(&values, SimMode::Fast, &mut rng)[9]);
+        }
+        let emp_var = privmdr_util::stats::std_dev(&ests).powi(2);
+        let formula = g.variance(n);
+        assert!(
+            (emp_var - formula).abs() < formula * 0.3,
+            "empirical {emp_var} vs formula {formula}"
+        );
+    }
+
+    #[test]
+    fn estimates_sum_near_one() {
+        let g = Grr::new(1.0, 32).unwrap();
+        let values: Vec<u32> = (0..32_000u32).map(|i| i % 32).collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        let f = g.collect(&values, SimMode::Fast, &mut rng);
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 0.1, "sum {total}");
+    }
+}

@@ -1,0 +1,91 @@
+//! LDP frequency oracles (paper §2.2, §3.5).
+//!
+//! This crate implements the three local-differential-privacy primitives the
+//! paper builds on, plus the user-partitioning principle of §2.3:
+//!
+//! * [`grr`] — Generalized Randomized Response (Eq. 1), the basic categorical
+//!   mechanism; estimation variance per Eq. 2.
+//! * [`olh`] — Optimized Local Hash (Wang et al. 2017), the oracle every grid
+//!   and hierarchy in the paper reports through; variance per Eq. 3.
+//! * [`sw`] — Square Wave (Li et al. 2020) with Expectation–Maximization
+//!   reconstruction, used by the MSW baseline (§3.5).
+//! * [`wheel`] — the Wheel mechanism (Wang et al. 2020), the paper's cited
+//!   same-variance alternative to OLH (§6).
+//! * [`adaptive`] — the GRR-vs-OLH domain-size rule (`c − 2 < 3eᵋ` ⇒ GRR).
+//! * [`partition`] — random division of users into reporting groups.
+//!
+//! # Exact vs. fast simulation
+//!
+//! Each oracle supports two statistically equivalent collection modes
+//! ([`SimMode`]): `Exact` runs the per-user protocol verbatim (perturb each
+//! report, aggregate supports), `Fast` samples the aggregate support counts
+//! directly from their exact sampling distribution (sums of binomials). Fast
+//! mode turns an `O(n_users × domain)` aggregation into `O(domain)` sampling
+//! and is what makes sweeping the paper's full evaluation grid tractable;
+//! the statistical equivalence is asserted by unit tests in this crate.
+
+pub mod adaptive;
+pub mod grr;
+pub mod olh;
+pub mod partition;
+pub mod sw;
+pub mod wheel;
+
+pub use adaptive::{choose_oracle, OracleChoice};
+pub use olh::{Olh, OlhReport, OlhReportSet};
+pub use partition::{partition_users, proportional_sizes};
+pub use wheel::{Wheel, WheelReport};
+
+/// How aggregate frequencies are produced from a user group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Per-user perturbation and aggregation, exactly as the protocol runs.
+    Exact,
+    /// Direct sampling of the aggregate estimate distribution (same mean and
+    /// variance as `Exact`; see the module docs).
+    #[default]
+    Fast,
+}
+
+/// Errors from invalid oracle parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// `epsilon` must be strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// Categorical domains need at least two values.
+    DomainTooSmall(usize),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            OracleError::DomainTooSmall(c) => {
+                write!(f, "domain must have at least 2 values, got {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Validates a privacy budget: strictly positive and finite.
+pub fn validate_epsilon(epsilon: f64) -> Result<(), OracleError> {
+    check_epsilon(epsilon)
+}
+
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<(), OracleError> {
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(OracleError::InvalidEpsilon(epsilon));
+    }
+    Ok(())
+}
+
+pub(crate) fn check_domain(domain: usize) -> Result<(), OracleError> {
+    if domain < 2 {
+        return Err(OracleError::DomainTooSmall(domain));
+    }
+    Ok(())
+}

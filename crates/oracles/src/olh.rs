@@ -1,0 +1,344 @@
+//! Optimized Local Hash (paper §2.2, Eq. 3; Wang et al., USENIX Security'17).
+//!
+//! Each user draws a random hash function `H` from a universal family,
+//! compresses their value `v ∈ [c]` to `H(v) ∈ [c']` with `c' = eᵋ + 1`, and
+//! reports `⟨H, GRR_{c'}(H(v))⟩`. The aggregator counts, for each value `v`,
+//! how many reports *support* it (`H_i(v) = y_i`), then unbiases with the
+//! baseline support probability `1/c'`.
+//!
+//! OLH is the oracle all grid and hierarchy mechanisms in the paper use; its
+//! variance `4eᵋ / ((eᵋ − 1)² n)` is independent of the domain size.
+
+
+#![allow(clippy::needless_range_loop)]
+use crate::{check_domain, check_epsilon, OracleError, SimMode};
+use privmdr_util::hash::SeededHash;
+use privmdr_util::sampling::binomial;
+use rand::{Rng, RngExt};
+
+/// One OLH report: the user's hash seed plus the perturbed hashed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OlhReport {
+    /// Seed identifying the user's hash function.
+    pub seed: u64,
+    /// `GRR_{c'}(H(v))` — the randomized hashed value.
+    pub y: u32,
+}
+
+/// A configured OLH mechanism over a fixed categorical domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Olh {
+    epsilon: f64,
+    domain: usize,
+    /// Hashed domain size `c' = round(eᵋ) + 1`, at least 2.
+    c_prime: usize,
+    /// GRR keep-probability over the hashed domain.
+    p: f64,
+    /// Support probability for a non-held value: `1/c'`.
+    q: f64,
+}
+
+impl Olh {
+    /// Creates an OLH mechanism for `domain` values at privacy budget
+    /// `epsilon`. The hashed domain is the variance-optimal `c' = eᵋ + 1`
+    /// rounded to the nearest integer (min 2).
+    pub fn new(epsilon: f64, domain: usize) -> Result<Self, OracleError> {
+        check_epsilon(epsilon)?;
+        check_domain(domain)?;
+        let e = epsilon.exp();
+        let c_prime = ((e + 1.0).round() as usize).max(2);
+        let p = e / (e + c_prime as f64 - 1.0);
+        let q = 1.0 / c_prime as f64;
+        Ok(Olh { epsilon, domain, c_prime, p, q })
+    }
+
+    /// Hashed domain size `c'`.
+    pub fn c_prime(&self) -> usize {
+        self.c_prime
+    }
+
+    /// GRR keep-probability on the hashed domain.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Baseline support probability `1/c'`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Input domain size `c`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Client side: perturbs one value into an [`OlhReport`].
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> OlhReport {
+        debug_assert!(value < self.domain);
+        let seed: u64 = rng.random();
+        let h = SeededHash::new(seed, self.c_prime);
+        let hashed = h.hash(value);
+        // GRR over the hashed domain [c'].
+        let y = if rng.random::<f64>() < self.p {
+            hashed
+        } else {
+            let mut other = rng.random_range(0..self.c_prime - 1);
+            if other >= hashed {
+                other += 1;
+            }
+            other
+        };
+        OlhReport { seed, y: y as u32 }
+    }
+
+    /// Aggregator side: unbiased frequency estimates for all `c` values.
+    pub fn aggregate(&self, reports: &[OlhReport]) -> Vec<f64> {
+        let mut supports = vec![0u64; self.domain];
+        for r in reports {
+            let h = SeededHash::new(r.seed, self.c_prime);
+            for (v, s) in supports.iter_mut().enumerate() {
+                if h.hash(v) == r.y as usize {
+                    *s += 1;
+                }
+            }
+        }
+        self.unbias(&supports, reports.len())
+    }
+
+    /// Collects frequency estimates from true `values` in one call,
+    /// dispatching on the simulation mode.
+    pub fn collect<R: Rng + ?Sized>(
+        &self,
+        values: &[u32],
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        match mode {
+            SimMode::Exact => {
+                let reports: Vec<OlhReport> =
+                    values.iter().map(|&v| self.perturb(v as usize, rng)).collect();
+                self.aggregate(&reports)
+            }
+            SimMode::Fast => {
+                let mut true_counts = vec![0u64; self.domain];
+                for &v in values {
+                    true_counts[v as usize] += 1;
+                }
+                self.collect_fast(&true_counts, rng)
+            }
+        }
+    }
+
+    /// Fast path: samples the support count of each value directly.
+    ///
+    /// A holder of `v` supports `v` with probability `p`; any other user
+    /// supports `v` with probability exactly `1/c'` (hash collision folded
+    /// with GRR randomness), so
+    /// `support_v ~ Binomial(n_v, p) + Binomial(n − n_v, 1/c')`.
+    pub fn collect_fast<R: Rng + ?Sized>(&self, true_counts: &[u64], rng: &mut R) -> Vec<f64> {
+        debug_assert_eq!(true_counts.len(), self.domain);
+        let n: u64 = true_counts.iter().sum();
+        let supports: Vec<u64> = true_counts
+            .iter()
+            .map(|&t| binomial(rng, t, self.p) + binomial(rng, n - t, self.q))
+            .collect();
+        self.unbias(&supports, n as usize)
+    }
+
+    fn unbias(&self, supports: &[u64], n: usize) -> Vec<f64> {
+        let n = n.max(1) as f64;
+        supports
+            .iter()
+            .map(|&s| (s as f64 / n - self.q) / (self.p - self.q))
+            .collect()
+    }
+
+    /// Unbiases a raw support count obtained externally (used by the lazy
+    /// [`OlhReportSet`] estimator).
+    fn unbias_one(&self, support: u64, n: usize) -> f64 {
+        (support as f64 / n.max(1) as f64 - self.q) / (self.p - self.q)
+    }
+
+    /// Estimation variance for one frequency (Eq. 3 with the rounded `c'`):
+    /// `Var = q(1 − q) / ((p − q)² n)`; equals `4eᵋ/((eᵋ−1)² n)` when
+    /// `c' = eᵋ + 1` exactly.
+    pub fn variance(&self, n: usize) -> f64 {
+        self.q * (1.0 - self.q) / ((self.p - self.q).powi(2) * n as f64)
+    }
+}
+
+/// Retained OLH reports supporting lazy, on-demand frequency estimation.
+///
+/// HIO's d-dimensional levels are far too large to materialize all interval
+/// frequencies, so the aggregator keeps each group's raw reports and
+/// estimates only the intervals a query touches.
+#[derive(Debug, Clone)]
+pub struct OlhReportSet {
+    olh: Olh,
+    reports: Vec<OlhReport>,
+}
+
+impl OlhReportSet {
+    /// Collects exact per-user reports for `values` under `olh`.
+    ///
+    /// Values are `u64` because HIO's d-dimensional levels index interval
+    /// combinations whose count exceeds `u32` for large `d`.
+    pub fn collect<R: Rng + ?Sized>(olh: Olh, values: &[u64], rng: &mut R) -> Self {
+        let reports = values.iter().map(|&v| olh.perturb(v as usize, rng)).collect();
+        OlhReportSet { olh, reports }
+    }
+
+    /// Number of retained reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Unbiased frequency estimate of a single value, scanning the group.
+    pub fn estimate(&self, value: usize) -> f64 {
+        debug_assert!(value < self.olh.domain());
+        let support = self
+            .reports
+            .iter()
+            .filter(|r| {
+                SeededHash::new(r.seed, self.olh.c_prime()).hash(value) == r.y as usize
+            })
+            .count() as u64;
+        self.olh.unbias_one(support, self.reports.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::stats::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Olh::new(0.0, 64).is_err());
+        assert!(Olh::new(1.0, 0).is_err());
+        assert!(Olh::new(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn c_prime_is_variance_optimal() {
+        // c' = round(e^eps + 1), min 2.
+        assert_eq!(Olh::new(1.0, 64).unwrap().c_prime(), 4); // e+1 = 3.72
+        assert_eq!(Olh::new(2.0, 64).unwrap().c_prime(), 8); // e^2+1 = 8.39
+        assert_eq!(Olh::new(0.1, 64).unwrap().c_prime(), 2);
+    }
+
+    #[test]
+    fn exact_estimates_are_unbiased() {
+        let olh = Olh::new(1.0, 32).unwrap();
+        let n = 8_000usize;
+        let mut values = Vec::with_capacity(n);
+        values.extend(std::iter::repeat_n(4u32, n / 2));
+        values.extend(std::iter::repeat_n(20u32, n / 2));
+        let reps = 40;
+        let (mut e4, mut e20, mut e9) = (Vec::new(), Vec::new(), Vec::new());
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(500 + r);
+            let f = olh.collect(&values, SimMode::Exact, &mut rng);
+            e4.push(f[4]);
+            e20.push(f[20]);
+            e9.push(f[9]);
+        }
+        assert!((mean(&e4) - 0.5).abs() < 0.02, "{}", mean(&e4));
+        assert!((mean(&e20) - 0.5).abs() < 0.02, "{}", mean(&e20));
+        assert!(mean(&e9).abs() < 0.02, "{}", mean(&e9));
+    }
+
+    #[test]
+    fn fast_matches_exact_in_distribution() {
+        let olh = Olh::new(1.0, 16).unwrap();
+        let n = 5_000usize;
+        let values: Vec<u32> = (0..n).map(|i| if i < n / 5 { 3 } else { 12 }).collect();
+        let reps = 250;
+        let (mut exact, mut fast) = (Vec::new(), Vec::new());
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(3_000 + r);
+            exact.push(olh.collect(&values, SimMode::Exact, &mut rng)[3]);
+            let mut rng = StdRng::seed_from_u64(8_000 + r);
+            fast.push(olh.collect(&values, SimMode::Fast, &mut rng)[3]);
+        }
+        assert!((mean(&exact) - 0.2).abs() < 0.015, "exact {}", mean(&exact));
+        assert!((mean(&fast) - 0.2).abs() < 0.015, "fast {}", mean(&fast));
+        let (ve, vf) = (std_dev(&exact).powi(2), std_dev(&fast).powi(2));
+        assert!(
+            (ve - vf).abs() < 0.5 * ve.max(vf),
+            "variances diverge: exact {ve} fast {vf}"
+        );
+    }
+
+    #[test]
+    fn variance_formula_matches_empirical_and_eq3() {
+        let olh = Olh::new(1.0, 64).unwrap();
+        let n = 10_000usize;
+        let values = vec![0u32; n];
+        let reps = 500;
+        let mut ests = Vec::new();
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(21_000 + r);
+            ests.push(olh.collect(&values, SimMode::Fast, &mut rng)[40]);
+        }
+        let emp = std_dev(&ests).powi(2);
+        let formula = olh.variance(n);
+        assert!((emp - formula).abs() < formula * 0.3, "emp {emp} formula {formula}");
+        // Eq. 3 approximation with the ideal (unrounded) c'.
+        let e = 1f64.exp();
+        let eq3 = 4.0 * e / ((e - 1.0).powi(2) * n as f64);
+        assert!((formula - eq3).abs() < eq3 * 0.15, "formula {formula} eq3 {eq3}");
+    }
+
+    #[test]
+    fn variance_beats_grr_for_large_domains() {
+        // The whole point of OLH: for c >> e^eps its variance is smaller.
+        let n = 1000;
+        let eps = 1.0;
+        let olh = Olh::new(eps, 1024).unwrap();
+        let grr = crate::grr::Grr::new(eps, 1024).unwrap();
+        assert!(olh.variance(n) < grr.variance(n) / 10.0);
+    }
+
+    #[test]
+    fn report_set_lazy_estimates_match_aggregate() {
+        let olh = Olh::new(1.0, 16).unwrap();
+        let values: Vec<u64> = (0..4_000u64).map(|i| i % 16).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = OlhReportSet::collect(olh, &values, &mut rng);
+        assert_eq!(set.len(), 4_000);
+        // Lazy estimate equals the batch aggregate for every value.
+        let reports: Vec<OlhReport> = set.reports.clone();
+        let batch = olh.aggregate(&reports);
+        for v in 0..16 {
+            assert!((set.estimate(v) - batch[v]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturb_satisfies_ldp_on_hashed_output() {
+        // The randomized mapping (given a fixed hash seed distribution) keeps
+        // p/p'_grr = e^eps on the hashed domain.
+        let olh = Olh::new(1.0, 64).unwrap();
+        let p_grr_other = (1.0 - olh.p()) / (olh.c_prime() as f64 - 1.0);
+        let ratio = olh.p() / p_grr_other;
+        assert!((ratio - 1f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_sum_near_one() {
+        let olh = Olh::new(1.0, 64).unwrap();
+        let values: Vec<u32> = (0..64_000u32).map(|i| i % 64).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = olh.collect(&values, SimMode::Fast, &mut rng);
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 0.15, "sum {total}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The principle of dividing users (paper §2.3).
+//!
+//! In the local setting, collecting `m` pieces of information is best done by
+//! randomly splitting the population into `m` groups (an `m×` variance
+//! factor) rather than splitting the privacy budget (an `m²` factor). Every
+//! mechanism in this workspace partitions users through this module so the
+//! random assignment is uniform and reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `n` into `weights.len()` integer sizes proportional to `weights`,
+/// summing exactly to `n` (largest-remainder rounding).
+pub fn proportional_sizes(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one group");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut sizes = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = n as f64 * w.max(0.0) / total;
+        let floor = exact.floor() as usize;
+        sizes.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Hand out the leftover units to the largest remainders.
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for k in 0..(n - assigned) {
+        sizes[remainders[k % remainders.len()].0] += 1;
+    }
+    sizes
+}
+
+/// Randomly partitions user indices `0..n` into groups of the given sizes.
+///
+/// Panics if `sizes` does not sum to `n`. Returns one index vector per group;
+/// the assignment is a uniform random partition.
+pub fn partition_users<R: Rng + ?Sized>(
+    n: usize,
+    sizes: &[usize],
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    assert_eq!(sizes.iter().sum::<usize>(), n, "group sizes must sum to n");
+    assert!(n <= u32::MAX as usize, "user indices are stored as u32");
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut start = 0usize;
+    for &s in sizes {
+        out.push(ids[start..start + s].to_vec());
+        start += s;
+    }
+    out
+}
+
+/// Convenience: `m` equal-population groups (the paper's default split).
+pub fn partition_equal<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<Vec<u32>> {
+    partition_users(n, &proportional_sizes(n, &vec![1.0; m]), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proportional_sizes_sum_exactly() {
+        for n in [0usize, 1, 7, 100, 1_000_003] {
+            for weights in [vec![1.0; 3], vec![1.0, 2.0, 3.0], vec![0.3, 0.7]] {
+                let sizes = proportional_sizes(n, &weights);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_sizes_are_proportional() {
+        let sizes = proportional_sizes(1000, &[1.0, 3.0]);
+        assert_eq!(sizes, vec![250, 750]);
+        let sizes = proportional_sizes(21, &[6.0, 15.0]);
+        assert_eq!(sizes, vec![6, 15]);
+    }
+
+    #[test]
+    fn partition_covers_all_users_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups = partition_equal(1003, 7, &mut rng);
+        assert_eq!(groups.len(), 7);
+        let mut seen = vec![false; 1003];
+        for g in &groups {
+            for &u in g {
+                assert!(!seen[u as usize], "user {u} appears twice");
+                seen[u as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Group sizes differ by at most 1.
+        let (min, max) = groups
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), g| (lo.min(g.len()), hi.max(g.len())));
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn partition_is_random_but_seeded() {
+        let a = partition_equal(100, 4, &mut StdRng::seed_from_u64(5));
+        let b = partition_equal(100, 4, &mut StdRng::seed_from_u64(5));
+        let c = partition_equal(100, 4, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to n")]
+    fn partition_rejects_bad_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = partition_users(10, &[3, 3], &mut rng);
+    }
+}

@@ -1,0 +1,276 @@
+//! The Wheel mechanism (Wang et al., PVLDB'20; paper §6).
+//!
+//! The paper's related work singles out the wheel mechanism as a newer
+//! frequency oracle "which has a same variance as OLH". It maps values onto
+//! the unit circle with a per-user hash: the report is a point drawn with
+//! density `p` on the arc of length `b` starting at the user's value-point
+//! and density `q` elsewhere (`p/q = eᵋ`). Support counting mirrors OLH:
+//! a report supports value `u` when it lands inside `u`'s arc.
+//!
+//! With the variance-optimal arc length `b = 1/(eᵋ + 1)`, the estimation
+//! variance equals OLH's `4eᵋ/((eᵋ−1)² n)` — verified by this module's
+//! tests — while perturbation avoids GRR's categorical sampling entirely.
+
+use crate::{check_domain, check_epsilon, OracleError, SimMode};
+use privmdr_util::hash::mix64;
+use privmdr_util::sampling::binomial;
+use rand::{Rng, RngExt};
+
+/// One Wheel report: the user's hash seed plus a point on the unit circle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WheelReport {
+    /// Seed identifying the user's value-to-circle mapping.
+    pub seed: u64,
+    /// The reported point in `[0, 1)`.
+    pub y: f64,
+}
+
+/// A configured Wheel mechanism over a fixed categorical domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wheel {
+    epsilon: f64,
+    domain: usize,
+    /// Arc length `b = 1/(eᵋ + 1)` (variance-optimal for one item).
+    b: f64,
+    /// In-arc density `p = eᵋ / (b·eᵋ + 1 − b)`.
+    p: f64,
+    /// Out-of-arc density `q = 1 / (b·eᵋ + 1 − b)`.
+    q: f64,
+}
+
+impl Wheel {
+    /// Creates a Wheel mechanism for `domain` values at budget `epsilon`.
+    pub fn new(epsilon: f64, domain: usize) -> Result<Self, OracleError> {
+        check_epsilon(epsilon)?;
+        check_domain(domain)?;
+        let e = epsilon.exp();
+        let b = 1.0 / (e + 1.0);
+        let denom = b * e + 1.0 - b;
+        Ok(Wheel { epsilon, domain, b, p: e / denom, q: 1.0 / denom })
+    }
+
+    /// Arc length `b`.
+    pub fn arc(&self) -> f64 {
+        self.b
+    }
+
+    /// In-arc density `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Out-of-arc density `q`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Input domain size.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// The circle position of `value` under `seed`'s mapping.
+    #[inline]
+    fn position(&self, seed: u64, value: usize) -> f64 {
+        // 53-bit uniform in [0, 1) from the mixed hash.
+        (mix64(seed ^ (value as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11) as f64
+            / (1u64 << 53) as f64
+    }
+
+    /// Client side: perturbs one value into a [`WheelReport`].
+    pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> WheelReport {
+        debug_assert!(value < self.domain);
+        let seed: u64 = rng.random();
+        let omega = self.position(seed, value);
+        let in_arc_mass = self.b * self.p;
+        let u: f64 = rng.random();
+        let y = if u < in_arc_mass {
+            // Uniform over the arc [omega, omega + b).
+            omega + self.b * (u / in_arc_mass)
+        } else {
+            // Uniform over the complement arc of length 1 - b.
+            let t = (u - in_arc_mass) / ((1.0 - self.b) * self.q) * (1.0 - self.b);
+            omega + self.b + t
+        };
+        WheelReport { seed, y: y.fract() }
+    }
+
+    /// Whether a report supports `value` (its point lies in the value's arc).
+    #[inline]
+    fn supports(&self, report: &WheelReport, value: usize) -> bool {
+        let omega = self.position(report.seed, value);
+        let dist = report.y - omega;
+        let dist = if dist < 0.0 { dist + 1.0 } else { dist };
+        dist < self.b
+    }
+
+    /// Aggregator side: unbiased frequency estimates for all values.
+    ///
+    /// A non-holder's value-point is uniform on the circle, so its support
+    /// probability is exactly `b`; a holder supports with probability `b·p`.
+    pub fn aggregate(&self, reports: &[WheelReport]) -> Vec<f64> {
+        let mut supports = vec![0u64; self.domain];
+        for r in reports {
+            for (v, s) in supports.iter_mut().enumerate() {
+                if self.supports(r, v) {
+                    *s += 1;
+                }
+            }
+        }
+        self.unbias(&supports, reports.len())
+    }
+
+    /// Collects frequency estimates from true `values`, dispatching on the
+    /// simulation mode.
+    pub fn collect<R: Rng + ?Sized>(
+        &self,
+        values: &[u32],
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        match mode {
+            SimMode::Exact => {
+                let reports: Vec<WheelReport> =
+                    values.iter().map(|&v| self.perturb(v as usize, rng)).collect();
+                self.aggregate(&reports)
+            }
+            SimMode::Fast => {
+                let mut true_counts = vec![0u64; self.domain];
+                for &v in values {
+                    true_counts[v as usize] += 1;
+                }
+                let n: u64 = true_counts.iter().sum();
+                let supports: Vec<u64> = true_counts
+                    .iter()
+                    .map(|&t| {
+                        binomial(rng, t, self.b * self.p) + binomial(rng, n - t, self.b)
+                    })
+                    .collect();
+                self.unbias(&supports, n as usize)
+            }
+        }
+    }
+
+    fn unbias(&self, supports: &[u64], n: usize) -> Vec<f64> {
+        let n = n.max(1) as f64;
+        let p_eff = self.b * self.p;
+        let q_eff = self.b;
+        supports
+            .iter()
+            .map(|&s| (s as f64 / n - q_eff) / (p_eff - q_eff))
+            .collect()
+    }
+
+    /// Single-frequency estimation variance
+    /// `q_eff(1 − q_eff) / ((p_eff − q_eff)² n)` with `q_eff = b`,
+    /// `p_eff = b·p`; equals OLH's Eq.-3 variance at the optimal `b`.
+    pub fn variance(&self, n: usize) -> f64 {
+        let p_eff = self.b * self.p;
+        let q_eff = self.b;
+        q_eff * (1.0 - q_eff) / ((p_eff - q_eff).powi(2) * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olh::Olh;
+    use privmdr_util::stats::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Wheel::new(0.0, 16).is_err());
+        assert!(Wheel::new(1.0, 1).is_err());
+        assert!(Wheel::new(1.0, 16).is_ok());
+    }
+
+    #[test]
+    fn densities_satisfy_ldp_and_normalize() {
+        for eps in [0.2, 1.0, 3.0] {
+            let w = Wheel::new(eps, 64).unwrap();
+            assert!((w.p() / w.q() - eps.exp()).abs() < 1e-9);
+            let total = w.arc() * w.p() + (1.0 - w.arc()) * w.q();
+            assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        }
+    }
+
+    #[test]
+    fn reports_live_on_the_circle() {
+        let w = Wheel::new(1.0, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..5_000 {
+            let r = w.perturb(i % 32, &mut rng);
+            assert!((0.0..1.0).contains(&r.y), "y = {}", r.y);
+        }
+    }
+
+    #[test]
+    fn holder_support_rate_is_bp_nonholder_is_b() {
+        let w = Wheel::new(1.0, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 60_000;
+        let (mut own, mut other) = (0u64, 0u64);
+        for _ in 0..n {
+            let r = w.perturb(3, &mut rng);
+            own += u64::from(w.supports(&r, 3));
+            other += u64::from(w.supports(&r, 11));
+        }
+        let own_rate = own as f64 / n as f64;
+        let other_rate = other as f64 / n as f64;
+        assert!((own_rate - w.arc() * w.p()).abs() < 0.01, "own {own_rate}");
+        assert!((other_rate - w.arc()).abs() < 0.01, "other {other_rate}");
+    }
+
+    #[test]
+    fn estimates_are_unbiased() {
+        let w = Wheel::new(1.0, 16).unwrap();
+        let n = 8_000usize;
+        let values: Vec<u32> = (0..n).map(|i| if i < n / 4 { 2 } else { 9 }).collect();
+        let reps = 40;
+        let (mut e2, mut e9, mut e5) = (Vec::new(), Vec::new(), Vec::new());
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(100 + r);
+            let f = w.collect(&values, SimMode::Exact, &mut rng);
+            e2.push(f[2]);
+            e9.push(f[9]);
+            e5.push(f[5]);
+        }
+        assert!((mean(&e2) - 0.25).abs() < 0.02, "{}", mean(&e2));
+        assert!((mean(&e9) - 0.75).abs() < 0.02, "{}", mean(&e9));
+        assert!(mean(&e5).abs() < 0.02, "{}", mean(&e5));
+    }
+
+    #[test]
+    fn variance_matches_olh_as_the_paper_claims() {
+        // §6: the wheel mechanism "has a same variance as OLH".
+        let n = 10_000;
+        for eps in [0.5, 1.0, 2.0] {
+            let wheel_var = Wheel::new(eps, 64).unwrap().variance(n);
+            let olh_var = Olh::new(eps, 64).unwrap().variance(n);
+            assert!(
+                (wheel_var - olh_var).abs() < olh_var * 0.15,
+                "eps {eps}: wheel {wheel_var} vs olh {olh_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matches_exact_in_distribution() {
+        let w = Wheel::new(1.0, 16).unwrap();
+        let n = 5_000usize;
+        let values: Vec<u32> = (0..n).map(|i| (i % 16) as u32).collect();
+        let reps = 200;
+        let (mut exact, mut fast) = (Vec::new(), Vec::new());
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(5_000 + r);
+            exact.push(w.collect(&values, SimMode::Exact, &mut rng)[7]);
+            let mut rng = StdRng::seed_from_u64(9_500 + r);
+            fast.push(w.collect(&values, SimMode::Fast, &mut rng)[7]);
+        }
+        assert!((mean(&exact) - mean(&fast)).abs() < 0.02);
+        let (ve, vf) = (std_dev(&exact).powi(2), std_dev(&fast).powi(2));
+        assert!((ve - vf).abs() < 0.6 * ve.max(vf), "exact {ve} fast {vf}");
+    }
+}

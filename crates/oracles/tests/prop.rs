@@ -1,0 +1,110 @@
+//! Property tests for the frequency oracles.
+
+use privmdr_oracles::grr::Grr;
+use privmdr_oracles::olh::Olh;
+use privmdr_oracles::partition::{partition_users, proportional_sizes};
+use privmdr_oracles::sw::SquareWave;
+use privmdr_oracles::SimMode;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// GRR perturbation always outputs a domain value, and its probability
+    /// parameters satisfy the ε-LDP ratio exactly.
+    #[test]
+    fn grr_output_in_domain(
+        eps in 0.1f64..4.0,
+        domain in 2usize..256,
+        v_raw in 0usize..1024,
+        seed in any::<u64>(),
+    ) {
+        let grr = Grr::new(eps, domain).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = grr.perturb(v_raw % domain, &mut rng);
+        prop_assert!(y < domain);
+        prop_assert!((grr.p() / grr.p_prime() - eps.exp()).abs() < 1e-9);
+    }
+
+    /// OLH reports use the optimal hashed domain and in-domain outputs.
+    #[test]
+    fn olh_report_valid(
+        eps in 0.1f64..4.0,
+        domain in 2usize..256,
+        v_raw in 0usize..1024,
+        seed in any::<u64>(),
+    ) {
+        let olh = Olh::new(eps, domain).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = olh.perturb(v_raw % domain, &mut rng);
+        prop_assert!((r.y as usize) < olh.c_prime());
+        prop_assert_eq!(olh.c_prime(), ((eps.exp() + 1.0).round() as usize).max(2));
+    }
+
+    /// Fast collection returns one finite estimate per domain value, with
+    /// total near the true total 1 (unbiasedness in aggregate).
+    #[test]
+    fn fast_collect_shape(
+        eps in 0.3f64..3.0,
+        domain in 2usize..64,
+        seed in any::<u64>(),
+    ) {
+        let olh = Olh::new(eps, domain).unwrap();
+        let values: Vec<u32> = (0..3000u32).map(|i| i % domain as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = olh.collect(&values, SimMode::Fast, &mut rng);
+        prop_assert_eq!(f.len(), domain);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    /// SW's densities are a valid conditional distribution and the LDP
+    /// ratio holds for every budget.
+    #[test]
+    fn sw_parameters_valid(eps in 0.1f64..4.0, bins in 2usize..512) {
+        let sw = SquareWave::new(eps, bins).unwrap();
+        prop_assert!(sw.delta() > 0.0);
+        prop_assert!((sw.p() / sw.q() - eps.exp()).abs() < 1e-6);
+        let total = 2.0 * sw.delta() * sw.p() + sw.q();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// SW perturbation stays inside the padded output interval.
+    #[test]
+    fn sw_output_in_range(
+        eps in 0.2f64..3.0,
+        v in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let sw = SquareWave::new(eps, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = sw.perturb(v, &mut rng);
+        prop_assert!(y >= -sw.delta() - 1e-9 && y <= 1.0 + sw.delta() + 1e-9);
+    }
+
+    /// Proportional sizes always partition n exactly.
+    #[test]
+    fn sizes_partition_exactly(
+        n in 0usize..100_000,
+        weights in prop::collection::vec(0.01f64..10.0, 1..40),
+    ) {
+        let sizes = proportional_sizes(n, &weights);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(sizes.len(), weights.len());
+    }
+
+    /// Random partitions are exact partitions of the user set.
+    #[test]
+    fn partition_is_partition(n in 1usize..2000, m in 1usize..20, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sizes = proportional_sizes(n, &vec![1.0; m]);
+        let groups = partition_users(n, &sizes, &mut rng);
+        let mut seen = vec![false; n];
+        for g in &groups {
+            for &u in g {
+                prop_assert!(!seen[u as usize]);
+                seen[u as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+}

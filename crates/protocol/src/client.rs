@@ -1,0 +1,133 @@
+//! The device side of the protocol.
+//!
+//! A client knows the public [`SessionPlan`] and its own record. It
+//! produces exactly one randomized report — the only thing that ever
+//! leaves the device — satisfying ε-LDP regardless of what the server does
+//! with it.
+
+use crate::plan::{GroupTarget, SessionPlan};
+use crate::wire::Report;
+use crate::ProtocolError;
+use privmdr_oracles::olh::Olh;
+use rand::Rng;
+
+/// One participating user.
+#[derive(Debug, Clone)]
+pub struct Client<'p> {
+    plan: &'p SessionPlan,
+    uid: u64,
+    group: u32,
+    olh: Olh,
+}
+
+impl<'p> Client<'p> {
+    /// Creates the client for user `uid`; its report group follows the
+    /// plan's public assignment.
+    pub fn new(plan: &'p SessionPlan, uid: u64) -> Result<Self, ProtocolError> {
+        let group = plan.group_of(uid);
+        let domain = plan.group_domain(group)?;
+        let olh = Olh::new(plan.epsilon, domain)
+            .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
+        Ok(Client { plan, uid, group, olh })
+    }
+
+    /// The user id.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The assigned report group.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    /// The grid cell this client's record falls in (the oracle input).
+    pub fn cell_of(&self, record: &[u16]) -> Result<usize, ProtocolError> {
+        if record.len() != self.plan.d {
+            return Err(ProtocolError::BadPlan(format!(
+                "record has {} attributes, plan expects {}",
+                record.len(),
+                self.plan.d
+            )));
+        }
+        if record.iter().any(|&v| v as usize >= self.plan.c) {
+            return Err(ProtocolError::BadPlan("record value outside domain".into()));
+        }
+        let g = &self.plan.granularities;
+        Ok(match self.plan.groups[self.group as usize] {
+            GroupTarget::OneD { attr } => {
+                let width = self.plan.c / g.g1;
+                record[attr] as usize / width
+            }
+            GroupTarget::TwoD { j, k } => {
+                let width = self.plan.c / g.g2;
+                (record[j] as usize / width) * g.g2 + record[k] as usize / width
+            }
+        })
+    }
+
+    /// Produces the client's single randomized report.
+    pub fn report<R: Rng + ?Sized>(
+        &self,
+        record: &[u16],
+        rng: &mut R,
+    ) -> Result<Report, ProtocolError> {
+        let cell = self.cell_of(record)?;
+        let olh_report = self.olh.perturb(cell, rng);
+        Ok(Report { group: self.group, seed: olh_report.seed, y: olh_report.y })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_util::rng::derive_rng;
+
+    fn plan() -> SessionPlan {
+        SessionPlan::new(10_000, 3, 16, 1.0, 5).unwrap()
+    }
+
+    #[test]
+    fn cell_mapping_matches_geometry() {
+        let plan = plan();
+        // Find a client in a 1-D group and one in a 2-D group.
+        let mut one_d = None;
+        let mut two_d = None;
+        for uid in 0..200 {
+            let c = Client::new(&plan, uid).unwrap();
+            match plan.groups[c.group() as usize] {
+                GroupTarget::OneD { attr: 0 } if one_d.is_none() => one_d = Some(c),
+                GroupTarget::TwoD { j: 0, k: 1 } if two_d.is_none() => two_d = Some(c),
+                _ => {}
+            }
+        }
+        let (one_d, two_d) = (one_d.unwrap(), two_d.unwrap());
+        let g = plan.granularities;
+        let record = [5u16, 14, 3];
+        let w1 = 16 / g.g1;
+        assert_eq!(one_d.cell_of(&record).unwrap(), 5 / w1);
+        let w2 = 16 / g.g2;
+        assert_eq!(two_d.cell_of(&record).unwrap(), (5 / w2) * g.g2 + 14 / w2);
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let plan = plan();
+        let client = Client::new(&plan, 1).unwrap();
+        assert!(client.cell_of(&[1, 2]).is_err()); // wrong arity
+        assert!(client.cell_of(&[1, 2, 16]).is_err()); // out of domain
+    }
+
+    #[test]
+    fn report_carries_group_and_valid_y() {
+        let plan = plan();
+        let mut rng = derive_rng(1, &[0]);
+        for uid in 0..50 {
+            let client = Client::new(&plan, uid).unwrap();
+            let r = client.report(&[3, 7, 12], &mut rng).unwrap();
+            assert_eq!(r.group, client.group());
+            // y must be inside the OLH hashed domain c' (small).
+            assert!((r.y as usize) < 16, "y = {}", r.y);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Client/server deployment protocol for HDG.
+//!
+//! The paper describes a protocol between `n` users and an untrusted
+//! aggregator: the aggregator publishes the collection plan (grid
+//! geometry + group assignment), each user's device produces exactly one
+//! randomized report, and the aggregator reconstructs the grids from the
+//! report stream. This crate makes that concrete:
+//!
+//! * [`plan`] — the public [`plan::SessionPlan`]: everything a client needs
+//!   (ε, granularities, its group's target grid). Contains no private data.
+//! * [`client`] — the device side: record in, one wire report out.
+//! * [`wire`] — a compact binary encoding of reports (17 bytes each) with
+//!   length-free fixed framing, built on `bytes` (justification for the
+//!   dependency: zero-copy buffer management for the report stream).
+//! * [`server`] — streaming ingestion: per-group OLH support accumulators
+//!   that never buffer raw reports, and a finalizer producing a fitted
+//!   `privmdr-core` HDG model.
+//!
+//! The end-to-end path is equivalent to `Hdg::fit` in `SimMode::Exact`
+//! (tests verify the accuracy statistically); the difference is that here
+//! the pieces are separated across a wire boundary the way a real
+//! deployment would be.
+
+pub mod client;
+pub mod plan;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use plan::{GroupTarget, SessionPlan};
+pub use server::Collector;
+pub use wire::Report;
+
+/// Errors from protocol handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The wire buffer is truncated or malformed.
+    Malformed(&'static str),
+    /// A report referenced a group outside the plan.
+    UnknownGroup(u32),
+    /// Plan parameters are invalid.
+    BadPlan(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Malformed(what) => write!(f, "malformed report: {what}"),
+            ProtocolError::UnknownGroup(g) => write!(f, "report for unknown group {g}"),
+            ProtocolError::BadPlan(msg) => write!(f, "invalid session plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,0 +1,152 @@
+//! The public session plan the aggregator publishes.
+//!
+//! A plan is derived from *public* parameters only (n, d, c, ε and the
+//! granularity guideline); publishing it leaks nothing about records
+//! (paper §4.6's discussion of guideline privacy).
+
+use crate::ProtocolError;
+use privmdr_grid::guideline::{choose_granularities, default_sigma, Granularities};
+use privmdr_grid::pairs::pair_list;
+use privmdr_util::hash::mix64;
+
+/// What one report group measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupTarget {
+    /// 1-D grid over a single attribute (g1 cells).
+    OneD {
+        /// The attribute.
+        attr: usize,
+    },
+    /// 2-D grid over an ordered attribute pair (g2 × g2 cells).
+    TwoD {
+        /// First attribute (smaller index).
+        j: usize,
+        /// Second attribute.
+        k: usize,
+    },
+}
+
+/// The public collection plan for one HDG session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionPlan {
+    /// Number of participating users.
+    pub n: usize,
+    /// Number of attributes.
+    pub d: usize,
+    /// Attribute domain size (power of two).
+    pub c: usize,
+    /// Privacy budget per user.
+    pub epsilon: f64,
+    /// Chosen granularities.
+    pub granularities: Granularities,
+    /// Group targets: the `d` 1-D grids then the `(d choose 2)` 2-D grids.
+    pub groups: Vec<GroupTarget>,
+    /// Seed for the public user→group assignment.
+    pub assignment_seed: u64,
+}
+
+impl SessionPlan {
+    /// Builds a plan from public parameters using the paper's guideline.
+    pub fn new(
+        n: usize,
+        d: usize,
+        c: usize,
+        epsilon: f64,
+        assignment_seed: u64,
+    ) -> Result<Self, ProtocolError> {
+        if d < 2 {
+            return Err(ProtocolError::BadPlan("need at least 2 attributes".into()));
+        }
+        if !privmdr_util::is_pow2(c) || c < 2 {
+            return Err(ProtocolError::BadPlan(format!(
+                "domain {c} must be a power of two >= 2"
+            )));
+        }
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(ProtocolError::BadPlan(format!("bad epsilon {epsilon}")));
+        }
+        let granularities = choose_granularities(n, d, epsilon, c, &Default::default());
+        let mut groups: Vec<GroupTarget> =
+            (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
+        groups.extend(pair_list(d).into_iter().map(|(j, k)| GroupTarget::TwoD { j, k }));
+        Ok(SessionPlan { n, d, c, epsilon, granularities, groups, assignment_seed })
+    }
+
+    /// Number of report groups, `d + (d choose 2)`.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The OLH input-domain size of a group's grid.
+    pub fn group_domain(&self, group: u32) -> Result<usize, ProtocolError> {
+        match self.groups.get(group as usize) {
+            Some(GroupTarget::OneD { .. }) => Ok(self.granularities.g1),
+            Some(GroupTarget::TwoD { .. }) => {
+                Ok(self.granularities.g2 * self.granularities.g2)
+            }
+            None => Err(ProtocolError::UnknownGroup(group)),
+        }
+    }
+
+    /// The public group assignment of user `uid` — a keyed hash, so the
+    /// expected per-group populations follow the σ-weighted split of §4.6
+    /// without any server-side state.
+    ///
+    /// Groups are weighted so every group has (in expectation) the same
+    /// population, the paper's default split σ0 = d / (d + (d choose 2)).
+    pub fn group_of(&self, uid: u64) -> u32 {
+        debug_assert!((default_sigma(self.d) - self.d as f64 / self.group_count() as f64)
+            .abs()
+            < 1e-12);
+        let h = mix64(self.assignment_seed ^ uid.wrapping_mul(0xA076_1D64_78BD_642F));
+        (h % self.group_count() as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_validation() {
+        assert!(SessionPlan::new(1000, 1, 64, 1.0, 0).is_err());
+        assert!(SessionPlan::new(1000, 4, 60, 1.0, 0).is_err());
+        assert!(SessionPlan::new(1000, 4, 64, 0.0, 0).is_err());
+        assert!(SessionPlan::new(1000, 4, 64, 1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn groups_enumerate_grids_in_order() {
+        let plan = SessionPlan::new(10_000, 3, 32, 1.0, 7).unwrap();
+        assert_eq!(plan.group_count(), 3 + 3);
+        assert_eq!(plan.groups[0], GroupTarget::OneD { attr: 0 });
+        assert_eq!(plan.groups[3], GroupTarget::TwoD { j: 0, k: 1 });
+        assert_eq!(plan.groups[5], GroupTarget::TwoD { j: 1, k: 2 });
+    }
+
+    #[test]
+    fn group_domains_match_granularities() {
+        let plan = SessionPlan::new(1_000_000, 6, 64, 1.0, 1).unwrap();
+        // Guideline at these parameters: (16, 4) per the paper's Table 2.
+        assert_eq!(plan.granularities, Granularities { g1: 16, g2: 4 });
+        assert_eq!(plan.group_domain(0).unwrap(), 16);
+        assert_eq!(plan.group_domain(6).unwrap(), 16);
+        assert!(plan.group_domain(99).is_err());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_balanced() {
+        let plan = SessionPlan::new(100_000, 4, 32, 1.0, 3).unwrap();
+        let mut counts = vec![0usize; plan.group_count()];
+        for uid in 0..100_000u64 {
+            let g = plan.group_of(uid);
+            assert_eq!(g, plan.group_of(uid));
+            counts[g as usize] += 1;
+        }
+        let expected = 100_000 / plan.group_count();
+        for (g, &cnt) in counts.iter().enumerate() {
+            let rel = (cnt as f64 - expected as f64).abs() / expected as f64;
+            assert!(rel < 0.05, "group {g} has {cnt} users (expected ~{expected})");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The aggregator side: streaming report ingestion and model finalization.
+//!
+//! The collector never stores raw reports: each incoming report updates the
+//! OLH support counters of its group (`O(grid cells)` work, constant
+//! memory), so arbitrarily large populations stream through in one pass.
+//! `finalize` unbiases the counters into grid frequencies and hands them to
+//! `privmdr-core` for Phase-2 post-processing and query answering.
+
+use crate::plan::{GroupTarget, SessionPlan};
+use crate::wire::Report;
+use crate::ProtocolError;
+use bytes::Buf;
+use privmdr_core::{Hdg, MechanismConfig, Model};
+use privmdr_grid::{Grid1d, Grid2d};
+use privmdr_oracles::olh::Olh;
+use privmdr_util::hash::SeededHash;
+
+/// Per-group streaming state.
+#[derive(Debug, Clone)]
+struct GroupAccumulator {
+    olh: Olh,
+    supports: Vec<u64>,
+    reports: u64,
+}
+
+impl GroupAccumulator {
+    fn new(olh: Olh, cells: usize) -> Self {
+        GroupAccumulator { olh, supports: vec![0; cells], reports: 0 }
+    }
+
+    fn ingest(&mut self, seed: u64, y: u32) {
+        let hash = SeededHash::new(seed, self.olh.c_prime());
+        for (cell, support) in self.supports.iter_mut().enumerate() {
+            if hash.hash(cell) == y as usize {
+                *support += 1;
+            }
+        }
+        self.reports += 1;
+    }
+
+    /// Unbiased frequency estimates (paper §2.2's OLH estimator).
+    fn estimates(&self) -> Vec<f64> {
+        let n = self.reports.max(1) as f64;
+        let (p, q) = (self.olh.p(), self.olh.q());
+        self.supports
+            .iter()
+            .map(|&s| (s as f64 / n - q) / (p - q))
+            .collect()
+    }
+}
+
+/// Streaming collector for one HDG session.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    plan: SessionPlan,
+    groups: Vec<GroupAccumulator>,
+    total_reports: u64,
+}
+
+impl Collector {
+    /// Creates the collector for a plan.
+    pub fn new(plan: SessionPlan) -> Result<Self, ProtocolError> {
+        let mut groups = Vec::with_capacity(plan.group_count());
+        for g in 0..plan.group_count() as u32 {
+            let domain = plan.group_domain(g)?;
+            let olh = Olh::new(plan.epsilon, domain)
+                .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
+            groups.push(GroupAccumulator::new(olh, domain));
+        }
+        Ok(Collector { plan, groups, total_reports: 0 })
+    }
+
+    /// The session plan.
+    pub fn plan(&self) -> &SessionPlan {
+        &self.plan
+    }
+
+    /// Total reports ingested so far.
+    pub fn report_count(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Ingests one decoded report.
+    pub fn ingest(&mut self, report: &Report) -> Result<(), ProtocolError> {
+        let acc = self
+            .groups
+            .get_mut(report.group as usize)
+            .ok_or(ProtocolError::UnknownGroup(report.group))?;
+        acc.ingest(report.seed, report.y);
+        self.total_reports += 1;
+        Ok(())
+    }
+
+    /// Ingests a raw wire buffer of concatenated reports; returns how many
+    /// were processed.
+    pub fn ingest_stream(&mut self, buf: impl Buf) -> Result<usize, ProtocolError> {
+        let reports = Report::decode_stream(buf)?;
+        for r in &reports {
+            self.ingest(r)?;
+        }
+        Ok(reports.len())
+    }
+
+    /// Finalizes the session into a queryable HDG model.
+    pub fn finalize(&self, config: MechanismConfig) -> Result<Box<dyn Model>, ProtocolError> {
+        let g = self.plan.granularities;
+        let mut one_d = Vec::with_capacity(self.plan.d);
+        let mut two_d = Vec::new();
+        for (target, acc) in self.plan.groups.iter().zip(&self.groups) {
+            match *target {
+                GroupTarget::OneD { attr } => {
+                    one_d.push(
+                        Grid1d::from_freqs(attr, g.g1, self.plan.c, acc.estimates())
+                            .map_err(|e| ProtocolError::BadPlan(e.to_string()))?,
+                    );
+                }
+                GroupTarget::TwoD { j, k } => {
+                    two_d.push(
+                        Grid2d::from_freqs((j, k), g.g2, self.plan.c, acc.estimates())
+                            .map_err(|e| ProtocolError::BadPlan(e.to_string()))?,
+                    );
+                }
+            }
+        }
+        Hdg::new(config)
+            .model_from_grids(one_d, two_d)
+            .map_err(|e| ProtocolError::BadPlan(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use bytes::BytesMut;
+    use privmdr_util::rng::derive_rng;
+
+    #[test]
+    fn rejects_unknown_group() {
+        let plan = SessionPlan::new(100, 3, 16, 1.0, 1).unwrap();
+        let mut collector = Collector::new(plan).unwrap();
+        let bad = Report { group: 999, seed: 1, y: 0 };
+        assert!(matches!(collector.ingest(&bad), Err(ProtocolError::UnknownGroup(999))));
+    }
+
+    #[test]
+    fn streaming_counts_reports() {
+        let plan = SessionPlan::new(1000, 3, 16, 1.0, 2).unwrap();
+        let mut collector = Collector::new(plan.clone()).unwrap();
+        let mut rng = derive_rng(9, &[0]);
+        let mut buf = BytesMut::new();
+        for uid in 0..500u64 {
+            let client = Client::new(&plan, uid).unwrap();
+            client.report(&[1, 5, 9], &mut rng).unwrap().encode(&mut buf);
+        }
+        let ingested = collector.ingest_stream(buf.freeze()).unwrap();
+        assert_eq!(ingested, 500);
+        assert_eq!(collector.report_count(), 500);
+    }
+
+    #[test]
+    fn finalize_produces_queryable_model() {
+        let plan = SessionPlan::new(2_000, 3, 16, 2.0, 3).unwrap();
+        let mut collector = Collector::new(plan.clone()).unwrap();
+        let mut rng = derive_rng(10, &[0]);
+        for uid in 0..2_000u64 {
+            let client = Client::new(&plan, uid).unwrap();
+            let record = [(uid % 16) as u16, ((uid / 3) % 16) as u16, 4u16];
+            collector.ingest(&client.report(&record, &mut rng).unwrap()).unwrap();
+        }
+        let model = collector.finalize(MechanismConfig::default()).unwrap();
+        let q = privmdr_query::RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15)], 16)
+            .unwrap();
+        let full = model.answer(&q);
+        assert!((full - 1.0).abs() < 0.2, "full-domain answer {full}");
+    }
+}

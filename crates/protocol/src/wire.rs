@@ -1,0 +1,120 @@
+//! Binary wire format for client reports.
+//!
+//! One report is exactly 17 bytes:
+//!
+//! ```text
+//! +--------+----------------+----------------------+-----------+
+//! | ver:u8 | group: u32 LE  | hash seed: u64 LE    | y: u32 LE |
+//! +--------+----------------+----------------------+-----------+
+//! ```
+//!
+//! `seed` identifies the user's OLH hash function and `y` is the
+//! GRR-randomized hashed value — together the complete (and only) content
+//! of an OLH report (paper §2.2). Everything else (ε, grid geometry) is
+//! public plan state, so it never travels with the report.
+
+use crate::ProtocolError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Wire protocol version byte.
+pub const WIRE_VERSION: u8 = 1;
+/// Encoded size of one report.
+pub const REPORT_LEN: usize = 17;
+
+/// One user's randomized report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Report group (index into the plan's group list).
+    pub group: u32,
+    /// OLH per-user hash seed.
+    pub seed: u64,
+    /// Perturbed hashed value `GRR_{c'}(H(v))`.
+    pub y: u32,
+}
+
+impl Report {
+    /// Appends the encoded report to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(REPORT_LEN);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u32_le(self.group);
+        buf.put_u64_le(self.seed);
+        buf.put_u32_le(self.y);
+    }
+
+    /// Encodes to a standalone buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(REPORT_LEN);
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one report from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        if buf.remaining() < REPORT_LEN {
+            return Err(ProtocolError::Malformed("truncated report"));
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::Malformed("unsupported wire version"));
+        }
+        let group = buf.get_u32_le();
+        let seed = buf.get_u64_le();
+        let y = buf.get_u32_le();
+        Ok(Report { group, seed, y })
+    }
+
+    /// Decodes a whole stream of concatenated reports.
+    pub fn decode_stream(mut buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+        if !buf.remaining().is_multiple_of(REPORT_LEN) {
+            return Err(ProtocolError::Malformed("stream length not a report multiple"));
+        }
+        let mut out = Vec::with_capacity(buf.remaining() / REPORT_LEN);
+        while buf.has_remaining() {
+            out.push(Report::decode(&mut buf)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_single() {
+        let r = Report { group: 7, seed: 0xDEAD_BEEF_CAFE_F00D, y: 3 };
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), REPORT_LEN);
+        let back = Report::decode(&mut bytes.clone()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn round_trip_stream() {
+        let reports: Vec<Report> = (0..100)
+            .map(|i| Report { group: i % 5, seed: i as u64 * 77, y: i % 4 })
+            .collect();
+        let mut buf = BytesMut::new();
+        for r in &reports {
+            r.encode(&mut buf);
+        }
+        let back = Report::decode_stream(buf.freeze()).unwrap();
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_version() {
+        let r = Report { group: 1, seed: 2, y: 3 };
+        let bytes = r.to_bytes();
+        let mut short = bytes.slice(..REPORT_LEN - 1);
+        assert!(Report::decode(&mut short).is_err());
+        let mut wrong = BytesMut::from(&bytes[..]);
+        wrong[0] = 99;
+        assert!(Report::decode(&mut wrong.freeze()).is_err());
+        // Stream with dangling tail bytes.
+        let mut buf = BytesMut::from(&bytes[..]);
+        buf.put_u8(0);
+        assert!(Report::decode_stream(buf.freeze()).is_err());
+    }
+}

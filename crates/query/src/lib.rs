@@ -1,0 +1,20 @@
+//! Multi-dimensional range queries, workloads, and accuracy metrics
+//! (paper §3.1, §5.1).
+//!
+//! * [`query`] — the λ-dimensional conjunctive range query and its ground
+//!   truth against a [`privmdr_data::Dataset`].
+//! * [`workload`] — the evaluation workloads: random queries of dimensional
+//!   volume ω, the full 2-D range/marginal enumerations (Figs. 11–12), and
+//!   the 0-count / non-0-count rejection-sampled sets (Figs. 13–14).
+//! * [`metrics`] — Mean Absolute Error and per-query error distributions
+//!   (Figs. 9–10).
+
+pub mod metrics;
+pub mod parse;
+pub mod query;
+pub mod workload;
+
+pub use metrics::{mae, standard_errors};
+pub use parse::{parse_query, parse_workload};
+pub use query::{Predicate, QueryError, RangeQuery};
+pub use workload::WorkloadBuilder;

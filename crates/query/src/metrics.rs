@@ -1,0 +1,52 @@
+//! Accuracy metrics (paper §5.1, Appendix A.2).
+//!
+//! The paper scores a mechanism on a workload with the Mean Absolute Error
+//! `MAE = (1/|Q|) Σ |f_q − f̄_q|`, and Appendix A.2 also reports the
+//! distribution of per-query standard (absolute) errors.
+
+/// Mean Absolute Error between estimates and ground truth.
+///
+/// Panics if the slices differ in length; returns 0 on empty input.
+pub fn mae(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "mismatched workload lengths");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// Per-query absolute errors `|f_q − f̄_q|` (Figs. 9–10 histograms).
+pub fn standard_errors(estimates: &[f64], truths: &[f64]) -> Vec<f64> {
+    assert_eq!(estimates.len(), truths.len(), "mismatched workload lengths");
+    estimates.iter().zip(truths).map(|(e, t)| (e - t).abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert!((mae(&[0.5, 0.0], &[0.25, 0.25]) - 0.25).abs() < 1e-12);
+        assert_eq!(mae(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn standard_errors_are_absolute() {
+        let errs = standard_errors(&[0.1, 0.9], &[0.3, 0.5]);
+        assert!((errs[0] - 0.2).abs() < 1e-12);
+        assert!((errs[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn length_mismatch_panics() {
+        let _ = mae(&[0.1], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Textual query syntax.
+//!
+//! Round-trips the `Display` form of [`RangeQuery`] and also accepts a
+//! compact form, so workload files are easy to write by hand:
+//!
+//! ```text
+//! a0 in [3, 40] AND a2 in [1, 5]     # display form
+//! 0:3-40, 2:1-5                      # compact form
+//! ```
+
+use crate::query::{Predicate, QueryError, RangeQuery};
+
+/// Errors from parsing query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Unrecognized predicate syntax.
+    Syntax {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// Parsed fine but violates query invariants.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { fragment } => {
+                write!(f, "cannot parse predicate '{fragment}'")
+            }
+            ParseError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one query in either syntax, validating against domain `c`.
+pub fn parse_query(text: &str, c: usize) -> Result<RangeQuery, ParseError> {
+    let text = text.trim();
+    let display_form = text.to_ascii_uppercase().contains(" IN ");
+    let separators: &[&str] = if display_form { &[" AND ", " and " ] } else { &[","] };
+    let mut fragments = vec![text];
+    for sep in separators {
+        fragments = fragments.iter().flat_map(|f| f.split(sep)).collect();
+    }
+    let preds: Result<Vec<Predicate>, ParseError> = fragments
+        .into_iter()
+        .map(|frag| {
+            if display_form {
+                parse_display_predicate(frag)
+            } else {
+                parse_compact_predicate(frag)
+            }
+        })
+        .collect();
+    RangeQuery::new(preds?, c).map_err(ParseError::Query)
+}
+
+/// `a0 in [3, 40]`
+fn parse_display_predicate(frag: &str) -> Result<Predicate, ParseError> {
+    let err = || ParseError::Syntax { fragment: frag.trim().to_string() };
+    let frag_trim = frag.trim();
+    let lower = frag_trim.to_ascii_lowercase();
+    let (attr_part, range_part) = lower.split_once(" in ").ok_or_else(err)?;
+    let attr_part = attr_part.trim();
+    let attr: usize =
+        attr_part.strip_prefix('a').ok_or_else(err)?.trim().parse().map_err(|_| err())?;
+    let range = range_part
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(err)?;
+    let (lo, hi) = range.split_once(',').ok_or_else(err)?;
+    Ok(Predicate {
+        attr,
+        lo: lo.trim().parse().map_err(|_| err())?,
+        hi: hi.trim().parse().map_err(|_| err())?,
+    })
+}
+
+/// `0:3-40`
+fn parse_compact_predicate(frag: &str) -> Result<Predicate, ParseError> {
+    let err = || ParseError::Syntax { fragment: frag.trim().to_string() };
+    let frag_trim = frag.trim();
+    let (attr, range) = frag_trim.split_once(':').ok_or_else(err)?;
+    let (lo, hi) = range.split_once('-').ok_or_else(err)?;
+    Ok(Predicate {
+        attr: attr.trim().parse().map_err(|_| err())?,
+        lo: lo.trim().parse().map_err(|_| err())?,
+        hi: hi.trim().parse().map_err(|_| err())?,
+    })
+}
+
+/// Parses a workload file: one query per line; blank lines and `#` comments
+/// skipped. Returns `(line number, query)` pairs for error reporting.
+pub fn parse_workload(text: &str, c: usize) -> Result<Vec<RangeQuery>, (usize, ParseError)> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_query(line, c).map_err(|e| (idx + 1, e))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_display_form_round_trip() {
+        let q = RangeQuery::from_triples(&[(0, 3, 40), (2, 1, 5)], 64).unwrap();
+        let parsed = parse_query(&q.to_string(), 64).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn parses_compact_form() {
+        let q = parse_query("0:3-40, 2:1-5", 64).unwrap();
+        assert_eq!(q, RangeQuery::from_triples(&[(0, 3, 40), (2, 1, 5)], 64).unwrap());
+        let q = parse_query("5:0-63", 64).unwrap();
+        assert_eq!(q.lambda(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_and() {
+        let q = parse_query("a1 in [0, 7] and a3 in [2, 2]", 8).unwrap();
+        assert_eq!(q.lambda(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse_query("", 8), Err(ParseError::Syntax { .. })));
+        assert!(matches!(parse_query("b0 in [1, 2]", 8), Err(ParseError::Syntax { .. })));
+        assert!(matches!(parse_query("0:1", 8), Err(ParseError::Syntax { .. })));
+        assert!(matches!(parse_query("0:5-2", 8), Err(ParseError::Query(_))));
+        assert!(matches!(parse_query("0:0-9", 8), Err(ParseError::Query(_))));
+        assert!(matches!(
+            parse_query("0:1-2, 0:3-4", 8),
+            Err(ParseError::Query(QueryError::DuplicateAttr(0)))
+        ));
+    }
+
+    #[test]
+    fn workload_file_with_comments() {
+        let text = "# workload\n0:0-3\n\na1 in [2, 5] AND a2 in [0, 7]\n";
+        let qs = parse_workload(text, 8).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].lambda(), 2);
+    }
+
+    #[test]
+    fn workload_reports_line_numbers() {
+        let text = "0:0-3\nnonsense\n";
+        let err = parse_workload(text, 8).unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+}

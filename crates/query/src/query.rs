@@ -1,0 +1,220 @@
+//! λ-dimensional range queries (paper §3.1).
+//!
+//! A query is a conjunction of interval predicates over distinct attributes:
+//! `q = (a_{t1}, [l1, r1]) ∧ … ∧ (a_{tλ}, [lλ, rλ])`, asking for the
+//! fraction of users whose record satisfies every predicate. Intervals are
+//! inclusive and 0-based.
+
+use privmdr_data::Dataset;
+
+/// One interval predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Attribute index.
+    pub attr: usize,
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Inclusive upper bound.
+    pub hi: usize,
+}
+
+/// Errors from invalid query construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query needs at least one predicate.
+    Empty,
+    /// Predicates must reference distinct attributes.
+    DuplicateAttr(usize),
+    /// An interval is inverted or out of the domain.
+    BadInterval { attr: usize, lo: usize, hi: usize, domain: usize },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "query needs at least one predicate"),
+            QueryError::DuplicateAttr(a) => write!(f, "attribute {a} appears twice"),
+            QueryError::BadInterval { attr, lo, hi, domain } => {
+                write!(f, "attribute {attr}: interval [{lo}, {hi}] invalid for domain {domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive multi-dimensional range query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Predicates sorted by attribute index.
+    preds: Vec<Predicate>,
+}
+
+impl RangeQuery {
+    /// Builds a query over the given predicates, validating against domain
+    /// size `c`. Predicates are sorted by attribute.
+    pub fn new(mut preds: Vec<Predicate>, c: usize) -> Result<Self, QueryError> {
+        if preds.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        preds.sort_by_key(|p| p.attr);
+        for w in preds.windows(2) {
+            if w[0].attr == w[1].attr {
+                return Err(QueryError::DuplicateAttr(w[0].attr));
+            }
+        }
+        for p in &preds {
+            if p.lo > p.hi || p.hi >= c {
+                return Err(QueryError::BadInterval {
+                    attr: p.attr,
+                    lo: p.lo,
+                    hi: p.hi,
+                    domain: c,
+                });
+            }
+        }
+        Ok(RangeQuery { preds })
+    }
+
+    /// Convenience constructor from `(attr, lo, hi)` triples.
+    pub fn from_triples(triples: &[(usize, usize, usize)], c: usize) -> Result<Self, QueryError> {
+        RangeQuery::new(
+            triples.iter().map(|&(attr, lo, hi)| Predicate { attr, lo, hi }).collect(),
+            c,
+        )
+    }
+
+    /// The predicates, sorted by attribute.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Query dimension λ.
+    pub fn lambda(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The queried attributes, ascending.
+    pub fn attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.preds.iter().map(|p| p.attr)
+    }
+
+    /// The interval for `attr`, or the full domain `[0, c-1]` if the query
+    /// does not restrict it (§3.3's query expansion).
+    pub fn interval_or_full(&self, attr: usize, c: usize) -> (usize, usize) {
+        self.preds
+            .iter()
+            .find(|p| p.attr == attr)
+            .map_or((0, c - 1), |p| (p.lo, p.hi))
+    }
+
+    /// Fraction of the data space the query selects (`∏ len_i / c`).
+    pub fn volume(&self, c: usize) -> f64 {
+        self.preds
+            .iter()
+            .map(|p| (p.hi - p.lo + 1) as f64 / c as f64)
+            .product()
+    }
+
+    /// Whether record `row` satisfies every predicate.
+    #[inline]
+    pub fn matches(&self, row: &[u16]) -> bool {
+        self.preds
+            .iter()
+            .all(|p| (p.lo..=p.hi).contains(&(row[p.attr] as usize)))
+    }
+
+    /// Ground truth: the exact fraction of records matching the query.
+    pub fn true_answer(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        for u in 0..ds.len() {
+            if self.matches(ds.row(u)) {
+                hits += 1;
+            }
+        }
+        hits as f64 / ds.len() as f64
+    }
+}
+
+impl std::fmt::Display for RangeQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .preds
+            .iter()
+            .map(|p| format!("a{} in [{}, {}]", p.attr, p.lo, p.hi))
+            .collect();
+        write!(f, "{}", parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        // 4 users, 2 attributes, c = 8.
+        Dataset::new(vec![0, 0, 3, 4, 7, 7, 3, 5], 2, 8).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(RangeQuery::new(vec![], 8), Err(QueryError::Empty)));
+        assert!(matches!(
+            RangeQuery::from_triples(&[(0, 0, 3), (0, 4, 5)], 8),
+            Err(QueryError::DuplicateAttr(0))
+        ));
+        assert!(matches!(
+            RangeQuery::from_triples(&[(0, 5, 3)], 8),
+            Err(QueryError::BadInterval { .. })
+        ));
+        assert!(matches!(
+            RangeQuery::from_triples(&[(0, 0, 8)], 8),
+            Err(QueryError::BadInterval { .. })
+        ));
+        assert!(RangeQuery::from_triples(&[(1, 0, 7), (0, 2, 2)], 8).is_ok());
+    }
+
+    #[test]
+    fn predicates_sorted_and_lambda() {
+        let q = RangeQuery::from_triples(&[(3, 0, 1), (1, 2, 4)], 8).unwrap();
+        assert_eq!(q.lambda(), 2);
+        assert_eq!(q.predicates()[0].attr, 1);
+        assert_eq!(q.attrs().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn interval_or_full() {
+        let q = RangeQuery::from_triples(&[(1, 2, 4)], 8).unwrap();
+        assert_eq!(q.interval_or_full(1, 8), (2, 4));
+        assert_eq!(q.interval_or_full(0, 8), (0, 7));
+    }
+
+    #[test]
+    fn volume() {
+        let q = RangeQuery::from_triples(&[(0, 0, 3), (1, 0, 1)], 8).unwrap();
+        assert!((q.volume(8) - 0.5 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_answer_counts_matches() {
+        let ds = tiny_dataset();
+        // Users: (0,0), (3,4), (7,7), (3,5).
+        let q = RangeQuery::from_triples(&[(0, 3, 3)], 8).unwrap();
+        assert!((q.true_answer(&ds) - 0.5).abs() < 1e-12);
+        let q = RangeQuery::from_triples(&[(0, 3, 3), (1, 5, 7)], 8).unwrap();
+        assert!((q.true_answer(&ds) - 0.25).abs() < 1e-12);
+        let q = RangeQuery::from_triples(&[(0, 0, 7), (1, 0, 7)], 8).unwrap();
+        assert!((q.true_answer(&ds) - 1.0).abs() < 1e-12);
+        let q = RangeQuery::from_triples(&[(0, 1, 2)], 8).unwrap();
+        assert_eq!(q.true_answer(&ds), 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = RangeQuery::from_triples(&[(2, 1, 5), (0, 0, 0)], 8).unwrap();
+        assert_eq!(q.to_string(), "a0 in [0, 0] AND a2 in [1, 5]");
+    }
+}

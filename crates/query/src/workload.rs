@@ -1,0 +1,271 @@
+//! Evaluation workloads (paper §5.1, Appendix A.3–A.4).
+//!
+//! The default methodology samples `|Q| = 200` random λ-D queries whose
+//! per-attribute interval covers a fraction ω of the domain. Appendix
+//! experiments additionally enumerate *all* 2-D range queries of a given
+//! volume (Fig. 12), all 2-D marginal cells (Fig. 11), and rejection-sample
+//! queries with zero / non-zero true counts (Figs. 13–14).
+
+use crate::query::{Predicate, RangeQuery};
+use privmdr_data::Dataset;
+use privmdr_util::rng::derive_rng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// Builder for the paper's workloads over a `(d, c)` schema.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadBuilder {
+    d: usize,
+    c: usize,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder for `d` attributes over domain `c`, deterministic
+    /// in `seed`.
+    pub fn new(d: usize, c: usize, seed: u64) -> Self {
+        assert!(d >= 1 && c >= 2);
+        WorkloadBuilder { d, c, seed }
+    }
+
+    /// Interval length for dimensional query volume ω (at least one value).
+    fn interval_len(&self, omega: f64) -> usize {
+        ((omega * self.c as f64).round() as usize).clamp(1, self.c)
+    }
+
+    /// `count` random λ-D queries of volume ω (the §5.1 default workload).
+    pub fn random(&self, lambda: usize, omega: f64, count: usize) -> Vec<RangeQuery> {
+        assert!(lambda >= 1 && lambda <= self.d, "lambda must be in [1, d]");
+        let len = self.interval_len(omega);
+        let mut rng = derive_rng(self.seed, &[0x7261_6e64, lambda as u64, count as u64]);
+        let mut attrs: Vec<usize> = (0..self.d).collect();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            attrs.shuffle(&mut rng);
+            let preds = attrs[..lambda]
+                .iter()
+                .map(|&attr| {
+                    let lo = rng.random_range(0..=self.c - len);
+                    Predicate { attr, lo, hi: lo + len - 1 }
+                })
+                .collect();
+            out.push(RangeQuery::new(preds, self.c).expect("construction is valid"));
+        }
+        out
+    }
+
+    /// All 2-D range queries of volume ω over every attribute pair
+    /// (Appendix A.3, Fig. 12): `(d choose 2) · (c·ω)²` queries.
+    pub fn full_2d_ranges(&self, omega: f64) -> Vec<RangeQuery> {
+        let len = self.interval_len(omega);
+        let starts = self.c - len; // c·ω start positions for len = c·ω
+        let starts = starts.max(1);
+        let mut out = Vec::new();
+        for j in 0..self.d {
+            for k in (j + 1)..self.d {
+                for lo_j in 0..starts {
+                    for lo_k in 0..starts {
+                        out.push(
+                            RangeQuery::new(
+                                vec![
+                                    Predicate { attr: j, lo: lo_j, hi: lo_j + len - 1 },
+                                    Predicate { attr: k, lo: lo_k, hi: lo_k + len - 1 },
+                                ],
+                                self.c,
+                            )
+                            .expect("construction is valid"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All 2-D marginal cells over every attribute pair (Appendix A.3,
+    /// Fig. 11): `(d choose 2) · c²` single-value queries.
+    pub fn full_2d_marginals(&self) -> Vec<RangeQuery> {
+        let mut out = Vec::new();
+        for j in 0..self.d {
+            for k in (j + 1)..self.d {
+                for vj in 0..self.c {
+                    for vk in 0..self.c {
+                        out.push(
+                            RangeQuery::new(
+                                vec![
+                                    Predicate { attr: j, lo: vj, hi: vj },
+                                    Predicate { attr: k, lo: vk, hi: vk },
+                                ],
+                                self.c,
+                            )
+                            .expect("construction is valid"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rejection-samples `count` λ-D queries of volume ω whose true answer
+    /// on `ds` is exactly zero (Fig. 13). Gives up after `max_tries`
+    /// attempts and returns what it found.
+    pub fn zero_count(
+        &self,
+        ds: &Dataset,
+        lambda: usize,
+        omega: f64,
+        count: usize,
+    ) -> Vec<RangeQuery> {
+        self.rejection_sample(ds, lambda, omega, count, true)
+    }
+
+    /// Rejection-samples `count` λ-D queries of volume ω with a strictly
+    /// positive true answer (Fig. 14).
+    pub fn nonzero_count(
+        &self,
+        ds: &Dataset,
+        lambda: usize,
+        omega: f64,
+        count: usize,
+    ) -> Vec<RangeQuery> {
+        self.rejection_sample(ds, lambda, omega, count, false)
+    }
+
+    fn rejection_sample(
+        &self,
+        ds: &Dataset,
+        lambda: usize,
+        omega: f64,
+        count: usize,
+        want_zero: bool,
+    ) -> Vec<RangeQuery> {
+        let max_tries = count.saturating_mul(200).max(1000);
+        let len = self.interval_len(omega);
+        let mut rng =
+            derive_rng(self.seed, &[0x7a65_726f, lambda as u64, u64::from(want_zero)]);
+        let mut attrs: Vec<usize> = (0..self.d).collect();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..max_tries {
+            if out.len() == count {
+                break;
+            }
+            attrs.shuffle(&mut rng);
+            let preds = attrs[..lambda]
+                .iter()
+                .map(|&attr| {
+                    let lo = rng.random_range(0..=self.c - len);
+                    Predicate { attr, lo, hi: lo + len - 1 }
+                })
+                .collect();
+            let q = RangeQuery::new(preds, self.c).expect("construction is valid");
+            let is_zero = q.true_answer(ds) == 0.0;
+            if is_zero == want_zero {
+                out.push(q);
+            }
+        }
+        out
+    }
+}
+
+/// Efficient batch ground truth: answers all 2-D queries from prefix-summed
+/// pair histograms (O(1) per query after O(c²) per touched pair) and scans
+/// records only for λ ≠ 2 queries.
+pub fn true_answers(ds: &Dataset, queries: &[RangeQuery]) -> Vec<f64> {
+    use std::collections::HashMap;
+    let c = ds.domain();
+    let mut pair_prefix: HashMap<(usize, usize), privmdr_grid::PrefixSum2d> = HashMap::new();
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        if q.lambda() == 2 {
+            let p0 = q.predicates()[0];
+            let p1 = q.predicates()[1];
+            let key = (p0.attr, p1.attr);
+            let prefix = pair_prefix.entry(key).or_insert_with(|| {
+                privmdr_grid::PrefixSum2d::build(&ds.pair_histogram(key), c, c)
+            });
+            out.push(prefix.rect_inclusive(p0.lo, p0.hi, p1.lo, p1.hi));
+        } else {
+            out.push(q.true_answer(ds));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmdr_data::DatasetSpec;
+
+    #[test]
+    fn random_workload_shape() {
+        let wl = WorkloadBuilder::new(6, 64, 1);
+        let qs = wl.random(4, 0.5, 200);
+        assert_eq!(qs.len(), 200);
+        for q in &qs {
+            assert_eq!(q.lambda(), 4);
+            for p in q.predicates() {
+                assert_eq!(p.hi - p.lo + 1, 32, "interval length must be c*omega");
+            }
+            // Volume = 0.5^4.
+            assert!((q.volume(64) - 0.0625).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_workload_is_seeded() {
+        let a = WorkloadBuilder::new(6, 64, 5).random(2, 0.3, 50);
+        let b = WorkloadBuilder::new(6, 64, 5).random(2, 0.3, 50);
+        let c = WorkloadBuilder::new(6, 64, 6).random(2, 0.3, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_enumerations_have_paper_counts() {
+        let wl = WorkloadBuilder::new(6, 64, 1);
+        // Fig. 12: (6 choose 2) * 32^2 = 15360.
+        assert_eq!(wl.full_2d_ranges(0.5).len(), 15 * 32 * 32);
+        // Fig. 11: (6 choose 2) * 64^2 = 61440.
+        assert_eq!(wl.full_2d_marginals().len(), 15 * 64 * 64);
+    }
+
+    #[test]
+    fn zero_and_nonzero_sampling() {
+        let ds = DatasetSpec::Normal { rho: 0.8 }.generate(5000, 6, 64, 3);
+        let wl = WorkloadBuilder::new(6, 64, 2);
+        let zeros = wl.zero_count(&ds, 6, 0.3, 20);
+        for q in &zeros {
+            assert_eq!(q.true_answer(&ds), 0.0);
+        }
+        assert!(!zeros.is_empty());
+        let nonzeros = wl.nonzero_count(&ds, 3, 0.7, 20);
+        assert_eq!(nonzeros.len(), 20);
+        for q in &nonzeros {
+            assert!(q.true_answer(&ds) > 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_true_answers_match_scans() {
+        let ds = DatasetSpec::Ipums.generate(3000, 4, 32, 7);
+        let wl = WorkloadBuilder::new(4, 32, 9);
+        let mut qs = wl.random(2, 0.5, 30);
+        qs.extend(wl.random(3, 0.4, 10));
+        let fast = true_answers(&ds, &qs);
+        for (q, &f) in qs.iter().zip(&fast) {
+            assert!((f - q.true_answer(&ds)).abs() < 1e-12, "query {q}");
+        }
+    }
+
+    #[test]
+    fn omega_one_covers_domain() {
+        let wl = WorkloadBuilder::new(3, 16, 1);
+        let qs = wl.random(2, 1.0, 5);
+        for q in &qs {
+            for p in q.predicates() {
+                assert_eq!((p.lo, p.hi), (0, 15));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for queries and workloads.
+
+use privmdr_data::DatasetSpec;
+use privmdr_query::workload::{true_answers, WorkloadBuilder};
+use privmdr_query::{Predicate, RangeQuery};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random workloads always produce valid queries of the requested
+    /// dimension and volume.
+    #[test]
+    fn random_workload_valid(
+        d in 2usize..8,
+        lambda_raw in 1usize..8,
+        omega in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let c = 32usize;
+        let lambda = lambda_raw.min(d);
+        let wl = WorkloadBuilder::new(d, c, seed);
+        for q in wl.random(lambda, omega, 20) {
+            prop_assert_eq!(q.lambda(), lambda);
+            let len = ((omega * c as f64).round() as usize).clamp(1, c);
+            for p in q.predicates() {
+                prop_assert!(p.attr < d);
+                prop_assert_eq!(p.hi - p.lo + 1, len);
+                prop_assert!(p.hi < c);
+            }
+        }
+    }
+
+    /// Batch true answers equal per-query scans for mixed workloads.
+    #[test]
+    fn batch_truths_match(seed in any::<u64>(), n in 50usize..400) {
+        let ds = DatasetSpec::Acs.generate(n, 4, 16, seed);
+        let wl = WorkloadBuilder::new(4, 16, seed);
+        let mut queries = wl.random(2, 0.4, 15);
+        queries.extend(wl.random(3, 0.6, 5));
+        queries.extend(wl.random(1, 0.5, 5));
+        let fast = true_answers(&ds, &queries);
+        for (q, &f) in queries.iter().zip(&fast) {
+            prop_assert!((f - q.true_answer(&ds)).abs() < 1e-12);
+        }
+    }
+
+    /// A query's true answer is bounded by each single-predicate marginal
+    /// (conjunctions only shrink the selection).
+    #[test]
+    fn conjunction_shrinks_selection(seed in any::<u64>()) {
+        let ds = DatasetSpec::Ipums.generate(300, 3, 16, seed);
+        let q = RangeQuery::new(
+            vec![
+                Predicate { attr: 0, lo: 2, hi: 9 },
+                Predicate { attr: 1, lo: 0, hi: 7 },
+                Predicate { attr: 2, lo: 4, hi: 15 },
+            ],
+            16,
+        )
+        .unwrap();
+        let joint = q.true_answer(&ds);
+        for p in q.predicates() {
+            let single = RangeQuery::new(vec![*p], 16).unwrap().true_answer(&ds);
+            prop_assert!(joint <= single + 1e-12);
+        }
+    }
+
+    /// Zero-count workloads really are zero-count; non-zero really aren't.
+    #[test]
+    fn count_workloads_honest(seed in any::<u64>()) {
+        let ds = DatasetSpec::Normal { rho: 0.5 }.generate(500, 6, 64, seed);
+        let wl = WorkloadBuilder::new(6, 64, seed);
+        for q in wl.zero_count(&ds, 5, 0.3, 10) {
+            prop_assert_eq!(q.true_answer(&ds), 0.0);
+        }
+        for q in wl.nonzero_count(&ds, 2, 0.7, 10) {
+            prop_assert!(q.true_answer(&ds) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal dense linear algebra: Cholesky factorization of small SPD
+//! matrices.
+//!
+//! The dataset generators need correlated Gaussian vectors with an
+//! equicorrelation covariance `Σ = (1-ρ)I + ρJ` for `d <= 10`; a textbook
+//! O(d³) Cholesky is all that requires.
+
+/// Row-major square matrix of fixed dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Matrix { dim, data: vec![0.0; dim * dim] }
+    }
+
+    /// Equicorrelation matrix: 1 on the diagonal, `rho` elsewhere.
+    ///
+    /// Positive definite for `rho` in `(-1/(d-1), 1)`.
+    pub fn equicorrelation(dim: usize, rho: f64) -> Self {
+        let mut m = Matrix::zeros(dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                m[(i, j)] = if i == j { 1.0 } else { rho };
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cholesky factor `L` with `L Lᵀ = self`, or `None` if the matrix is not
+    /// positive definite (within a small tolerance).
+    pub fn cholesky(&self) -> Option<Matrix> {
+        let d = self.dim;
+        let mut l = Matrix::zeros(d);
+        for i in 0..d {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Computes `self * v` for a lower-triangular `self` (used to color
+    /// i.i.d. Gaussian vectors), writing into `out`.
+    pub fn lower_mul_vec(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.dim);
+        debug_assert_eq!(out.len(), self.dim);
+        for i in 0..self.dim {
+            let mut acc = 0.0;
+            for j in 0..=i {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.dim + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.dim + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_reconstructs() {
+        for rho in [0.0, 0.2, 0.8, 0.99] {
+            let d = 6;
+            let m = Matrix::equicorrelation(d, rho);
+            let l = m.cholesky().expect("SPD");
+            // L L^T == m
+            for i in 0..d {
+                for j in 0..d {
+                    let mut acc = 0.0;
+                    for k in 0..d {
+                        acc += l[(i, k)] * l[(j, k)];
+                    }
+                    assert!((acc - m[(i, j)]).abs() < 1e-10, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        // rho = 1 with d >= 2 is only positive semi-definite.
+        let m = Matrix::equicorrelation(3, 1.0);
+        assert!(m.cholesky().is_none());
+        // Strongly negative equicorrelation is indefinite for d=4.
+        let m = Matrix::equicorrelation(4, -0.5);
+        assert!(m.cholesky().is_none());
+    }
+
+    #[test]
+    fn lower_mul_vec_works() {
+        let mut l = Matrix::zeros(2);
+        l[(0, 0)] = 2.0;
+        l[(1, 0)] = 1.0;
+        l[(1, 1)] = 3.0;
+        let mut out = [0.0; 2];
+        l.lower_mul_vec(&[1.0, 1.0], &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Power-of-two helpers for the granularity guideline (paper §4.6).
+//!
+//! The guideline derives real-valued granularities and then takes "the power
+//! of two closest to the derived value" so that grid cells evenly divide the
+//! (power-of-two) attribute domain.
+
+/// Whether `x` is a power of two.
+#[inline]
+pub fn is_pow2(x: usize) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// The power of two closest (in linear distance) to `x`.
+///
+/// Ties between the two bracketing powers resolve downward, matching the
+/// paper's Table 2. Values below 1 round to 1.
+pub fn closest_pow2(x: f64) -> usize {
+    if !x.is_finite() || x <= 1.0 {
+        return 1;
+    }
+    let lo = 1usize << (x.log2().floor() as u32).min(62);
+    let hi = lo.saturating_mul(2);
+    if x - lo as f64 <= hi as f64 - x {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Clamps a derived granularity to `[min_g, c]` after power-of-two rounding.
+///
+/// The paper sets granularities to `c` when the derived value exceeds the
+/// domain, and never uses a granularity below 2 (Table 2's smallest entry).
+pub fn granularity_from(x: f64, min_g: usize, c: usize) -> usize {
+    debug_assert!(is_pow2(c) && is_pow2(min_g));
+    closest_pow2(x).clamp(min_g, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_pow2_basics() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(!is_pow2(3));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(1000));
+    }
+
+    #[test]
+    fn closest_rounds_linearly() {
+        // 23.3 is closer to 16 (7.3 away) than 32 (8.7 away) — the paper's
+        // Table 2 cell (d=6, n=1e6, eps=1.0) depends on this convention.
+        assert_eq!(closest_pow2(23.3), 16);
+        assert_eq!(closest_pow2(25.0), 32);
+        assert_eq!(closest_pow2(24.0), 16); // tie resolves down
+        assert_eq!(closest_pow2(3.0), 2); // tie resolves down
+        assert_eq!(closest_pow2(3.1), 4);
+        assert_eq!(closest_pow2(1.4), 1);
+        assert_eq!(closest_pow2(0.2), 1);
+    }
+
+    #[test]
+    fn exact_powers_are_fixed_points() {
+        for k in 0..20 {
+            let p = 1usize << k;
+            assert_eq!(closest_pow2(p as f64), p);
+        }
+    }
+
+    #[test]
+    fn granularity_clamps() {
+        assert_eq!(granularity_from(0.9, 2, 64), 2);
+        assert_eq!(granularity_from(500.0, 2, 64), 64);
+        assert_eq!(granularity_from(23.3, 2, 64), 16);
+        assert_eq!(granularity_from(23.3, 2, 8), 8);
+    }
+}

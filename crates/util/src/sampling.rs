@@ -1,0 +1,254 @@
+//! Random variates not provided by the `rand` crate.
+//!
+//! The fast oracle simulation path (see `privmdr-oracles`) replaces per-user
+//! perturbation with direct sampling of aggregate counts, which requires
+//! binomial and multinomial sampling at scale. `rand` ships only uniform
+//! generators, and `rand_distr` is not on the approved dependency list, so we
+//! implement the classical samplers here:
+//!
+//! * [`binomial`] — exact Bernoulli loop for small `n`, BINV inversion for
+//!   small mean, normal approximation (with continuity correction) otherwise.
+//! * [`multinomial`] — sequential conditional binomials.
+//! * [`standard_normal`] — Box–Muller transform.
+//! * [`standard_exponential`] — inversion.
+
+use rand::{Rng, RngExt};
+
+/// Threshold below which a plain Bernoulli loop is cheapest.
+const SMALL_N: u64 = 64;
+/// Mean threshold separating BINV inversion from the normal approximation.
+const BINV_MAX_MEAN: f64 = 30.0;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: avoids ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a standard (rate 1) exponential variate via inversion.
+#[inline]
+pub fn standard_exponential<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln()
+}
+
+/// Draws from `Binomial(n, p)`.
+///
+/// The sampler is exact for `n <= 64` and for means below 30 (BINV
+/// inversion); larger cases use the normal approximation with continuity
+/// correction, which at variance >= ~15 is accurate to far below the LDP
+/// noise floor this crate simulates.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Work on the smaller tail for numerical stability.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    if n <= SMALL_N {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    let mean = n as f64 * p;
+    if mean <= BINV_MAX_MEAN {
+        binv(rng, n, p)
+    } else {
+        let sd = (mean * (1.0 - p)).sqrt();
+        let x = mean + sd * standard_normal(rng);
+        // Continuity correction + clamp to the support.
+        (x + 0.5).floor().clamp(0.0, n as f64) as u64
+    }
+}
+
+/// BINV inversion sampler (Kachitvichyanukul & Schmeiser 1988), valid for
+/// small means where the CDF walk terminates quickly.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    // (1-p)^n in log space: underflows only for means far above BINV_MAX_MEAN.
+    let mut r = (n as f64 * q.ln()).exp();
+    if r <= 0.0 {
+        // Defensive fallback; unreachable for mean <= 30.
+        let mean = n as f64 * p;
+        let sd = (mean * q).sqrt();
+        let x = mean + sd * standard_normal(rng);
+        return (x + 0.5).floor().clamp(0.0, n as f64) as u64;
+    }
+    let mut u: f64 = rng.random::<f64>();
+    let mut k = 0u64;
+    while u > r {
+        u -= r;
+        k += 1;
+        if k > n {
+            return n;
+        }
+        r *= a / k as f64 - s;
+    }
+    k
+}
+
+/// Draws from `Multinomial(n, probs)` via sequential conditional binomials.
+///
+/// `probs` need not be normalized; negative entries are treated as zero.
+pub fn multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    let mut out = vec![0u64; probs.len()];
+    let mut remaining_mass: f64 = probs.iter().map(|&p| p.max(0.0)).sum();
+    let mut remaining_n = n;
+    for (i, &p) in probs.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        let p = p.max(0.0);
+        if remaining_mass <= 0.0 {
+            break;
+        }
+        let cond = (p / remaining_mass).min(1.0);
+        let draw = if i + 1 == probs.len() {
+            remaining_n
+        } else {
+            binomial(rng, remaining_n, cond)
+        };
+        out[i] = draw;
+        remaining_n -= draw;
+        remaining_mass -= p;
+    }
+    // Any residual (from zero-mass tails) is dropped; callers pass
+    // fully-normalized vectors in practice.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_exponential(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(binomial(&mut rng, 100, -0.1), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_moments_across_regimes() {
+        // Exercises all three code paths: small n, BINV, normal approx.
+        let cases = [
+            (50u64, 0.3f64),      // Bernoulli loop
+            (10_000, 0.001),      // BINV (mean 10)
+            (10_000, 0.25),       // normal approx (mean 2500)
+            (1_000_000, 0.00002), // BINV (mean 20)
+            (1_000_000, 0.5),     // normal approx, p at the symmetry point
+            (500, 0.9),           // reflected tail
+        ];
+        for (case_idx, &(n, p)) in cases.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(100 + case_idx as u64);
+            let reps = 30_000;
+            let xs: Vec<f64> = (0..reps).map(|_| binomial(&mut rng, n, p) as f64).collect();
+            let (mean, var) = moments(&xs);
+            let want_mean = n as f64 * p;
+            let want_var = n as f64 * p * (1.0 - p);
+            let mean_tol = 4.0 * (want_var / reps as f64).sqrt() + 1e-9;
+            assert!(
+                (mean - want_mean).abs() < mean_tol.max(want_mean * 0.01),
+                "case {case_idx}: mean {mean} vs {want_mean}"
+            );
+            assert!(
+                (var - want_var).abs() < want_var * 0.1 + 1.0,
+                "case {case_idx}: var {var} vs {want_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_stays_in_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let k = binomial(&mut rng, 37, 0.2);
+            assert!(k <= 37);
+        }
+    }
+
+    #[test]
+    fn multinomial_conserves_total() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let probs = [0.1, 0.4, 0.2, 0.3];
+        for _ in 0..100 {
+            let counts = multinomial(&mut rng, 10_000, &probs);
+            assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        }
+    }
+
+    #[test]
+    fn multinomial_matches_marginals() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let probs = [0.05, 0.55, 0.4];
+        let reps = 3000;
+        let n = 1000u64;
+        let mut sums = [0u64; 3];
+        for _ in 0..reps {
+            let counts = multinomial(&mut rng, n, &probs);
+            for (s, c) in sums.iter_mut().zip(&counts) {
+                *s += c;
+            }
+        }
+        for (i, &s) in sums.iter().enumerate() {
+            let got = s as f64 / (reps as f64 * n as f64);
+            assert!(
+                (got - probs[i]).abs() < 0.005,
+                "component {i}: {got} vs {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_handles_zero_and_negative_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = multinomial(&mut rng, 100, &[0.0, -1.0, 1.0]);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 100);
+    }
+}

@@ -1,0 +1,128 @@
+//! Summary statistics used by tests and the benchmark harness.
+
+/// Mean of a slice; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Mean and standard deviation of a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a slice of measurements.
+    pub fn of(xs: &[f64]) -> Self {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if xs.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        Summary { mean: mean(xs), std_dev: std_dev(xs), min, max, count: xs.len() }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` used for error-distribution figures
+/// (paper Figs. 9–10).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds one observation; values outside the range clamp to the end bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// `(bucket_center, count)` rows for reporting.
+    pub fn rows(&self) -> Vec<(f64, usize)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+    }
+
+    #[test]
+    fn summary_extremes() {
+        let s = Summary::of(&[1.0, -3.0, 2.0]);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.1); // bucket 0
+        h.add(0.30); // bucket 1
+        h.add(0.99); // bucket 3
+        h.add(-5.0); // clamps to 0
+        h.add(7.0); // clamps to 3
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        let rows = h.rows();
+        assert!((rows[0].0 - 0.125).abs() < 1e-12);
+        assert_eq!(rows[3].1, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the utility substrates.
+
+use privmdr_util::hash::{hash_to_domain, mix64, SeededHash};
+use privmdr_util::linalg::Matrix;
+use privmdr_util::pow2::{closest_pow2, is_pow2};
+use privmdr_util::rng::derive_seed;
+use privmdr_util::sampling::{binomial, multinomial};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// mix64 is injective on arbitrary pairs (bijectivity implies this).
+    #[test]
+    fn mix64_injective(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(mix64(a) == mix64(b), a == b);
+    }
+
+    /// Hash outputs always land in the requested domain.
+    #[test]
+    fn hash_in_domain(seed in any::<u64>(), v in any::<u64>(), domain in 1u64..10_000) {
+        prop_assert!(hash_to_domain(seed, v, domain) < domain);
+    }
+
+    /// SeededHash is a pure function of (seed, value).
+    #[test]
+    fn seeded_hash_is_pure(seed in any::<u64>(), v in 0usize..100_000, domain in 2usize..512) {
+        let h = SeededHash::new(seed, domain);
+        prop_assert_eq!(h.hash(v), SeededHash::new(seed, domain).hash(v));
+        prop_assert!(h.hash(v) < domain);
+    }
+
+    /// closest_pow2 returns a power of two with the minimal linear distance.
+    #[test]
+    fn closest_pow2_is_optimal(x in 1.0f64..1e9) {
+        let p = closest_pow2(x);
+        prop_assert!(is_pow2(p));
+        let dist = (x - p as f64).abs();
+        for candidate in [p / 2, p * 2] {
+            if candidate >= 1 {
+                // Strictly better alternatives must not exist (ties go down).
+                let cd = (x - candidate as f64).abs();
+                prop_assert!(dist <= cd + 1e-9, "x={} p={} cand={}", x, p, candidate);
+            }
+        }
+    }
+
+    /// Binomial samples stay in the support for any parameters.
+    #[test]
+    fn binomial_in_support(n in 0u64..100_000, p in -0.5f64..1.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+    }
+
+    /// Multinomial conserves the total count for non-degenerate weights.
+    #[test]
+    fn multinomial_conserves(
+        n in 0u64..10_000,
+        probs in prop::collection::vec(0.0f64..1.0, 1..10),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(probs.iter().sum::<f64>() > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = multinomial(&mut rng, n, &probs);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+    }
+
+    /// Seed derivation separates sibling streams.
+    #[test]
+    fn derive_seed_separates(parent in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_seed(parent, &[a]), derive_seed(parent, &[b]));
+    }
+
+    /// Cholesky reconstructs any valid equicorrelation matrix.
+    #[test]
+    fn cholesky_reconstructs(d in 2usize..8, rho_raw in 0.0f64..0.95) {
+        let m = Matrix::equicorrelation(d, rho_raw);
+        let l = m.cholesky().expect("PD for rho in [0, 0.95)");
+        for i in 0..d {
+            for j in 0..d {
+                let mut acc = 0.0;
+                for k in 0..d {
+                    acc += l[(i, k)] * l[(j, k)];
+                }
+                prop_assert!((acc - m[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Response-time telemetry: the weak-correlation regime.
+//!
+//! A product team collects per-question answer times (the Bfive scenario)
+//! under LDP and wants latency-band dashboards. Correlations between
+//! questions are weak, which is MSW's best case — this example shows that
+//! HDG stays competitive there while winning decisively once correlations
+//! appear (the paper's Fig. 1c/d observation), and sketches the
+//! privacy/utility dial a deployment would expose.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_dashboard
+//! ```
+
+use privmdr::core::{Hdg, Mechanism, Msw};
+use privmdr::data::DatasetSpec;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
+use privmdr::query::mae;
+
+fn league(name: &str, spec: DatasetSpec, lambda: usize) {
+    let (n, d, c) = (200_000, 5, 64);
+    let ds = spec.generate(n, d, c, 5);
+    let wl = WorkloadBuilder::new(d, c, 31).random(lambda, 0.5, 80);
+    let truths = true_answers(&ds, &wl);
+    println!("\n{name} — MAE on 80 random {lambda}-D queries");
+    println!("| eps | MSW | HDG |");
+    println!("|-----|-----|-----|");
+    for eps in [0.2, 0.5, 1.0, 2.0] {
+        let msw = Msw::default().fit(&ds, eps, 1).expect("fit");
+        let hdg = Hdg::default().fit(&ds, eps, 1).expect("fit");
+        println!(
+            "| {eps:.1} | {:.5} | {:.5} |",
+            mae(&msw.answer_all(&wl), &truths),
+            mae(&hdg.answer_all(&wl), &truths),
+        );
+    }
+}
+
+fn main() {
+    println!("Telemetry under LDP: weakly vs strongly correlated attributes");
+
+    // Bfive-like: log-normal response times, correlation ~0.1. MSW's
+    // independence assumption costs almost nothing here.
+    league("weakly correlated (Bfive-like response times)", DatasetSpec::Bfive, 2);
+
+    // Same marginals' heavy tails but strong correlation: the independence
+    // assumption now misses all the joint structure.
+    league(
+        "strongly correlated (Normal, rho = 0.8)",
+        DatasetSpec::Normal { rho: 0.8 },
+        2,
+    );
+
+    println!(
+        "\nTakeaway: MSW matches HDG only while attributes are independent; \
+         HDG is the safe default because it also captures correlations."
+    );
+}

@@ -1,0 +1,22 @@
+//! # privmdr — multi-dimensional range queries under local differential privacy
+//!
+//! Facade crate re-exporting the full `privmdr` workspace: a from-scratch
+//! Rust reproduction of *"Answering Multi-Dimensional Range Queries under
+//! Local Differential Privacy"* (Yang, Wang, Li, Cheng, Su — VLDB 2020).
+//!
+//! The typical entry points are:
+//!
+//! * [`data`] — build or synthesize a [`data::Dataset`];
+//! * [`core`] — fit a mechanism ([`core::Hdg`], [`core::Tdg`], or one of the
+//!   baselines) at a privacy budget ε;
+//! * [`query`] — pose [`query::RangeQuery`]s and score them.
+//!
+//! See `examples/quickstart.rs` for a complete tour.
+
+pub use privmdr_core as core;
+pub use privmdr_data as data;
+pub use privmdr_grid as grid;
+pub use privmdr_hierarchy as hierarchy;
+pub use privmdr_oracles as oracles;
+pub use privmdr_query as query;
+pub use privmdr_util as util;

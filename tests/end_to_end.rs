@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: every mechanism runs end-to-end and
+//! produces sane answers on realistic workloads.
+
+use privmdr::core::{
+    Calm, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni,
+};
+use privmdr::data::DatasetSpec;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
+use privmdr::query::{mae, RangeQuery};
+
+fn all_mechanisms() -> Vec<Box<dyn Mechanism>> {
+    vec![
+        Box::new(Uni),
+        Box::new(Msw::default()),
+        Box::new(Calm::default()),
+        Box::new(HioMechanism::default()),
+        Box::new(Lhio::default()),
+        Box::new(Tdg::default()),
+        Box::new(Hdg::default()),
+    ]
+}
+
+#[test]
+fn every_mechanism_fits_and_answers_all_lambdas() {
+    let ds = DatasetSpec::Ipums.generate(20_000, 4, 32, 1);
+    let wl = WorkloadBuilder::new(4, 32, 2);
+    for mech in all_mechanisms() {
+        let model = mech.fit(&ds, 1.0, 3).unwrap_or_else(|e| {
+            panic!("{} failed to fit: {e}", mech.name());
+        });
+        for lambda in 1..=4 {
+            for q in wl.random(lambda, 0.5, 5) {
+                let a = model.answer(&q);
+                assert!(
+                    a.is_finite(),
+                    "{} gave non-finite answer for lambda={lambda}",
+                    mech.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn high_budget_recovers_truth_for_grid_methods() {
+    // At eps = 6 the LDP noise is tiny; remaining error is binning only.
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(120_000, 3, 32, 4);
+    let wl = WorkloadBuilder::new(3, 32, 5);
+    let queries = wl.random(2, 0.5, 40);
+    let truths = true_answers(&ds, &queries);
+    for (mech, bound) in [
+        (Box::new(Hdg::default()) as Box<dyn Mechanism>, 0.02),
+        (Box::new(Calm::default()), 0.03),
+    ] {
+        let model = mech.fit(&ds, 6.0, 6).expect("fit");
+        let err = mae(&model.answer_all(&queries), &truths);
+        assert!(err < bound, "{} high-budget MAE {err}", mech.name());
+    }
+}
+
+#[test]
+fn full_domain_queries_answer_one() {
+    let ds = DatasetSpec::Laplace { rho: 0.8 }.generate(30_000, 3, 16, 7);
+    let full = RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15), (2, 0, 15)], 16).unwrap();
+    for mech in all_mechanisms() {
+        let model = mech.fit(&ds, 2.0, 8).expect("fit");
+        let a = model.answer(&full);
+        assert!(
+            (a - 1.0).abs() < 0.25,
+            "{} answers {a} for the full-domain query",
+            mech.name()
+        );
+    }
+}
+
+#[test]
+fn private_mechanisms_beat_uniform_on_structured_data() {
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(150_000, 4, 64, 9);
+    let wl = WorkloadBuilder::new(4, 64, 10);
+    let queries = wl.random(2, 0.5, 50);
+    let truths = true_answers(&ds, &queries);
+    let uni_mae = {
+        let model = Uni.fit(&ds, 1.0, 0).expect("fit");
+        mae(&model.answer_all(&queries), &truths)
+    };
+    for mech in [
+        Box::new(Hdg::default()) as Box<dyn Mechanism>,
+        Box::new(Tdg::default()),
+        Box::new(Msw::default()),
+    ] {
+        let model = mech.fit(&ds, 1.0, 11).expect("fit");
+        let m = mae(&model.answer_all(&queries), &truths);
+        assert!(m < uni_mae, "{}: {m} not better than Uni {uni_mae}", mech.name());
+    }
+}
+
+#[test]
+fn exact_and_fast_modes_agree_statistically() {
+    // Same mechanism, same data; the two oracle simulations must produce
+    // MAEs in the same ballpark (they sample identical distributions).
+    let ds = DatasetSpec::Ipums.generate(40_000, 3, 32, 12);
+    let wl = WorkloadBuilder::new(3, 32, 13);
+    let queries = wl.random(2, 0.5, 40);
+    let truths = true_answers(&ds, &queries);
+    let reps = 4;
+    let (mut fast, mut exact) = (0.0, 0.0);
+    for seed in 0..reps {
+        let f = Hdg::default().fit(&ds, 1.0, seed).expect("fit");
+        fast += mae(&f.answer_all(&queries), &truths);
+        let e = Hdg::new(MechanismConfig::exact()).fit(&ds, 1.0, seed).expect("fit");
+        exact += mae(&e.answer_all(&queries), &truths);
+    }
+    let ratio = fast / exact;
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "fast/exact MAE ratio {ratio} (fast {fast}, exact {exact})"
+    );
+}
+
+#[test]
+fn models_are_deterministic_given_seed() {
+    let ds = DatasetSpec::Bfive.generate(10_000, 3, 16, 14);
+    let q = RangeQuery::from_triples(&[(0, 2, 9), (2, 0, 7)], 16).unwrap();
+    for mech in all_mechanisms() {
+        let a = mech.fit(&ds, 1.0, 42).expect("fit").answer(&q);
+        let b = mech.fit(&ds, 1.0, 42).expect("fit").answer(&q);
+        assert_eq!(a, b, "{} is not reproducible from its seed", mech.name());
+    }
+}
+
+#[test]
+fn models_are_send_sync_and_usable_across_threads() {
+    let ds = DatasetSpec::Normal { rho: 0.5 }.generate(20_000, 3, 16, 15);
+    let model = Hdg::default().fit(&ds, 1.0, 16).expect("fit");
+    let q = RangeQuery::from_triples(&[(0, 0, 7), (1, 0, 7)], 16).unwrap();
+    let base = model.answer(&q);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                assert_eq!(model.answer(&q), base);
+            });
+        }
+    });
+}

@@ -1,0 +1,61 @@
+//! Ablation: Algorithm 2 (Weighted Update) vs Appendix A.8 (max-entropy).
+//!
+//! The paper replaces max-entropy estimation with Weighted Update because it
+//! reaches "almost the same accuracy while with higher efficiency". These
+//! tests pin the accuracy half of that claim end-to-end through HDG.
+
+use privmdr::core::{EstimatorKind, Hdg, Mechanism, MechanismConfig};
+use privmdr::data::DatasetSpec;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
+use privmdr::query::mae;
+
+fn run(estimator: EstimatorKind, lambda: usize, spec: DatasetSpec) -> (f64, f64) {
+    let ds = spec.generate(120_000, 5, 64, 31);
+    let wl = WorkloadBuilder::new(5, 64, 32);
+    let queries = wl.random(lambda, 0.5, 40);
+    let truths = true_answers(&ds, &queries);
+    let cfg = MechanismConfig { estimator, ..MechanismConfig::default() };
+    let mut total = 0.0;
+    for seed in 0..3u64 {
+        let model = Hdg::new(cfg).fit(&ds, 1.0, seed).expect("fit");
+        total += mae(&model.answer_all(&queries), &truths);
+    }
+    let truth_scale = truths.iter().sum::<f64>() / truths.len() as f64;
+    (total / 3.0, truth_scale)
+}
+
+#[test]
+fn estimators_agree_on_lambda3_moderate_correlation() {
+    // On moderately correlated data the two estimators are close
+    // (the paper's "almost the same accuracy").
+    let (wu, _) = run(EstimatorKind::WeightedUpdate, 3, DatasetSpec::Ipums);
+    let (me, _) = run(EstimatorKind::MaxEntropy, 3, DatasetSpec::Ipums);
+    let ratio = wu.max(me) / wu.min(me).max(1e-9);
+    assert!(ratio < 1.5, "Ipums: WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})");
+}
+
+#[test]
+fn max_entropy_wins_under_strong_correlation() {
+    // Measured deviation from the paper's "almost the same" framing, kept
+    // as a pinned observation: with rho = 0.8 the max-entropy estimator's
+    // extra complement-quadrant constraints express strong correlation
+    // better than Algorithm 2's positive-quadrant-only updates (WU ~0.147
+    // vs MaxEnt ~0.079 at lambda = 3 in this configuration). See
+    // EXPERIMENTS.md. Algorithm 2 remains the faster default.
+    let (wu, _) = run(EstimatorKind::WeightedUpdate, 3, DatasetSpec::Normal { rho: 0.8 });
+    let (me, _) = run(EstimatorKind::MaxEntropy, 3, DatasetSpec::Normal { rho: 0.8 });
+    assert!(me < wu, "expected MaxEnt ({me:.4}) <= WU ({wu:.4}) on rho=0.8");
+    assert!(wu < me * 3.0, "estimators should stay within 3x: WU {wu:.4} MaxEnt {me:.4}");
+}
+
+#[test]
+fn estimators_agree_on_lambda5() {
+    let (wu, scale) = run(EstimatorKind::WeightedUpdate, 5, DatasetSpec::Ipums);
+    let (me, _) = run(EstimatorKind::MaxEntropy, 5, DatasetSpec::Ipums);
+    // At higher lambda both carry estimation error; they must stay within
+    // a factor of each other and both below the average answer magnitude.
+    let ratio = wu.max(me) / wu.min(me).max(1e-9);
+    assert!(ratio < 2.0, "WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})");
+    assert!(wu < scale, "WU MAE {wu:.4} above signal scale {scale:.4}");
+    assert!(me < scale, "MaxEnt MAE {me:.4} above signal scale {scale:.4}");
+}

@@ -1,0 +1,159 @@
+//! Statistical reproductions of the paper's headline claims at reduced
+//! scale. Every test is seeded and averaged over repetitions so it is
+//! deterministic; thresholds encode the *ordering* claims, not absolute
+//! numbers.
+
+use privmdr::core::{Calm, Hdg, HioMechanism, Lhio, Mechanism, Msw, Tdg};
+use privmdr::data::DatasetSpec;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
+use privmdr::query::mae;
+
+fn avg_mae(
+    mech: &dyn Mechanism,
+    ds: &privmdr::data::Dataset,
+    queries: &[privmdr::query::RangeQuery],
+    truths: &[f64],
+    eps: f64,
+    reps: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..reps {
+        let model = mech.fit(ds, eps, seed).expect("fit");
+        total += mae(&model.answer_all(queries), truths);
+    }
+    total / reps as f64
+}
+
+/// §1 / Fig. 1: "HDG outperforms existing approaches" on correlated data.
+#[test]
+fn hdg_beats_all_baselines_on_correlated_data() {
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(150_000, 4, 64, 21);
+    let wl = WorkloadBuilder::new(4, 64, 22);
+    let queries = wl.random(2, 0.5, 60);
+    let truths = true_answers(&ds, &queries);
+    let reps = 3;
+    let hdg = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, reps);
+    for baseline in [
+        Box::new(Msw::default()) as Box<dyn Mechanism>,
+        Box::new(Calm::default()),
+        Box::new(Lhio::default()),
+        Box::new(Tdg::default()),
+    ] {
+        let b = avg_mae(baseline.as_ref(), &ds, &queries, &truths, 1.0, reps);
+        assert!(
+            hdg < b,
+            "HDG ({hdg:.4}) must beat {} ({b:.4}) on rho=0.8",
+            baseline.name()
+        );
+    }
+}
+
+/// §3.3 / Fig. 1: HIO is the weakest approach — often worse than Uni.
+#[test]
+fn hio_suffers_the_curse_of_dimensionality() {
+    let ds = DatasetSpec::Normal { rho: 0.8 }.generate(60_000, 4, 64, 23);
+    let wl = WorkloadBuilder::new(4, 64, 24);
+    let queries = wl.random(2, 0.5, 30);
+    let truths = true_answers(&ds, &queries);
+    let hio = avg_mae(&HioMechanism::default(), &ds, &queries, &truths, 1.0, 2);
+    let lhio = avg_mae(&Lhio::default(), &ds, &queries, &truths, 1.0, 2);
+    let hdg = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, 2);
+    assert!(lhio < hio, "LHIO ({lhio:.4}) must improve on HIO ({hio:.4})");
+    assert!(hdg < hio / 5.0, "HDG ({hdg:.4}) should be >5x better than HIO ({hio:.4})");
+}
+
+/// §3.5 / Fig. 1c: MSW is competitive exactly when correlations are weak.
+#[test]
+fn msw_competitive_only_without_correlation() {
+    // n chosen so the guideline picks g2 = 4 (below ~250k it falls to 2 and
+    // HDG's 2-D grids capture too little correlation to beat MSW — the same
+    // crossover the paper's Fig. 6 shows at small n).
+    let weak = DatasetSpec::Bfive.generate(300_000, 4, 64, 25);
+    let strong = DatasetSpec::Normal { rho: 0.8 }.generate(300_000, 4, 64, 25);
+    let wl = WorkloadBuilder::new(4, 64, 26);
+    let queries = wl.random(2, 0.5, 50);
+    let reps = 3;
+
+    let t_weak = true_answers(&weak, &queries);
+    let msw_weak = avg_mae(&Msw::default(), &weak, &queries, &t_weak, 1.0, reps);
+    let hdg_weak = avg_mae(&Hdg::default(), &weak, &queries, &t_weak, 1.0, reps);
+    // Weak correlation: MSW within a small factor of HDG (often better).
+    assert!(
+        msw_weak < hdg_weak * 2.0,
+        "on weak correlation MSW ({msw_weak:.4}) ~ HDG ({hdg_weak:.4})"
+    );
+
+    let t_strong = true_answers(&strong, &queries);
+    let msw_strong = avg_mae(&Msw::default(), &strong, &queries, &t_strong, 1.0, reps);
+    let hdg_strong = avg_mae(&Hdg::default(), &strong, &queries, &t_strong, 1.0, reps);
+    assert!(
+        hdg_strong < msw_strong,
+        "on strong correlation HDG ({hdg_strong:.4}) must beat MSW ({msw_strong:.4})"
+    );
+}
+
+/// §4 / Fig. 1: HDG improves on TDG (the uniformity-assumption fix), here on
+/// skewed real-like data where non-uniformity error dominates.
+#[test]
+fn hdg_improves_on_tdg() {
+    let ds = DatasetSpec::Ipums.generate(150_000, 4, 64, 27);
+    let wl = WorkloadBuilder::new(4, 64, 28);
+    let queries = wl.random(2, 0.5, 60);
+    let truths = true_answers(&ds, &queries);
+    let reps = 4;
+    let tdg = avg_mae(&Tdg::default(), &ds, &queries, &truths, 1.0, reps);
+    let hdg = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, reps);
+    assert!(hdg < tdg, "HDG ({hdg:.4}) must beat TDG ({tdg:.4}) on skewed data");
+}
+
+/// §5.3 / Fig. 1: accuracy improves (MAE shrinks) as ε grows.
+#[test]
+fn mae_decreases_with_epsilon() {
+    let ds = DatasetSpec::Laplace { rho: 0.8 }.generate(100_000, 4, 64, 29);
+    let wl = WorkloadBuilder::new(4, 64, 30);
+    let queries = wl.random(2, 0.5, 50);
+    let truths = true_answers(&ds, &queries);
+    let low = avg_mae(&Hdg::default(), &ds, &queries, &truths, 0.2, 3);
+    let high = avg_mae(&Hdg::default(), &ds, &queries, &truths, 2.0, 3);
+    assert!(high < low, "MAE at eps=2 ({high:.4}) must beat eps=0.2 ({low:.4})");
+}
+
+/// §5.3 / Fig. 6: more users help every LDP approach.
+#[test]
+fn mae_decreases_with_population() {
+    let wl = WorkloadBuilder::new(4, 64, 31);
+    let queries = wl.random(2, 0.5, 50);
+    let small = DatasetSpec::Normal { rho: 0.8 }.generate(30_000, 4, 64, 32);
+    let large = DatasetSpec::Normal { rho: 0.8 }.generate(300_000, 4, 64, 32);
+    let t_small = true_answers(&small, &queries);
+    let t_large = true_answers(&large, &queries);
+    let m_small = avg_mae(&Hdg::default(), &small, &queries, &t_small, 1.0, 3);
+    let m_large = avg_mae(&Hdg::default(), &large, &queries, &t_large, 1.0, 3);
+    assert!(
+        m_large < m_small,
+        "MAE at n=300k ({m_large:.4}) must beat n=30k ({m_small:.4})"
+    );
+}
+
+/// §4.6 / Fig. 7: the guideline's choice is close to the best fixed
+/// granularity combination.
+#[test]
+fn guideline_tracks_best_fixed_granularity() {
+    let ds = DatasetSpec::Ipums.generate(100_000, 4, 64, 33);
+    let wl = WorkloadBuilder::new(4, 64, 34);
+    let queries = wl.random(2, 0.5, 40);
+    let truths = true_answers(&ds, &queries);
+    let reps = 3;
+    let guideline = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, reps);
+    let mut best_fixed = f64::INFINITY;
+    for (g1, g2) in [(8, 2), (8, 4), (16, 2), (16, 4), (16, 8), (32, 4), (32, 8)] {
+        let mech = Hdg::new(
+            privmdr::core::MechanismConfig::default().with_granularities(g1, g2),
+        );
+        best_fixed = best_fixed.min(avg_mae(&mech, &ds, &queries, &truths, 1.0, reps));
+    }
+    assert!(
+        guideline < best_fixed * 1.8,
+        "guideline ({guideline:.4}) must track the best fixed choice ({best_fixed:.4})"
+    );
+}

@@ -1,0 +1,158 @@
+//! Cross-crate property tests (proptest) on the workspace's core
+//! invariants.
+
+use privmdr::data::Dataset;
+use privmdr::grid::{norm_sub, PrefixSum2d};
+use privmdr::hierarchy::Hierarchy1d;
+use privmdr::query::{Predicate, RangeQuery};
+use proptest::prelude::*;
+
+proptest! {
+    /// Norm-Sub output is a valid (sub-)distribution regardless of input.
+    #[test]
+    fn norm_sub_always_valid(xs in prop::collection::vec(-1.0f64..1.0, 1..64)) {
+        let mut v = xs;
+        norm_sub(&mut v, 1.0);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Norm-Sub is idempotent.
+    #[test]
+    fn norm_sub_idempotent(xs in prop::collection::vec(-1.0f64..1.0, 1..64)) {
+        let mut v = xs;
+        norm_sub(&mut v, 1.0);
+        let once = v.clone();
+        norm_sub(&mut v, 1.0);
+        for (a, b) in v.iter().zip(&once) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Hierarchy decomposition covers each value in the range exactly once.
+    #[test]
+    fn decomposition_is_exact_cover(
+        b in 2usize..5,
+        h in 1usize..4,
+        raw_lo in 0usize..1000,
+        raw_len in 0usize..1000,
+    ) {
+        let c = b.pow(h as u32);
+        let lo = raw_lo % c;
+        let hi = (lo + raw_len % (c - lo).max(1)).min(c - 1);
+        let hier = Hierarchy1d::new(b, c).unwrap();
+        let mut covered = vec![0u32; c];
+        for (level, idx) in hier.decompose(lo, hi) {
+            let (n_lo, n_hi) = hier.node_bounds(level, idx);
+            for cell in covered.iter_mut().take(n_hi + 1).skip(n_lo) {
+                *cell += 1;
+            }
+        }
+        for (v, &cnt) in covered.iter().enumerate() {
+            prop_assert_eq!(cnt, u32::from(lo <= v && v <= hi), "value {}", v);
+        }
+    }
+
+    /// Prefix-sum rectangle queries match brute-force summation.
+    #[test]
+    fn prefix_sums_match_brute_force(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as u64 ^ seed) as f64 * 0.37).sin())
+            .collect();
+        let p = PrefixSum2d::build(&data, rows, cols);
+        for r0 in 0..rows {
+            for c0 in 0..cols {
+                let mut brute = 0.0;
+                for r in r0..rows {
+                    for c in c0..cols {
+                        brute += data[r * cols + c];
+                    }
+                }
+                prop_assert!((p.rect(r0, rows, c0, cols) - brute).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// True answers are monotone under query-interval widening.
+    #[test]
+    fn true_answer_monotone_in_interval(
+        seed in 0u64..500,
+        lo in 0usize..16,
+        len in 0usize..16,
+    ) {
+        let ds = privmdr::data::DatasetSpec::Ipums.generate(500, 2, 16, seed);
+        let hi = (lo + len).min(15);
+        let narrow = RangeQuery::new(
+            vec![Predicate { attr: 0, lo, hi }],
+            16,
+        ).unwrap();
+        let wide = RangeQuery::new(
+            vec![Predicate { attr: 0, lo: 0, hi: 15 }],
+            16,
+        ).unwrap();
+        prop_assert!(narrow.true_answer(&ds) <= wide.true_answer(&ds) + 1e-12);
+    }
+
+    /// Dataset truncation keeps values and prefixes intact.
+    #[test]
+    fn with_dims_prefix_preserved(
+        n in 1usize..50,
+        d in 2usize..6,
+        keep in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let keep = keep.min(d);
+        let ds = privmdr::data::DatasetSpec::Acs.generate(n, d, 16, seed);
+        let narrow = ds.with_dims(keep);
+        prop_assert_eq!(narrow.dims(), keep);
+        for u in 0..n {
+            prop_assert_eq!(&ds.row(u)[..keep], narrow.row(u));
+        }
+    }
+
+    /// Query volume equals the product of normalized interval lengths and
+    /// bounds the true answer of a uniform dataset loosely.
+    #[test]
+    fn volume_is_product(
+        lo1 in 0usize..16, len1 in 0usize..16,
+        lo2 in 0usize..16, len2 in 0usize..16,
+    ) {
+        let (hi1, hi2) = ((lo1 + len1).min(15), (lo2 + len2).min(15));
+        let q = RangeQuery::new(
+            vec![
+                Predicate { attr: 0, lo: lo1, hi: hi1 },
+                Predicate { attr: 1, lo: lo2, hi: hi2 },
+            ],
+            16,
+        ).unwrap();
+        let want = ((hi1 - lo1 + 1) as f64 / 16.0) * ((hi2 - lo2 + 1) as f64 / 16.0);
+        prop_assert!((q.volume(16) - want).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dataset::new validates exactly the documented invariants.
+    #[test]
+    fn dataset_validation_is_total(
+        rows in prop::collection::vec(0u16..64, 0..40),
+        d in 1usize..5,
+    ) {
+        match Dataset::new(rows.clone(), d, 32) {
+            Ok(ds) => {
+                prop_assert_eq!(rows.len() % d, 0);
+                prop_assert!(rows.iter().all(|&v| v < 32));
+                prop_assert_eq!(ds.len(), rows.len() / d);
+            }
+            Err(_) => {
+                prop_assert!(rows.len() % d != 0 || rows.iter().any(|&v| v >= 32));
+            }
+        }
+    }
+}
