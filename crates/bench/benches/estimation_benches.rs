@@ -31,9 +31,7 @@ fn bench_estimators(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("max_entropy", lambda),
             &pairs,
-            |b, pairs| {
-                b.iter(|| black_box(max_entropy(lambda, pairs, &marginals, 1e-7, 100)))
-            },
+            |b, pairs| b.iter(|| black_box(max_entropy(lambda, pairs, &marginals, 1e-7, 100))),
         );
     }
     group.finish();

@@ -75,15 +75,15 @@ fn bench_response_matrix(c: &mut Criterion) {
         let g1 = 16.min(cdom);
         let g2 = 4;
         let f1: Vec<f64> = {
-            let raw: Vec<f64> = (0..g1).map(|i| 1.0 + (i as f64 * 0.3).cos().abs()).collect();
+            let raw: Vec<f64> = (0..g1)
+                .map(|i| 1.0 + (i as f64 * 0.3).cos().abs())
+                .collect();
             let t: f64 = raw.iter().sum();
             raw.iter().map(|x| x / t).collect()
         };
         let gj = Grid1d::from_freqs(0, g1, cdom, f1.clone()).unwrap();
         let gk = Grid1d::from_freqs(1, g1, cdom, f1.clone()).unwrap();
-        let blk = |b: usize| -> f64 {
-            f1[b * (g1 / g2)..(b + 1) * (g1 / g2)].iter().sum()
-        };
+        let blk = |b: usize| -> f64 { f1[b * (g1 / g2)..(b + 1) * (g1 / g2)].iter().sum() };
         let mut f2 = vec![0.0; g2 * g2];
         for a in 0..g2 {
             for bcol in 0..g2 {
@@ -98,5 +98,10 @@ fn bench_response_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_norm_sub, bench_consistency, bench_response_matrix);
+criterion_group!(
+    benches,
+    bench_norm_sub,
+    bench_consistency,
+    bench_response_matrix
+);
 criterion_main!(benches);

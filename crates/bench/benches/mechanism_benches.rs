@@ -42,8 +42,13 @@ fn bench_answering(c: &mut Criterion) {
     group.sample_size(10);
     let ds = DatasetSpec::Normal { rho: 0.8 }.generate(50_000, 6, 64, 43);
     let queries = WorkloadBuilder::new(6, 64, 7).random(4, 0.5, 200);
-    for approach in [Approach::Msw, Approach::Calm, Approach::Lhio, Approach::Tdg, Approach::Hdg]
-    {
+    for approach in [
+        Approach::Msw,
+        Approach::Calm,
+        Approach::Lhio,
+        Approach::Tdg,
+        Approach::Hdg,
+    ] {
         let model = approach.mechanism().fit(&ds, 1.0, 1).expect("fit");
         group.bench_with_input(
             BenchmarkId::from_parameter(approach.name()),

@@ -73,9 +73,7 @@ impl Approach {
             Approach::Hdg => Box::new(Hdg::new(base)),
             Approach::ITdg => Box::new(Tdg::new(base.without_post_process())),
             Approach::IHdg => Box::new(Hdg::new(base.without_post_process())),
-            Approach::HdgFixed { g1, g2 } => {
-                Box::new(Hdg::new(base.with_granularities(g1, g2)))
-            }
+            Approach::HdgFixed { g1, g2 } => Box::new(Hdg::new(base.with_granularities(g1, g2))),
             Approach::HdgSigma { sigma } => Box::new(Hdg::new(base.with_sigma(sigma))),
             Approach::HdgMaxEnt => Box::new(Hdg::new(MechanismConfig {
                 estimator: EstimatorKind::MaxEntropy,
@@ -145,7 +143,11 @@ mod tests {
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(dedup.len(), names.len() - 1, "only HDG appears twice (ladder)");
+        assert_eq!(
+            dedup.len(),
+            names.len() - 1,
+            "only HDG appears twice (ladder)"
+        );
     }
 
     #[test]

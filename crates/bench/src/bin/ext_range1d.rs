@@ -24,7 +24,11 @@ fn main() {
     let eps_sweep = scale.eps_sweep();
     let mut tables = Vec::new();
 
-    for spec in [DatasetSpec::Ipums, DatasetSpec::Bfive, DatasetSpec::Laplace { rho: 0.8 }] {
+    for spec in [
+        DatasetSpec::Ipums,
+        DatasetSpec::Bfive,
+        DatasetSpec::Laplace { rho: 0.8 },
+    ] {
         let ds = spec.generate(scale.n, 1, c, scale.seed);
         let values: Vec<u16> = (0..ds.len()).map(|u| ds.value(u, 0)).collect();
         // 1-D range workload of volume 0.5.
@@ -38,7 +42,10 @@ fn main() {
         let truths: Vec<f64> = ranges
             .iter()
             .map(|&(lo, hi)| {
-                values.iter().filter(|&&v| (lo..=hi).contains(&(v as usize))).count() as f64
+                values
+                    .iter()
+                    .filter(|&&v| (lo..=hi).contains(&(v as usize)))
+                    .count() as f64
                     / values.len() as f64
             })
             .collect();
@@ -57,16 +64,18 @@ fn main() {
                     let sw = SquareWave::new(eps, c).expect("params");
                     let v32: Vec<u32> = values.iter().map(|&v| v as u32).collect();
                     let dist = sw.collect(&v32, SimMode::Fast, &mut rng);
-                    ranges.iter().map(|&(lo, hi)| dist[lo..=hi].iter().sum()).collect()
+                    ranges
+                        .iter()
+                        .map(|&(lo, hi)| dist[lo..=hi].iter().sum())
+                        .collect()
                 }),
             ),
             (
                 "Hierarchy(b=4)+CI",
                 Box::new(|eps, seed| {
                     let mut rng = derive_rng(seed, &[2]);
-                    let m =
-                        HierarchicalRange1d::fit(4, c, &values, eps, SimMode::Fast, &mut rng)
-                            .expect("fit");
+                    let m = HierarchicalRange1d::fit(4, c, &values, eps, SimMode::Fast, &mut rng)
+                        .expect("fit");
                     ranges.iter().map(|&(lo, hi)| m.answer(lo, hi)).collect()
                 }),
             ),
@@ -74,8 +83,8 @@ fn main() {
                 "HaarWavelet",
                 Box::new(|eps, seed| {
                     let mut rng = derive_rng(seed, &[3]);
-                    let m = HaarRange1d::fit(c, &values, eps, SimMode::Fast, &mut rng)
-                        .expect("fit");
+                    let m =
+                        HaarRange1d::fit(c, &values, eps, SimMode::Fast, &mut rng).expect("fit");
                     ranges.iter().map(|&(lo, hi)| m.answer(lo, hi)).collect()
                 }),
             ),
@@ -85,7 +94,10 @@ fn main() {
                     let mut rng = derive_rng(seed, &[4]);
                     let g = Grid1d::collect(0, 16, c, &values, eps, SimMode::Fast, &mut rng)
                         .expect("fit");
-                    ranges.iter().map(|&(lo, hi)| g.answer_uniform(lo, hi)).collect()
+                    ranges
+                        .iter()
+                        .map(|&(lo, hi)| g.answer_uniform(lo, hi))
+                        .collect()
                 }),
             ),
         ];

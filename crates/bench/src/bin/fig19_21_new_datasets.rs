@@ -1,6 +1,6 @@
 //! Figs. 19–21 / Appendix A.7: Loan and Acs stand-ins — ε, ω, and d sweeps.
-use privmdr_bench::figures::sweeps::{vary_d, vary_omega};
 use privmdr_bench::figures::fig_vary_eps;
+use privmdr_bench::figures::sweeps::{vary_d, vary_omega};
 use privmdr_bench::{Approach, Ctx, Scale};
 use privmdr_data::DatasetSpec;
 

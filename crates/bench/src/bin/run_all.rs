@@ -9,13 +9,21 @@ use privmdr_data::DatasetSpec;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("running full suite at {:?} scale (n={}, reps={}, |Q|={})",
-        scale.tier, scale.n, scale.reps, scale.queries);
+    println!(
+        "running full suite at {:?} scale (n={}, reps={}, |Q|={})",
+        scale.tier, scale.n, scale.reps, scale.queries
+    );
     let ctx = Ctx::new(scale);
     let started = std::time::Instant::now();
 
     table2::run("table2");
-    figures::fig_vary_eps(&ctx, "fig01", &DatasetSpec::main_four(), &[2, 4], &Approach::all_seven());
+    figures::fig_vary_eps(
+        &ctx,
+        "fig01",
+        &DatasetSpec::main_four(),
+        &[2, 4],
+        &Approach::all_seven(),
+    );
     sweeps::vary_omega(&ctx, "fig02", &DatasetSpec::main_four(), &[2, 4]);
     sweeps::vary_c(&ctx, "fig03", &[2, 4]);
     sweeps::vary_d(&ctx, "fig04", &DatasetSpec::main_four(), &[2, 4]);
@@ -33,10 +41,22 @@ fn main() {
     guideline_check::run(&ctx, "fig16", &[4, 8, 10]);
     convergence::alg1(&ctx, "fig17");
     convergence::alg2(&ctx, "fig18");
-    figures::fig_vary_eps(&ctx, "fig19", &DatasetSpec::appendix_two(), &[2, 4], &Approach::all_seven());
+    figures::fig_vary_eps(
+        &ctx,
+        "fig19",
+        &DatasetSpec::appendix_two(),
+        &[2, 4],
+        &Approach::all_seven(),
+    );
     sweeps::vary_omega(&ctx, "fig20", &DatasetSpec::appendix_two(), &[2, 4]);
     sweeps::vary_d(&ctx, "fig21", &DatasetSpec::appendix_two(), &[2, 4]);
-    figures::fig_vary_eps(&ctx, "fig23", &DatasetSpec::main_four(), &[6], &Approach::six_without_hio());
+    figures::fig_vary_eps(
+        &ctx,
+        "fig23",
+        &DatasetSpec::main_four(),
+        &[6],
+        &Approach::six_without_hio(),
+    );
     sweeps::vary_omega(&ctx, "fig24", &DatasetSpec::main_four(), &[6]);
     sweeps::vary_c(&ctx, "fig25", &[6]);
     sweeps::vary_d(&ctx, "fig26", &DatasetSpec::main_four(), &[6]);

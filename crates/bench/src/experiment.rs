@@ -69,7 +69,11 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context at the given scale.
     pub fn new(scale: Scale) -> Self {
-        Ctx { scale, datasets: Mutex::new(HashMap::new()), workloads: Mutex::new(HashMap::new()) }
+        Ctx {
+            scale,
+            datasets: Mutex::new(HashMap::new()),
+            workloads: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The dataset for `(spec, n, d, c)`, generated once and shared.
@@ -191,7 +195,10 @@ mod tests {
     #[test]
     fn workload_cache_shares_instances() {
         let ctx = tiny_ctx();
-        let kind = WorkloadKind::Random { lambda: 2, omega: 0.5 };
+        let kind = WorkloadKind::Random {
+            lambda: 2,
+            omega: 0.5,
+        };
         let a = ctx.workload(DatasetSpec::Ipums, 5000, 3, 16, kind);
         let b = ctx.workload(DatasetSpec::Ipums, 5000, 3, 16, kind);
         assert!(Arc::ptr_eq(&a, &b));
@@ -210,7 +217,10 @@ mod tests {
                 16,
                 &approach,
                 1.0,
-                WorkloadKind::Random { lambda: 2, omega: 0.5 },
+                WorkloadKind::Random {
+                    lambda: 2,
+                    omega: 0.5,
+                },
             );
             assert_eq!(s.count, 2, "{}", approach.name());
             assert!(s.mean.is_finite() && s.mean >= 0.0);
@@ -225,7 +235,10 @@ mod tests {
         scale.queries = 30;
         let ctx = Ctx::new(scale);
         let spec = DatasetSpec::Normal { rho: 0.8 };
-        let kind = WorkloadKind::Random { lambda: 2, omega: 0.5 };
+        let kind = WorkloadKind::Random {
+            lambda: 2,
+            omega: 0.5,
+        };
         let uni = ctx.mae(spec, 40_000, 4, 32, &Approach::Uni, 1.0, kind);
         let hdg = ctx.mae(spec, 40_000, 4, 32, &Approach::Hdg, 1.0, kind);
         assert!(hdg.mean < uni.mean, "HDG {} vs Uni {}", hdg.mean, uni.mean);

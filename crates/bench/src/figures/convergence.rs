@@ -41,8 +41,7 @@ pub fn alg1(ctx: &Ctx, fig: &str) {
         for &eps in &eps_rows(ctx) {
             let seed = derive_seed(ctx.scale.seed, &[0xa191, (eps * 100.0) as u64]);
             let cfg = MechanismConfig::default();
-            let (one_d, two_d) =
-                fit_hdg_grids(&ds, eps, seed, &cfg).expect("HDG grids fit");
+            let (one_d, two_d) = fit_hdg_grids(&ds, eps, seed, &cfg).expect("HDG grids fit");
             // Average the change trace across all pairs.
             let mut acc = vec![0.0f64; steps];
             for grid in &two_d {
@@ -94,10 +93,16 @@ pub fn alg2(ctx: &Ctx, fig: &str) {
             ctx.scale.n,
             DEFAULT_D,
             DEFAULT_C,
-            WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+            WorkloadKind::Random {
+                lambda,
+                omega: DEFAULT_OMEGA,
+            },
         );
         let mut table = Table::new(
-            format!("{fig}: {} (Algorithm 2 total change per step, lambda=4)", spec.name()),
+            format!(
+                "{fig}: {} (Algorithm 2 total change per step, lambda=4)",
+                spec.name()
+            ),
             "step",
             (1..=steps).map(|s| s.to_string()).collect(),
         );
@@ -128,7 +133,11 @@ pub fn alg2(ctx: &Ctx, fig: &str) {
                             DEFAULT_C,
                         )
                         .expect("valid sub-query");
-                        pairs.push(PairAnswer { i, j, f: model.answer(&q2).clamp(0.0, 1.0) });
+                        pairs.push(PairAnswer {
+                            i,
+                            j,
+                            f: model.answer(&q2).clamp(0.0, 1.0),
+                        });
                     }
                 }
                 let mut trace = vec![0.0f64; steps];

@@ -19,7 +19,10 @@ pub fn run(ctx: &Ctx, fig: &str, approach: Approach) {
     let mut tables = Vec::new();
     for spec in DatasetSpec::main_four() {
         for lambda in [2usize, 4] {
-            let kind = WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA };
+            let kind = WorkloadKind::Random {
+                lambda,
+                omega: DEFAULT_OMEGA,
+            };
             let ds = ctx.dataset(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C);
             let wl = ctx.workload(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C, kind);
             let (queries, truths) = (&wl.0, &wl.1);
@@ -30,7 +33,9 @@ pub fn run(ctx: &Ctx, fig: &str, approach: Approach) {
             let mut fitted = 0usize;
             for rep in 0..ctx.scale.reps {
                 let seed = derive_seed(ctx.scale.seed, &[0xe44, rep]);
-                let Ok(model) = mech.fit(&ds, DEFAULT_EPS, seed) else { continue };
+                let Ok(model) = mech.fit(&ds, DEFAULT_EPS, seed) else {
+                    continue;
+                };
                 let est = model.answer_all(queries);
                 for ((pq, e), t) in per_query.iter_mut().zip(&est).zip(truths) {
                     *pq += (e - t).abs();
@@ -54,7 +59,10 @@ pub fn run(ctx: &Ctx, fig: &str, approach: Approach) {
                     spec.name()
                 ),
                 "error bucket center",
-                hist.rows().iter().map(|(center, _)| format!("{center:.3}")).collect(),
+                hist.rows()
+                    .iter()
+                    .map(|(center, _)| format!("{center:.3}"))
+                    .collect(),
             );
             table.push_row(
                 "queries",

@@ -15,12 +15,18 @@ use privmdr_data::DatasetSpec;
 pub fn run(ctx: &Ctx, fig: &str, d_values: &[usize]) {
     let eps = ctx.scale.eps_sweep();
     let ladder = Approach::guideline_ladder();
-    let kind = WorkloadKind::Random { lambda: 2, omega: DEFAULT_OMEGA };
+    let kind = WorkloadKind::Random {
+        lambda: 2,
+        omega: DEFAULT_OMEGA,
+    };
     let mut tables = Vec::new();
     for &d in d_values {
         for spec in DatasetSpec::main_four() {
             let mut table = Table::new(
-                format!("{fig}: {}, d={d} (guideline vs fixed granularities)", spec.name()),
+                format!(
+                    "{fig}: {}, d={d} (guideline vs fixed granularities)",
+                    spec.name()
+                ),
                 "epsilon",
                 eps.iter().map(|e| format!("{e:.1}")).collect(),
             );
@@ -32,7 +38,10 @@ pub fn run(ctx: &Ctx, fig: &str, d_values: &[usize]) {
                 ctx.mae(spec, ctx.scale.n, d, DEFAULT_C, &a, e, kind)
             });
             for (ai, a) in ladder.iter().enumerate() {
-                table.push_row(a.name(), results[ai * eps.len()..(ai + 1) * eps.len()].to_vec());
+                table.push_row(
+                    a.name(),
+                    results[ai * eps.len()..(ai + 1) * eps.len()].to_vec(),
+                );
             }
             // Regret diagnostic: guideline MAE / best fixed MAE per epsilon.
             let hdg_row = &results[(ladder.len() - 1) * eps.len()..];

@@ -34,7 +34,10 @@ pub fn fig_vary_eps(
     let mut tables = Vec::new();
     for &spec in datasets {
         for &lambda in lambdas {
-            let kind = WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA };
+            let kind = WorkloadKind::Random {
+                lambda,
+                omega: DEFAULT_OMEGA,
+            };
             let mut table = Table::new(
                 format!("{fig}: {}, lambda={lambda} (MAE vs epsilon)", spec.name()),
                 "epsilon",
@@ -68,7 +71,10 @@ pub fn run_generic_sweep(
     subplots: Vec<(
         String,
         Vec<String>,
-        Box<dyn Fn(usize, &Approach) -> (DatasetSpec, usize, usize, usize, f64, WorkloadKind) + Sync>,
+        Box<
+            dyn Fn(usize, &Approach) -> (DatasetSpec, usize, usize, usize, f64, WorkloadKind)
+                + Sync,
+        >,
     )>,
     approaches: &[Approach],
     x_label: &str,

@@ -18,7 +18,10 @@ pub fn run(ctx: &Ctx, fig: &str) {
         Tier::Quick => vec![1.0],
         _ => vec![0.2, 0.6, 1.0, 1.4, 1.8],
     };
-    let kind = WorkloadKind::Random { lambda: 2, omega: DEFAULT_OMEGA };
+    let kind = WorkloadKind::Random {
+        lambda: 2,
+        omega: DEFAULT_OMEGA,
+    };
     let mut tables = Vec::new();
     for spec in DatasetSpec::main_four() {
         let mut table = Table::new(

@@ -30,7 +30,10 @@ pub fn vary_omega(ctx: &Ctx, fig: &str, datasets: &[DatasetSpec], lambdas: &[usi
                         DEFAULT_D,
                         DEFAULT_C,
                         DEFAULT_EPS,
-                        WorkloadKind::Random { lambda, omega: omegas_c[xi] },
+                        WorkloadKind::Random {
+                            lambda,
+                            omega: omegas_c[xi],
+                        },
                     )
                 }),
             ));
@@ -61,7 +64,10 @@ pub fn vary_c(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
                         DEFAULT_D,
                         cs_c[xi],
                         DEFAULT_EPS,
-                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                        WorkloadKind::Random {
+                            lambda,
+                            omega: DEFAULT_OMEGA,
+                        },
                     )
                 }),
             ));
@@ -88,7 +94,10 @@ pub fn vary_d(ctx: &Ctx, fig: &str, datasets: &[DatasetSpec], lambdas: &[usize])
                         ds_c[xi],
                         DEFAULT_C,
                         DEFAULT_EPS,
-                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                        WorkloadKind::Random {
+                            lambda,
+                            omega: DEFAULT_OMEGA,
+                        },
                     )
                 }),
             ));
@@ -119,7 +128,10 @@ pub fn vary_lambda(ctx: &Ctx, fig: &str) {
                     10,
                     DEFAULT_C,
                     DEFAULT_EPS,
-                    WorkloadKind::Random { lambda: lambdas_c[xi], omega: DEFAULT_OMEGA },
+                    WorkloadKind::Random {
+                        lambda: lambdas_c[xi],
+                        omega: DEFAULT_OMEGA,
+                    },
                 )
             }),
         ));
@@ -140,7 +152,9 @@ pub fn vary_n(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
             let ns_c = ns.clone();
             subplots.push((
                 format!("{fig}: {}, lambda={lambda} (MAE vs n)", spec.name()),
-                ns.iter().map(|n| format!("{:.1}", (*n as f64).log10())).collect(),
+                ns.iter()
+                    .map(|n| format!("{:.1}", (*n as f64).log10()))
+                    .collect(),
                 Box::new(move |xi, _| {
                     (
                         spec,
@@ -148,7 +162,10 @@ pub fn vary_n(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
                         DEFAULT_D,
                         DEFAULT_C,
                         DEFAULT_EPS,
-                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                        WorkloadKind::Random {
+                            lambda,
+                            omega: DEFAULT_OMEGA,
+                        },
                     )
                 }),
             ));
@@ -162,15 +179,29 @@ pub fn full_marginals(ctx: &Ctx, fig: &str) {
     let eps = ctx.scale.eps_sweep();
     let n = ctx.scale.n;
     // Marginal workloads enumerate (d choose 2)·c² queries; keep c modest.
-    let c = if ctx.scale.tier == Tier::Full { DEFAULT_C } else { 32 };
+    let c = if ctx.scale.tier == Tier::Full {
+        DEFAULT_C
+    } else {
+        32
+    };
     let mut subplots: Vec<(String, Vec<String>, CellFn)> = Vec::new();
     for spec in DatasetSpec::main_four() {
         let eps_c = eps.clone();
         subplots.push((
-            format!("{fig}: {} (full 2-D marginals, MAE vs epsilon, c={c})", spec.name()),
+            format!(
+                "{fig}: {} (full 2-D marginals, MAE vs epsilon, c={c})",
+                spec.name()
+            ),
             eps.iter().map(|e| format!("{e:.1}")).collect(),
             Box::new(move |xi, _| {
-                (spec, n, DEFAULT_D, c, eps_c[xi], WorkloadKind::Full2dMarginals)
+                (
+                    spec,
+                    n,
+                    DEFAULT_D,
+                    c,
+                    eps_c[xi],
+                    WorkloadKind::Full2dMarginals,
+                )
             }),
         ));
     }
@@ -194,7 +225,9 @@ pub fn full_ranges(ctx: &Ctx, fig: &str) {
                     DEFAULT_D,
                     DEFAULT_C,
                     eps_c[xi],
-                    WorkloadKind::Full2dRanges { omega: DEFAULT_OMEGA },
+                    WorkloadKind::Full2dRanges {
+                        omega: DEFAULT_OMEGA,
+                    },
                 )
             }),
         ));
@@ -215,7 +248,10 @@ pub fn count_extremes(ctx: &Ctx, fig: &str, zero: bool) {
         let lambdas_c = lambdas.clone();
         let label = if zero { "0-count" } else { "non-0-count" };
         subplots.push((
-            format!("{fig}: {} ({label} queries, MAE vs lambda, d=10)", spec.name()),
+            format!(
+                "{fig}: {} ({label} queries, MAE vs lambda, d=10)",
+                spec.name()
+            ),
             lambdas.iter().map(|l| format!("{l}")).collect(),
             Box::new(move |xi, _| {
                 let lambda = lambdas_c[xi];
@@ -263,7 +299,10 @@ pub fn covariance_sweep(ctx: &Ctx, fig: &str) {
                             DEFAULT_D,
                             DEFAULT_C,
                             eps_c[xi],
-                            WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                            WorkloadKind::Random {
+                                lambda,
+                                omega: DEFAULT_OMEGA,
+                            },
                         )
                     }),
                 ));
@@ -292,7 +331,10 @@ pub fn components(ctx: &Ctx, fig: &str, lambdas: &[usize]) {
                         DEFAULT_D,
                         DEFAULT_C,
                         eps_c[xi],
-                        WorkloadKind::Random { lambda, omega: DEFAULT_OMEGA },
+                        WorkloadKind::Random {
+                            lambda,
+                            omega: DEFAULT_OMEGA,
+                        },
                     )
                 }),
             ));

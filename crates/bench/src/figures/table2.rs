@@ -45,7 +45,10 @@ pub fn run(fig: &str) {
         table.push_row(format!("d={d}, lg(n)={lg_n:.1}"), cells);
     }
     println!("\n### {fig} (human-readable)\n");
-    println!("| d, lg(n) |{}", eps.iter().map(|e| format!(" {e:.1} |")).collect::<String>());
+    println!(
+        "| d, lg(n) |{}",
+        eps.iter().map(|e| format!(" {e:.1} |")).collect::<String>()
+    );
     println!("|---|{}", "---|".repeat(eps.len()));
     print!("{pretty}");
     emit(fig, &[table]);

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// order. Items are claimed through an atomic cursor, so uneven cell costs
 /// (HIO vs Uni) balance naturally.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let threads = threads.min(items.len()).max(1);
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
@@ -30,7 +32,10 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("every slot written")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot written"))
+        .collect()
 }
 
 /// Send/Sync wrapper for the raw slot pointer; safe because slot indices are

@@ -24,7 +24,12 @@ impl Table {
         x_label: impl Into<String>,
         x_values: Vec<String>,
     ) -> Self {
-        Table { title: title.into(), x_label: x_label.into(), x_values, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            x_values,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a series; its length must match the x-axis.
@@ -130,7 +135,13 @@ mod tests {
     use super::*;
 
     fn s(mean: f64) -> Summary {
-        Summary { mean, std_dev: 0.01, min: mean, max: mean, count: 3 }
+        Summary {
+            mean,
+            std_dev: 0.01,
+            min: mean,
+            max: mean,
+            count: 3,
+        }
     }
 
     #[test]

@@ -34,17 +34,35 @@ pub struct Scale {
 impl Scale {
     /// Smoke-test scale.
     pub fn quick() -> Self {
-        Scale { n: 40_000, reps: 2, queries: 40, seed: 0x9d72, tier: Tier::Quick }
+        Scale {
+            n: 40_000,
+            reps: 2,
+            queries: 40,
+            seed: 0x9d72,
+            tier: Tier::Quick,
+        }
     }
 
     /// Default reduced scale.
     pub fn default_scale() -> Self {
-        Scale { n: 200_000, reps: 3, queries: 100, seed: 0x9d72, tier: Tier::Default }
+        Scale {
+            n: 200_000,
+            reps: 3,
+            queries: 100,
+            seed: 0x9d72,
+            tier: Tier::Default,
+        }
     }
 
     /// The paper's scale.
     pub fn full() -> Self {
-        Scale { n: 1_000_000, reps: 10, queries: 200, seed: 0x9d72, tier: Tier::Full }
+        Scale {
+            n: 1_000_000,
+            reps: 10,
+            queries: 200,
+            seed: 0x9d72,
+            tier: Tier::Full,
+        }
     }
 
     /// Parses `--quick`, `--full`, `--n N`, `--reps R`, `--queries Q`,

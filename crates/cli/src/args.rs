@@ -37,7 +37,8 @@ impl ParsedArgs {
 
     /// A required string value, with a helpful error.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A parsed numeric value (supports `1e6`-style floats for counts).
@@ -55,7 +56,8 @@ impl ParsedArgs {
 
     /// A required numeric value.
     pub fn require_number<T: FromF64>(&self, key: &str) -> Result<T, String> {
-        self.number(key)?.ok_or_else(|| format!("missing required option --{key}"))
+        self.number(key)?
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// Whether a bare flag was present.

@@ -14,8 +14,12 @@ pub fn synth(args: &ParsedArgs) -> Result<String, String> {
         "bfive" => DatasetSpec::Bfive,
         "loan" => DatasetSpec::Loan,
         "acs" => DatasetSpec::Acs,
-        "normal" => DatasetSpec::Normal { rho: args.number("rho")?.unwrap_or(0.8) },
-        "laplace" => DatasetSpec::Laplace { rho: args.number("rho")?.unwrap_or(0.8) },
+        "normal" => DatasetSpec::Normal {
+            rho: args.number("rho")?.unwrap_or(0.8),
+        },
+        "laplace" => DatasetSpec::Laplace {
+            rho: args.number("rho")?.unwrap_or(0.8),
+        },
         other => return Err(format!("unknown --spec '{other}'")),
     };
     let n: usize = args.require_number("n")?;
@@ -30,7 +34,10 @@ pub fn synth(args: &ParsedArgs) -> Result<String, String> {
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
-            Ok(format!("wrote {n} x {d} dataset ({}) to {path}", spec.name()))
+            Ok(format!(
+                "wrote {n} x {d} dataset ({}) to {path}",
+                spec.name()
+            ))
         }
         None => Ok(csv),
     }
@@ -40,20 +47,22 @@ pub fn synth(args: &ParsedArgs) -> Result<String, String> {
 pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
     let c: usize = args.require_number("c")?;
     let data_path = args.require("data")?;
-    let text = std::fs::read_to_string(data_path)
-        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(data_path).map_err(|e| format!("reading {data_path}: {e}"))?;
     let ds = dataset_from_csv(&text, c).map_err(|e| format!("{data_path}: {e}"))?;
 
     let queries_path = args.require("queries")?;
     let q_text = std::fs::read_to_string(queries_path)
         .map_err(|e| format!("reading {queries_path}: {e}"))?;
-    let queries = parse_workload(&q_text, c)
-        .map_err(|(line, e)| format!("{queries_path}:{line}: {e}"))?;
+    let queries =
+        parse_workload(&q_text, c).map_err(|(line, e)| format!("{queries_path}:{line}: {e}"))?;
     if queries.is_empty() {
         return Err(format!("{queries_path}: no queries"));
     }
     if let Some(bad) = queries.iter().find(|q| q.attrs().any(|a| a >= ds.dims())) {
-        return Err(format!("query '{bad}' references an attribute outside the data"));
+        return Err(format!(
+            "query '{bad}' references an attribute outside the data"
+        ));
     }
 
     let epsilon: f64 = args.require_number("epsilon")?;
@@ -129,8 +138,8 @@ pub fn guideline(args: &ParsedArgs) -> Result<String, String> {
 pub fn info(args: &ParsedArgs) -> Result<String, String> {
     let c: usize = args.require_number("c")?;
     let data_path = args.require("data")?;
-    let text = std::fs::read_to_string(data_path)
-        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(data_path).map_err(|e| format!("reading {data_path}: {e}"))?;
     let ds = dataset_from_csv(&text, c).map_err(|e| format!("{data_path}: {e}"))?;
     Ok(summarize(&ds))
 }
@@ -155,7 +164,10 @@ pub fn summarize(ds: &Dataset) -> String {
                 levels[idx]
             })
             .collect();
-        out.push_str(&format!("a{t}: mean {:>6.2}  octile sketch [{spark}]\n", sum / n as f64));
+        out.push_str(&format!(
+            "a{t}: mean {:>6.2}  octile sketch [{spark}]\n",
+            sum / n as f64
+        ));
     }
     if d >= 2 {
         out.push_str("\npairwise correlation:\n");

@@ -76,15 +76,12 @@ impl Mechanism for Calm {
         "CALM"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
         if d < 2 {
-            return Err(MechanismError::Invalid("CALM needs at least 2 attributes".into()));
+            return Err(MechanismError::Invalid(
+                "CALM needs at least 2 attributes".into(),
+            ));
         }
         let pairs = pair_list(d);
         let mut rng = derive_rng(seed, &[0x4341_4c4d]); // "CALM"
@@ -123,9 +120,9 @@ impl Mechanism for Calm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privmdr_query::RangeQuery;
     use privmdr_data::DatasetSpec;
     use privmdr_query::workload::{true_answers, WorkloadBuilder};
+    use privmdr_query::RangeQuery;
 
     #[test]
     fn calm_answers_2d_queries_reasonably() {

@@ -68,7 +68,10 @@ impl Default for MechanismConfig {
 impl MechanismConfig {
     /// Exact per-user protocol variant (tests, small-scale validation).
     pub fn exact() -> Self {
-        MechanismConfig { sim_mode: SimMode::Exact, ..Default::default() }
+        MechanismConfig {
+            sim_mode: SimMode::Exact,
+            ..Default::default()
+        }
     }
 
     /// The ITDG/IHDG ablation: Phase 2 disabled (Appendix A.1). Algorithm
@@ -113,7 +116,10 @@ mod tests {
             .with_granularities(16, 4)
             .with_sigma(0.3);
         assert!(!cfg.post_process.enabled);
-        assert_eq!(cfg.granularity_override, Some(Granularities { g1: 16, g2: 4 }));
+        assert_eq!(
+            cfg.granularity_override,
+            Some(Granularities { g1: 16, g2: 4 })
+        );
         assert_eq!(cfg.guideline.sigma, Some(0.3));
     }
 }

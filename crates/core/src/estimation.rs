@@ -172,7 +172,11 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..f.len() {
             for j in (i + 1)..f.len() {
-                out.push(PairAnswer { i, j, f: f[i] * f[j] });
+                out.push(PairAnswer {
+                    i,
+                    j,
+                    f: f[i] * f[j],
+                });
             }
         }
         out
@@ -228,7 +232,10 @@ mod tests {
         assert!(trace.len() >= 2);
         let first = trace[0].1;
         let last = trace.last().unwrap().1;
-        assert!(last < first, "change must decay: first {first}, last {last}");
+        assert!(
+            last < first,
+            "change must decay: first {first}, last {last}"
+        );
     }
 
     #[test]

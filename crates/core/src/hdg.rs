@@ -42,9 +42,9 @@ impl Hdg {
 
     /// The granularities HDG would pick for `(n, d, ε, c)`.
     pub fn granularities(&self, n: usize, d: usize, epsilon: f64, c: usize) -> Granularities {
-        self.config.granularity_override.unwrap_or_else(|| {
-            choose_granularities(n, d, epsilon, c, &self.config.guideline)
-        })
+        self.config
+            .granularity_override
+            .unwrap_or_else(|| choose_granularities(n, d, epsilon, c, &self.config.guideline))
     }
 }
 
@@ -148,10 +148,16 @@ impl Hdg {
     ) -> Result<Box<dyn Model>, MechanismError> {
         let d = one_d.len();
         if d < 2 {
-            return Err(MechanismError::Invalid("HDG needs at least 2 attributes".into()));
+            return Err(MechanismError::Invalid(
+                "HDG needs at least 2 attributes".into(),
+            ));
         }
         let c = one_d[0].domain();
-        if one_d.iter().enumerate().any(|(t, g)| g.attr() != t || g.domain() != c) {
+        if one_d
+            .iter()
+            .enumerate()
+            .any(|(t, g)| g.attr() != t || g.domain() != c)
+        {
             return Err(MechanismError::Invalid(
                 "1-D grids must cover attributes 0..d in order over one domain".into(),
             ));
@@ -169,8 +175,10 @@ impl Hdg {
         }
         let mut one_d_opt: Vec<Option<Grid1d>> = one_d.into_iter().map(Some).collect();
         post_process(d, &mut one_d_opt, &mut two_d, &self.config.post_process);
-        let one_d: Vec<Grid1d> =
-            one_d_opt.into_iter().map(|g| g.expect("all present")).collect();
+        let one_d: Vec<Grid1d> = one_d_opt
+            .into_iter()
+            .map(|g| g.expect("all present"))
+            .collect();
         Ok(Box::new(SplitModel::new(
             HdgAnswerer {
                 d,
@@ -191,12 +199,7 @@ impl Mechanism for Hdg {
         "HDG"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let (d, c) = (ds.dims(), ds.domain());
         let (one_d, two_d) = fit_hdg_grids(ds, epsilon, seed, &self.config)?;
         Ok(Box::new(SplitModel::new(
@@ -226,7 +229,9 @@ pub fn fit_hdg_grids(
 ) -> Result<(Vec<Grid1d>, Vec<Grid2d>), MechanismError> {
     let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
     if d < 2 {
-        return Err(MechanismError::Invalid("HDG needs at least 2 attributes".into()));
+        return Err(MechanismError::Invalid(
+            "HDG needs at least 2 attributes".into(),
+        ));
     }
     let hdg = Hdg::new(*config);
     let Granularities { g1, g2 } = hdg.granularities(n, d, epsilon, c);
@@ -248,28 +253,46 @@ pub fn fit_hdg_grids(
     let mut one_d: Vec<Grid1d> = Vec::with_capacity(d);
     for (t, users) in groups[..d].iter().enumerate() {
         let values = ds.gather_attr(t, users);
-        one_d.push(Grid1d::collect(t, g1, c, &values, epsilon, config.sim_mode, &mut rng)?);
+        one_d.push(Grid1d::collect(
+            t,
+            g1,
+            c,
+            &values,
+            epsilon,
+            config.sim_mode,
+            &mut rng,
+        )?);
     }
     let mut two_d: Vec<Grid2d> = Vec::with_capacity(m2);
     for (&pair, users) in pairs.iter().zip(&groups[d..]) {
         let values = ds.gather_pair(pair, users);
-        two_d.push(Grid2d::collect(pair, g2, c, &values, epsilon, config.sim_mode, &mut rng)?);
+        two_d.push(Grid2d::collect(
+            pair,
+            g2,
+            c,
+            &values,
+            epsilon,
+            config.sim_mode,
+            &mut rng,
+        )?);
     }
 
     // Phase 2.
     let mut one_d_opt: Vec<Option<Grid1d>> = one_d.into_iter().map(Some).collect();
     post_process(d, &mut one_d_opt, &mut two_d, &config.post_process);
-    let one_d: Vec<Grid1d> =
-        one_d_opt.into_iter().map(|g| g.expect("all 1-D grids present")).collect();
+    let one_d: Vec<Grid1d> = one_d_opt
+        .into_iter()
+        .map(|g| g.expect("all 1-D grids present"))
+        .collect();
     Ok((one_d, two_d))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privmdr_query::RangeQuery;
     use privmdr_data::DatasetSpec;
     use privmdr_query::workload::{true_answers, WorkloadBuilder};
+    use privmdr_query::RangeQuery;
 
     #[test]
     fn hdg_answers_2d_queries_well() {

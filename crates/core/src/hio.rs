@@ -35,8 +35,9 @@ struct HioModel {
 
 impl Model for HioModel {
     fn answer(&self, query: &RangeQuery) -> f64 {
-        let intervals: Vec<(usize, usize)> =
-            (0..self.d).map(|t| query.interval_or_full(t, self.c)).collect();
+        let intervals: Vec<(usize, usize)> = (0..self.d)
+            .map(|t| query.interval_or_full(t, self.c))
+            .collect();
         self.hio.answer(&intervals)
     }
 }
@@ -46,12 +47,7 @@ impl Mechanism for HioMechanism {
         "HIO"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let mut rng = derive_rng(seed, &[0x48_494f]); // "HIO"
         let hio = Hio::fit(
             ds.raw_rows(),
@@ -61,7 +57,11 @@ impl Mechanism for HioMechanism {
             epsilon,
             &mut rng,
         )?;
-        Ok(Box::new(HioModel { hio, c: ds.domain(), d: ds.dims() }))
+        Ok(Box::new(HioModel {
+            hio,
+            c: ds.domain(),
+            d: ds.dims(),
+        }))
     }
 }
 

@@ -77,15 +77,12 @@ impl Mechanism for Lhio {
         "LHIO"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
         if d < 2 {
-            return Err(MechanismError::Invalid("LHIO needs at least 2 attributes".into()));
+            return Err(MechanismError::Invalid(
+                "LHIO needs at least 2 attributes".into(),
+            ));
         }
         let pairs = pair_list(d);
         let mut rng = derive_rng(seed, &[0x4c48_494f]); // "LHIO"
@@ -124,8 +121,7 @@ impl Mechanism for Lhio {
         // fits the grid machinery (b = 4 always does: 4^h is a power of 2);
         // otherwise only Norm-Sub applies.
         let prefixes: Vec<PrefixSum2d> = if raw_leaves.is_empty() {
-            let mut no_one_d: Vec<Option<privmdr_grid::Grid1d>> =
-                (0..d).map(|_| None).collect();
+            let mut no_one_d: Vec<Option<privmdr_grid::Grid1d>> = (0..d).map(|_| None).collect();
             post_process(d, &mut no_one_d, &mut leaf_grids, &self.config.post_process);
             leaf_grids
                 .iter()
@@ -144,7 +140,12 @@ impl Mechanism for Lhio {
         };
 
         Ok(Box::new(SplitModel::new(
-            LhioAnswerer { d, c, c_pad, prefixes },
+            LhioAnswerer {
+                d,
+                c,
+                c_pad,
+                prefixes,
+            },
             &self.config,
         )))
     }
@@ -153,9 +154,9 @@ impl Mechanism for Lhio {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privmdr_query::RangeQuery;
     use privmdr_data::DatasetSpec;
     use privmdr_query::workload::{true_answers, WorkloadBuilder};
+    use privmdr_query::RangeQuery;
 
     #[test]
     fn lhio_answers_2d_queries() {

@@ -105,10 +105,5 @@ pub trait Mechanism {
     /// Runs the private collection protocol on `ds` at privacy budget
     /// `epsilon` and returns the fitted model. All randomness (grouping,
     /// perturbation) derives from `seed`.
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError>;
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError>;
 }

@@ -57,20 +57,18 @@ impl Mechanism for Msw {
         "MSW"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
         let mut rng = derive_rng(seed, &[0x4d_5357]); // "MSW"
         let groups = partition_equal(n, d, &mut rng);
         let sw = SquareWave::new(epsilon, c)?.with_smoothing(self.config.sw_smoothing);
         let mut cdfs = Vec::with_capacity(d);
         for (t, users) in groups.iter().enumerate() {
-            let values: Vec<u32> =
-                ds.gather_attr(t, users).into_iter().map(u32::from).collect();
+            let values: Vec<u32> = ds
+                .gather_attr(t, users)
+                .into_iter()
+                .map(u32::from)
+                .collect();
             let dist = sw.collect(&values, self.config.sim_mode, &mut rng);
             let mut cdf = Vec::with_capacity(c + 1);
             let mut acc = 0.0;
@@ -116,7 +114,10 @@ mod tests {
         let est = model.answer(&q);
         // Truth ~0.5; independence predicts ~0.25.
         assert!(truth > 0.4, "sanity: diagonal truth {truth}");
-        assert!(est < truth - 0.15, "MSW should undershoot: est {est} truth {truth}");
+        assert!(
+            est < truth - 0.15,
+            "MSW should undershoot: est {est} truth {truth}"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl<A: PairAnswerer> Model for SplitModel<A> {
     fn answer(&self, query: &RangeQuery) -> f64 {
         let preds = query.predicates();
         match preds.len() {
-            1 => self.answerer.answer_1d(preds[0].attr, (preds[0].lo, preds[0].hi)),
+            1 => self
+                .answerer
+                .answer_1d(preds[0].attr, (preds[0].lo, preds[0].hi)),
             2 => self.answerer.answer_2d(
                 (preds[0].attr, preds[1].attr),
                 ((preds[0].lo, preds[0].hi), (preds[1].lo, preds[1].hi)),
@@ -141,7 +143,10 @@ mod tests {
     fn model() -> SplitModel<ProductAnswerer> {
         let c = 8;
         let marginals = vec![vec![1.0 / 8.0; 8]; 4];
-        SplitModel::new(ProductAnswerer { c, marginals }, &MechanismConfig::default())
+        SplitModel::new(
+            ProductAnswerer { c, marginals },
+            &MechanismConfig::default(),
+        )
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl PairAnswerer for TdgAnswerer {
         self.c
     }
 
-    fn answer_2d(
-        &self,
-        (j, k): (usize, usize),
-        rect: ((usize, usize), (usize, usize)),
-    ) -> f64 {
+    fn answer_2d(&self, (j, k): (usize, usize), rect: ((usize, usize), (usize, usize))) -> f64 {
         self.grids[pair_index(j, k, self.d)].answer_uniform(rect)
     }
 
@@ -79,15 +75,12 @@ impl Mechanism for Tdg {
         "TDG"
     }
 
-    fn fit(
-        &self,
-        ds: &Dataset,
-        epsilon: f64,
-        seed: u64,
-    ) -> Result<Box<dyn Model>, MechanismError> {
+    fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
         let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
         if d < 2 {
-            return Err(MechanismError::Invalid("TDG needs at least 2 attributes".into()));
+            return Err(MechanismError::Invalid(
+                "TDG needs at least 2 attributes".into(),
+            ));
         }
         let g2 = self.granularity(n, d, epsilon, c);
         let pairs = pair_list(d);
@@ -111,16 +104,19 @@ impl Mechanism for Tdg {
         let mut no_one_d: Vec<Option<Grid1d>> = (0..d).map(|_| None).collect();
         post_process(d, &mut no_one_d, &mut grids, &self.config.post_process);
 
-        Ok(Box::new(SplitModel::new(TdgAnswerer { d, c, grids }, &self.config)))
+        Ok(Box::new(SplitModel::new(
+            TdgAnswerer { d, c, grids },
+            &self.config,
+        )))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privmdr_query::RangeQuery;
     use privmdr_data::DatasetSpec;
     use privmdr_query::workload::{true_answers, WorkloadBuilder};
+    use privmdr_query::RangeQuery;
 
     #[test]
     fn tdg_answers_2d_queries() {
@@ -168,11 +164,8 @@ mod tests {
     fn lambda4_estimation_runs() {
         let ds = DatasetSpec::Ipums.generate(50_000, 5, 32, 19);
         let model = Tdg::default().fit(&ds, 1.0, 13).unwrap();
-        let q = RangeQuery::from_triples(
-            &[(0, 0, 15), (1, 8, 23), (2, 0, 15), (4, 16, 31)],
-            32,
-        )
-        .unwrap();
+        let q = RangeQuery::from_triples(&[(0, 0, 15), (1, 8, 23), (2, 0, 15), (4, 16, 31)], 32)
+            .unwrap();
         let est = model.answer(&q);
         assert!(est.is_finite() && (-0.1..=1.1).contains(&est), "est {est}");
     }

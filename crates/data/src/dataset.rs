@@ -53,7 +53,10 @@ impl Dataset {
             return Err(DatasetError::BadShape { len: rows.len(), d });
         }
         if let Some(&bad) = rows.iter().find(|&&v| v as usize >= c) {
-            return Err(DatasetError::ValueOutOfDomain { value: bad, domain: c });
+            return Err(DatasetError::ValueOutOfDomain {
+                value: bad,
+                domain: c,
+            });
         }
         Ok(Dataset { d, c, rows })
     }
@@ -117,7 +120,11 @@ impl Dataset {
         for u in 0..n {
             rows.extend_from_slice(&self.row(u)[..keep]);
         }
-        Dataset { d: keep, c: self.c, rows }
+        Dataset {
+            d: keep,
+            c: self.c,
+            rows,
+        }
     }
 
     /// Exact (non-private) joint histogram of a pair, row-major `c × c` —
@@ -140,7 +147,10 @@ mod tests {
     #[test]
     fn validation() {
         assert!(Dataset::new(vec![0, 1, 2, 3], 2, 4).is_ok());
-        assert!(matches!(Dataset::new(vec![0; 4], 2, 3), Err(DatasetError::BadDomain(3))));
+        assert!(matches!(
+            Dataset::new(vec![0; 4], 2, 3),
+            Err(DatasetError::BadDomain(3))
+        ));
         assert!(matches!(
             Dataset::new(vec![0; 5], 2, 4),
             Err(DatasetError::BadShape { .. })

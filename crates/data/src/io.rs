@@ -38,7 +38,11 @@ impl std::fmt::Display for IoError {
             IoError::BadCell { line, token } => {
                 write!(f, "line {line}: '{token}' is not a value in 0..65536")
             }
-            IoError::RaggedRow { line, got, expected } => {
+            IoError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} values, expected {expected}")
             }
             IoError::Empty => write!(f, "no data rows"),
@@ -65,7 +69,11 @@ pub fn dataset_from_csv(text: &str, c: usize) -> Result<Dataset, IoError> {
         }
         let expected = *d.get_or_insert(cells.len());
         if cells.len() != expected {
-            return Err(IoError::RaggedRow { line: idx + 1, got: cells.len(), expected });
+            return Err(IoError::RaggedRow {
+                line: idx + 1,
+                got: cells.len(),
+                expected,
+            });
         }
         for token in cells {
             let v: u16 = token.parse().map_err(|_| IoError::BadCell {
@@ -117,17 +125,27 @@ mod tests {
     fn rejects_ragged_and_bad_cells() {
         assert!(matches!(
             dataset_from_csv("1,2\n3\n", 8),
-            Err(IoError::RaggedRow { line: 2, got: 1, expected: 2 })
+            Err(IoError::RaggedRow {
+                line: 2,
+                got: 1,
+                expected: 2
+            })
         ));
         assert!(matches!(
             dataset_from_csv("1,2\n3,x\n", 8),
             Err(IoError::BadCell { line: 2, .. })
         ));
-        assert!(matches!(dataset_from_csv("# nothing\n", 8), Err(IoError::Empty)));
+        assert!(matches!(
+            dataset_from_csv("# nothing\n", 8),
+            Err(IoError::Empty)
+        ));
     }
 
     #[test]
     fn rejects_out_of_domain() {
-        assert!(matches!(dataset_from_csv("1,9\n", 8), Err(IoError::Dataset(_))));
+        assert!(matches!(
+            dataset_from_csv("1,9\n", 8),
+            Err(IoError::Dataset(_))
+        ));
     }
 }

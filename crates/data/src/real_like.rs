@@ -153,7 +153,11 @@ pub fn loan_like(n: usize, d: usize, c: usize, seed: u64) -> Dataset {
 
 /// ACS-like survey table: zero-inflated spiky counts, moderate correlation.
 pub fn acs_like(n: usize, d: usize, c: usize, seed: u64) -> Dataset {
-    let shapes = [Marginal::ZeroInflated, Marginal::HeavyRight, Marginal::Spiked];
+    let shapes = [
+        Marginal::ZeroInflated,
+        Marginal::HeavyRight,
+        Marginal::Spiked,
+    ];
     copula_dataset(n, d, c, 0.3, &shapes, seed, 0x4143_5321) // "ACS!"
 }
 

@@ -42,7 +42,10 @@ impl DatasetSpec {
 
     /// The two synthetic datasets (Figs. 3, 6, 28).
     pub fn synthetic_two() -> [DatasetSpec; 2] {
-        [DatasetSpec::Normal { rho: 0.8 }, DatasetSpec::Laplace { rho: 0.8 }]
+        [
+            DatasetSpec::Normal { rho: 0.8 },
+            DatasetSpec::Laplace { rho: 0.8 },
+        ]
     }
 
     /// The Appendix A.7 additional real-like datasets (Figs. 19–21).

@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn normal_center_and_spread() {
         let ds = normal(50_000, 2, 64, 0.0, 1);
-        let mean: f64 =
-            (0..ds.len()).map(|u| ds.value(u, 0) as f64).sum::<f64>() / ds.len() as f64;
+        let mean: f64 = (0..ds.len()).map(|u| ds.value(u, 0) as f64).sum::<f64>() / ds.len() as f64;
         // Centered near bin 32 (domain midpoint); std 1 maps to 8 bins.
         assert!((mean - 31.5).abs() < 0.5, "mean bin {mean}");
         let var: f64 = (0..ds.len())

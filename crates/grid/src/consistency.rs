@@ -28,7 +28,10 @@ pub struct PostProcessConfig {
 
 impl Default for PostProcessConfig {
     fn default() -> Self {
-        PostProcessConfig { rounds: 3, enabled: true }
+        PostProcessConfig {
+            rounds: 3,
+            enabled: true,
+        }
     }
 }
 
@@ -58,8 +61,7 @@ pub fn enforce_attribute_consistency(
             gb = gb.min(two_d[idx].granularity());
         }
     }
-    if gb == usize::MAX || (members.is_empty() && one_d.get(attr).is_none_or(|g| g.is_none()))
-    {
+    if gb == usize::MAX || (members.is_empty() && one_d.get(attr).is_none_or(|g| g.is_none())) {
         return; // nothing to reconcile
     }
     let has_1d = one_d.get(attr).is_some_and(|g| g.is_some());
@@ -101,8 +103,12 @@ pub fn enforce_attribute_consistency(
 
         // Optimal weighted average: θ_i ∝ 1/|S_i| (paper §4.2).
         let inv_sum: f64 = s.iter().map(|&si| 1.0 / si as f64).sum();
-        let target: f64 =
-            p.iter().zip(&s).map(|(&pi, &si)| pi / si as f64).sum::<f64>() / inv_sum;
+        let target: f64 = p
+            .iter()
+            .zip(&s)
+            .map(|(&pi, &si)| pi / si as f64)
+            .sum::<f64>()
+            / inv_sum;
 
         // Spread each grid's correction evenly over its contributing cells.
         let mut slot = 0usize;
@@ -194,7 +200,10 @@ mod tests {
         let c = 16;
         // 1-D grid for attr 0 at g1=8; three 2-D grids at g2=4.
         let mut one_d: Vec<Option<Grid1d>> = vec![
-            Some(Grid1d::from_freqs(0, 8, c, vec![0.2, 0.0, 0.1, 0.1, 0.05, 0.05, 0.3, 0.2]).unwrap()),
+            Some(
+                Grid1d::from_freqs(0, 8, c, vec![0.2, 0.0, 0.1, 0.1, 0.05, 0.05, 0.3, 0.2])
+                    .unwrap(),
+            ),
             None,
             None,
         ];
@@ -212,8 +221,14 @@ mod tests {
         let b01 = block_sums_2d(&two_d[pair_index(0, 1, d)], true, gb);
         let b02 = block_sums_2d(&two_d[pair_index(0, 2, d)], true, gb);
         for i in 0..gb {
-            assert!((b1[i] - b01[i]).abs() < 1e-10, "block {i}: {b1:?} vs {b01:?}");
-            assert!((b1[i] - b02[i]).abs() < 1e-10, "block {i}: {b1:?} vs {b02:?}");
+            assert!(
+                (b1[i] - b01[i]).abs() < 1e-10,
+                "block {i}: {b1:?} vs {b01:?}"
+            );
+            assert!(
+                (b1[i] - b02[i]).abs() < 1e-10,
+                "block {i}: {b1:?} vs {b02:?}"
+            );
         }
         // The grid not containing attr 0 is untouched.
         let untouched = mk2((1, 2), 2.1);
@@ -267,7 +282,9 @@ mod tests {
         let c = 8;
         // 1-D grid says block 0 holds everything.
         let mut one_d: Vec<Option<Grid1d>> = vec![
-            Some(Grid1d::from_freqs(0, 8, c, vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap()),
+            Some(
+                Grid1d::from_freqs(0, 8, c, vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+            ),
             None,
         ];
         // 2-D grid says mass is uniform.
@@ -330,16 +347,24 @@ mod tests {
         let b1 = block_sums_1d(one_d[0].as_ref().unwrap(), 4);
         let b01 = block_sums_2d(&two_d[0], true, 4);
         for i in 0..4 {
-            assert!((b1[i] - b01[i]).abs() < 0.05, "block {i}: {b1:?} vs {b01:?}");
+            assert!(
+                (b1[i] - b01[i]).abs() < 0.05,
+                "block {i}: {b1:?} vs {b01:?}"
+            );
         }
     }
 
     #[test]
     fn disabled_post_process_is_noop() {
-        let mut one_d: Vec<Option<Grid1d>> =
-            vec![Some(Grid1d::from_freqs(0, 4, 8, vec![-0.5, 1.0, 0.3, 0.2]).unwrap()), None];
+        let mut one_d: Vec<Option<Grid1d>> = vec![
+            Some(Grid1d::from_freqs(0, 4, 8, vec![-0.5, 1.0, 0.3, 0.2]).unwrap()),
+            None,
+        ];
         let mut two_d = vec![Grid2d::from_freqs((0, 1), 2, 8, vec![0.7, -0.1, 0.2, 0.2]).unwrap()];
-        let cfg = PostProcessConfig { rounds: 3, enabled: false };
+        let cfg = PostProcessConfig {
+            rounds: 3,
+            enabled: false,
+        };
         post_process(2, &mut one_d, &mut two_d, &cfg);
         assert_eq!(one_d[0].as_ref().unwrap().freqs, vec![-0.5, 1.0, 0.3, 0.2]);
         assert_eq!(two_d[0].freqs, vec![0.7, -0.1, 0.2, 0.2]);

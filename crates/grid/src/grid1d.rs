@@ -23,12 +23,7 @@ pub struct Grid1d {
 
 impl Grid1d {
     /// Wraps existing cell frequencies (used by tests and post-processing).
-    pub fn from_freqs(
-        attr: usize,
-        g: usize,
-        c: usize,
-        freqs: Vec<f64>,
-    ) -> Result<Self, GridError> {
+    pub fn from_freqs(attr: usize, g: usize, c: usize, freqs: Vec<f64>) -> Result<Self, GridError> {
         check_geometry(g, c)?;
         assert_eq!(freqs.len(), g, "frequency vector must have g entries");
         Ok(Grid1d { attr, g, c, freqs })
@@ -46,8 +41,7 @@ impl Grid1d {
         rng: &mut R,
     ) -> Result<Self, GridError> {
         check_geometry(g, c)?;
-        privmdr_oracles::validate_epsilon(epsilon)
-            .map_err(|_| GridError::BadEpsilon(epsilon))?;
+        privmdr_oracles::validate_epsilon(epsilon).map_err(|_| GridError::BadEpsilon(epsilon))?;
         let width = (c / g) as u16;
         let cells: Vec<u32> = values.iter().map(|&v| (v / width) as u32).collect();
         let olh = Olh::new(epsilon, g).expect("validated geometry implies valid domain");

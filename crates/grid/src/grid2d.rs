@@ -50,8 +50,7 @@ impl Grid2d {
     ) -> Result<Self, GridError> {
         check_geometry(g, c)?;
         assert!(attrs.0 < attrs.1, "pair must be ordered (j < k)");
-        privmdr_oracles::validate_epsilon(epsilon)
-            .map_err(|_| GridError::BadEpsilon(epsilon))?;
+        privmdr_oracles::validate_epsilon(epsilon).map_err(|_| GridError::BadEpsilon(epsilon))?;
         let width = (c / g) as u16;
         let cells: Vec<u32> = value_pairs
             .iter()
@@ -214,8 +213,7 @@ mod tests {
         let mut off = 0.0;
         for r in 0..reps {
             let mut rng = StdRng::seed_from_u64(900 + r);
-            let g =
-                Grid2d::collect((0, 1), 8, 64, &pairs, 1.0, SimMode::Fast, &mut rng).unwrap();
+            let g = Grid2d::collect((0, 1), 8, 64, &pairs, 1.0, SimMode::Fast, &mut rng).unwrap();
             c00 += g.cell(0, 0);
             c55 += g.cell(5, 5);
             off += g.cell(0, 5);

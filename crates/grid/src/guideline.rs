@@ -31,7 +31,11 @@ pub struct GuidelineParams {
 
 impl Default for GuidelineParams {
     fn default() -> Self {
-        GuidelineParams { alpha1: 0.7, alpha2: 0.03, sigma: None }
+        GuidelineParams {
+            alpha1: 0.7,
+            alpha2: 0.03,
+            sigma: None,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ pub fn choose_granularities(
     params: &GuidelineParams,
 ) -> Granularities {
     assert!(d >= 2, "HDG needs at least two attributes");
-    let sigma = params.sigma.unwrap_or_else(|| default_sigma(d)).clamp(0.0, 1.0);
+    let sigma = params
+        .sigma
+        .unwrap_or_else(|| default_sigma(d))
+        .clamp(0.0, 1.0);
     let n1 = n as f64 * sigma;
     let n2 = n as f64 * (1.0 - sigma);
     let m1 = d as f64;
@@ -155,8 +162,14 @@ mod tests {
 
     #[test]
     fn sigma_override_shifts_budget() {
-        let p_low = GuidelineParams { sigma: Some(0.1), ..Default::default() };
-        let p_high = GuidelineParams { sigma: Some(0.9), ..Default::default() };
+        let p_low = GuidelineParams {
+            sigma: Some(0.1),
+            ..Default::default()
+        };
+        let p_high = GuidelineParams {
+            sigma: Some(0.9),
+            ..Default::default()
+        };
         let lo = choose_granularities(1_000_000, 6, 1.0, 1024, &p_low);
         let hi = choose_granularities(1_000_000, 6, 1.0, 1024, &p_high);
         // More 1-D users => finer 1-D grids; fewer 2-D users => coarser 2-D.

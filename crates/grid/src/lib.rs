@@ -45,7 +45,10 @@ pub enum GridError {
 impl std::fmt::Display for GridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GridError::BadGranularity { granularity, domain } => write!(
+            GridError::BadGranularity {
+                granularity,
+                domain,
+            } => write!(
                 f,
                 "granularity {granularity} must be a power of two dividing domain {domain}"
             ),
@@ -66,7 +69,10 @@ pub(crate) fn check_geometry(g: usize, c: usize) -> Result<(), GridError> {
         return Err(GridError::BadDomain(c));
     }
     if !privmdr_util::is_pow2(g) || g == 0 || g > c {
-        return Err(GridError::BadGranularity { granularity: g, domain: c });
+        return Err(GridError::BadGranularity {
+            granularity: g,
+            domain: c,
+        });
     }
     Ok(())
 }

@@ -121,7 +121,13 @@ pub fn build_response_matrix_observed(
     }
 
     let prefix = PrefixSum2d::build(&m, c, c);
-    ResponseMatrix { c, data: m, prefix, final_change: change, iterations }
+    ResponseMatrix {
+        c,
+        data: m,
+        prefix,
+        final_change: change,
+        iterations,
+    }
 }
 
 /// One Weighted Update step: rescales `m`'s half-open rectangle so it sums to
@@ -203,12 +209,18 @@ mod tests {
         // Row bands reproduce G(j).
         for (cell, &want) in fj.iter().enumerate() {
             let got = m.rect_sum(((cell * 2, cell * 2 + 1), (0, c - 1)));
-            assert!((got - want).abs() < 1e-6, "G(j) cell {cell}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-6,
+                "G(j) cell {cell}: {got} vs {want}"
+            );
         }
         // Column bands reproduce G(k).
         for (cell, &want) in fk.iter().enumerate() {
             let got = m.rect_sum(((0, c - 1), (cell * 2, cell * 2 + 1)));
-            assert!((got - want).abs() < 1e-6, "G(k) cell {cell}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-6,
+                "G(k) cell {cell}: {got} vs {want}"
+            );
         }
         // 2-D cells reproduce G(j,k).
         for a in 0..4 {
@@ -324,7 +336,9 @@ mod tests {
         // Change settles to a small constant below the initial transient.
         let first = trace[0].1;
         let tail: Vec<f64> = trace[5..].iter().map(|&(_, ch)| ch).collect();
-        let (lo, hi) = tail.iter().fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+        let (lo, hi) = tail
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
         assert!(hi < first * 0.2, "tail change {hi} vs transient {first}");
         assert!((hi - lo) < 1e-9, "tail is a stable cycle: [{lo}, {hi}]");
         assert!(m.entries().iter().all(|v| v.is_finite() && *v >= 0.0));

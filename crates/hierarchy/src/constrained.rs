@@ -18,7 +18,6 @@
 //! first attribute (for every fixed second-attribute level and interval),
 //! then along the second.
 
-
 #![allow(clippy::needless_range_loop)]
 /// 1-D constrained inference in place.
 ///
@@ -146,8 +145,7 @@ mod tests {
         let mut levels = vec![leaves];
         while levels.last().unwrap().len() > 1 {
             let cur = levels.last().unwrap();
-            let parent: Vec<f64> =
-                cur.chunks(b).map(|chunk| chunk.iter().sum()).collect();
+            let parent: Vec<f64> = cur.chunks(b).map(|chunk| chunk.iter().sum()).collect();
             levels.push(parent);
         }
         levels.reverse();
@@ -193,7 +191,11 @@ mod tests {
             let mut rng = derive_rng(7, &[r]);
             let mut noisy: Vec<Vec<f64>> = true_levels
                 .iter()
-                .map(|lv| lv.iter().map(|&v| v + sigma * standard_normal(&mut rng)).collect())
+                .map(|lv| {
+                    lv.iter()
+                        .map(|&v| v + sigma * standard_normal(&mut rng))
+                        .collect()
+                })
                 .collect();
             raw_mid.push(noisy[1][2]);
             constrain_hierarchy_1d(&mut noisy, b);

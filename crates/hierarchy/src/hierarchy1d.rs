@@ -32,7 +32,11 @@ impl Hierarchy1d {
         if size != domain || domain == 0 {
             return Err(HierarchyError::BadDomain { domain, branching });
         }
-        Ok(Hierarchy1d { b: branching, c: domain, h })
+        Ok(Hierarchy1d {
+            b: branching,
+            c: domain,
+            h,
+        })
     }
 
     /// Smallest power of `branching` that is at least `domain` — the padded
@@ -91,7 +95,11 @@ impl Hierarchy1d {
     /// (inclusive). Greedy top-down: a node fully inside the range is taken
     /// whole; partially overlapping nodes recurse into their children.
     pub fn decompose(&self, lo: usize, hi: usize) -> Vec<(usize, usize)> {
-        assert!(lo <= hi && hi < self.c, "range [{lo}, {hi}] out of [0, {})", self.c);
+        assert!(
+            lo <= hi && hi < self.c,
+            "range [{lo}, {hi}] out of [0, {})",
+            self.c
+        );
         let mut out = Vec::new();
         let mut stack = vec![(0usize, 0usize)];
         while let Some((level, idx)) = stack.pop() {

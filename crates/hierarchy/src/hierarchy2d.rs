@@ -55,11 +55,25 @@ impl Hierarchy2d {
             let mut row = Vec::with_capacity(h + 1);
             for l2 in 0..=h {
                 let users = &subgroups[l1 * (h + 1) + l2];
-                row.push(collect_level(&geom, l1, l2, value_pairs, users, epsilon, mode, rng));
+                row.push(collect_level(
+                    &geom,
+                    l1,
+                    l2,
+                    value_pairs,
+                    users,
+                    epsilon,
+                    mode,
+                    rng,
+                ));
             }
             levels.push(row);
         }
-        Ok(Hierarchy2d { attrs, geom, c_real: c, levels })
+        Ok(Hierarchy2d {
+            attrs,
+            geom,
+            c_real: c,
+            levels,
+        })
     }
 
     /// Noiseless construction (ε = ∞ reference) computing every level from
@@ -91,7 +105,12 @@ impl Hierarchy2d {
             }
             levels.push(row);
         }
-        Ok(Hierarchy2d { attrs, geom, c_real: c, levels })
+        Ok(Hierarchy2d {
+            attrs,
+            geom,
+            c_real: c,
+            levels,
+        })
     }
 
     /// The ordered attribute pair.
@@ -181,7 +200,9 @@ mod tests {
 
     fn corner_pairs(n: usize) -> Vec<(u16, u16)> {
         // Half the mass at (2, 2), half at (13, 13): correlated corners.
-        (0..n).map(|i| if i % 2 == 0 { (2, 2) } else { (13, 13) }).collect()
+        (0..n)
+            .map(|i| if i % 2 == 0 { (2, 2) } else { (13, 13) })
+            .collect()
     }
 
     #[test]
@@ -212,16 +233,8 @@ mod tests {
         let reps = 20;
         for r in 0..reps {
             let mut rng = derive_rng(31, &[r]);
-            let hier = Hierarchy2d::collect(
-                (0, 1),
-                4,
-                16,
-                &pairs,
-                1.0,
-                SimMode::Fast,
-                &mut rng,
-            )
-            .unwrap();
+            let hier =
+                Hierarchy2d::collect((0, 1), 4, 16, &pairs, 1.0, SimMode::Fast, &mut rng).unwrap();
             sum_q += hier.answer_range((0, 7), (0, 7));
         }
         let mean = sum_q / reps as f64;
@@ -262,16 +275,8 @@ mod tests {
         let (mut raw_err, mut ci_err) = (0.0f64, 0.0f64);
         for r in 0..reps {
             let mut rng = derive_rng(77, &[r]);
-            let mut hier = Hierarchy2d::collect(
-                (0, 1),
-                2,
-                16,
-                &pairs,
-                0.5,
-                SimMode::Fast,
-                &mut rng,
-            )
-            .unwrap();
+            let mut hier =
+                Hierarchy2d::collect((0, 1), 2, 16, &pairs, 0.5, SimMode::Fast, &mut rng).unwrap();
             let truth = 0.5;
             // Raw: sum the leaf level over the half-domain square.
             let c = hier.geometry().domain();

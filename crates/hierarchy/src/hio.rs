@@ -15,7 +15,6 @@
 //! `(h+1)^d` groups each holds `n/(h+1)^d` users, so the noise per estimate
 //! is enormous — reproduced by the Fig. 1 experiments.
 
-
 #![allow(clippy::needless_range_loop)]
 use crate::hierarchy1d::Hierarchy1d;
 use crate::HierarchyError;
@@ -62,7 +61,10 @@ impl Hio {
         epsilon: f64,
         rng: &mut R,
     ) -> Result<Self, HierarchyError> {
-        assert!(d >= 1 && rows.len().is_multiple_of(d), "rows must be n*d values");
+        assert!(
+            d >= 1 && rows.len().is_multiple_of(d),
+            "rows must be n*d values"
+        );
         privmdr_oracles::validate_epsilon(epsilon)
             .map_err(|_| HierarchyError::BadEpsilon(epsilon))?;
         let n = rows.len() / d;
@@ -91,18 +93,28 @@ impl Hio {
                     let row = &rows[u as usize * d..(u as usize + 1) * d];
                     let mut cell = 0u64;
                     for t in 0..d {
-                        cell += geom.node_of(levels[t] as usize, row[t] as usize) as u64
-                            * strides[t];
+                        cell +=
+                            geom.node_of(levels[t] as usize, row[t] as usize) as u64 * strides[t];
                     }
                     cells.push(cell);
                 }
-                let olh = Olh::new(epsilon, domain as usize)
-                    .expect("domain >= 2 checked above");
+                let olh = Olh::new(epsilon, domain as usize).expect("domain >= 2 checked above");
                 Some(OlhReportSet::collect(olh, &cells, rng))
             };
-            groups.push(HioGroup { levels, strides, domain, reports });
+            groups.push(HioGroup {
+                levels,
+                strides,
+                domain,
+                reports,
+            });
         }
-        Ok(Hio { geom, d, c_real: c, groups, cache: Mutex::new(HashMap::new()) })
+        Ok(Hio {
+            geom,
+            d,
+            c_real: c,
+            groups,
+            cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Number of attributes.

@@ -14,7 +14,6 @@
 //!   OLH; coefficients are the left/right mass differences, and a top-down
 //!   synthesis rebuilds leaf frequencies.
 
-
 #![allow(clippy::needless_range_loop)]
 use crate::constrained::constrain_hierarchy_1d;
 use crate::hierarchy1d::Hierarchy1d;
@@ -63,7 +62,11 @@ impl HierarchicalRange1d {
             levels.push(olh.collect(&cells, mode, rng));
         }
         constrain_hierarchy_1d(&mut levels, branching);
-        Ok(HierarchicalRange1d { geom, c_real: c, levels })
+        Ok(HierarchicalRange1d {
+            geom,
+            c_real: c,
+            levels,
+        })
     }
 
     /// Answer of the range `[lo, hi]` (inclusive) by minimal decomposition.
@@ -103,7 +106,10 @@ impl HaarRange1d {
         privmdr_oracles::validate_epsilon(epsilon)
             .map_err(|_| HierarchyError::BadEpsilon(epsilon))?;
         if !privmdr_util::is_pow2(c) || c < 2 {
-            return Err(HierarchyError::BadDomain { domain: c, branching: 2 });
+            return Err(HierarchyError::BadDomain {
+                domain: c,
+                branching: 2,
+            });
         }
         let levels = c.trailing_zeros() as usize; // log2(c) wavelet levels
         let groups = partition_equal(values.len(), levels, rng);
@@ -130,7 +136,9 @@ impl HaarRange1d {
             let freqs = olh.collect(&cells, mode, rng);
             // d_{ℓ,k} = mass(left half) − mass(right half).
             coeffs.push(
-                (0..wavelets).map(|k| freqs[2 * k] - freqs[2 * k + 1]).collect(),
+                (0..wavelets)
+                    .map(|k| freqs[2 * k] - freqs[2 * k + 1])
+                    .collect(),
             );
         }
 
@@ -174,8 +182,8 @@ mod tests {
     fn hierarchical_recovers_ranges() {
         let values = bimodal_values(60_000);
         let mut rng = derive_rng(1, &[0]);
-        let m = HierarchicalRange1d::fit(4, 32, &values, 2.0, SimMode::Fast, &mut rng)
-            .expect("fit");
+        let m =
+            HierarchicalRange1d::fit(4, 32, &values, 2.0, SimMode::Fast, &mut rng).expect("fit");
         assert!((m.answer(0, 31) - 1.0).abs() < 0.05);
         assert!((m.answer(0, 15) - 0.5).abs() < 0.06, "{}", m.answer(0, 15));
         assert!((m.answer(24, 31) - 0.5).abs() < 0.06);
@@ -205,8 +213,8 @@ mod tests {
     fn hierarchical_pads_non_power_domains() {
         let values: Vec<u16> = (0..30_000).map(|i| (i % 10) as u16).collect();
         let mut rng = derive_rng(4, &[0]);
-        let m = HierarchicalRange1d::fit(4, 10, &values, 2.0, SimMode::Fast, &mut rng)
-            .expect("fit");
+        let m =
+            HierarchicalRange1d::fit(4, 10, &values, 2.0, SimMode::Fast, &mut rng).expect("fit");
         assert!((m.answer(0, 9) - 1.0).abs() < 0.06);
     }
 
@@ -216,8 +224,7 @@ mod tests {
         // clearly more mass there than anywhere else.
         let values = vec![13u16; 40_000];
         let mut rng = derive_rng(5, &[0]);
-        let hier =
-            HierarchicalRange1d::fit(2, 32, &values, 2.0, SimMode::Fast, &mut rng).unwrap();
+        let hier = HierarchicalRange1d::fit(2, 32, &values, 2.0, SimMode::Fast, &mut rng).unwrap();
         let haar = HaarRange1d::fit(32, &values, 2.0, SimMode::Fast, &mut rng).unwrap();
         for (name, est) in [("hier", hier.answer(13, 13)), ("haar", haar.answer(13, 13))] {
             assert!(est > 0.7, "{name} point estimate {est}");

@@ -47,12 +47,7 @@ impl AdaptiveOracle {
     }
 
     /// Collects frequency estimates from true `values`.
-    pub fn collect<R: Rng + ?Sized>(
-        &self,
-        values: &[u32],
-        mode: SimMode,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn collect<R: Rng + ?Sized>(&self, values: &[u32], mode: SimMode, rng: &mut R) -> Vec<f64> {
         match self {
             AdaptiveOracle::Grr(g) => g.collect(values, mode, rng),
             AdaptiveOracle::Olh(o) => o.collect(values, mode, rng),

@@ -7,7 +7,7 @@
 
 use crate::{check_domain, check_epsilon, OracleError, SimMode};
 use privmdr_util::sampling::binomial;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A configured GRR mechanism over a fixed categorical domain.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,7 +26,12 @@ impl Grr {
         check_domain(domain)?;
         let e = epsilon.exp();
         let denom = e + domain as f64 - 1.0;
-        Ok(Grr { epsilon, domain, p: e / denom, p_prime: 1.0 / denom })
+        Ok(Grr {
+            epsilon,
+            domain,
+            p: e / denom,
+            p_prime: 1.0 / denom,
+        })
     }
 
     /// The probability of reporting the true value.
@@ -71,12 +76,7 @@ impl Grr {
 
     /// Collects frequency estimates from true `values` in one call,
     /// dispatching on the simulation mode.
-    pub fn collect<R: Rng + ?Sized>(
-        &self,
-        values: &[u32],
-        mode: SimMode,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn collect<R: Rng + ?Sized>(&self, values: &[u32], mode: SimMode, rng: &mut R) -> Vec<f64> {
         match mode {
             SimMode::Exact => {
                 let reports: Vec<u32> = values
@@ -255,11 +255,19 @@ mod tests {
 
     #[test]
     fn estimates_sum_near_one() {
+        // In Fast mode the per-cell counts are sampled independently, so a
+        // single total has sd ~0.11 here; average over repeats to make the
+        // 0.1 tolerance a ~4-sigma bound instead of a seed lottery.
         let g = Grr::new(1.0, 32).unwrap();
         let values: Vec<u32> = (0..32_000u32).map(|i| i % 32).collect();
-        let mut rng = StdRng::seed_from_u64(77);
-        let f = g.collect(&values, SimMode::Fast, &mut rng);
-        let total: f64 = f.iter().sum();
-        assert!((total - 1.0).abs() < 0.1, "sum {total}");
+        let reps = 20;
+        let mut totals = Vec::with_capacity(reps);
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(77 + r as u64);
+            let f = g.collect(&values, SimMode::Fast, &mut rng);
+            totals.push(f.iter().sum::<f64>());
+        }
+        let total = mean(&totals);
+        assert!((total - 1.0).abs() < 0.1, "mean sum {total}");
     }
 }

@@ -9,12 +9,11 @@
 //! OLH is the oracle all grid and hierarchy mechanisms in the paper use; its
 //! variance `4eᵋ / ((eᵋ − 1)² n)` is independent of the domain size.
 
-
 #![allow(clippy::needless_range_loop)]
 use crate::{check_domain, check_epsilon, OracleError, SimMode};
 use privmdr_util::hash::SeededHash;
 use privmdr_util::sampling::binomial;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// One OLH report: the user's hash seed plus the perturbed hashed value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +48,13 @@ impl Olh {
         let c_prime = ((e + 1.0).round() as usize).max(2);
         let p = e / (e + c_prime as f64 - 1.0);
         let q = 1.0 / c_prime as f64;
-        Ok(Olh { epsilon, domain, c_prime, p, q })
+        Ok(Olh {
+            epsilon,
+            domain,
+            c_prime,
+            p,
+            q,
+        })
     }
 
     /// Hashed domain size `c'`.
@@ -107,16 +112,13 @@ impl Olh {
 
     /// Collects frequency estimates from true `values` in one call,
     /// dispatching on the simulation mode.
-    pub fn collect<R: Rng + ?Sized>(
-        &self,
-        values: &[u32],
-        mode: SimMode,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn collect<R: Rng + ?Sized>(&self, values: &[u32], mode: SimMode, rng: &mut R) -> Vec<f64> {
         match mode {
             SimMode::Exact => {
-                let reports: Vec<OlhReport> =
-                    values.iter().map(|&v| self.perturb(v as usize, rng)).collect();
+                let reports: Vec<OlhReport> = values
+                    .iter()
+                    .map(|&v| self.perturb(v as usize, rng))
+                    .collect();
                 self.aggregate(&reports)
             }
             SimMode::Fast => {
@@ -184,7 +186,10 @@ impl OlhReportSet {
     /// Values are `u64` because HIO's d-dimensional levels index interval
     /// combinations whose count exceeds `u32` for large `d`.
     pub fn collect<R: Rng + ?Sized>(olh: Olh, values: &[u64], rng: &mut R) -> Self {
-        let reports = values.iter().map(|&v| olh.perturb(v as usize, rng)).collect();
+        let reports = values
+            .iter()
+            .map(|&v| olh.perturb(v as usize, rng))
+            .collect();
         OlhReportSet { olh, reports }
     }
 
@@ -204,9 +209,7 @@ impl OlhReportSet {
         let support = self
             .reports
             .iter()
-            .filter(|r| {
-                SeededHash::new(r.seed, self.olh.c_prime()).hash(value) == r.y as usize
-            })
+            .filter(|r| SeededHash::new(r.seed, self.olh.c_prime()).hash(value) == r.y as usize)
             .count() as u64;
         self.olh.unbias_one(support, self.reports.len())
     }
@@ -290,11 +293,17 @@ mod tests {
         }
         let emp = std_dev(&ests).powi(2);
         let formula = olh.variance(n);
-        assert!((emp - formula).abs() < formula * 0.3, "emp {emp} formula {formula}");
+        assert!(
+            (emp - formula).abs() < formula * 0.3,
+            "emp {emp} formula {formula}"
+        );
         // Eq. 3 approximation with the ideal (unrounded) c'.
         let e = 1f64.exp();
         let eq3 = 4.0 * e / ((e - 1.0).powi(2) * n as f64);
-        assert!((formula - eq3).abs() < eq3 * 0.15, "formula {formula} eq3 {eq3}");
+        assert!(
+            (formula - eq3).abs() < eq3 * 0.15,
+            "formula {formula} eq3 {eq3}"
+        );
     }
 
     #[test]

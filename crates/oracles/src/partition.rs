@@ -37,11 +37,7 @@ pub fn proportional_sizes(n: usize, weights: &[f64]) -> Vec<usize> {
 ///
 /// Panics if `sizes` does not sum to `n`. Returns one index vector per group;
 /// the assignment is a uniform random partition.
-pub fn partition_users<R: Rng + ?Sized>(
-    n: usize,
-    sizes: &[usize],
-    rng: &mut R,
-) -> Vec<Vec<u32>> {
+pub fn partition_users<R: Rng + ?Sized>(n: usize, sizes: &[usize], rng: &mut R) -> Vec<Vec<u32>> {
     assert_eq!(sizes.iter().sum::<usize>(), n, "group sizes must sum to n");
     assert!(n <= u32::MAX as usize, "user indices are stored as u32");
     let mut ids: Vec<u32> = (0..n as u32).collect();
@@ -98,9 +94,9 @@ mod tests {
         }
         assert!(seen.iter().all(|&b| b));
         // Group sizes differ by at most 1.
-        let (min, max) = groups
-            .iter()
-            .fold((usize::MAX, 0), |(lo, hi), g| (lo.min(g.len()), hi.max(g.len())));
+        let (min, max) = groups.iter().fold((usize::MAX, 0), |(lo, hi), g| {
+            (lo.min(g.len()), hi.max(g.len()))
+        });
         assert!(max - min <= 1);
     }
 

@@ -12,7 +12,7 @@
 
 use crate::{check_domain, check_epsilon, OracleError, SimMode};
 use privmdr_util::sampling::multinomial;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A configured Square Wave mechanism for one ordinal attribute.
 #[derive(Debug, Clone)]
@@ -119,12 +119,7 @@ impl SquareWave {
 
     /// Collects the estimated input distribution (length `bins`, sums to 1)
     /// from true discrete `values`, dispatching on the simulation mode.
-    pub fn collect<R: Rng + ?Sized>(
-        &self,
-        values: &[u32],
-        mode: SimMode,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn collect<R: Rng + ?Sized>(&self, values: &[u32], mode: SimMode, rng: &mut R) -> Vec<f64> {
         let obs = match mode {
             SimMode::Exact => {
                 let mut obs = vec![0u64; self.out_bins];
@@ -349,7 +344,10 @@ mod tests {
         for (lo, hi) in [(0usize, 8usize), (4, 12), (0, 16), (2, 6)] {
             let re: f64 = fe[lo..hi].iter().sum();
             let rf: f64 = ff[lo..hi].iter().sum();
-            assert!((re - rf).abs() < 0.05, "range [{lo},{hi}): exact {re} fast {rf}");
+            assert!(
+                (re - rf).abs() < 0.05,
+                "range [{lo},{hi}): exact {re} fast {rf}"
+            );
         }
     }
 

@@ -14,7 +14,7 @@
 use crate::{check_domain, check_epsilon, OracleError, SimMode};
 use privmdr_util::hash::mix64;
 use privmdr_util::sampling::binomial;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// One Wheel report: the user's hash seed plus a point on the unit circle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +46,13 @@ impl Wheel {
         let e = epsilon.exp();
         let b = 1.0 / (e + 1.0);
         let denom = b * e + 1.0 - b;
-        Ok(Wheel { epsilon, domain, b, p: e / denom, q: 1.0 / denom })
+        Ok(Wheel {
+            epsilon,
+            domain,
+            b,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
     }
 
     /// Arc length `b`.
@@ -122,16 +128,13 @@ impl Wheel {
 
     /// Collects frequency estimates from true `values`, dispatching on the
     /// simulation mode.
-    pub fn collect<R: Rng + ?Sized>(
-        &self,
-        values: &[u32],
-        mode: SimMode,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn collect<R: Rng + ?Sized>(&self, values: &[u32], mode: SimMode, rng: &mut R) -> Vec<f64> {
         match mode {
             SimMode::Exact => {
-                let reports: Vec<WheelReport> =
-                    values.iter().map(|&v| self.perturb(v as usize, rng)).collect();
+                let reports: Vec<WheelReport> = values
+                    .iter()
+                    .map(|&v| self.perturb(v as usize, rng))
+                    .collect();
                 self.aggregate(&reports)
             }
             SimMode::Fast => {
@@ -142,9 +145,7 @@ impl Wheel {
                 let n: u64 = true_counts.iter().sum();
                 let supports: Vec<u64> = true_counts
                     .iter()
-                    .map(|&t| {
-                        binomial(rng, t, self.b * self.p) + binomial(rng, n - t, self.b)
-                    })
+                    .map(|&t| binomial(rng, t, self.b * self.p) + binomial(rng, n - t, self.b))
                     .collect();
                 self.unbias(&supports, n as usize)
             }

@@ -26,9 +26,14 @@ impl<'p> Client<'p> {
     pub fn new(plan: &'p SessionPlan, uid: u64) -> Result<Self, ProtocolError> {
         let group = plan.group_of(uid);
         let domain = plan.group_domain(group)?;
-        let olh = Olh::new(plan.epsilon, domain)
-            .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
-        Ok(Client { plan, uid, group, olh })
+        let olh =
+            Olh::new(plan.epsilon, domain).map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
+        Ok(Client {
+            plan,
+            uid,
+            group,
+            olh,
+        })
     }
 
     /// The user id.
@@ -74,7 +79,11 @@ impl<'p> Client<'p> {
     ) -> Result<Report, ProtocolError> {
         let cell = self.cell_of(record)?;
         let olh_report = self.olh.perturb(cell, rng);
-        Ok(Report { group: self.group, seed: olh_report.seed, y: olh_report.y })
+        Ok(Report {
+            group: self.group,
+            seed: olh_report.seed,
+            y: olh_report.y,
+        })
     }
 }
 

@@ -66,10 +66,21 @@ impl SessionPlan {
             return Err(ProtocolError::BadPlan(format!("bad epsilon {epsilon}")));
         }
         let granularities = choose_granularities(n, d, epsilon, c, &Default::default());
-        let mut groups: Vec<GroupTarget> =
-            (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
-        groups.extend(pair_list(d).into_iter().map(|(j, k)| GroupTarget::TwoD { j, k }));
-        Ok(SessionPlan { n, d, c, epsilon, granularities, groups, assignment_seed })
+        let mut groups: Vec<GroupTarget> = (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
+        groups.extend(
+            pair_list(d)
+                .into_iter()
+                .map(|(j, k)| GroupTarget::TwoD { j, k }),
+        );
+        Ok(SessionPlan {
+            n,
+            d,
+            c,
+            epsilon,
+            granularities,
+            groups,
+            assignment_seed,
+        })
     }
 
     /// Number of report groups, `d + (d choose 2)`.
@@ -81,9 +92,7 @@ impl SessionPlan {
     pub fn group_domain(&self, group: u32) -> Result<usize, ProtocolError> {
         match self.groups.get(group as usize) {
             Some(GroupTarget::OneD { .. }) => Ok(self.granularities.g1),
-            Some(GroupTarget::TwoD { .. }) => {
-                Ok(self.granularities.g2 * self.granularities.g2)
-            }
+            Some(GroupTarget::TwoD { .. }) => Ok(self.granularities.g2 * self.granularities.g2),
             None => Err(ProtocolError::UnknownGroup(group)),
         }
     }
@@ -95,9 +104,9 @@ impl SessionPlan {
     /// Groups are weighted so every group has (in expectation) the same
     /// population, the paper's default split σ0 = d / (d + (d choose 2)).
     pub fn group_of(&self, uid: u64) -> u32 {
-        debug_assert!((default_sigma(self.d) - self.d as f64 / self.group_count() as f64)
-            .abs()
-            < 1e-12);
+        debug_assert!(
+            (default_sigma(self.d) - self.d as f64 / self.group_count() as f64).abs() < 1e-12
+        );
         let h = mix64(self.assignment_seed ^ uid.wrapping_mul(0xA076_1D64_78BD_642F));
         (h % self.group_count() as u64) as u32
     }
@@ -146,7 +155,10 @@ mod tests {
         let expected = 100_000 / plan.group_count();
         for (g, &cnt) in counts.iter().enumerate() {
             let rel = (cnt as f64 - expected as f64).abs() / expected as f64;
-            assert!(rel < 0.05, "group {g} has {cnt} users (expected ~{expected})");
+            assert!(
+                rel < 0.05,
+                "group {g} has {cnt} users (expected ~{expected})"
+            );
         }
     }
 }

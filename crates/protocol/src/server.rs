@@ -25,7 +25,11 @@ struct GroupAccumulator {
 
 impl GroupAccumulator {
     fn new(olh: Olh, cells: usize) -> Self {
-        GroupAccumulator { olh, supports: vec![0; cells], reports: 0 }
+        GroupAccumulator {
+            olh,
+            supports: vec![0; cells],
+            reports: 0,
+        }
     }
 
     fn ingest(&mut self, seed: u64, y: u32) {
@@ -67,7 +71,11 @@ impl Collector {
                 .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
             groups.push(GroupAccumulator::new(olh, domain));
         }
-        Ok(Collector { plan, groups, total_reports: 0 })
+        Ok(Collector {
+            plan,
+            groups,
+            total_reports: 0,
+        })
     }
 
     /// The session plan.
@@ -139,8 +147,15 @@ mod tests {
     fn rejects_unknown_group() {
         let plan = SessionPlan::new(100, 3, 16, 1.0, 1).unwrap();
         let mut collector = Collector::new(plan).unwrap();
-        let bad = Report { group: 999, seed: 1, y: 0 };
-        assert!(matches!(collector.ingest(&bad), Err(ProtocolError::UnknownGroup(999))));
+        let bad = Report {
+            group: 999,
+            seed: 1,
+            y: 0,
+        };
+        assert!(matches!(
+            collector.ingest(&bad),
+            Err(ProtocolError::UnknownGroup(999))
+        ));
     }
 
     #[test]
@@ -151,7 +166,10 @@ mod tests {
         let mut buf = BytesMut::new();
         for uid in 0..500u64 {
             let client = Client::new(&plan, uid).unwrap();
-            client.report(&[1, 5, 9], &mut rng).unwrap().encode(&mut buf);
+            client
+                .report(&[1, 5, 9], &mut rng)
+                .unwrap()
+                .encode(&mut buf);
         }
         let ingested = collector.ingest_stream(buf.freeze()).unwrap();
         assert_eq!(ingested, 500);
@@ -166,11 +184,12 @@ mod tests {
         for uid in 0..2_000u64 {
             let client = Client::new(&plan, uid).unwrap();
             let record = [(uid % 16) as u16, ((uid / 3) % 16) as u16, 4u16];
-            collector.ingest(&client.report(&record, &mut rng).unwrap()).unwrap();
+            collector
+                .ingest(&client.report(&record, &mut rng).unwrap())
+                .unwrap();
         }
         let model = collector.finalize(MechanismConfig::default()).unwrap();
-        let q = privmdr_query::RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15)], 16)
-            .unwrap();
+        let q = privmdr_query::RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15)], 16).unwrap();
         let full = model.answer(&q);
         assert!((full - 1.0).abs() < 0.2, "full-domain answer {full}");
     }

@@ -67,7 +67,9 @@ impl Report {
     /// Decodes a whole stream of concatenated reports.
     pub fn decode_stream(mut buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
         if !buf.remaining().is_multiple_of(REPORT_LEN) {
-            return Err(ProtocolError::Malformed("stream length not a report multiple"));
+            return Err(ProtocolError::Malformed(
+                "stream length not a report multiple",
+            ));
         }
         let mut out = Vec::with_capacity(buf.remaining() / REPORT_LEN);
         while buf.has_remaining() {
@@ -83,7 +85,11 @@ mod tests {
 
     #[test]
     fn round_trip_single() {
-        let r = Report { group: 7, seed: 0xDEAD_BEEF_CAFE_F00D, y: 3 };
+        let r = Report {
+            group: 7,
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            y: 3,
+        };
         let bytes = r.to_bytes();
         assert_eq!(bytes.len(), REPORT_LEN);
         let back = Report::decode(&mut bytes.clone()).unwrap();
@@ -93,7 +99,11 @@ mod tests {
     #[test]
     fn round_trip_stream() {
         let reports: Vec<Report> = (0..100)
-            .map(|i| Report { group: i % 5, seed: i as u64 * 77, y: i % 4 })
+            .map(|i| Report {
+                group: i % 5,
+                seed: i as u64 * 77,
+                y: i % 4,
+            })
             .collect();
         let mut buf = BytesMut::new();
         for r in &reports {
@@ -105,7 +115,11 @@ mod tests {
 
     #[test]
     fn rejects_truncation_and_bad_version() {
-        let r = Report { group: 1, seed: 2, y: 3 };
+        let r = Report {
+            group: 1,
+            seed: 2,
+            y: 3,
+        };
         let bytes = r.to_bytes();
         let mut short = bytes.slice(..REPORT_LEN - 1);
         assert!(Report::decode(&mut short).is_err());

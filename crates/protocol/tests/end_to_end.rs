@@ -34,7 +34,9 @@ fn protocol_accuracy_matches_in_process_exact_fit() {
     let wire_model = collector.finalize(MechanismConfig::default()).unwrap();
 
     // Reference path: in-process exact-mode HDG.
-    let direct_model = Hdg::new(MechanismConfig::exact()).fit(&ds, eps, 12).unwrap();
+    let direct_model = Hdg::new(MechanismConfig::exact())
+        .fit(&ds, eps, 12)
+        .unwrap();
 
     let wl = WorkloadBuilder::new(d, c, 13);
     let queries = wl.random(2, 0.5, 40);
@@ -79,7 +81,11 @@ fn collector_is_order_insensitive() {
     let qf = privmdr_query::RangeQuery::from_triples(&[(0, 2, 11), (2, 0, 7)], 16).unwrap();
     let mf = forward.finalize(MechanismConfig::default()).unwrap();
     let mb = backward.finalize(MechanismConfig::default()).unwrap();
-    assert_eq!(mf.answer(&qf), mb.answer(&qf), "ingestion order must not matter");
+    assert_eq!(
+        mf.answer(&qf),
+        mb.answer(&qf),
+        "ingestion order must not matter"
+    );
 }
 
 proptest! {

@@ -23,7 +23,11 @@ pub fn mae(estimates: &[f64], truths: &[f64]) -> f64 {
 /// Per-query absolute errors `|f_q − f̄_q|` (Figs. 9–10 histograms).
 pub fn standard_errors(estimates: &[f64], truths: &[f64]) -> Vec<f64> {
     assert_eq!(estimates.len(), truths.len(), "mismatched workload lengths");
-    estimates.iter().zip(truths).map(|(e, t)| (e - t).abs()).collect()
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .collect()
 }
 
 #[cfg(test)]

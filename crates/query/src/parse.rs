@@ -39,7 +39,11 @@ impl std::error::Error for ParseError {}
 pub fn parse_query(text: &str, c: usize) -> Result<RangeQuery, ParseError> {
     let text = text.trim();
     let display_form = text.to_ascii_uppercase().contains(" IN ");
-    let separators: &[&str] = if display_form { &[" AND ", " and " ] } else { &[","] };
+    let separators: &[&str] = if display_form {
+        &[" AND ", " and "]
+    } else {
+        &[","]
+    };
     let mut fragments = vec![text];
     for sep in separators {
         fragments = fragments.iter().flat_map(|f| f.split(sep)).collect();
@@ -59,13 +63,19 @@ pub fn parse_query(text: &str, c: usize) -> Result<RangeQuery, ParseError> {
 
 /// `a0 in [3, 40]`
 fn parse_display_predicate(frag: &str) -> Result<Predicate, ParseError> {
-    let err = || ParseError::Syntax { fragment: frag.trim().to_string() };
+    let err = || ParseError::Syntax {
+        fragment: frag.trim().to_string(),
+    };
     let frag_trim = frag.trim();
     let lower = frag_trim.to_ascii_lowercase();
     let (attr_part, range_part) = lower.split_once(" in ").ok_or_else(err)?;
     let attr_part = attr_part.trim();
-    let attr: usize =
-        attr_part.strip_prefix('a').ok_or_else(err)?.trim().parse().map_err(|_| err())?;
+    let attr: usize = attr_part
+        .strip_prefix('a')
+        .ok_or_else(err)?
+        .trim()
+        .parse()
+        .map_err(|_| err())?;
     let range = range_part
         .trim()
         .strip_prefix('[')
@@ -81,7 +91,9 @@ fn parse_display_predicate(frag: &str) -> Result<Predicate, ParseError> {
 
 /// `0:3-40`
 fn parse_compact_predicate(frag: &str) -> Result<Predicate, ParseError> {
-    let err = || ParseError::Syntax { fragment: frag.trim().to_string() };
+    let err = || ParseError::Syntax {
+        fragment: frag.trim().to_string(),
+    };
     let frag_trim = frag.trim();
     let (attr, range) = frag_trim.split_once(':').ok_or_else(err)?;
     let (lo, hi) = range.split_once('-').ok_or_else(err)?;
@@ -120,7 +132,10 @@ mod tests {
     #[test]
     fn parses_compact_form() {
         let q = parse_query("0:3-40, 2:1-5", 64).unwrap();
-        assert_eq!(q, RangeQuery::from_triples(&[(0, 3, 40), (2, 1, 5)], 64).unwrap());
+        assert_eq!(
+            q,
+            RangeQuery::from_triples(&[(0, 3, 40), (2, 1, 5)], 64).unwrap()
+        );
         let q = parse_query("5:0-63", 64).unwrap();
         assert_eq!(q.lambda(), 1);
     }
@@ -134,8 +149,14 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(parse_query("", 8), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_query("b0 in [1, 2]", 8), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_query("0:1", 8), Err(ParseError::Syntax { .. })));
+        assert!(matches!(
+            parse_query("b0 in [1, 2]", 8),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_query("0:1", 8),
+            Err(ParseError::Syntax { .. })
+        ));
         assert!(matches!(parse_query("0:5-2", 8), Err(ParseError::Query(_))));
         assert!(matches!(parse_query("0:0-9", 8), Err(ParseError::Query(_))));
         assert!(matches!(

@@ -26,7 +26,12 @@ pub enum QueryError {
     /// Predicates must reference distinct attributes.
     DuplicateAttr(usize),
     /// An interval is inverted or out of the domain.
-    BadInterval { attr: usize, lo: usize, hi: usize, domain: usize },
+    BadInterval {
+        attr: usize,
+        lo: usize,
+        hi: usize,
+        domain: usize,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -34,8 +39,16 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Empty => write!(f, "query needs at least one predicate"),
             QueryError::DuplicateAttr(a) => write!(f, "attribute {a} appears twice"),
-            QueryError::BadInterval { attr, lo, hi, domain } => {
-                write!(f, "attribute {attr}: interval [{lo}, {hi}] invalid for domain {domain}")
+            QueryError::BadInterval {
+                attr,
+                lo,
+                hi,
+                domain,
+            } => {
+                write!(
+                    f,
+                    "attribute {attr}: interval [{lo}, {hi}] invalid for domain {domain}"
+                )
             }
         }
     }
@@ -79,7 +92,10 @@ impl RangeQuery {
     /// Convenience constructor from `(attr, lo, hi)` triples.
     pub fn from_triples(triples: &[(usize, usize, usize)], c: usize) -> Result<Self, QueryError> {
         RangeQuery::new(
-            triples.iter().map(|&(attr, lo, hi)| Predicate { attr, lo, hi }).collect(),
+            triples
+                .iter()
+                .map(|&(attr, lo, hi)| Predicate { attr, lo, hi })
+                .collect(),
             c,
         )
     }

@@ -46,7 +46,11 @@ impl WorkloadBuilder {
                 .iter()
                 .map(|&attr| {
                     let lo = rng.random_range(0..=self.c - len);
-                    Predicate { attr, lo, hi: lo + len - 1 }
+                    Predicate {
+                        attr,
+                        lo,
+                        hi: lo + len - 1,
+                    }
                 })
                 .collect();
             out.push(RangeQuery::new(preds, self.c).expect("construction is valid"));
@@ -68,8 +72,16 @@ impl WorkloadBuilder {
                         out.push(
                             RangeQuery::new(
                                 vec![
-                                    Predicate { attr: j, lo: lo_j, hi: lo_j + len - 1 },
-                                    Predicate { attr: k, lo: lo_k, hi: lo_k + len - 1 },
+                                    Predicate {
+                                        attr: j,
+                                        lo: lo_j,
+                                        hi: lo_j + len - 1,
+                                    },
+                                    Predicate {
+                                        attr: k,
+                                        lo: lo_k,
+                                        hi: lo_k + len - 1,
+                                    },
                                 ],
                                 self.c,
                             )
@@ -93,8 +105,16 @@ impl WorkloadBuilder {
                         out.push(
                             RangeQuery::new(
                                 vec![
-                                    Predicate { attr: j, lo: vj, hi: vj },
-                                    Predicate { attr: k, lo: vk, hi: vk },
+                                    Predicate {
+                                        attr: j,
+                                        lo: vj,
+                                        hi: vj,
+                                    },
+                                    Predicate {
+                                        attr: k,
+                                        lo: vk,
+                                        hi: vk,
+                                    },
                                 ],
                                 self.c,
                             )
@@ -142,8 +162,10 @@ impl WorkloadBuilder {
     ) -> Vec<RangeQuery> {
         let max_tries = count.saturating_mul(200).max(1000);
         let len = self.interval_len(omega);
-        let mut rng =
-            derive_rng(self.seed, &[0x7a65_726f, lambda as u64, u64::from(want_zero)]);
+        let mut rng = derive_rng(
+            self.seed,
+            &[0x7a65_726f, lambda as u64, u64::from(want_zero)],
+        );
         let mut attrs: Vec<usize> = (0..self.d).collect();
         let mut out = Vec::with_capacity(count);
         for _ in 0..max_tries {
@@ -155,7 +177,11 @@ impl WorkloadBuilder {
                 .iter()
                 .map(|&attr| {
                     let lo = rng.random_range(0..=self.c - len);
-                    Predicate { attr, lo, hi: lo + len - 1 }
+                    Predicate {
+                        attr,
+                        lo,
+                        hi: lo + len - 1,
+                    }
                 })
                 .collect();
             let q = RangeQuery::new(preds, self.c).expect("construction is valid");
@@ -181,9 +207,9 @@ pub fn true_answers(ds: &Dataset, queries: &[RangeQuery]) -> Vec<f64> {
             let p0 = q.predicates()[0];
             let p1 = q.predicates()[1];
             let key = (p0.attr, p1.attr);
-            let prefix = pair_prefix.entry(key).or_insert_with(|| {
-                privmdr_grid::PrefixSum2d::build(&ds.pair_histogram(key), c, c)
-            });
+            let prefix = pair_prefix
+                .entry(key)
+                .or_insert_with(|| privmdr_grid::PrefixSum2d::build(&ds.pair_histogram(key), c, c));
             out.push(prefix.rect_inclusive(p0.lo, p0.hi, p1.lo, p1.hi));
         } else {
             out.push(q.true_answer(ds));

@@ -40,8 +40,14 @@ impl SeededHash {
     /// Creates the hash function with the given seed and output domain `c'`.
     #[inline]
     pub fn new(seed: u64, domain: usize) -> Self {
-        assert!(domain >= 2, "hash output domain must have at least 2 values");
-        Self { seed, domain: domain as u64 }
+        assert!(
+            domain >= 2,
+            "hash output domain must have at least 2 values"
+        );
+        Self {
+            seed,
+            domain: domain as u64,
+        }
     }
 
     /// The per-user seed identifying this family member.

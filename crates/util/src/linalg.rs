@@ -15,7 +15,10 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Matrix { dim, data: vec![0.0; dim * dim] }
+        Matrix {
+            dim,
+            data: vec![0.0; dim * dim],
+        }
     }
 
     /// Equicorrelation matrix: 1 on the diagonal, `rho` elsewhere.

@@ -12,7 +12,7 @@
 //! * [`standard_normal`] — Box–Muller transform.
 //! * [`standard_exponential`] — inversion.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Threshold below which a plain Bernoulli loop is cheapest.
 const SMALL_N: u64 = 64;
@@ -155,7 +155,9 @@ mod tests {
     #[test]
     fn exponential_moments() {
         let mut rng = StdRng::seed_from_u64(2);
-        let xs: Vec<f64> = (0..200_000).map(|_| standard_exponential(&mut rng)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| standard_exponential(&mut rng))
+            .collect();
         let (mean, var) = moments(&xs);
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");

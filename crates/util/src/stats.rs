@@ -39,7 +39,13 @@ impl Summary {
             min = 0.0;
             max = 0.0;
         }
-        Summary { mean: mean(xs), std_dev: std_dev(xs), min, max, count: xs.len() }
+        Summary {
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min,
+            max,
+            count: xs.len(),
+        }
     }
 }
 
@@ -56,7 +62,11 @@ impl Histogram {
     /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0);
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Adds one observation; values outside the range clamp to the end bins.

@@ -12,14 +12,21 @@ use privmdr::grid::guideline::{choose_granularities, choose_tdg_granularity, Gui
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let n: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
     let d: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let c: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
     let params = GuidelineParams::default();
 
     println!("HDG granularity guideline (alpha1 = 0.7, alpha2 = 0.03)");
     println!("n = {n}, d = {d}, c = {c}");
-    println!("user groups: {} one-dimensional + {} two-dimensional\n", d, d * (d - 1) / 2);
+    println!(
+        "user groups: {} one-dimensional + {} two-dimensional\n",
+        d,
+        d * (d - 1) / 2
+    );
     println!("| eps | HDG (g1, g2) | TDG g2 | users per group |");
     println!("|-----|--------------|--------|-----------------|");
     for i in 1..=10 {

@@ -30,7 +30,11 @@ fn audit(name: &str, eps: f64, histogram: impl Fn(usize) -> Vec<f64>) {
         }
     }
     let bound = eps.exp();
-    let verdict = if worst <= bound * 1.06 { "OK" } else { "VIOLATION" };
+    let verdict = if worst <= bound * 1.06 {
+        "OK"
+    } else {
+        "VIOLATION"
+    };
     println!(
         "{name:<12} eps={eps:.1}  worst observed ratio {worst:.3}  bound e^eps = {bound:.3}  [{verdict}]"
     );
@@ -72,8 +76,7 @@ fn main() {
             let mut rng = derive_rng(3, &[v as u64, (eps * 10.0) as u64]);
             let bins = 64;
             let mut h = vec![0f64; bins];
-            let (lo, width) =
-                (-sw.delta(), (1.0 + 2.0 * sw.delta()) / bins as f64);
+            let (lo, width) = (-sw.delta(), (1.0 + 2.0 * sw.delta()) / bins as f64);
             for _ in 0..TRIALS {
                 let y = sw.perturb(if v == 0 { 0.2 } else { 0.8 }, &mut rng);
                 let b = (((y - lo) / width) as usize).min(bins - 1);

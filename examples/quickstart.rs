@@ -22,8 +22,8 @@ fn main() {
     // A 3-dimensional range query: age in [16, 47] AND income in [0, 31]
     // AND hours in [32, 63] (answered by splitting into 2-D queries and
     // fusing them with Algorithm 2).
-    let query = RangeQuery::from_triples(&[(0, 16, 47), (1, 0, 31), (2, 32, 63)], 64)
-        .expect("valid query");
+    let query =
+        RangeQuery::from_triples(&[(0, 16, 47), (1, 0, 31), (2, 32, 63)], 64).expect("valid query");
 
     let estimate = model.answer(&query);
     let truth = query.true_answer(&dataset);

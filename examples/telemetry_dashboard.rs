@@ -13,8 +13,8 @@
 
 use privmdr::core::{Hdg, Mechanism, Msw};
 use privmdr::data::DatasetSpec;
-use privmdr::query::workload::{true_answers, WorkloadBuilder};
 use privmdr::query::mae;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
 
 fn league(name: &str, spec: DatasetSpec, lambda: usize) {
     let (n, d, c) = (200_000, 5, 64);
@@ -40,7 +40,11 @@ fn main() {
 
     // Bfive-like: log-normal response times, correlation ~0.1. MSW's
     // independence assumption costs almost nothing here.
-    league("weakly correlated (Bfive-like response times)", DatasetSpec::Bfive, 2);
+    league(
+        "weakly correlated (Bfive-like response times)",
+        DatasetSpec::Bfive,
+        2,
+    );
 
     // Same marginals' heavy tails but strong correlation: the independence
     // assumption now misses all the joint structure.

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: every mechanism runs end-to-end and
 //! produces sane answers on realistic workloads.
 
-use privmdr::core::{
-    Calm, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni,
-};
+use privmdr::core::{Calm, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr::data::DatasetSpec;
 use privmdr::query::workload::{true_answers, WorkloadBuilder};
 use privmdr::query::{mae, RangeQuery};
@@ -90,7 +88,11 @@ fn private_mechanisms_beat_uniform_on_structured_data() {
     ] {
         let model = mech.fit(&ds, 1.0, 11).expect("fit");
         let m = mae(&model.answer_all(&queries), &truths);
-        assert!(m < uni_mae, "{}: {m} not better than Uni {uni_mae}", mech.name());
+        assert!(
+            m < uni_mae,
+            "{}: {m} not better than Uni {uni_mae}",
+            mech.name()
+        );
     }
 }
 
@@ -107,7 +109,9 @@ fn exact_and_fast_modes_agree_statistically() {
     for seed in 0..reps {
         let f = Hdg::default().fit(&ds, 1.0, seed).expect("fit");
         fast += mae(&f.answer_all(&queries), &truths);
-        let e = Hdg::new(MechanismConfig::exact()).fit(&ds, 1.0, seed).expect("fit");
+        let e = Hdg::new(MechanismConfig::exact())
+            .fit(&ds, 1.0, seed)
+            .expect("fit");
         exact += mae(&e.answer_all(&queries), &truths);
     }
     let ratio = fast / exact;

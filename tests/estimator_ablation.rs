@@ -6,15 +6,18 @@
 
 use privmdr::core::{EstimatorKind, Hdg, Mechanism, MechanismConfig};
 use privmdr::data::DatasetSpec;
-use privmdr::query::workload::{true_answers, WorkloadBuilder};
 use privmdr::query::mae;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
 
 fn run(estimator: EstimatorKind, lambda: usize, spec: DatasetSpec) -> (f64, f64) {
     let ds = spec.generate(120_000, 5, 64, 31);
     let wl = WorkloadBuilder::new(5, 64, 32);
     let queries = wl.random(lambda, 0.5, 40);
     let truths = true_answers(&ds, &queries);
-    let cfg = MechanismConfig { estimator, ..MechanismConfig::default() };
+    let cfg = MechanismConfig {
+        estimator,
+        ..MechanismConfig::default()
+    };
     let mut total = 0.0;
     for seed in 0..3u64 {
         let model = Hdg::new(cfg).fit(&ds, 1.0, seed).expect("fit");
@@ -31,7 +34,10 @@ fn estimators_agree_on_lambda3_moderate_correlation() {
     let (wu, _) = run(EstimatorKind::WeightedUpdate, 3, DatasetSpec::Ipums);
     let (me, _) = run(EstimatorKind::MaxEntropy, 3, DatasetSpec::Ipums);
     let ratio = wu.max(me) / wu.min(me).max(1e-9);
-    assert!(ratio < 1.5, "Ipums: WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})");
+    assert!(
+        ratio < 1.5,
+        "Ipums: WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})"
+    );
 }
 
 #[test]
@@ -42,10 +48,24 @@ fn max_entropy_wins_under_strong_correlation() {
     // better than Algorithm 2's positive-quadrant-only updates (WU ~0.147
     // vs MaxEnt ~0.079 at lambda = 3 in this configuration). See
     // EXPERIMENTS.md. Algorithm 2 remains the faster default.
-    let (wu, _) = run(EstimatorKind::WeightedUpdate, 3, DatasetSpec::Normal { rho: 0.8 });
-    let (me, _) = run(EstimatorKind::MaxEntropy, 3, DatasetSpec::Normal { rho: 0.8 });
-    assert!(me < wu, "expected MaxEnt ({me:.4}) <= WU ({wu:.4}) on rho=0.8");
-    assert!(wu < me * 3.0, "estimators should stay within 3x: WU {wu:.4} MaxEnt {me:.4}");
+    let (wu, _) = run(
+        EstimatorKind::WeightedUpdate,
+        3,
+        DatasetSpec::Normal { rho: 0.8 },
+    );
+    let (me, _) = run(
+        EstimatorKind::MaxEntropy,
+        3,
+        DatasetSpec::Normal { rho: 0.8 },
+    );
+    assert!(
+        me < wu,
+        "expected MaxEnt ({me:.4}) <= WU ({wu:.4}) on rho=0.8"
+    );
+    assert!(
+        wu < me * 3.0,
+        "estimators should stay within 3x: WU {wu:.4} MaxEnt {me:.4}"
+    );
 }
 
 #[test]
@@ -55,7 +75,13 @@ fn estimators_agree_on_lambda5() {
     // At higher lambda both carry estimation error; they must stay within
     // a factor of each other and both below the average answer magnitude.
     let ratio = wu.max(me) / wu.min(me).max(1e-9);
-    assert!(ratio < 2.0, "WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})");
+    assert!(
+        ratio < 2.0,
+        "WU {wu:.4} vs MaxEnt {me:.4} (ratio {ratio:.2})"
+    );
     assert!(wu < scale, "WU MAE {wu:.4} above signal scale {scale:.4}");
-    assert!(me < scale, "MaxEnt MAE {me:.4} above signal scale {scale:.4}");
+    assert!(
+        me < scale,
+        "MaxEnt MAE {me:.4} above signal scale {scale:.4}"
+    );
 }

@@ -5,8 +5,8 @@
 
 use privmdr::core::{Calm, Hdg, HioMechanism, Lhio, Mechanism, Msw, Tdg};
 use privmdr::data::DatasetSpec;
-use privmdr::query::workload::{true_answers, WorkloadBuilder};
 use privmdr::query::mae;
+use privmdr::query::workload::{true_answers, WorkloadBuilder};
 
 fn avg_mae(
     mech: &dyn Mechanism,
@@ -58,8 +58,14 @@ fn hio_suffers_the_curse_of_dimensionality() {
     let hio = avg_mae(&HioMechanism::default(), &ds, &queries, &truths, 1.0, 2);
     let lhio = avg_mae(&Lhio::default(), &ds, &queries, &truths, 1.0, 2);
     let hdg = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, 2);
-    assert!(lhio < hio, "LHIO ({lhio:.4}) must improve on HIO ({hio:.4})");
-    assert!(hdg < hio / 5.0, "HDG ({hdg:.4}) should be >5x better than HIO ({hio:.4})");
+    assert!(
+        lhio < hio,
+        "LHIO ({lhio:.4}) must improve on HIO ({hio:.4})"
+    );
+    assert!(
+        hdg < hio / 5.0,
+        "HDG ({hdg:.4}) should be >5x better than HIO ({hio:.4})"
+    );
 }
 
 /// §3.5 / Fig. 1c: MSW is competitive exactly when correlations are weak.
@@ -103,7 +109,10 @@ fn hdg_improves_on_tdg() {
     let reps = 4;
     let tdg = avg_mae(&Tdg::default(), &ds, &queries, &truths, 1.0, reps);
     let hdg = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, reps);
-    assert!(hdg < tdg, "HDG ({hdg:.4}) must beat TDG ({tdg:.4}) on skewed data");
+    assert!(
+        hdg < tdg,
+        "HDG ({hdg:.4}) must beat TDG ({tdg:.4}) on skewed data"
+    );
 }
 
 /// §5.3 / Fig. 1: accuracy improves (MAE shrinks) as ε grows.
@@ -115,7 +124,10 @@ fn mae_decreases_with_epsilon() {
     let truths = true_answers(&ds, &queries);
     let low = avg_mae(&Hdg::default(), &ds, &queries, &truths, 0.2, 3);
     let high = avg_mae(&Hdg::default(), &ds, &queries, &truths, 2.0, 3);
-    assert!(high < low, "MAE at eps=2 ({high:.4}) must beat eps=0.2 ({low:.4})");
+    assert!(
+        high < low,
+        "MAE at eps=2 ({high:.4}) must beat eps=0.2 ({low:.4})"
+    );
 }
 
 /// §5.3 / Fig. 6: more users help every LDP approach.
@@ -147,9 +159,7 @@ fn guideline_tracks_best_fixed_granularity() {
     let guideline = avg_mae(&Hdg::default(), &ds, &queries, &truths, 1.0, reps);
     let mut best_fixed = f64::INFINITY;
     for (g1, g2) in [(8, 2), (8, 4), (16, 2), (16, 4), (16, 8), (32, 4), (32, 8)] {
-        let mech = Hdg::new(
-            privmdr::core::MechanismConfig::default().with_granularities(g1, g2),
-        );
+        let mech = Hdg::new(privmdr::core::MechanismConfig::default().with_granularities(g1, g2));
         best_fixed = best_fixed.min(avg_mae(&mech, &ds, &queries, &truths, 1.0, reps));
     }
     assert!(

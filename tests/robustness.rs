@@ -1,9 +1,7 @@
 //! Failure injection and degenerate-input robustness: mechanisms must
 //! stay finite and well-behaved at the edges of their parameter space.
 
-use privmdr::core::{
-    Calm, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni,
-};
+use privmdr::core::{Calm, Hdg, HioMechanism, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr::data::{Dataset, DatasetSpec};
 use privmdr::query::RangeQuery;
 
@@ -53,7 +51,10 @@ fn degenerate_point_mass_dataset() {
     let ds = Dataset::new(rows, 3, 16).unwrap();
     let hit = RangeQuery::from_triples(&[(0, 4, 6), (1, 8, 10), (2, 11, 13)], 16).unwrap();
     let miss = RangeQuery::from_triples(&[(0, 0, 2), (1, 0, 2), (2, 0, 2)], 16).unwrap();
-    for mech in [Box::new(Hdg::default()) as Box<dyn Mechanism>, Box::new(Tdg::default())] {
+    for mech in [
+        Box::new(Hdg::default()) as Box<dyn Mechanism>,
+        Box::new(Tdg::default()),
+    ] {
         let model = mech.fit(&ds, 4.0, 4).expect("fit");
         let a_hit = model.answer(&hit);
         let a_miss = model.answer(&miss);
@@ -65,7 +66,11 @@ fn degenerate_point_mass_dataset() {
             "{}: hit {a_hit} vs miss {a_miss}",
             mech.name()
         );
-        assert!(a_miss < 0.2, "{}: empty region answer {a_miss}", mech.name());
+        assert!(
+            a_miss < 0.2,
+            "{}: empty region answer {a_miss}",
+            mech.name()
+        );
         if mech.name() == "HDG" {
             assert!(a_hit > 0.5, "HDG point mass answer {a_hit}");
         }
@@ -144,8 +149,8 @@ fn boundary_queries() {
 #[test]
 fn ablations_survive_negative_inputs() {
     let ds = DatasetSpec::Normal { rho: 0.8 }.generate(2_000, 4, 32, 12);
-    let q4 = RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15), (2, 0, 15), (3, 0, 15)], 32)
-        .unwrap();
+    let q4 =
+        RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15), (2, 0, 15), (3, 0, 15)], 32).unwrap();
     for cfg in [
         MechanismConfig::default().without_post_process(),
         MechanismConfig::exact().without_post_process(),

@@ -1,0 +1,51 @@
+//! Workspace smoke test: the `privmdr` facade re-exports must fit together
+//! for the canonical end-to-end flow — synthesize a dataset, fit HDG at
+//! ε = 1, answer a 2-D range query. Everything here goes through `privmdr::`
+//! paths only, so a broken re-export or an inter-crate API drift fails this
+//! test even when each crate's own suite is green.
+
+use privmdr::core::{Hdg, Mechanism};
+use privmdr::data::DatasetSpec;
+use privmdr::query::RangeQuery;
+
+#[test]
+fn facade_fits_hdg_and_answers_a_2d_query() {
+    // Tiny but non-degenerate: 4k users, 3 attributes over {0, ..., 31}.
+    let dataset = DatasetSpec::Normal { rho: 0.5 }.generate(4_000, 3, 32, 7);
+
+    let model = Hdg::default()
+        .fit(&dataset, 1.0, 13)
+        .expect("HDG must fit on a small synthetic dataset at eps=1");
+
+    let query = RangeQuery::from_triples(&[(0, 4, 19), (2, 0, 15)], 32).expect("valid 2-D query");
+
+    let estimate = model.answer(&query);
+    let truth = query.true_answer(&dataset);
+
+    // Frequencies are fractions of users; the estimate must be a finite
+    // value in a loose band around the truth (HDG post-processing keeps
+    // answers near the simplex; at eps=1 and n=4k the noise is moderate).
+    assert!(estimate.is_finite(), "estimate must be finite");
+    assert!(
+        (estimate - truth).abs() < 0.25,
+        "estimate {estimate} too far from truth {truth}"
+    );
+
+    // The fitted model is reusable: answering more queries costs no privacy
+    // and must stay consistent with the single-query path.
+    let batch = model.answer_all(std::slice::from_ref(&query));
+    assert_eq!(batch.len(), 1);
+    assert!((batch[0] - estimate).abs() < 1e-12);
+}
+
+#[test]
+fn facade_exposes_every_workspace_layer() {
+    // One symbol per re-exported crate, so a dropped facade line fails here.
+    let _ = privmdr::util::pow2::closest_pow2(10.0);
+    let _ = privmdr::data::DatasetSpec::Loan;
+    let _ = privmdr::oracles::SimMode::Fast;
+    let _ = privmdr::grid::guideline::default_sigma(3);
+    let _ = privmdr::hierarchy::Hierarchy1d::new(4, 2);
+    let _ = privmdr::query::RangeQuery::from_triples(&[(0, 0, 1)], 4);
+    let _ = privmdr::core::MechanismConfig::default();
+}
