@@ -34,7 +34,7 @@ pub fn run(ctx: &Ctx, fig: &str, d_values: &[usize]) {
                 .iter()
                 .flat_map(|&a| eps.iter().map(move |&e| (a, e)))
                 .collect();
-            let results = crate::parallel::par_map(&cells, |&(a, e)| {
+            let results = privmdr_util::par::par_map(&cells, |&(a, e)| {
                 ctx.mae(spec, ctx.scale.n, d, DEFAULT_C, &a, e, kind)
             });
             for (ai, a) in ladder.iter().enumerate() {

@@ -47,7 +47,7 @@ pub fn fig_vary_eps(
                 .iter()
                 .flat_map(|&a| eps.iter().map(move |&e| (a, e)))
                 .collect();
-            let results = crate::parallel::par_map(&cells, |&(a, e)| {
+            let results = privmdr_util::par::par_map(&cells, |&(a, e)| {
                 ctx.mae(spec, ctx.scale.n, DEFAULT_D, DEFAULT_C, &a, e, kind)
             });
             for (ai, a) in approaches.iter().enumerate() {
@@ -86,7 +86,7 @@ pub fn run_generic_sweep(
             .iter()
             .flat_map(|&a| (0..x_values.len()).map(move |xi| (xi, a)))
             .collect();
-        let results = crate::parallel::par_map(&cells, |&(xi, a)| {
+        let results = privmdr_util::par::par_map(&cells, |&(xi, a)| {
             let (spec, n, d, c, e, kind) = cell_fn(xi, &a);
             ctx.mae(spec, n, d, c, &a, e, kind)
         });

@@ -33,7 +33,7 @@ pub fn run(ctx: &Ctx, fig: &str) {
             .iter()
             .flat_map(|&e| sigmas.iter().map(move |&s| (e, s)))
             .collect();
-        let results = crate::parallel::par_map(&cells, |&(e, s)| {
+        let results = privmdr_util::par::par_map(&cells, |&(e, s)| {
             ctx.mae(
                 spec,
                 ctx.scale.n,

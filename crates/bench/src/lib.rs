@@ -18,7 +18,6 @@
 pub mod approach;
 pub mod experiment;
 pub mod figures;
-pub mod parallel;
 pub mod report;
 pub mod scale;
 

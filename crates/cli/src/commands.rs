@@ -1,15 +1,24 @@
 //! The CLI subcommands.
 
 use crate::args::ParsedArgs;
-use privmdr_core::{Calm, Hdg, Lhio, Mechanism, Msw, Tdg, Uni};
+use bytes::BytesMut;
+use privmdr_core::{Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
 use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
+use privmdr_protocol::{Batch, Client, Collector, SessionPlan};
 use privmdr_query::parse::parse_workload;
 use privmdr_query::workload::true_answers;
+use privmdr_util::rng::derive_rng;
 
-/// `privmdr synth`: generate a CSV dataset.
-pub fn synth(args: &ParsedArgs) -> Result<String, String> {
-    let spec = match args.require("spec")? {
+/// Resolves `--spec` (plus `--rho` for the synthetic families) into a
+/// generator; `default` supplies the spec when the option is absent.
+fn parse_spec(args: &ParsedArgs, default: Option<&str>) -> Result<DatasetSpec, String> {
+    let name = match (args.get("spec"), default) {
+        (Some(name), _) => name,
+        (None, Some(name)) => name,
+        (None, None) => return Err("missing required option --spec".into()),
+    };
+    Ok(match name {
         "ipums" => DatasetSpec::Ipums,
         "bfive" => DatasetSpec::Bfive,
         "loan" => DatasetSpec::Loan,
@@ -21,7 +30,12 @@ pub fn synth(args: &ParsedArgs) -> Result<String, String> {
             rho: args.number("rho")?.unwrap_or(0.8),
         },
         other => return Err(format!("unknown --spec '{other}'")),
-    };
+    })
+}
+
+/// `privmdr synth`: generate a CSV dataset.
+pub fn synth(args: &ParsedArgs) -> Result<String, String> {
+    let spec = parse_spec(args, None)?;
     let n: usize = args.require_number("n")?;
     let d: usize = args.require_number("d")?;
     let c: usize = args.require_number("c")?;
@@ -102,6 +116,86 @@ pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
         return Ok(format!("wrote {} answers to {path}", queries.len()));
     }
     Ok(out)
+}
+
+/// `privmdr ingest`: replay a synthetic report stream through the wire
+/// protocol's sharded collector and report ingestion throughput.
+///
+/// The replay is the full deployment path: a public `SessionPlan`, one
+/// client report per user, `Batch` wire frames, parallel sharded
+/// support-counting, and a finalized HDG model sanity-checked with a
+/// full-domain query.
+pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
+    let n: usize = args.require_number("n")?;
+    let d: usize = args.require_number("d")?;
+    let c: usize = args.require_number("c")?;
+    let epsilon: f64 = args.require_number("epsilon")?;
+    let seed: u64 = args.number("seed")?.unwrap_or(1);
+    let shards: usize = args.number("shards")?.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(10_000).max(1);
+    let spec = parse_spec(args, Some("normal"))?;
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+
+    let plan = SessionPlan::new(n, d, c, epsilon, seed).map_err(|e| e.to_string())?;
+    let ds = spec.generate(n, d, c, seed);
+
+    // Client phase: one report per user, framed into length-prefixed batches.
+    let mut rng = derive_rng(seed, &[0x1A]);
+    let mut buf = BytesMut::new();
+    let mut pending = Vec::with_capacity(batch_size.min(n));
+    let mut frames = 0usize;
+    for uid in 0..n as u64 {
+        let client = Client::new(&plan, uid).map_err(|e| e.to_string())?;
+        pending.push(
+            client
+                .report(ds.row(uid as usize), &mut rng)
+                .map_err(|e| e.to_string())?,
+        );
+        if pending.len() == batch_size {
+            Batch::new(std::mem::take(&mut pending)).encode(&mut buf);
+            frames += 1;
+        }
+    }
+    if !pending.is_empty() {
+        Batch::new(pending).encode(&mut buf);
+        frames += 1;
+    }
+    let wire_bytes = buf.len();
+
+    // Server phase (timed): decode the stream and shard the support counting.
+    let mut collector = Collector::new(plan.clone()).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let ingested = collector
+        .ingest_stream_sharded(buf.freeze(), shards)
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let model = collector
+        .finalize(MechanismConfig::default())
+        .map_err(|e| e.to_string())?;
+    let full = privmdr_query::RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c - 1)], c)
+        .map_err(|e| e.to_string())?;
+    let sanity = model.answer(&full);
+
+    let g = plan.granularities;
+    Ok(format!(
+        "plan: n={n} d={d} c={c} eps={epsilon} -> {} groups (g1={}, g2={}x{})\n\
+         encoded {ingested} reports into {frames} batch frames ({wire_bytes} bytes, {:.1} B/report)\n\
+         ingested {ingested} reports with {shards} shard(s) in {secs:.3}s -- {:.0} reports/sec\n\
+         full-domain sanity answer: {sanity:.4} (expect ~1)\n",
+        plan.group_count(),
+        g.g1,
+        g.g2,
+        g.g2,
+        wire_bytes as f64 / ingested.max(1) as f64,
+        ingested as f64 / secs,
+    ))
 }
 
 /// `privmdr guideline`: print the recommended granularities.
@@ -217,6 +311,41 @@ mod tests {
         let s = summarize(&ds);
         assert!(s.contains("2000 users x 2 attributes"));
         assert!(s.contains("(a0, a1)"));
+    }
+
+    #[test]
+    fn ingest_replays_stream_and_reports_throughput() {
+        let out = ingest(&argv(
+            "--n 3000 --d 3 --c 16 --epsilon 2.0 --seed 9 --shards 2 --batch 1000",
+        ))
+        .unwrap();
+        assert!(out.contains("plan: n=3000 d=3 c=16"), "{out}");
+        assert!(out.contains("into 3 batch frames"), "{out}");
+        assert!(
+            out.contains("ingested 3000 reports with 2 shard(s)"),
+            "{out}"
+        );
+        assert!(out.contains("reports/sec"), "{out}");
+        // The full-domain answer is a sanity anchor around 1.
+        let sanity: f64 = out
+            .lines()
+            .find(|l| l.starts_with("full-domain sanity answer"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn ingest_validates_parameters() {
+        // Bad plan parameters surface as user errors, not panics.
+        assert!(ingest(&argv("--n 100 --d 1 --c 16 --epsilon 1.0")).is_err());
+        assert!(ingest(&argv("--n 100 --d 3 --c 15 --epsilon 1.0")).is_err());
+        assert!(ingest(&argv("--n 100 --d 3 --c 16 --epsilon 0.0")).is_err());
+        assert!(ingest(&argv("--n 0 --d 3 --c 16 --epsilon 1.0")).is_err());
+        assert!(ingest(&argv("--d 3 --c 16 --epsilon 1.0")).is_err()); // no n
+        assert!(ingest(&argv("--n 100 --d 3 --c 16 --epsilon 1.0 --spec nosuch")).is_err());
     }
 
     #[test]

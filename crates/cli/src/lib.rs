@@ -7,7 +7,9 @@
 //!   workload file of range queries;
 //! * `guideline` — print the paper's recommended grid granularities;
 //! * `info` — summarize a CSV dataset (shape, per-attribute histogram
-//!   sketch, pairwise correlations).
+//!   sketch, pairwise correlations);
+//! * `ingest` — replay a synthetic report stream through the wire
+//!   protocol's sharded collector and report ingestion throughput.
 //!
 //! The logic lives in this library so tests can drive it without spawning
 //! processes; `main.rs` is a thin wrapper.
@@ -28,6 +30,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "fit-query" => commands::fit_query(&parsed),
         "guideline" => commands::guideline(&parsed),
         "info" => commands::info(&parsed),
+        "ingest" => commands::ingest(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -51,6 +54,9 @@ COMMANDS:
                   --n N --d D --c C [--alpha1 A] [--alpha2 A]
     info        summarize a CSV dataset
                   --data FILE --c C
+    ingest      replay a synthetic report stream through the sharded collector
+                  --n N --d D --c C --epsilon E [--spec S] [--rho R]
+                  [--seed S] [--shards K] [--batch B]
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

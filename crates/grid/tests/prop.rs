@@ -133,6 +133,56 @@ proptest! {
         }
     }
 
+    /// The Phase-2 invariant the ingestion engine's `finalize` leans on:
+    /// for *random geometries* (d, g1, g2) and arbitrary noisy inputs, the
+    /// consistency/Norm-Sub loop preserves total mass to 1 ± 1e-9 and never
+    /// lets a clipped negative survive.
+    #[test]
+    fn post_process_preserves_mass_and_nonnegativity(
+        (d, g1, g2) in (
+            2usize..5,
+            prop::sample::select(vec![4usize, 8, 16]),
+            prop::sample::select(vec![2usize, 4]),
+        ),
+        noise1 in prop::collection::vec(-0.3f64..0.6, 64),
+        noise2 in prop::collection::vec(-0.3f64..0.6, 96),
+    ) {
+        let c = 16usize;
+        let mut one_d: Vec<Option<Grid1d>> = (0..d)
+            .map(|t| {
+                let f: Vec<f64> = (0..g1).map(|i| noise1[(t * g1 + i) % noise1.len()]).collect();
+                Some(Grid1d::from_freqs(t, g1, c, f).unwrap())
+            })
+            .collect();
+        let mut two_d: Vec<Grid2d> = pair_list(d)
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (j, k))| {
+                let f: Vec<f64> = (0..g2 * g2)
+                    .map(|i| noise2[(idx * g2 * g2 + i) % noise2.len()])
+                    .collect();
+                Grid2d::from_freqs((j, k), g2, c, f).unwrap()
+            })
+            .collect();
+        post_process(d, &mut one_d, &mut two_d, &PostProcessConfig::default());
+        for g in one_d.iter().flatten() {
+            prop_assert!(
+                g.freqs.iter().all(|&f| f >= 0.0),
+                "negative after clipping in 1-D grid: {:?}", g.freqs
+            );
+            let total: f64 = g.freqs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "1-D mass {}", total);
+        }
+        for g in &two_d {
+            prop_assert!(
+                g.freqs.iter().all(|&f| f >= 0.0),
+                "negative after clipping in 2-D grid: {:?}", g.freqs
+            );
+            let total: f64 = g.freqs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "2-D mass {}", total);
+        }
+    }
+
     /// The response matrix is a finite non-negative array whose total tracks
     /// the (normalized) 2-D grid for any valid (post-processed-like) input.
     #[test]

@@ -96,16 +96,29 @@ impl Olh {
         OlhReport { seed, y: y as u32 }
     }
 
+    /// The support-counting kernel: folds one report into per-value support
+    /// counters, incrementing `supports[v]` for every `v` with `H_seed(v) = y`
+    /// (`O(domain)` hash evaluations).
+    ///
+    /// This is the hot loop of exact aggregation — both [`Olh::aggregate`]
+    /// and the streaming collector in `privmdr-protocol` go through it, so
+    /// the two paths cannot drift apart.
+    #[inline]
+    pub fn add_support(&self, seed: u64, y: u32, supports: &mut [u64]) {
+        debug_assert_eq!(supports.len(), self.domain);
+        let h = SeededHash::new(seed, self.c_prime);
+        for (v, s) in supports.iter_mut().enumerate() {
+            if h.hash(v) == y as usize {
+                *s += 1;
+            }
+        }
+    }
+
     /// Aggregator side: unbiased frequency estimates for all `c` values.
     pub fn aggregate(&self, reports: &[OlhReport]) -> Vec<f64> {
         let mut supports = vec![0u64; self.domain];
         for r in reports {
-            let h = SeededHash::new(r.seed, self.c_prime);
-            for (v, s) in supports.iter_mut().enumerate() {
-                if h.hash(v) == r.y as usize {
-                    *s += 1;
-                }
-            }
+            self.add_support(r.seed, r.y, &mut supports);
         }
         self.unbias(&supports, reports.len())
     }
@@ -256,6 +269,69 @@ mod tests {
         assert!((mean(&e4) - 0.5).abs() < 0.02, "{}", mean(&e4));
         assert!((mean(&e20) - 0.5).abs() < 0.02, "{}", mean(&e20));
         assert!(mean(&e9).abs() < 0.02, "{}", mean(&e9));
+    }
+
+    #[test]
+    fn add_support_kernel_matches_manual_count() {
+        let olh = Olh::new(1.0, 24).unwrap();
+        let mut rng = StdRng::seed_from_u64(71);
+        let reports: Vec<OlhReport> = (0..300).map(|i| olh.perturb(i % 24, &mut rng)).collect();
+        let mut supports = vec![0u64; 24];
+        for r in &reports {
+            olh.add_support(r.seed, r.y, &mut supports);
+        }
+        for (v, &s) in supports.iter().enumerate() {
+            let manual = reports
+                .iter()
+                .filter(|r| SeededHash::new(r.seed, olh.c_prime()).hash(v) == r.y as usize)
+                .count() as u64;
+            assert_eq!(s, manual, "value {v}");
+        }
+        // The kernel is exactly what aggregate() unbiases.
+        let agg = olh.aggregate(&reports);
+        let manual: Vec<f64> = supports
+            .iter()
+            .map(|&s| (s as f64 / 300.0 - olh.q()) / (olh.p() - olh.q()))
+            .collect();
+        assert_eq!(agg, manual);
+    }
+
+    /// Statistical regression gate for the shared support-counting kernel:
+    /// `Exact` (which folds every report through [`Olh::add_support`]) and
+    /// `Fast` (which samples the aggregate distribution directly) must give
+    /// the same mean estimate within a 4-sigma bound over seeded repeats.
+    #[test]
+    fn exact_and_fast_means_agree_within_4_sigma() {
+        let olh = Olh::new(1.0, 32).unwrap();
+        let n = 4_000usize;
+        let true_freq = 0.3;
+        let hot = (n as f64 * true_freq) as usize;
+        let values: Vec<u32> = (0..n).map(|i| if i < hot { 5 } else { 17 }).collect();
+        let reps = 24u64;
+        let (mut exact, mut fast) = (Vec::new(), Vec::new());
+        for r in 0..reps {
+            let mut rng = StdRng::seed_from_u64(40_000 + r);
+            exact.push(olh.collect(&values, SimMode::Exact, &mut rng)[5]);
+            let mut rng = StdRng::seed_from_u64(60_000 + r);
+            fast.push(olh.collect(&values, SimMode::Fast, &mut rng)[5]);
+        }
+        // Std-dev of a mean of `reps` unbiased estimates.
+        let sigma_mean = (olh.variance(n) / reps as f64).sqrt();
+        let (me, mf) = (mean(&exact), mean(&fast));
+        assert!(
+            (me - true_freq).abs() < 4.0 * sigma_mean,
+            "exact mean {me} drifts from {true_freq} (sigma_mean {sigma_mean})"
+        );
+        assert!(
+            (mf - true_freq).abs() < 4.0 * sigma_mean,
+            "fast mean {mf} drifts from {true_freq} (sigma_mean {sigma_mean})"
+        );
+        // The two modes against each other: difference of two independent
+        // means has std sqrt(2) * sigma_mean.
+        assert!(
+            (me - mf).abs() < 4.0 * std::f64::consts::SQRT_2 * sigma_mean,
+            "exact {me} vs fast {mf} beyond 4 sigma ({sigma_mean})"
+        );
     }
 
     #[test]

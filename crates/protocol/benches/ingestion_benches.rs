@@ -1,0 +1,101 @@
+//! Throughput of the report-ingestion engine: reports/sec through the
+//! serial path and the sharded path at increasing shard counts, plus the
+//! wire decode cost of the two framings.
+//!
+//! The headline number is `ingest/shards=K` on the 256-cell grid: the
+//! support-counting pass is O(cells) per report and embarrassingly
+//! parallel, so on an M-core machine reports/sec should scale close to
+//! linearly until K exceeds M (shards are capped to available cores by
+//! `par_map`; on a single-core runner all shard counts collapse to the
+//! serial figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privmdr_grid::guideline::Granularities;
+use privmdr_protocol::{Batch, Collector, GroupTarget, Report, SessionPlan};
+use privmdr_util::hash::mix64;
+use std::hint::black_box;
+
+/// A plan whose group 0 is a 1-D grid with exactly `cells` cells, bypassing
+/// the guideline so the bench geometry is fixed across machines.
+fn plan_with_cells(cells: usize) -> SessionPlan {
+    let mut plan = SessionPlan::new(1_000_000, 2, cells, 1.0, 7).unwrap();
+    plan.granularities = Granularities {
+        g1: cells,
+        g2: cells.min(16),
+    };
+    assert_eq!(plan.groups[0], GroupTarget::OneD { attr: 0 });
+    plan
+}
+
+/// Synthetic reports, all for group 0 (the 256-cell grid): hashed-domain
+/// values under well-mixed seeds, i.e. the same work profile as real
+/// traffic without paying client-side perturbation in the bench loop.
+fn synthetic_reports(n: usize) -> Vec<Report> {
+    (0..n as u64)
+        .map(|i| Report {
+            group: 0,
+            seed: mix64(i),
+            y: (mix64(i ^ 0xF00D) % 4) as u32,
+        })
+        .collect()
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let cells = 256usize;
+    let n = 20_000usize;
+    let plan = plan_with_cells(cells);
+    let reports = synthetic_reports(n);
+    let max_shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group(format!("ingest_{cells}cells"));
+    group.throughput(Throughput::Elements(n as u64));
+    let mut shard_counts = vec![1usize, 2, 4];
+    if !shard_counts.contains(&max_shards) {
+        shard_counts.push(max_shards);
+    }
+    for shards in shard_counts {
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &reports,
+            |b, reports| {
+                b.iter(|| {
+                    let mut collector = Collector::new(plan.clone()).unwrap();
+                    collector.ingest_batch(black_box(reports), shards).unwrap();
+                    black_box(collector.report_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire_decode(c: &mut Criterion) {
+    let n = 50_000usize;
+    let reports = synthetic_reports(n);
+    let mut group = c.benchmark_group("wire_decode");
+    group.throughput(Throughput::Elements(n as u64));
+
+    let mut legacy = bytes::BytesMut::new();
+    for r in &reports {
+        r.encode(&mut legacy);
+    }
+    let legacy = legacy.freeze();
+    group.bench_function("legacy_17B", |b| {
+        b.iter(|| black_box(Report::decode_stream(legacy.clone())).unwrap())
+    });
+
+    let mut batched = bytes::BytesMut::new();
+    for chunk in reports.chunks(10_000) {
+        Batch::new(chunk.to_vec()).encode(&mut batched);
+    }
+    let batched = batched.freeze();
+    group.bench_function("batch_16B", |b| {
+        b.iter(|| black_box(Batch::decode_stream(batched.clone())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest, bench_wire_decode);
+criterion_main!(benches);

@@ -9,11 +9,13 @@
 //! * [`plan`] — the public [`plan::SessionPlan`]: everything a client needs
 //!   (ε, granularities, its group's target grid). Contains no private data.
 //! * [`client`] — the device side: record in, one wire report out.
-//! * [`wire`] — a compact binary encoding of reports (17 bytes each) with
-//!   length-free fixed framing, built on `bytes` (justification for the
-//!   dependency: zero-copy buffer management for the report stream).
+//! * [`wire`] — a compact binary encoding of reports (17 bytes standalone,
+//!   16 inside a length-prefixed [`wire::Batch`] frame), built on `bytes`
+//!   (justification for the dependency: zero-copy buffer management for the
+//!   report stream).
 //! * [`server`] — streaming ingestion: per-group OLH support accumulators
-//!   that never buffer raw reports, and a finalizer producing a fitted
+//!   that never buffer raw reports, a sharded parallel batch path that is
+//!   bit-identical to serial ingestion, and a finalizer producing a fitted
 //!   `privmdr-core` HDG model.
 //!
 //! The end-to-end path is equivalent to `Hdg::fit` in `SimMode::Exact`
@@ -29,7 +31,7 @@ pub mod wire;
 pub use client::Client;
 pub use plan::{GroupTarget, SessionPlan};
 pub use server::Collector;
-pub use wire::Report;
+pub use wire::{decode_any_stream, Batch, Report};
 
 /// Errors from protocol handling.
 #[derive(Debug, Clone, PartialEq)]

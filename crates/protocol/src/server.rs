@@ -1,19 +1,33 @@
 //! The aggregator side: streaming report ingestion and model finalization.
 //!
 //! The collector never stores raw reports: each incoming report updates the
-//! OLH support counters of its group (`O(grid cells)` work, constant
-//! memory), so arbitrarily large populations stream through in one pass.
-//! `finalize` unbiases the counters into grid frequencies and hands them to
-//! `privmdr-core` for Phase-2 post-processing and query answering.
+//! OLH support counters of its group (`O(grid cells)` work through the
+//! shared [`Olh::add_support`] kernel, constant memory), so arbitrarily
+//! large populations stream through in one pass. `finalize` unbiases the
+//! counters into grid frequencies and hands them to `privmdr-core` for
+//! Phase-2 post-processing and query answering.
+//!
+//! # Sharded ingestion
+//!
+//! At ~10⁶ reports the support-counting pass dominates the collector, and
+//! it is embarrassingly parallel: support counters are sums, and sums can
+//! be computed per shard and merged. [`Collector::ingest_batch`] splits a
+//! batch into contiguous shards ([`privmdr_util::par::split_chunks`]), folds
+//! each shard into a private set of per-group counters on its own thread
+//! ([`privmdr_util::par::par_map`]), then merges with `u64` additions. The
+//! merged state is *exactly* the serial state — not approximately: every
+//! counter receives the same set of increments, only grouped differently —
+//! so `finalize` is bit-identical regardless of shard count. Property tests
+//! in `tests/sharding_prop.rs` pin this equivalence down.
 
 use crate::plan::{GroupTarget, SessionPlan};
-use crate::wire::Report;
+use crate::wire::{self, Report};
 use crate::ProtocolError;
 use bytes::Buf;
 use privmdr_core::{Hdg, MechanismConfig, Model};
 use privmdr_grid::{Grid1d, Grid2d};
 use privmdr_oracles::olh::Olh;
-use privmdr_util::hash::SeededHash;
+use privmdr_util::par::{par_map, split_chunks};
 
 /// Per-group streaming state.
 #[derive(Debug, Clone)]
@@ -33,12 +47,7 @@ impl GroupAccumulator {
     }
 
     fn ingest(&mut self, seed: u64, y: u32) {
-        let hash = SeededHash::new(seed, self.olh.c_prime());
-        for (cell, support) in self.supports.iter_mut().enumerate() {
-            if hash.hash(cell) == y as usize {
-                *support += 1;
-            }
-        }
+        self.olh.add_support(seed, y, &mut self.supports);
         self.reports += 1;
     }
 
@@ -99,14 +108,86 @@ impl Collector {
         Ok(())
     }
 
-    /// Ingests a raw wire buffer of concatenated reports; returns how many
-    /// were processed.
+    /// Ingests a raw wire buffer — legacy concatenated reports or
+    /// length-prefixed [`wire::Batch`] frames, auto-detected — serially;
+    /// returns how many reports were processed.
     pub fn ingest_stream(&mut self, buf: impl Buf) -> Result<usize, ProtocolError> {
-        let reports = Report::decode_stream(buf)?;
-        for r in &reports {
-            self.ingest(r)?;
+        self.ingest_stream_sharded(buf, 1)
+    }
+
+    /// Ingests a raw wire buffer (either framing) across `shards` parallel
+    /// shard accumulators; returns how many reports were processed.
+    pub fn ingest_stream_sharded(
+        &mut self,
+        buf: impl Buf,
+        shards: usize,
+    ) -> Result<usize, ProtocolError> {
+        let reports = wire::decode_any_stream(buf)?;
+        self.ingest_batch(&reports, shards)
+    }
+
+    /// Ingests a batch of decoded reports across `shards` parallel shard
+    /// accumulators (one private set of support counters per shard, merged
+    /// by addition — see the module docs for why the result is bit-identical
+    /// to serial ingestion). `shards = 1` is the serial path.
+    ///
+    /// The whole batch is validated up front, so on error the collector
+    /// state is unchanged (no partially ingested batch).
+    pub fn ingest_batch(
+        &mut self,
+        reports: &[Report],
+        shards: usize,
+    ) -> Result<usize, ProtocolError> {
+        if let Some(bad) = reports
+            .iter()
+            .find(|r| r.group as usize >= self.groups.len())
+        {
+            return Err(ProtocolError::UnknownGroup(bad.group));
         }
+        if shards <= 1 || reports.len() < 2 {
+            for r in reports {
+                self.groups[r.group as usize].ingest(r.seed, r.y);
+            }
+        } else {
+            let chunks = split_chunks(reports, shards);
+            // Olh is Copy; snapshot the per-group mechanisms so shard
+            // closures don't borrow `self`.
+            let olhs: Vec<Olh> = self.groups.iter().map(|g| g.olh).collect();
+            let cells: Vec<usize> = self.groups.iter().map(|g| g.supports.len()).collect();
+            let partials = par_map(&chunks, |chunk| {
+                let mut supports: Vec<Vec<u64>> =
+                    cells.iter().map(|&cells| vec![0u64; cells]).collect();
+                let mut counts = vec![0u64; olhs.len()];
+                for r in *chunk {
+                    let g = r.group as usize;
+                    olhs[g].add_support(r.seed, r.y, &mut supports[g]);
+                    counts[g] += 1;
+                }
+                (supports, counts)
+            });
+            for (supports, counts) in partials {
+                for ((acc, shard_supports), count) in
+                    self.groups.iter_mut().zip(supports).zip(counts)
+                {
+                    for (dst, s) in acc.supports.iter_mut().zip(shard_supports) {
+                        *dst += s;
+                    }
+                    acc.reports += count;
+                }
+            }
+        }
+        self.total_reports += reports.len() as u64;
         Ok(reports.len())
+    }
+
+    /// The raw per-group state: `(support counters, reports ingested)`.
+    /// Exposed for observability and for the sharded-vs-serial equivalence
+    /// tests; estimates derived from it are produced by [`Self::finalize`].
+    pub fn group_state(&self, group: u32) -> Result<(&[u64], u64), ProtocolError> {
+        self.groups
+            .get(group as usize)
+            .map(|g| (g.supports.as_slice(), g.reports))
+            .ok_or(ProtocolError::UnknownGroup(group))
     }
 
     /// Finalizes the session into a queryable HDG model.
@@ -174,6 +255,100 @@ mod tests {
         let ingested = collector.ingest_stream(buf.freeze()).unwrap();
         assert_eq!(ingested, 500);
         assert_eq!(collector.report_count(), 500);
+    }
+
+    #[test]
+    fn sharded_batch_matches_serial_exactly() {
+        let plan = SessionPlan::new(4_000, 3, 16, 1.0, 4).unwrap();
+        let mut rng = derive_rng(21, &[0]);
+        let reports: Vec<Report> = (0..4_000u64)
+            .map(|uid| {
+                let client = Client::new(&plan, uid).unwrap();
+                client
+                    .report(&[(uid % 16) as u16, 3, ((uid / 7) % 16) as u16], &mut rng)
+                    .unwrap()
+            })
+            .collect();
+
+        let mut serial = Collector::new(plan.clone()).unwrap();
+        serial.ingest_batch(&reports, 1).unwrap();
+        for shards in [2usize, 3, 8, 64] {
+            let mut sharded = Collector::new(plan.clone()).unwrap();
+            sharded.ingest_batch(&reports, shards).unwrap();
+            assert_eq!(sharded.report_count(), serial.report_count());
+            for g in 0..plan.group_count() as u32 {
+                assert_eq!(
+                    sharded.group_state(g).unwrap(),
+                    serial.group_state(g).unwrap(),
+                    "group {g} diverges at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_unknown_group_leaves_state_untouched() {
+        let plan = SessionPlan::new(1_000, 3, 16, 1.0, 1).unwrap();
+        let mut collector = Collector::new(plan).unwrap();
+        let mut reports = vec![
+            Report {
+                group: 0,
+                seed: 1,
+                y: 0,
+            };
+            10
+        ];
+        reports.push(Report {
+            group: 42,
+            seed: 2,
+            y: 1,
+        });
+        assert!(matches!(
+            collector.ingest_batch(&reports, 4),
+            Err(ProtocolError::UnknownGroup(42))
+        ));
+        assert_eq!(collector.report_count(), 0);
+        let (supports, n) = collector.group_state(0).unwrap();
+        assert_eq!(n, 0);
+        assert!(supports.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn batched_stream_matches_legacy_stream() {
+        let plan = SessionPlan::new(2_000, 3, 16, 1.0, 8).unwrap();
+        let mut rng = derive_rng(33, &[0]);
+        let reports: Vec<Report> = (0..2_000u64)
+            .map(|uid| {
+                Client::new(&plan, uid)
+                    .unwrap()
+                    .report(&[1, (uid % 16) as u16, 9], &mut rng)
+                    .unwrap()
+            })
+            .collect();
+
+        let mut legacy_buf = BytesMut::new();
+        for r in &reports {
+            r.encode(&mut legacy_buf);
+        }
+        let mut batch_buf = BytesMut::new();
+        for chunk in reports.chunks(700) {
+            crate::wire::Batch::new(chunk.to_vec()).encode(&mut batch_buf);
+        }
+        // Batch framing saves the per-report version byte.
+        assert!(batch_buf.len() < legacy_buf.len());
+
+        let mut via_legacy = Collector::new(plan.clone()).unwrap();
+        via_legacy.ingest_stream(legacy_buf.freeze()).unwrap();
+        let mut via_batches = Collector::new(plan.clone()).unwrap();
+        via_batches
+            .ingest_stream_sharded(batch_buf.freeze(), 4)
+            .unwrap();
+        for g in 0..plan.group_count() as u32 {
+            assert_eq!(
+                via_legacy.group_state(g).unwrap(),
+                via_batches.group_state(g).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Binary wire format for client reports.
 //!
-//! One report is exactly 17 bytes:
+//! One standalone report is exactly 17 bytes:
 //!
 //! ```text
 //! +--------+----------------+----------------------+-----------+
@@ -12,14 +12,36 @@
 //! GRR-randomized hashed value — together the complete (and only) content
 //! of an OLH report (paper §2.2). Everything else (ε, grid geometry) is
 //! public plan state, so it never travels with the report.
+//!
+//! At collection scale (~10⁶ users) reports arrive in bulk, so the format
+//! also defines a length-prefixed [`Batch`] frame that amortizes the
+//! version byte and lets the server hand a whole slab of reports to the
+//! sharded ingestion path in one decode:
+//!
+//! ```text
+//! +-----------+--------+--------------+  count × 16-byte bodies
+//! | tag: 0xB1 | ver:u8 | count:u32 LE |  (group, seed, y — no version)
+//! +-----------+--------+--------------+
+//! ```
+//!
+//! The tag byte `0xB1` can never open a standalone report (whose first
+//! byte is [`WIRE_VERSION`]), so a stream of frames is self-describing:
+//! the decoder peeks one byte to tell the two framings apart.
 
 use crate::ProtocolError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Wire protocol version byte.
 pub const WIRE_VERSION: u8 = 1;
-/// Encoded size of one report.
+/// Encoded size of one standalone report.
 pub const REPORT_LEN: usize = 17;
+/// First byte of a [`Batch`] frame; distinct from [`WIRE_VERSION`] so the
+/// two framings coexist in one stream.
+pub const BATCH_TAG: u8 = 0xB1;
+/// Encoded size of a batch header (tag, version, count).
+pub const BATCH_HEADER_LEN: usize = 6;
+/// Encoded size of one report body inside a batch (no version byte).
+pub const REPORT_BODY_LEN: usize = 16;
 
 /// One user's randomized report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +99,116 @@ impl Report {
         }
         Ok(out)
     }
+
+    fn encode_body(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.group);
+        buf.put_u64_le(self.seed);
+        buf.put_u32_le(self.y);
+    }
+
+    fn decode_body(buf: &mut impl Buf) -> Report {
+        let group = buf.get_u32_le();
+        let seed = buf.get_u64_le();
+        let y = buf.get_u32_le();
+        Report { group, seed, y }
+    }
+}
+
+/// A length-prefixed frame of reports — the bulk unit the sharded
+/// ingestion path consumes (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch {
+    /// The framed reports, in arrival order.
+    pub reports: Vec<Report>,
+}
+
+impl Batch {
+    /// Wraps reports into a batch.
+    pub fn new(reports: Vec<Report>) -> Self {
+        Batch { reports }
+    }
+
+    /// Encoded size of a batch holding `count` reports.
+    pub fn encoded_len(count: usize) -> usize {
+        BATCH_HEADER_LEN + count * REPORT_BODY_LEN
+    }
+
+    /// Appends the encoded frame to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch holds more than `u32::MAX` reports (the count
+    /// prefix is 32-bit); split earlier than that.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let count = u32::try_from(self.reports.len()).expect("batch exceeds u32 count prefix");
+        buf.reserve(Self::encoded_len(self.reports.len()));
+        buf.put_u8(BATCH_TAG);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u32_le(count);
+        for r in &self.reports {
+            r.encode_body(buf);
+        }
+    }
+
+    /// Encodes to a standalone buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::encoded_len(self.reports.len()));
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one batch frame from the front of `buf`, advancing it.
+    /// Never panics on truncated or garbage input — every malformed shape
+    /// maps to a [`ProtocolError`].
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        if buf.remaining() < BATCH_HEADER_LEN {
+            return Err(ProtocolError::Malformed("truncated batch header"));
+        }
+        let tag = buf.get_u8();
+        if tag != BATCH_TAG {
+            return Err(ProtocolError::Malformed("not a batch frame"));
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::Malformed("unsupported wire version"));
+        }
+        let count = buf.get_u32_le() as usize;
+        // The count prefix is attacker-controlled: validate against the
+        // actual payload before allocating (division, not multiplication,
+        // so a huge count cannot overflow usize on 32-bit targets).
+        if buf.remaining() / REPORT_BODY_LEN < count {
+            return Err(ProtocolError::Malformed("batch shorter than its count"));
+        }
+        let mut reports = Vec::with_capacity(count);
+        for _ in 0..count {
+            reports.push(Report::decode_body(buf));
+        }
+        Ok(Batch { reports })
+    }
+
+    /// Decodes a stream of consecutive batch frames, concatenating their
+    /// reports. Trailing bytes after the last complete frame are an error.
+    pub fn decode_stream(mut buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+        let mut out = Vec::new();
+        while buf.has_remaining() {
+            out.extend(Batch::decode(&mut buf)?.reports);
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes a stream in either framing — legacy concatenated 17-byte
+/// reports or length-prefixed [`Batch`] frames — by peeking the first
+/// byte. An empty stream is zero reports in either framing.
+pub fn decode_any_stream(buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+    if !buf.has_remaining() {
+        return Ok(Vec::new());
+    }
+    if buf.chunk()[0] == BATCH_TAG {
+        Batch::decode_stream(buf)
+    } else {
+        Report::decode_stream(buf)
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +262,76 @@ mod tests {
         let mut buf = BytesMut::from(&bytes[..]);
         buf.put_u8(0);
         assert!(Report::decode_stream(buf.freeze()).is_err());
+    }
+
+    fn sample_reports(n: u32) -> Vec<Report> {
+        (0..n)
+            .map(|i| Report {
+                group: i % 7,
+                seed: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                y: i % 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        for n in [0u32, 1, 100] {
+            let batch = Batch::new(sample_reports(n));
+            let bytes = batch.to_bytes();
+            assert_eq!(bytes.len(), Batch::encoded_len(n as usize));
+            let back = Batch::decode(&mut bytes.clone()).unwrap();
+            assert_eq!(back, batch);
+        }
+    }
+
+    #[test]
+    fn batch_stream_concatenates_frames() {
+        let mut buf = BytesMut::new();
+        Batch::new(sample_reports(10)).encode(&mut buf);
+        Batch::new(sample_reports(3)).encode(&mut buf);
+        let reports = Batch::decode_stream(buf.freeze()).unwrap();
+        assert_eq!(reports.len(), 13);
+        assert_eq!(&reports[..10], &sample_reports(10)[..]);
+        assert_eq!(&reports[10..], &sample_reports(3)[..]);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_frames() {
+        let bytes = Batch::new(sample_reports(4)).to_bytes();
+        // Truncated header.
+        assert!(Batch::decode(&mut bytes.slice(..3)).is_err());
+        // Truncated payload.
+        assert!(Batch::decode(&mut bytes.slice(..bytes.len() - 1)).is_err());
+        // Wrong tag and wrong version.
+        let mut wrong_tag = BytesMut::from(&bytes[..]);
+        wrong_tag[0] = WIRE_VERSION;
+        assert!(Batch::decode(&mut wrong_tag.freeze()).is_err());
+        let mut wrong_ver = BytesMut::from(&bytes[..]);
+        wrong_ver[1] = 9;
+        assert!(Batch::decode(&mut wrong_ver.freeze()).is_err());
+        // A count prefix far beyond the payload must error before allocating.
+        let mut lying = BytesMut::new();
+        lying.put_u8(BATCH_TAG);
+        lying.put_u8(WIRE_VERSION);
+        lying.put_u32_le(u32::MAX);
+        assert!(matches!(
+            Batch::decode(&mut lying.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn any_stream_detects_framing() {
+        let reports = sample_reports(6);
+        let mut legacy = BytesMut::new();
+        for r in &reports {
+            r.encode(&mut legacy);
+        }
+        assert_eq!(decode_any_stream(legacy.freeze()).unwrap(), reports);
+        let mut batched = BytesMut::new();
+        Batch::new(reports.clone()).encode(&mut batched);
+        assert_eq!(decode_any_stream(batched.freeze()).unwrap(), reports);
+        assert!(decode_any_stream(Bytes::from(vec![])).unwrap().is_empty());
     }
 }

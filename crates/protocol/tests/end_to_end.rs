@@ -7,7 +7,6 @@ use privmdr_data::DatasetSpec;
 use privmdr_protocol::{Client, Collector, Report, SessionPlan};
 use privmdr_query::workload::{true_answers, WorkloadBuilder};
 use privmdr_util::rng::derive_rng;
-use proptest::prelude::*;
 
 #[test]
 fn protocol_accuracy_matches_in_process_exact_fit() {
@@ -86,21 +85,4 @@ fn collector_is_order_insensitive() {
         mb.answer(&qf),
         "ingestion order must not matter"
     );
-}
-
-proptest! {
-    /// Wire encoding round-trips arbitrary report contents.
-    #[test]
-    fn wire_roundtrip(group in any::<u32>(), seed in any::<u64>(), y in any::<u32>()) {
-        let r = Report { group, seed, y };
-        let bytes = r.to_bytes();
-        let back = Report::decode(&mut bytes.clone()).unwrap();
-        prop_assert_eq!(back, r);
-    }
-
-    /// Arbitrary byte garbage never panics the decoder.
-    #[test]
-    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
-        let _ = Report::decode_stream(&bytes[..]);
-    }
 }

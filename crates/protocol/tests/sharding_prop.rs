@@ -1,0 +1,102 @@
+//! The load-bearing invariant of the parallel ingestion engine: sharded
+//! ingestion is *exactly* serial ingestion. For arbitrary report sets
+//! (including reports no honest client would send), arbitrary shard counts,
+//! and arbitrary plan shapes, the merged per-group support counters and
+//! report counts equal the single-threaded accumulator's, and `finalize`
+//! produces bit-identical estimates.
+
+use bytes::BytesMut;
+use privmdr_core::MechanismConfig;
+use privmdr_protocol::{Batch, Collector, Report, SessionPlan};
+use privmdr_query::RangeQuery;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random reports with in-plan group ids but otherwise arbitrary contents
+/// (`y` may even fall outside the OLH hashed domain — the collector's
+/// counters must stay exact regardless).
+fn random_reports(plan: &SessionPlan, n: usize, rng: &mut StdRng) -> Vec<Report> {
+    (0..n)
+        .map(|_| Report {
+            group: rng.random_range(0..plan.group_count() as u32),
+            seed: rng.random(),
+            y: rng.random_range(0..64),
+        })
+        .collect()
+}
+
+fn assert_same_state(a: &Collector, b: &Collector, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.report_count(), b.report_count(), "{}: totals", what);
+    for g in 0..a.plan().group_count() as u32 {
+        let (sa, na) = a.group_state(g).unwrap();
+        let (sb, nb) = b.group_state(g).unwrap();
+        prop_assert_eq!(na, nb, "{}: group {} report count", what, g);
+        prop_assert_eq!(sa, sb, "{}: group {} supports", what, g);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Merged shard state ≡ serial state, and the finalized estimates are
+    /// bit-identical, for every shard count.
+    #[test]
+    fn sharded_ingestion_equals_serial(
+        d in 2usize..5,
+        c_pow in 2u32..5,
+        eps in 0.3f64..3.0,
+        n_reports in 0usize..240,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let c = 1usize << c_pow;
+        let plan = SessionPlan::new(100_000, d, c, eps, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+
+        let mut serial = Collector::new(plan.clone()).unwrap();
+        serial.ingest_batch(&reports, 1).unwrap();
+        let mut sharded = Collector::new(plan.clone()).unwrap();
+        sharded.ingest_batch(&reports, shards).unwrap();
+        assert_same_state(&serial, &sharded, "one batch")?;
+
+        // Finalize must therefore agree to the last bit.
+        if n_reports > 0 {
+            let qs = RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c / 2)], c).unwrap();
+            let ms = serial.finalize(MechanismConfig::default()).unwrap();
+            let mh = sharded.finalize(MechanismConfig::default()).unwrap();
+            prop_assert_eq!(
+                ms.answer(&qs).to_bits(),
+                mh.answer(&qs).to_bits(),
+                "finalized estimates diverge at {} shards", shards
+            );
+        }
+    }
+
+    /// Splitting the same stream into different batch sizes (wire-framed)
+    /// with different shard counts never changes the collector state.
+    #[test]
+    fn batch_splits_and_framing_are_state_invariant(
+        d in 2usize..4,
+        batch_size in 1usize..64,
+        shards in 1usize..7,
+        n_reports in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let plan = SessionPlan::new(50_000, d, 8, 1.0, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+
+        let mut reference = Collector::new(plan.clone()).unwrap();
+        reference.ingest_batch(&reports, 1).unwrap();
+
+        let mut buf = BytesMut::new();
+        for chunk in reports.chunks(batch_size) {
+            Batch::new(chunk.to_vec()).encode(&mut buf);
+        }
+        let mut framed = Collector::new(plan).unwrap();
+        let n = framed.ingest_stream_sharded(buf.freeze(), shards).unwrap();
+        prop_assert_eq!(n, n_reports);
+        assert_same_state(&reference, &framed, "framed stream")?;
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the wire format: both framings round-trip arbitrary
+//! report contents, and no byte garbage — truncated, corrupted, or lying
+//! about its length — can panic a decoder. Malformed input must always
+//! surface as a `ProtocolError`.
+
+use bytes::BytesMut;
+use privmdr_protocol::wire::{Batch, BATCH_HEADER_LEN, REPORT_BODY_LEN};
+use privmdr_protocol::{decode_any_stream, Report};
+use proptest::prelude::*;
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(group, seed, y)| Report {
+        group,
+        seed,
+        y,
+    })
+}
+
+proptest! {
+    /// Wire encoding round-trips arbitrary report contents.
+    #[test]
+    fn report_roundtrip(group in any::<u32>(), seed in any::<u64>(), y in any::<u32>()) {
+        let r = Report { group, seed, y };
+        let bytes = r.to_bytes();
+        let back = Report::decode(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    /// Batch frames round-trip arbitrary report sets of any size, and the
+    /// encoded length is exactly the documented header + bodies.
+    #[test]
+    fn batch_roundtrip(reports in prop::collection::vec(arb_report(), 0..64)) {
+        let batch = Batch::new(reports);
+        let bytes = batch.to_bytes();
+        prop_assert_eq!(
+            bytes.len(),
+            BATCH_HEADER_LEN + batch.reports.len() * REPORT_BODY_LEN
+        );
+        let back = Batch::decode(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    /// Arbitrary byte garbage never panics the legacy stream decoder.
+    #[test]
+    fn report_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Report::decode_stream(&bytes[..]);
+    }
+
+    /// Arbitrary byte garbage never panics the batch decoder or the
+    /// framing-detecting stream decoder. A lying count prefix inside the
+    /// garbage must be caught before any allocation happens.
+    #[test]
+    fn batch_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = Batch::decode(&mut &bytes[..]);
+        let _ = Batch::decode_stream(&bytes[..]);
+        let _ = decode_any_stream(&bytes[..]);
+    }
+
+    /// Every strict prefix of a valid batch frame decodes to an error, not
+    /// a panic and not a silently shortened batch.
+    #[test]
+    fn truncated_batch_errors(
+        reports in prop::collection::vec(arb_report(), 1..32),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = Batch::new(reports).to_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Batch::decode(&mut bytes.slice(..cut)).is_err());
+    }
+
+    /// Corrupting the tag or version byte of a batch frame is rejected.
+    #[test]
+    fn corrupted_batch_header_errors(
+        reports in prop::collection::vec(arb_report(), 0..16),
+        byte in any::<u8>(),
+        in_tag in any::<bool>(),
+    ) {
+        let batch = Batch::new(reports);
+        let mut bytes = BytesMut::from(&batch.to_bytes()[..]);
+        let idx = usize::from(!in_tag);
+        prop_assume!(bytes[idx] != byte);
+        bytes[idx] = byte;
+        prop_assert!(Batch::decode(&mut bytes.freeze()).is_err());
+    }
+}

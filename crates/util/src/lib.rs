@@ -13,9 +13,13 @@
 //! * [`pow2`] — power-of-two rounding used by the granularity guideline.
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single master seed.
+//! * [`par`] — scoped-thread work distribution (`par_map`) and contiguous
+//!   slice sharding (`split_chunks`), shared by the bench harness and the
+//!   protocol's report-ingestion engine.
 
 pub mod hash;
 pub mod linalg;
+pub mod par;
 pub mod pow2;
 pub mod rng;
 pub mod sampling;

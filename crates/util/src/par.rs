@@ -1,4 +1,15 @@
 //! Minimal scoped-thread work distribution (no external thread pool).
+//!
+//! Two primitives cover every parallel path in the workspace:
+//!
+//! * [`par_map`] — apply a function to every item of a slice, preserving
+//!   order, with work claimed through an atomic cursor so uneven item costs
+//!   balance naturally. Used by the bench harness to sweep experiment cells
+//!   and by the protocol collector to process report shards.
+//! * [`split_chunks`] — deterministic near-equal partition of a slice into
+//!   contiguous chunks, the sharding layout of the report-ingestion engine
+//!   (contiguity keeps each shard's pass cache-friendly and makes the
+//!   serial/sharded equivalence argument a statement about addition only).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -38,6 +49,27 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         .collect()
 }
 
+/// Splits `items` into at most `parts` contiguous chunks whose lengths
+/// differ by at most one, dropping empty tails. Every item appears exactly
+/// once, in order, so folding the chunks reproduces a serial pass exactly
+/// for any order-insensitive accumulation.
+pub fn split_chunks<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.max(1).min(items.len().max(1));
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(&items[start..start + len]);
+        start += len;
+    }
+    out
+}
+
 /// Send/Sync wrapper for the raw slot pointer; safe because slot indices are
 /// partitioned by the atomic cursor (see SAFETY above).
 struct SlotVec<R>(*mut Option<R>);
@@ -74,5 +106,28 @@ mod tests {
             acc.wrapping_add(x)
         });
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn chunks_cover_in_order_and_balance() {
+        let items: Vec<u32> = (0..13).collect();
+        for parts in 1..=15 {
+            let chunks = split_chunks(&items, parts);
+            assert!(chunks.len() <= parts);
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            let flat: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items, "parts = {parts}");
+            let (min, max) = (
+                chunks.iter().map(|c| c.len()).min().unwrap(),
+                chunks.iter().map(|c| c.len()).max().unwrap(),
+            );
+            assert!(max - min <= 1, "unbalanced at parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn chunks_of_empty_slice() {
+        let none: Vec<u8> = vec![];
+        assert!(split_chunks(&none, 4).is_empty());
     }
 }

@@ -5,8 +5,9 @@
 //! implements the property-testing subset the privmdr workspace uses:
 //! the [`proptest!`] macro (including `#![proptest_config(..)]`),
 //! `prop_assert*` / [`prop_assume!`], [`prop_oneof!`], range and
-//! [`arbitrary::any`] strategies, [`collection::vec()`], [`sample::select`],
-//! and [`Strategy::prop_map`](strategy::Strategy::prop_map).
+//! [`arbitrary::any`] strategies, tuple strategies (up to 5 elements),
+//! [`collection::vec()`], [`sample::select`], and
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map).
 //!
 //! Differences from upstream, by design:
 //!
@@ -122,6 +123,25 @@ pub mod strategy {
             self.options[i].new_value(rng)
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
 
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
@@ -503,6 +523,15 @@ mod tests {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
             prop_assert_ne!(x % 2, 1);
+        }
+
+        #[test]
+        fn tuple_strategies_compose(
+            pair in (0u32..4, any::<bool>()),
+            triple in (0usize..3, 1.0f64..2.0, 0u8..9).prop_map(|(a, b, c)| a as f64 + b + c as f64),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1.0..13.0).contains(&triple));
         }
     }
 
