@@ -5,9 +5,10 @@ use bytes::BytesMut;
 use privmdr_core::{Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
 use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
-use privmdr_protocol::{Batch, Client, Collector, SessionPlan};
+use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes, AnswerBatch, QueryBatch};
+use privmdr_protocol::{Batch, Client, Collector, QueryServer, SessionPlan};
 use privmdr_query::parse::parse_workload;
-use privmdr_query::workload::true_answers;
+use privmdr_query::workload::{true_answers, WorkloadBuilder};
 use privmdr_util::rng::derive_rng;
 
 /// Resolves `--spec` (plus `--rho` for the synthetic families) into a
@@ -118,6 +119,47 @@ pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Shared parameters of the stream-replay subcommands (`ingest`, `serve`):
+/// the synthetic population, the privacy budget, and the shard count.
+struct ReplayParams {
+    n: usize,
+    d: usize,
+    c: usize,
+    epsilon: f64,
+    seed: u64,
+    shards: usize,
+    spec: DatasetSpec,
+}
+
+/// Parses and validates the options `ingest` and `serve` have in common,
+/// so the two replay paths cannot drift in defaults or error wording.
+/// ε is validated downstream (plan construction / grid collection).
+fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
+    let params = ReplayParams {
+        n: args.require_number("n")?,
+        d: args.require_number("d")?,
+        c: args.require_number("c")?,
+        epsilon: args.require_number("epsilon")?,
+        seed: args.number("seed")?.unwrap_or(1),
+        shards: args.number("shards")?.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }),
+        spec: parse_spec(args, Some("normal"))?,
+    };
+    if params.n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if params.d < 2 {
+        return Err("--d must be at least 2".into());
+    }
+    if !privmdr_util::is_pow2(params.c) || params.c < 2 {
+        return Err(format!("--c {} must be a power of two >= 2", params.c));
+    }
+    Ok(params)
+}
+
 /// `privmdr ingest`: replay a synthetic report stream through the wire
 /// protocol's sharded collector and report ingestion throughput.
 ///
@@ -126,21 +168,16 @@ pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
 /// support-counting, and a finalized HDG model sanity-checked with a
 /// full-domain query.
 pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
-    let n: usize = args.require_number("n")?;
-    let d: usize = args.require_number("d")?;
-    let c: usize = args.require_number("c")?;
-    let epsilon: f64 = args.require_number("epsilon")?;
-    let seed: u64 = args.number("seed")?.unwrap_or(1);
-    let shards: usize = args.number("shards")?.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    });
+    let ReplayParams {
+        n,
+        d,
+        c,
+        epsilon,
+        seed,
+        shards,
+        spec,
+    } = parse_replay_params(args)?;
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(10_000).max(1);
-    let spec = parse_spec(args, Some("normal"))?;
-    if n == 0 {
-        return Err("--n must be at least 1".into());
-    }
 
     let plan = SessionPlan::new(n, d, c, epsilon, seed).map_err(|e| e.to_string())?;
     let ds = spec.generate(n, d, c, seed);
@@ -195,6 +232,95 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         g.g2,
         wire_bytes as f64 / ingested.max(1) as f64,
         ingested as f64 / secs,
+    ))
+}
+
+/// `privmdr serve`: fit a model, detach it as a snapshot, ship it across
+/// the wire, and replay a query workload through the sharded query server.
+///
+/// The replay is the full serving path: HDG fit → `ModelSnapshot` → wire
+/// frame → restored `QueryServer` → `QueryBatch` request frames → sharded
+/// answering → `AnswerBatch` responses, reporting queries/sec.
+pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    let ReplayParams {
+        n,
+        d,
+        c,
+        epsilon,
+        seed,
+        shards,
+        spec,
+    } = parse_replay_params(args)?;
+    let count: usize = args.number::<usize>("queries")?.unwrap_or(10_000).max(1);
+    let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(1_024).max(1);
+
+    // Fit once, then detach the model as a snapshot and ship it through the
+    // wire frame — the serving process only ever sees these bytes.
+    let ds = spec.generate(n, d, c, seed);
+    let snap = Hdg::default()
+        .snapshot(&ds, epsilon, seed)
+        .map_err(|e| e.to_string())?;
+    let snap_bytes = snapshot_to_bytes(&snap);
+    let restored = decode_snapshot(&mut snap_bytes.clone()).map_err(|e| e.to_string())?;
+    let server = QueryServer::new(&restored).map_err(|e| e.to_string())?;
+
+    // Client phase: a mixed-λ workload, framed into QueryBatch requests.
+    let wl = WorkloadBuilder::new(d, c, seed);
+    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
+    let per = count.div_ceil(lambdas.len());
+    let mut queries = Vec::with_capacity(count);
+    for &lambda in &lambdas {
+        queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
+    }
+    let requests: Vec<bytes::Bytes> = queries
+        .chunks(batch_size)
+        .map(|chunk| QueryBatch::new(c, chunk.to_vec()).to_bytes())
+        .collect();
+    let request_bytes: usize = requests.iter().map(|r| r.len()).sum();
+
+    // Server phase (timed): decode each request frame, answer it across
+    // the shards, encode the response frame. Client-side response decoding
+    // happens after the clock stops — the figure is server throughput.
+    let start = std::time::Instant::now();
+    let responses: Vec<bytes::Bytes> = requests
+        .iter()
+        .map(|request| server.serve_frame(&mut request.clone(), shards))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut answers = Vec::with_capacity(queries.len());
+    for response in &responses {
+        answers.extend(
+            AnswerBatch::decode(&mut response.clone())
+                .map_err(|e| e.to_string())?
+                .answers,
+        );
+    }
+
+    // Sanity anchors: the full-domain query must sit near 1, and every
+    // answer must at least be finite.
+    let full = privmdr_query::RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c - 1)], c)
+        .map_err(|e| e.to_string())?;
+    let sanity = server.answer_workload(std::slice::from_ref(&full), 1)[0];
+    if let Some(bad) = answers.iter().find(|a| !a.is_finite()) {
+        return Err(format!("non-finite answer {bad} in served workload"));
+    }
+
+    let g = snap.granularities;
+    Ok(format!(
+        "snapshot: d={d} c={c} eps={epsilon} (g1={}, g2={}x{}) -- {} bytes over the wire\n\
+         workload: {} queries (lambda in {lambdas:?}) in {} request frames ({request_bytes} bytes)\n\
+         served {} answers with {shards} shard(s) in {secs:.3}s -- {:.0} queries/sec\n\
+         full-domain sanity answer: {sanity:.4} (expect ~1)\n",
+        g.g1,
+        g.g2,
+        g.g2,
+        snap_bytes.len(),
+        queries.len(),
+        requests.len(),
+        answers.len(),
+        answers.len() as f64 / secs,
     ))
 }
 
@@ -335,6 +461,36 @@ mod tests {
             .parse()
             .unwrap();
         assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn serve_replays_workload_through_wire_frames() {
+        let out = serve(&argv(
+            "--n 4000 --d 3 --c 16 --epsilon 2.0 --seed 5 --queries 600 --batch 250 --shards 2",
+        ))
+        .unwrap();
+        assert!(out.contains("snapshot: d=3 c=16"), "{out}");
+        assert!(out.contains("600 queries"), "{out}");
+        assert!(out.contains("in 3 request frames"), "{out}");
+        assert!(out.contains("served 600 answers with 2 shard(s)"), "{out}");
+        assert!(out.contains("queries/sec"), "{out}");
+        let sanity: f64 = out
+            .lines()
+            .find(|l| l.starts_with("full-domain sanity answer"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn serve_validates_parameters() {
+        assert!(serve(&argv("--n 100 --d 1 --c 16 --epsilon 1.0")).is_err());
+        assert!(serve(&argv("--n 100 --d 3 --c 15 --epsilon 1.0")).is_err());
+        assert!(serve(&argv("--n 0 --d 3 --c 16 --epsilon 1.0")).is_err());
+        assert!(serve(&argv("--d 3 --c 16 --epsilon 1.0")).is_err()); // no n
+        assert!(serve(&argv("--n 100 --d 3 --c 16 --epsilon 1.0 --spec nosuch")).is_err());
     }
 
     #[test]

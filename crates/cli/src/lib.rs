@@ -10,6 +10,9 @@
 //!   sketch, pairwise correlations);
 //! * `ingest` — replay a synthetic report stream through the wire
 //!   protocol's sharded collector and report ingestion throughput.
+//! * `serve` — fit a model, detach it as a wire-framed snapshot, and replay
+//!   a query workload through the sharded query server, reporting
+//!   queries/sec.
 //!
 //! The logic lives in this library so tests can drive it without spawning
 //! processes; `main.rs` is a thin wrapper.
@@ -31,6 +34,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "guideline" => commands::guideline(&parsed),
         "info" => commands::info(&parsed),
         "ingest" => commands::ingest(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -57,6 +61,10 @@ COMMANDS:
     ingest      replay a synthetic report stream through the sharded collector
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--seed S] [--shards K] [--batch B]
+    serve       fit, snapshot, and replay a query workload through the
+                sharded query server (snapshot -> wire -> answers)
+                  --n N --d D --c C --epsilon E [--spec S] [--rho R]
+                  [--seed S] [--queries Q] [--batch B] [--shards K]
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

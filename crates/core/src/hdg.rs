@@ -133,6 +133,43 @@ impl PairAnswerer for HdgAnswerer {
     }
 }
 
+/// Checks that `one_d`/`two_d` form a complete grid set: one 1-D grid per
+/// attribute in order, one 2-D grid per pair in `pair_list` order, all over
+/// one domain. Returns `(d, c)`.
+pub(crate) fn validate_grid_set(
+    one_d: &[Grid1d],
+    two_d: &[Grid2d],
+) -> Result<(usize, usize), MechanismError> {
+    let d = one_d.len();
+    if d < 2 {
+        return Err(MechanismError::Invalid(
+            "HDG needs at least 2 attributes".into(),
+        ));
+    }
+    let c = one_d[0].domain();
+    if one_d
+        .iter()
+        .enumerate()
+        .any(|(t, g)| g.attr() != t || g.domain() != c)
+    {
+        return Err(MechanismError::Invalid(
+            "1-D grids must cover attributes 0..d in order over one domain".into(),
+        ));
+    }
+    let expected = pair_list(d);
+    if two_d.len() != expected.len()
+        || two_d
+            .iter()
+            .zip(&expected)
+            .any(|(g, &p)| g.attrs() != p || g.domain() != c)
+    {
+        return Err(MechanismError::Invalid(
+            "2-D grids must cover all pairs in pair_list order over one domain".into(),
+        ));
+    }
+    Ok((d, c))
+}
+
 impl Hdg {
     /// Builds an HDG model from externally collected raw grids (e.g. a real
     /// client/server deployment feeding reports through
@@ -144,41 +181,38 @@ impl Hdg {
     pub fn model_from_grids(
         &self,
         one_d: Vec<Grid1d>,
-        mut two_d: Vec<Grid2d>,
+        two_d: Vec<Grid2d>,
     ) -> Result<Box<dyn Model>, MechanismError> {
-        let d = one_d.len();
-        if d < 2 {
-            return Err(MechanismError::Invalid(
-                "HDG needs at least 2 attributes".into(),
-            ));
-        }
-        let c = one_d[0].domain();
-        if one_d
-            .iter()
-            .enumerate()
-            .any(|(t, g)| g.attr() != t || g.domain() != c)
-        {
-            return Err(MechanismError::Invalid(
-                "1-D grids must cover attributes 0..d in order over one domain".into(),
-            ));
-        }
-        let expected = pair_list(d);
-        if two_d.len() != expected.len()
-            || two_d
-                .iter()
-                .zip(&expected)
-                .any(|(g, &p)| g.attrs() != p || g.domain() != c)
-        {
-            return Err(MechanismError::Invalid(
-                "2-D grids must cover all pairs in pair_list order over one domain".into(),
-            ));
-        }
+        let (one_d, two_d) = self.post_process_grids(one_d, two_d)?;
+        self.model_from_processed_grids(one_d, two_d)
+    }
+
+    /// Validates a raw grid set and runs Phase-2 post-processing on it.
+    pub(crate) fn post_process_grids(
+        &self,
+        one_d: Vec<Grid1d>,
+        mut two_d: Vec<Grid2d>,
+    ) -> Result<(Vec<Grid1d>, Vec<Grid2d>), MechanismError> {
+        let (d, _) = validate_grid_set(&one_d, &two_d)?;
         let mut one_d_opt: Vec<Option<Grid1d>> = one_d.into_iter().map(Some).collect();
         post_process(d, &mut one_d_opt, &mut two_d, &self.config.post_process);
         let one_d: Vec<Grid1d> = one_d_opt
             .into_iter()
             .map(|g| g.expect("all present"))
             .collect();
+        Ok((one_d, two_d))
+    }
+
+    /// Builds an HDG model from grids that are **already** post-processed —
+    /// the snapshot-restore path (`crate::snapshot`). Phase 2 is not
+    /// idempotent, so restoring a finalized fit must skip it; this
+    /// constructor wraps the answering machinery around the grids verbatim.
+    pub fn model_from_processed_grids(
+        &self,
+        one_d: Vec<Grid1d>,
+        two_d: Vec<Grid2d>,
+    ) -> Result<Box<dyn Model>, MechanismError> {
+        let (d, c) = validate_grid_set(&one_d, &two_d)?;
         Ok(Box::new(SplitModel::new(
             HdgAnswerer {
                 d,

@@ -17,6 +17,11 @@
 //! privacy budget and returns a [`Model`] that answers [`RangeQuery`]s.
 //! Higher-dimensional queries (λ > 2) are estimated from the associated
 //! 2-D answers with Algorithm 2 ([`estimation`]).
+//!
+//! A finalized HDG fit can additionally be captured as a serializable
+//! [`ModelSnapshot`] ([`snapshot`]) and rebuilt into a bit-identical
+//! answerer without re-running the protocol — the artifact query-serving
+//! deployments ship around (see `privmdr-protocol`).
 
 pub mod calm;
 pub mod config;
@@ -26,6 +31,7 @@ pub mod hio;
 pub mod lhio;
 pub mod msw;
 pub mod pair_model;
+pub mod snapshot;
 pub mod tdg;
 pub mod uni;
 
@@ -35,6 +41,7 @@ pub use hdg::Hdg;
 pub use hio::HioMechanism;
 pub use lhio::Lhio;
 pub use msw::Msw;
+pub use snapshot::ModelSnapshot;
 pub use tdg::Tdg;
 pub use uni::Uni;
 

@@ -1,0 +1,429 @@
+//! Serializable model snapshots — the fitted HDG as a reusable artifact.
+//!
+//! Fitting burns the privacy budget once; answering is pure post-processing
+//! (paper §4.4). A [`ModelSnapshot`] captures everything a finalized fit
+//! needs to answer queries — the post-processed 1-D/2-D grid frequencies,
+//! the grid geometry, and the estimation settings — so a query-serving
+//! process can rebuild the answerer without re-running the protocol (and
+//! without access to any raw data). The snapshot is the unit that crosses
+//! process boundaries: `privmdr-protocol` defines a tag-versioned wire
+//! frame for it, and its `QueryServer` answers workloads against one.
+//!
+//! Restoring **must not** repeat Phase-2 post-processing: the captured
+//! frequencies are already consistent, and Norm-Sub/consistency are not
+//! idempotent in general, so a second pass would silently change answers.
+//! [`ModelSnapshot::to_model`] therefore rebuilds the answerer directly
+//! from the stored grids ([`Hdg::model_from_processed_grids`]); the
+//! round-trip `fit → snapshot → to_model` is bit-identical to the fitted
+//! model (pinned by the golden and serving-equivalence test suites).
+
+use crate::config::{EstimatorKind, MechanismConfig};
+use crate::{Hdg, MechanismError, Model};
+use privmdr_data::Dataset;
+use privmdr_grid::guideline::Granularities;
+use privmdr_grid::pairs::{pair_count, pair_list};
+use privmdr_grid::{Grid1d, Grid2d};
+
+/// Largest attribute count a snapshot may declare. Generous for the paper's
+/// regime (d ≤ 10) while keeping `d + (d choose 2)` grids bounded when the
+/// shape arrives from an untrusted wire buffer.
+pub const MAX_SNAPSHOT_DIMS: usize = 64;
+/// Largest domain size a snapshot may declare. The paper evaluates c ≤ 1024;
+/// the cap additionally bounds the `c × c` response matrix a restored
+/// answerer builds per queried pair (4096² f64 = 128 MiB), so an untrusted
+/// snapshot cannot declare an allocation bomb that only detonates at query
+/// time.
+pub const MAX_SNAPSHOT_DOMAIN: usize = 4096;
+/// Largest Algorithm-1/2 iteration cap a snapshot may declare. Restored
+/// settings drive per-query loops, so a hostile frame must not be able to
+/// buy unbounded CPU (the paper uses 100).
+pub const MAX_SNAPSHOT_ITERS: usize = 100_000;
+
+/// A finalized HDG fit, detached from the data and the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Number of attributes.
+    pub d: usize,
+    /// Attribute domain size (power of two).
+    pub c: usize,
+    /// Grid granularities the fit used.
+    pub granularities: Granularities,
+    /// λ>2 estimator selection.
+    pub estimator: EstimatorKind,
+    /// Algorithm 1 convergence threshold.
+    pub rm_threshold: f64,
+    /// Algorithm 1 sweep cap.
+    pub rm_max_iters: usize,
+    /// Algorithm 2 convergence threshold.
+    pub est_threshold: f64,
+    /// Algorithm 2 iteration cap.
+    pub est_max_iters: usize,
+    /// Post-processed 1-D cell frequencies, one vector of length `g1` per
+    /// attribute, in attribute order.
+    pub one_d: Vec<Vec<f64>>,
+    /// Post-processed 2-D cell frequencies, one row-major vector of length
+    /// `g2²` per pair, in `pair_list` order.
+    pub two_d: Vec<Vec<f64>>,
+}
+
+/// Validates a snapshot's declared shape without touching frequency data.
+///
+/// Exposed separately so a wire decoder can reject a lying header *before*
+/// allocating payload buffers.
+pub fn validate_shape(d: usize, c: usize, g1: usize, g2: usize) -> Result<(), MechanismError> {
+    if !(2..=MAX_SNAPSHOT_DIMS).contains(&d) {
+        return Err(MechanismError::Invalid(format!(
+            "snapshot dimension {d} outside [2, {MAX_SNAPSHOT_DIMS}]"
+        )));
+    }
+    if !privmdr_util::is_pow2(c) || c < 2 || c > MAX_SNAPSHOT_DOMAIN {
+        return Err(MechanismError::Invalid(format!(
+            "snapshot domain {c} must be a power of two in [2, {MAX_SNAPSHOT_DOMAIN}]"
+        )));
+    }
+    for (name, g) in [("g1", g1), ("g2", g2)] {
+        if !privmdr_util::is_pow2(g) || g < 1 || g > c {
+            return Err(MechanismError::Invalid(format!(
+                "snapshot granularity {name}={g} must be a power of two in [1, {c}]"
+            )));
+        }
+    }
+    Ok(())
+}
+
+impl ModelSnapshot {
+    /// Assembles and validates a snapshot from raw parts (the wire decoder's
+    /// entry point). Frequencies must be finite; shape must satisfy
+    /// [`validate_shape`] with one `g1`-vector per attribute and one
+    /// `g2²`-vector per pair.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        d: usize,
+        c: usize,
+        granularities: Granularities,
+        estimator: EstimatorKind,
+        rm_threshold: f64,
+        rm_max_iters: usize,
+        est_threshold: f64,
+        est_max_iters: usize,
+        one_d: Vec<Vec<f64>>,
+        two_d: Vec<Vec<f64>>,
+    ) -> Result<Self, MechanismError> {
+        validate_shape(d, c, granularities.g1, granularities.g2)?;
+        if one_d.len() != d || one_d.iter().any(|f| f.len() != granularities.g1) {
+            return Err(MechanismError::Invalid(format!(
+                "snapshot needs {d} 1-D frequency vectors of length {}",
+                granularities.g1
+            )));
+        }
+        let m2 = pair_count(d);
+        let g2_cells = granularities.g2 * granularities.g2;
+        if two_d.len() != m2 || two_d.iter().any(|f| f.len() != g2_cells) {
+            return Err(MechanismError::Invalid(format!(
+                "snapshot needs {m2} 2-D frequency vectors of length {g2_cells}"
+            )));
+        }
+        if one_d
+            .iter()
+            .chain(two_d.iter())
+            .flatten()
+            .any(|f| !f.is_finite())
+        {
+            return Err(MechanismError::Invalid(
+                "snapshot frequencies must be finite".into(),
+            ));
+        }
+        // Estimation settings drive per-query loops in the restored
+        // answerer, so they are attack surface too: a negative threshold
+        // never satisfies a convergence test, which with a huge iteration
+        // cap would turn the first query into a CPU bomb.
+        if !(rm_threshold.is_finite() && rm_threshold >= 0.0)
+            || !(est_threshold.is_finite() && est_threshold >= 0.0)
+        {
+            return Err(MechanismError::Invalid(
+                "snapshot thresholds must be finite and non-negative".into(),
+            ));
+        }
+        if rm_max_iters > MAX_SNAPSHOT_ITERS || est_max_iters > MAX_SNAPSHOT_ITERS {
+            return Err(MechanismError::Invalid(format!(
+                "snapshot iteration caps must be at most {MAX_SNAPSHOT_ITERS}"
+            )));
+        }
+        Ok(ModelSnapshot {
+            d,
+            c,
+            granularities,
+            estimator,
+            rm_threshold,
+            rm_max_iters,
+            est_threshold,
+            est_max_iters,
+            one_d,
+            two_d,
+        })
+    }
+
+    /// Captures finalized (already post-processed) grids under the given
+    /// configuration. The grid set is validated the same way
+    /// [`Hdg::model_from_grids`] validates it (attribute order, pair order,
+    /// one shared domain) — a misordered set must fail here, not produce a
+    /// snapshot that silently answers with swapped attributes.
+    pub fn from_processed_grids(
+        one_d: &[Grid1d],
+        two_d: &[Grid2d],
+        config: &MechanismConfig,
+    ) -> Result<Self, MechanismError> {
+        let (d, c) = crate::hdg::validate_grid_set(one_d, two_d)?;
+        let granularities = Granularities {
+            g1: one_d[0].granularity(),
+            g2: two_d[0].granularity(),
+        };
+        ModelSnapshot::from_parts(
+            d,
+            c,
+            granularities,
+            config.estimator,
+            config.rm_threshold,
+            config.rm_max_iters,
+            config.est_threshold,
+            config.est_max_iters,
+            one_d.iter().map(|g| g.freqs.clone()).collect(),
+            two_d.iter().map(|g| g.freqs.clone()).collect(),
+        )
+    }
+
+    /// The mechanism configuration a restored answerer runs under. Only the
+    /// answering-relevant fields are meaningful: collection-side settings
+    /// (sim mode, guideline, post-processing) played their role before the
+    /// snapshot was taken.
+    pub fn config(&self) -> MechanismConfig {
+        MechanismConfig {
+            granularity_override: Some(self.granularities),
+            estimator: self.estimator,
+            rm_threshold: self.rm_threshold,
+            rm_max_iters: self.rm_max_iters,
+            est_threshold: self.est_threshold,
+            est_max_iters: self.est_max_iters,
+            ..MechanismConfig::default()
+        }
+    }
+
+    /// The stored grids, rebuilt with their geometry.
+    pub fn grids(&self) -> Result<(Vec<Grid1d>, Vec<Grid2d>), MechanismError> {
+        let Granularities { g1, g2 } = self.granularities;
+        let one_d = self
+            .one_d
+            .iter()
+            .enumerate()
+            .map(|(attr, freqs)| Grid1d::from_freqs(attr, g1, self.c, freqs.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let two_d = pair_list(self.d)
+            .into_iter()
+            .zip(&self.two_d)
+            .map(|(pair, freqs)| Grid2d::from_freqs(pair, g2, self.c, freqs.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((one_d, two_d))
+    }
+
+    /// Rebuilds the query answerer. No protocol, no post-processing: the
+    /// restored model is bit-identical to the one the fit produced.
+    pub fn to_model(&self) -> Result<Box<dyn Model>, MechanismError> {
+        let (one_d, two_d) = self.grids()?;
+        Hdg::new(self.config()).model_from_processed_grids(one_d, two_d)
+    }
+}
+
+impl Hdg {
+    /// Runs HDG Phases 1–2 on a dataset and captures the result as a
+    /// snapshot instead of a live model (`fit` = `snapshot` + `to_model`,
+    /// bit for bit).
+    pub fn snapshot(
+        &self,
+        ds: &Dataset,
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<ModelSnapshot, MechanismError> {
+        let (one_d, two_d) = crate::hdg::fit_hdg_grids(ds, epsilon, seed, &self.config)?;
+        ModelSnapshot::from_processed_grids(&one_d, &two_d, &self.config)
+    }
+
+    /// Post-processes externally collected raw grids (the protocol
+    /// collector's output) and captures the result as a snapshot — the
+    /// serving-side counterpart of [`Hdg::model_from_grids`].
+    pub fn snapshot_from_grids(
+        &self,
+        one_d: Vec<Grid1d>,
+        two_d: Vec<Grid2d>,
+    ) -> Result<ModelSnapshot, MechanismError> {
+        let (one_d, two_d) = self.post_process_grids(one_d, two_d)?;
+        ModelSnapshot::from_processed_grids(&one_d, &two_d, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mechanism;
+    use privmdr_data::DatasetSpec;
+    use privmdr_query::workload::WorkloadBuilder;
+
+    #[test]
+    fn shape_validation_rejects_bad_geometry() {
+        assert!(validate_shape(1, 16, 4, 4).is_err()); // d < 2
+        assert!(validate_shape(65, 16, 4, 4).is_err()); // d too large
+        assert!(validate_shape(3, 15, 4, 4).is_err()); // c not pow2
+        assert!(validate_shape(3, 1 << 13, 4, 4).is_err()); // c beyond the cap
+        assert!(validate_shape(3, 16, 3, 4).is_err()); // g1 not pow2
+        assert!(validate_shape(3, 16, 4, 32).is_err()); // g2 > c
+        assert!(validate_shape(3, 16, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_vector_counts_and_nonfinite() {
+        let g = Granularities { g1: 4, g2: 2 };
+        let ok = ModelSnapshot::from_parts(
+            2,
+            16,
+            g,
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-7,
+            100,
+            vec![vec![0.25; 4]; 2],
+            vec![vec![0.25; 4]; 1],
+        );
+        assert!(ok.is_ok());
+        let wrong_len = ModelSnapshot::from_parts(
+            2,
+            16,
+            g,
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-7,
+            100,
+            vec![vec![0.25; 3]; 2],
+            vec![vec![0.25; 4]; 1],
+        );
+        assert!(wrong_len.is_err());
+        let nan = ModelSnapshot::from_parts(
+            2,
+            16,
+            g,
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-7,
+            100,
+            vec![vec![f64::NAN; 4]; 2],
+            vec![vec![0.25; 4]; 1],
+        );
+        assert!(nan.is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_hostile_estimation_settings() {
+        let g = Granularities { g1: 4, g2: 2 };
+        let build = |rm_t: f64, rm_i: usize, est_t: f64, est_i: usize| {
+            ModelSnapshot::from_parts(
+                2,
+                16,
+                g,
+                EstimatorKind::WeightedUpdate,
+                rm_t,
+                rm_i,
+                est_t,
+                est_i,
+                vec![vec![0.25; 4]; 2],
+                vec![vec![0.25; 4]; 1],
+            )
+        };
+        // A negative threshold never converges; with a huge iteration cap
+        // that is a per-query CPU bomb. Both must be rejected up front.
+        assert!(build(-1.0, 100, 1e-7, 100).is_err());
+        assert!(build(1e-7, 100, -1e-9, 100).is_err());
+        assert!(build(1e-7, MAX_SNAPSHOT_ITERS + 1, 1e-7, 100).is_err());
+        assert!(build(1e-7, 100, 1e-7, usize::MAX).is_err());
+        assert!(build(0.0, MAX_SNAPSHOT_ITERS, 0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn from_processed_grids_rejects_misordered_grid_sets() {
+        use privmdr_grid::{Grid1d, Grid2d};
+        let cfg = MechanismConfig::default();
+        let g1 = |attr| Grid1d::from_freqs(attr, 4, 16, vec![0.25; 4]).unwrap();
+        let g2 = |pair| Grid2d::from_freqs(pair, 2, 16, vec![0.25; 4]).unwrap();
+        // Well-formed set passes.
+        let ok = ModelSnapshot::from_processed_grids(
+            &[g1(0), g1(1)],
+            std::slice::from_ref(&g2((0, 1))),
+            &cfg,
+        );
+        assert!(ok.is_ok());
+        // Swapped attribute order must fail, not silently capture grids
+        // that `grids()` would reattach to the wrong attributes.
+        let swapped = ModelSnapshot::from_processed_grids(
+            &[g1(1), g1(0)],
+            std::slice::from_ref(&g2((0, 1))),
+            &cfg,
+        );
+        assert!(swapped.is_err());
+        // A grid over a different domain must fail too.
+        let other_domain = Grid1d::from_freqs(1, 4, 32, vec![0.25; 4]).unwrap();
+        let mixed = ModelSnapshot::from_processed_grids(
+            &[g1(0), other_domain],
+            std::slice::from_ref(&g2((0, 1))),
+            &cfg,
+        );
+        assert!(mixed.is_err());
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_model() {
+        let ds = DatasetSpec::Normal { rho: 0.7 }.generate(30_000, 3, 32, 11);
+        let hdg = Hdg::default();
+        let fitted = hdg.fit(&ds, 1.0, 5).unwrap();
+        let snap = hdg.snapshot(&ds, 1.0, 5).unwrap();
+        let restored = snap.to_model().unwrap();
+        let wl = WorkloadBuilder::new(3, 32, 4);
+        let mut queries = wl.random(2, 0.5, 20);
+        queries.extend(wl.random(1, 0.3, 5));
+        queries.extend(wl.random(3, 0.5, 5));
+        for q in &queries {
+            assert_eq!(
+                fitted.answer(q).to_bits(),
+                restored.answer(q).to_bits(),
+                "snapshot restore diverges on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn restoring_does_not_post_process_again() {
+        // A snapshot with deliberately inconsistent (non-normalized) grids:
+        // a second Phase-2 pass would renormalize them, so equality of the
+        // stored frequencies with the restored grids proves restore is raw.
+        let g = Granularities { g1: 4, g2: 2 };
+        let one = vec![vec![0.9, 0.4, 0.1, 0.0], vec![0.5, 0.5, 0.5, 0.5]];
+        let two = vec![vec![0.7, 0.1, 0.1, 0.3]];
+        let snap = ModelSnapshot::from_parts(
+            2,
+            16,
+            g,
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-7,
+            100,
+            one.clone(),
+            two.clone(),
+        )
+        .unwrap();
+        let (one_d, two_d) = snap.grids().unwrap();
+        assert_eq!(one_d[0].freqs, one[0]);
+        assert_eq!(one_d[1].freqs, one[1]);
+        assert_eq!(two_d[0].freqs, two[0]);
+        assert!(snap.to_model().is_ok());
+    }
+}

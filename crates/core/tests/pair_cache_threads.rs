@@ -1,0 +1,102 @@
+//! Thread-safety of the HDG answerer's lazily-built response-matrix cache.
+//!
+//! The query server shards workloads across threads against *one* shared
+//! model, so the `PairCache` `Mutex` in `privmdr_core::hdg` is load-bearing:
+//! many threads race to build the same pair's response matrix, and
+//! whichever insert wins must leave every thread answering identically.
+//! This suite pins that down before anything relies on it: concurrent
+//! answers must be bit-identical to a serial pass on a fresh (cold-cache)
+//! model, regardless of thread count or query interleaving.
+
+use privmdr_core::{Hdg, Mechanism};
+use privmdr_data::DatasetSpec;
+use privmdr_query::workload::WorkloadBuilder;
+use privmdr_query::RangeQuery;
+
+fn workload(d: usize, c: usize) -> Vec<RangeQuery> {
+    let wl = WorkloadBuilder::new(d, c, 77);
+    let mut queries = Vec::new();
+    // 2-D queries across every attribute pair hammer the pair cache; 1-D
+    // and 3-D queries mix in the other answer paths.
+    queries.extend(wl.random(2, 0.4, 60));
+    queries.extend(wl.random(1, 0.5, 10));
+    queries.extend(wl.random(3, 0.6, 10));
+    queries
+}
+
+#[test]
+fn concurrent_answers_match_serial_bit_for_bit() {
+    let (d, c) = (4usize, 32usize);
+    let ds = DatasetSpec::Normal { rho: 0.7 }.generate(25_000, d, c, 13);
+    let hdg = Hdg::default();
+
+    // Serial reference on its own model: a cold cache built by one thread.
+    let serial_model = hdg.fit(&ds, 1.0, 9).unwrap();
+    let queries = workload(d, c);
+    let reference: Vec<f64> = serial_model.answer_all(&queries);
+
+    // Shared model answered by many threads at once, repeated a few times
+    // so the cold-cache race (all threads building all pairs) and the
+    // warm-cache steady state are both exercised.
+    for round in 0..3 {
+        let shared = hdg.fit(&ds, 1.0, 9).unwrap();
+        let threads = 8;
+        let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shared = &shared;
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        // Each thread starts at a different offset so the
+                        // cache is populated in different orders.
+                        let mut answers = vec![0.0; queries.len()];
+                        for i in 0..queries.len() {
+                            let idx = (i + t * 13) % queries.len();
+                            answers[idx] = shared.answer(&queries[idx]);
+                        }
+                        answers
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, answers) in results.iter().enumerate() {
+            assert_eq!(answers.len(), reference.len());
+            for (i, (a, r)) in answers.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    r.to_bits(),
+                    "round {round}, thread {t}, query {i} ({}) diverged",
+                    queries[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_restored_model_is_equally_thread_safe() {
+    // The serving path restores models from snapshots; the restored
+    // answerer shares the same cache machinery and must behave identically
+    // under contention.
+    let (d, c) = (3usize, 16usize);
+    let ds = DatasetSpec::Ipums.generate(10_000, d, c, 21);
+    let hdg = Hdg::default();
+    let snap = hdg.snapshot(&ds, 1.0, 4).unwrap();
+    let reference: Vec<f64> = snap.to_model().unwrap().answer_all(&workload(d, c));
+
+    let shared = snap.to_model().unwrap();
+    let queries = workload(d, c);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let shared = &shared;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (q, r) in queries.iter().zip(reference) {
+                    assert_eq!(shared.answer(q).to_bits(), r.to_bits(), "query {q}");
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,123 @@
+//! Throughput of the query-serving engine: queries/sec through the sharded
+//! `QueryServer` at increasing shard counts and query dimensions, plus the
+//! wire cost of the serving frames.
+//!
+//! The headline number is `serve/λ=L/shards=K`: answering is read-only and
+//! embarrassingly parallel, so on an M-core machine queries/sec should
+//! scale close to linearly until K exceeds M (shards are capped to
+//! available cores by `par_map`; on a single-core runner all shard counts
+//! collapse to the serial figure). λ = 1 and 2 are direct grid lookups;
+//! λ = 3 pays the Algorithm-2 estimation loop per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privmdr_core::snapshot::ModelSnapshot;
+use privmdr_core::EstimatorKind;
+use privmdr_grid::guideline::Granularities;
+use privmdr_grid::pairs::pair_count;
+use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes};
+use privmdr_protocol::{AnswerBatch, QueryBatch, QueryServer};
+use privmdr_query::workload::WorkloadBuilder;
+use std::hint::black_box;
+
+/// A deterministic snapshot with a fixed geometry (no fitting in the bench
+/// path): skewed but consistent product-ish frequencies over d=4, c=64.
+fn bench_snapshot() -> ModelSnapshot {
+    let (d, c, g1, g2) = (4usize, 64usize, 16usize, 4usize);
+    let marginal = |t: usize, i: usize| -> f64 {
+        // Distinct skew per attribute, normalized over g1 cells.
+        let w = (1.0 + ((i * (t + 2)) % g1) as f64) / g1 as f64;
+        w / ((0..g1)
+            .map(|j| (1.0 + ((j * (t + 2)) % g1) as f64) / g1 as f64)
+            .sum::<f64>())
+    };
+    let one_d: Vec<Vec<f64>> = (0..d)
+        .map(|t| (0..g1).map(|i| marginal(t, i)).collect())
+        .collect();
+    let block = |t: usize, a: usize| -> f64 {
+        let per = g1 / g2;
+        (0..per).map(|i| marginal(t, a * per + i)).sum()
+    };
+    let two_d: Vec<Vec<f64>> = privmdr_grid::pairs::pair_list(d)
+        .into_iter()
+        .map(|(j, k)| {
+            (0..g2 * g2)
+                .map(|idx| block(j, idx / g2) * block(k, idx % g2))
+                .collect()
+        })
+        .collect();
+    assert_eq!(two_d.len(), pair_count(d));
+    ModelSnapshot::from_parts(
+        d,
+        c,
+        Granularities { g1, g2 },
+        EstimatorKind::WeightedUpdate,
+        1e-7,
+        100,
+        1e-7,
+        100,
+        one_d,
+        two_d,
+    )
+    .unwrap()
+}
+
+fn bench_sharded_serving(c: &mut Criterion) {
+    let snap = bench_snapshot();
+    let n_queries = 4_000usize;
+    let max_shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut shard_counts = vec![1usize, 2, 4];
+    if !shard_counts.contains(&max_shards) {
+        shard_counts.push(max_shards);
+    }
+
+    for lambda in [1usize, 2, 3] {
+        let server = QueryServer::new(&snap).unwrap();
+        let queries =
+            WorkloadBuilder::new(snap.d, snap.c, 31 + lambda as u64).random(lambda, 0.5, n_queries);
+        // Populate the lazily-built response-matrix caches outside the
+        // timed loop: steady-state serving is what the bench measures.
+        black_box(server.answer_workload(&queries[..1.max(queries.len() / 100)], 1));
+
+        let mut group = c.benchmark_group(format!("serve/lambda={lambda}"));
+        group.throughput(Throughput::Elements(n_queries as u64));
+        for &shards in &shard_counts {
+            group.bench_with_input(
+                BenchmarkId::new("shards", shards),
+                &queries,
+                |b, queries| {
+                    b.iter(|| black_box(server.answer_workload(black_box(queries), shards)))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_serving_wire(c: &mut Criterion) {
+    let snap = bench_snapshot();
+    let mut group = c.benchmark_group("serving_wire");
+
+    let snap_bytes = snapshot_to_bytes(&snap);
+    group.bench_function("snapshot_decode", |b| {
+        b.iter(|| black_box(decode_snapshot(&mut snap_bytes.clone())).unwrap())
+    });
+
+    let n_queries = 4_000usize;
+    let queries = WorkloadBuilder::new(snap.d, snap.c, 77).random(2, 0.5, n_queries);
+    let request = QueryBatch::new(snap.c, queries).to_bytes();
+    group.throughput(Throughput::Elements(n_queries as u64));
+    group.bench_function("query_batch_decode", |b| {
+        b.iter(|| black_box(QueryBatch::decode(&mut request.clone())).unwrap())
+    });
+
+    let answers = AnswerBatch::new(vec![0.25f64; n_queries]).to_bytes();
+    group.bench_function("answer_batch_decode", |b| {
+        b.iter(|| black_box(AnswerBatch::decode(&mut answers.clone())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_serving, bench_serving_wire);
+criterion_main!(benches);

@@ -16,7 +16,11 @@
 //! * [`server`] — streaming ingestion: per-group OLH support accumulators
 //!   that never buffer raw reports, a sharded parallel batch path that is
 //!   bit-identical to serial ingestion, and a finalizer producing a fitted
-//!   `privmdr-core` HDG model.
+//!   `privmdr-core` HDG model or a serializable snapshot of it.
+//! * [`serve`] — the read path: a [`serve::QueryServer`] restores a
+//!   `privmdr_core::ModelSnapshot` (shipped via the wire frames in
+//!   [`wire`]) and answers framed query batches, sharding each batch
+//!   across threads with answers bit-identical to a serial pass.
 //!
 //! The end-to-end path is equivalent to `Hdg::fit` in `SimMode::Exact`
 //! (tests verify the accuracy statistically); the difference is that here
@@ -25,13 +29,18 @@
 
 pub mod client;
 pub mod plan;
+pub mod serve;
 pub mod server;
 pub mod wire;
 
 pub use client::Client;
 pub use plan::{GroupTarget, SessionPlan};
+pub use serve::QueryServer;
 pub use server::Collector;
-pub use wire::{decode_any_stream, Batch, Report};
+pub use wire::{
+    decode_any_stream, decode_snapshot, encode_snapshot, snapshot_to_bytes, AnswerBatch, Batch,
+    QueryBatch, Report,
+};
 
 /// Errors from protocol handling.
 #[derive(Debug, Clone, PartialEq)]

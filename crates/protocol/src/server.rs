@@ -24,7 +24,7 @@ use crate::plan::{GroupTarget, SessionPlan};
 use crate::wire::{self, Report};
 use crate::ProtocolError;
 use bytes::Buf;
-use privmdr_core::{Hdg, MechanismConfig, Model};
+use privmdr_core::{Hdg, MechanismConfig, Model, ModelSnapshot};
 use privmdr_grid::{Grid1d, Grid2d};
 use privmdr_oracles::olh::Olh;
 use privmdr_util::par::{par_map, split_chunks};
@@ -190,8 +190,8 @@ impl Collector {
             .ok_or(ProtocolError::UnknownGroup(group))
     }
 
-    /// Finalizes the session into a queryable HDG model.
-    pub fn finalize(&self, config: MechanismConfig) -> Result<Box<dyn Model>, ProtocolError> {
+    /// Unbiases the per-group counters into the session's raw grids.
+    fn grids(&self) -> Result<(Vec<Grid1d>, Vec<Grid2d>), ProtocolError> {
         let g = self.plan.granularities;
         let mut one_d = Vec::with_capacity(self.plan.d);
         let mut two_d = Vec::new();
@@ -211,8 +211,25 @@ impl Collector {
                 }
             }
         }
+        Ok((one_d, two_d))
+    }
+
+    /// Finalizes the session into a queryable HDG model.
+    pub fn finalize(&self, config: MechanismConfig) -> Result<Box<dyn Model>, ProtocolError> {
+        let (one_d, two_d) = self.grids()?;
         Hdg::new(config)
             .model_from_grids(one_d, two_d)
+            .map_err(|e| ProtocolError::BadPlan(e.to_string()))
+    }
+
+    /// Finalizes the session into a serializable [`ModelSnapshot`] — the
+    /// artifact a query-serving process restores (`crate::serve`). Runs the
+    /// same Phase-2 post-processing as [`Self::finalize`], so
+    /// `snapshot(..).to_model()` answers bit-identically to `finalize(..)`.
+    pub fn snapshot(&self, config: MechanismConfig) -> Result<ModelSnapshot, ProtocolError> {
+        let (one_d, two_d) = self.grids()?;
+        Hdg::new(config)
+            .snapshot_from_grids(one_d, two_d)
             .map_err(|e| ProtocolError::BadPlan(e.to_string()))
     }
 }

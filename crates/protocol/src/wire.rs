@@ -27,9 +27,31 @@
 //! The tag byte `0xB1` can never open a standalone report (whose first
 //! byte is [`WIRE_VERSION`]), so a stream of frames is self-describing:
 //! the decoder peeks one byte to tell the two framings apart.
+//!
+//! # Query-serving frames
+//!
+//! The read path adds three more tag-versioned frames, all following the
+//! same garbage-robustness contract as [`Batch`] (length prefixes are
+//! validated against the actual payload before any allocation; malformed
+//! bytes always surface as [`ProtocolError`], never a panic):
+//!
+//! * **Snapshot** (tag `0xC5`) — a finalized `privmdr_core` fit
+//!   ([`ModelSnapshot`]): geometry + estimation settings header, then the
+//!   post-processed grid frequencies as raw `f64` bits (exact round-trip).
+//! * **[`QueryBatch`]** (tag `0xD7`) — a batch of λ-dimensional range
+//!   queries over a shared domain `c`; each query is λ `(attr, lo, hi)`
+//!   predicates and is re-validated through `RangeQuery`'s own invariants
+//!   on decode.
+//! * **[`AnswerBatch`]** (tag `0xA7`) — the matching answers as raw `f64`
+//!   bits, in query order.
 
 use crate::ProtocolError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use privmdr_core::snapshot::{validate_shape, ModelSnapshot};
+use privmdr_core::EstimatorKind;
+use privmdr_grid::guideline::Granularities;
+use privmdr_grid::pairs::pair_count;
+use privmdr_query::RangeQuery;
 
 /// Wire protocol version byte.
 pub const WIRE_VERSION: u8 = 1;
@@ -211,6 +233,311 @@ pub fn decode_any_stream(buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
     }
 }
 
+/// First byte of an encoded [`ModelSnapshot`] frame.
+pub const SNAPSHOT_TAG: u8 = 0xC5;
+/// Encoded size of a snapshot header (tag, version, shape, estimation
+/// settings); the payload is raw `f64` bits.
+pub const SNAPSHOT_HEADER_LEN: usize = 41;
+/// First byte of a [`QueryBatch`] frame.
+pub const QUERY_BATCH_TAG: u8 = 0xD7;
+/// Encoded size of a query-batch header (tag, version, domain, count).
+pub const QUERY_BATCH_HEADER_LEN: usize = 10;
+/// Encoded size of one predicate inside a query (attr, lo, hi).
+pub const PREDICATE_LEN: usize = 10;
+/// First byte of an [`AnswerBatch`] frame.
+pub const ANSWER_BATCH_TAG: u8 = 0xA7;
+/// Encoded size of an answer-batch header (tag, version, count).
+pub const ANSWER_BATCH_HEADER_LEN: usize = 6;
+
+/// Encoded size of a snapshot frame for the given shape.
+pub fn snapshot_encoded_len(snap: &ModelSnapshot) -> usize {
+    let Granularities { g1, g2 } = snap.granularities;
+    SNAPSHOT_HEADER_LEN + (snap.d * g1 + pair_count(snap.d) * g2 * g2) * 8
+}
+
+/// Appends the encoded snapshot frame to `buf`. Frequencies travel as raw
+/// `f64` bits, so decode reproduces the fit exactly — not approximately.
+///
+/// # Panics
+///
+/// Panics if a shape or settings field exceeds its wire width (`d` > u16,
+/// `c`/`g1`/`g2`/iteration caps > u32) — all far beyond the ranges
+/// `ModelSnapshot::from_parts` admits; mutating the public fields past
+/// them must fail loudly rather than encode a truncated frame.
+pub fn encode_snapshot(snap: &ModelSnapshot, buf: &mut BytesMut) {
+    let narrow32 = |v: usize, what: &str| -> u32 {
+        u32::try_from(v).unwrap_or_else(|_| panic!("snapshot {what} exceeds u32"))
+    };
+    buf.reserve(snapshot_encoded_len(snap));
+    buf.put_u8(SNAPSHOT_TAG);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u16_le(u16::try_from(snap.d).expect("snapshot dimension exceeds u16"));
+    buf.put_u32_le(narrow32(snap.c, "domain"));
+    buf.put_u32_le(narrow32(snap.granularities.g1, "granularity g1"));
+    buf.put_u32_le(narrow32(snap.granularities.g2, "granularity g2"));
+    buf.put_u8(match snap.estimator {
+        EstimatorKind::WeightedUpdate => 0,
+        EstimatorKind::MaxEntropy => 1,
+    });
+    buf.put_u64_le(snap.rm_threshold.to_bits());
+    buf.put_u32_le(narrow32(snap.rm_max_iters, "iteration cap"));
+    buf.put_u64_le(snap.est_threshold.to_bits());
+    buf.put_u32_le(narrow32(snap.est_max_iters, "iteration cap"));
+    for freqs in snap.one_d.iter().chain(snap.two_d.iter()) {
+        for &f in freqs {
+            buf.put_u64_le(f.to_bits());
+        }
+    }
+}
+
+/// Encodes a snapshot to a standalone buffer.
+pub fn snapshot_to_bytes(snap: &ModelSnapshot) -> Bytes {
+    let mut buf = BytesMut::with_capacity(snapshot_encoded_len(snap));
+    encode_snapshot(snap, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes one snapshot frame from the front of `buf`, advancing it.
+///
+/// The declared shape is validated (`privmdr_core::snapshot::validate_shape`
+/// plus the exact payload length) *before* any frequency vector is
+/// allocated, so a lying header cannot force a large allocation; the
+/// decoded frequencies then pass through `ModelSnapshot::from_parts`, which
+/// rejects non-finite values. Truncated or garbage input always yields a
+/// [`ProtocolError`], never a panic.
+pub fn decode_snapshot(buf: &mut impl Buf) -> Result<ModelSnapshot, ProtocolError> {
+    if buf.remaining() < SNAPSHOT_HEADER_LEN {
+        return Err(ProtocolError::Malformed("truncated snapshot header"));
+    }
+    let tag = buf.get_u8();
+    if tag != SNAPSHOT_TAG {
+        return Err(ProtocolError::Malformed("not a snapshot frame"));
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(ProtocolError::Malformed("unsupported wire version"));
+    }
+    let d = buf.get_u16_le() as usize;
+    let c = buf.get_u32_le() as usize;
+    let g1 = buf.get_u32_le() as usize;
+    let g2 = buf.get_u32_le() as usize;
+    let estimator = match buf.get_u8() {
+        0 => EstimatorKind::WeightedUpdate,
+        1 => EstimatorKind::MaxEntropy,
+        _ => return Err(ProtocolError::Malformed("unknown estimator kind")),
+    };
+    let rm_threshold = f64::from_bits(buf.get_u64_le());
+    let rm_max_iters = buf.get_u32_le() as usize;
+    let est_threshold = f64::from_bits(buf.get_u64_le());
+    let est_max_iters = buf.get_u32_le() as usize;
+    if validate_shape(d, c, g1, g2).is_err() {
+        return Err(ProtocolError::Malformed("invalid snapshot shape"));
+    }
+    // Shape is now bounded (d <= MAX_SNAPSHOT_DIMS = 64, g1/g2 <= c <=
+    // MAX_SNAPSHOT_DOMAIN = 4096), so the expected payload size fits u64
+    // comfortably; checking it against the actual remaining bytes before
+    // allocating keeps lying headers harmless.
+    let m2 = pair_count(d) as u64;
+    let expected = (d as u64) * (g1 as u64) + m2 * (g2 as u64) * (g2 as u64);
+    if ((buf.remaining() / 8) as u64) < expected {
+        return Err(ProtocolError::Malformed("snapshot shorter than its shape"));
+    }
+    let mut take_vec =
+        |len: usize| -> Vec<f64> { (0..len).map(|_| f64::from_bits(buf.get_u64_le())).collect() };
+    let one_d: Vec<Vec<f64>> = (0..d).map(|_| take_vec(g1)).collect();
+    let two_d: Vec<Vec<f64>> = (0..m2 as usize).map(|_| take_vec(g2 * g2)).collect();
+    ModelSnapshot::from_parts(
+        d,
+        c,
+        Granularities { g1, g2 },
+        estimator,
+        rm_threshold,
+        rm_max_iters,
+        est_threshold,
+        est_max_iters,
+        one_d,
+        two_d,
+    )
+    .map_err(|_| ProtocolError::Malformed("invalid snapshot contents"))
+}
+
+/// A framed batch of range queries over a shared domain — the unit a
+/// query-serving client submits (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    /// Attribute domain size every query in the batch is validated against.
+    pub c: usize,
+    /// The queries, in submission order.
+    pub queries: Vec<RangeQuery>,
+}
+
+impl QueryBatch {
+    /// Wraps queries (already validated against domain `c`) into a batch.
+    pub fn new(c: usize, queries: Vec<RangeQuery>) -> Self {
+        QueryBatch { c, queries }
+    }
+
+    /// Encoded size of this batch.
+    pub fn encoded_len(&self) -> usize {
+        QUERY_BATCH_HEADER_LEN
+            + self
+                .queries
+                .iter()
+                .map(|q| 1 + q.lambda() * PREDICATE_LEN)
+                .sum::<usize>()
+    }
+
+    /// Appends the encoded frame to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch holds more than `u32::MAX` queries, a query has
+    /// more than 255 predicates, an attribute index exceeds `u16::MAX`, or
+    /// the domain (hence any interval bound) exceeds `u32::MAX` — all far
+    /// beyond the validated ranges `RangeQuery` admits for any domain this
+    /// workspace handles, and all loud failures rather than silently
+    /// truncated frames.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let count = u32::try_from(self.queries.len()).expect("query batch exceeds u32 count");
+        buf.reserve(self.encoded_len());
+        buf.put_u8(QUERY_BATCH_TAG);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u32_le(u32::try_from(self.c).expect("query batch domain exceeds u32"));
+        buf.put_u32_le(count);
+        for q in &self.queries {
+            buf.put_u8(u8::try_from(q.lambda()).expect("query dimension exceeds u8"));
+            for p in q.predicates() {
+                buf.put_u16_le(u16::try_from(p.attr).expect("attribute index exceeds u16"));
+                buf.put_u32_le(u32::try_from(p.lo).expect("interval bound exceeds u32"));
+                buf.put_u32_le(u32::try_from(p.hi).expect("interval bound exceeds u32"));
+            }
+        }
+    }
+
+    /// Encodes to a standalone buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one query-batch frame from the front of `buf`, advancing it.
+    /// Every query is re-validated through `RangeQuery`'s constructor, so a
+    /// decoded batch satisfies the same invariants as a locally built one.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        if buf.remaining() < QUERY_BATCH_HEADER_LEN {
+            return Err(ProtocolError::Malformed("truncated query batch header"));
+        }
+        let tag = buf.get_u8();
+        if tag != QUERY_BATCH_TAG {
+            return Err(ProtocolError::Malformed("not a query batch frame"));
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::Malformed("unsupported wire version"));
+        }
+        let c = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le() as usize;
+        // Queries are variable-size (>= 1 + PREDICATE_LEN bytes each), so a
+        // lying count is bounded by the payload before allocation.
+        if buf.remaining() / (1 + PREDICATE_LEN) < count {
+            return Err(ProtocolError::Malformed("query batch shorter than count"));
+        }
+        let mut queries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 1 {
+                return Err(ProtocolError::Malformed("truncated query"));
+            }
+            let lambda = buf.get_u8() as usize;
+            if lambda == 0 {
+                return Err(ProtocolError::Malformed("query with zero predicates"));
+            }
+            if buf.remaining() < lambda * PREDICATE_LEN {
+                return Err(ProtocolError::Malformed("truncated query predicates"));
+            }
+            let triples: Vec<(usize, usize, usize)> = (0..lambda)
+                .map(|_| {
+                    (
+                        buf.get_u16_le() as usize,
+                        buf.get_u32_le() as usize,
+                        buf.get_u32_le() as usize,
+                    )
+                })
+                .collect();
+            queries.push(
+                RangeQuery::from_triples(&triples, c)
+                    .map_err(|_| ProtocolError::Malformed("invalid query in batch"))?,
+            );
+        }
+        Ok(QueryBatch { c, queries })
+    }
+}
+
+/// A framed batch of answers, in query order, as raw `f64` bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerBatch {
+    /// One estimate per submitted query.
+    pub answers: Vec<f64>,
+}
+
+impl AnswerBatch {
+    /// Wraps answers into a batch.
+    pub fn new(answers: Vec<f64>) -> Self {
+        AnswerBatch { answers }
+    }
+
+    /// Encoded size of a batch holding `count` answers.
+    pub fn encoded_len(count: usize) -> usize {
+        ANSWER_BATCH_HEADER_LEN + count * 8
+    }
+
+    /// Appends the encoded frame to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch holds more than `u32::MAX` answers.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let count = u32::try_from(self.answers.len()).expect("answer batch exceeds u32 count");
+        buf.reserve(Self::encoded_len(self.answers.len()));
+        buf.put_u8(ANSWER_BATCH_TAG);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u32_le(count);
+        for &a in &self.answers {
+            buf.put_u64_le(a.to_bits());
+        }
+    }
+
+    /// Encodes to a standalone buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::encoded_len(self.answers.len()));
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one answer-batch frame from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        if buf.remaining() < ANSWER_BATCH_HEADER_LEN {
+            return Err(ProtocolError::Malformed("truncated answer batch header"));
+        }
+        let tag = buf.get_u8();
+        if tag != ANSWER_BATCH_TAG {
+            return Err(ProtocolError::Malformed("not an answer batch frame"));
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::Malformed("unsupported wire version"));
+        }
+        let count = buf.get_u32_le() as usize;
+        if buf.remaining() / 8 < count {
+            return Err(ProtocolError::Malformed("answer batch shorter than count"));
+        }
+        let answers = (0..count)
+            .map(|_| f64::from_bits(buf.get_u64_le()))
+            .collect();
+        Ok(AnswerBatch { answers })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +646,98 @@ mod tests {
             Batch::decode(&mut lying.freeze()),
             Err(ProtocolError::Malformed(_))
         ));
+    }
+
+    fn sample_snapshot() -> ModelSnapshot {
+        ModelSnapshot::from_parts(
+            3,
+            16,
+            Granularities { g1: 8, g2: 4 },
+            EstimatorKind::MaxEntropy,
+            1e-7,
+            100,
+            1e-6,
+            80,
+            (0..3)
+                .map(|t| (0..8).map(|i| (t * 8 + i) as f64 / 100.0).collect())
+                .collect(),
+            (0..3)
+                .map(|p| (0..16).map(|i| (p * 16 + i) as f64 / 1000.0).collect())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let bytes = snapshot_to_bytes(&snap);
+        assert_eq!(bytes.len(), snapshot_encoded_len(&snap));
+        let back = decode_snapshot(&mut bytes.clone()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_frames() {
+        let bytes = snapshot_to_bytes(&sample_snapshot());
+        assert!(decode_snapshot(&mut bytes.slice(..SNAPSHOT_HEADER_LEN - 1)).is_err());
+        assert!(decode_snapshot(&mut bytes.slice(..bytes.len() - 8)).is_err());
+        let mut wrong_tag = BytesMut::from(&bytes[..]);
+        wrong_tag[0] = BATCH_TAG;
+        assert!(decode_snapshot(&mut wrong_tag.freeze()).is_err());
+        // A header declaring a huge shape over a short payload must error
+        // before allocating.
+        let mut lying = BytesMut::from(&bytes[..SNAPSHOT_HEADER_LEN]);
+        lying[2] = 64; // d = 64
+        lying[3] = 0;
+        assert!(matches!(
+            decode_snapshot(&mut lying.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn query_and_answer_batches_round_trip() {
+        let c = 64;
+        let queries = vec![
+            RangeQuery::from_triples(&[(0, 3, 40)], c).unwrap(),
+            RangeQuery::from_triples(&[(1, 0, 63), (4, 7, 7)], c).unwrap(),
+            RangeQuery::from_triples(&[(0, 1, 2), (2, 3, 4), (3, 5, 6)], c).unwrap(),
+        ];
+        let qb = QueryBatch::new(c, queries);
+        let bytes = qb.to_bytes();
+        assert_eq!(bytes.len(), qb.encoded_len());
+        assert_eq!(QueryBatch::decode(&mut bytes.clone()).unwrap(), qb);
+
+        let ab = AnswerBatch::new(vec![0.0, -1.5, 0.333, f64::MIN_POSITIVE]);
+        let bytes = ab.to_bytes();
+        assert_eq!(bytes.len(), AnswerBatch::encoded_len(4));
+        assert_eq!(AnswerBatch::decode(&mut bytes.clone()).unwrap(), ab);
+    }
+
+    #[test]
+    fn query_batch_rejects_invalid_queries_and_truncation() {
+        let c = 8;
+        let qb = QueryBatch::new(c, vec![RangeQuery::from_triples(&[(0, 1, 5)], c).unwrap()]);
+        let bytes = qb.to_bytes();
+        assert!(QueryBatch::decode(&mut bytes.slice(..bytes.len() - 1)).is_err());
+        assert!(QueryBatch::decode(&mut bytes.slice(..3)).is_err());
+        // An out-of-domain interval inside the frame is rejected by the
+        // query's own validation.
+        let mut bad = BytesMut::from(&bytes[..]);
+        let hi_offset = bytes.len() - 4;
+        bad[hi_offset] = 200;
+        assert!(matches!(
+            QueryBatch::decode(&mut bad.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Lying count over a short payload.
+        let mut lying = BytesMut::new();
+        lying.put_u8(QUERY_BATCH_TAG);
+        lying.put_u8(WIRE_VERSION);
+        lying.put_u32_le(8);
+        lying.put_u32_le(u32::MAX);
+        assert!(QueryBatch::decode(&mut lying.freeze()).is_err());
     }
 
     #[test]

@@ -3,10 +3,20 @@
 //! about its length — can panic a decoder. Malformed input must always
 //! surface as a `ProtocolError`.
 
-use bytes::BytesMut;
-use privmdr_protocol::wire::{Batch, BATCH_HEADER_LEN, REPORT_BODY_LEN};
+use bytes::{BufMut, BytesMut};
+use privmdr_core::snapshot::ModelSnapshot;
+use privmdr_core::EstimatorKind;
+use privmdr_grid::guideline::Granularities;
+use privmdr_grid::pairs::pair_count;
+use privmdr_protocol::wire::{
+    decode_snapshot, snapshot_encoded_len, snapshot_to_bytes, AnswerBatch, Batch, QueryBatch,
+    BATCH_HEADER_LEN, REPORT_BODY_LEN, SNAPSHOT_HEADER_LEN,
+};
 use privmdr_protocol::{decode_any_stream, Report};
+use privmdr_query::RangeQuery;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_report() -> impl Strategy<Value = Report> {
     (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(group, seed, y)| Report {
@@ -14,6 +24,56 @@ fn arb_report() -> impl Strategy<Value = Report> {
         seed,
         y,
     })
+}
+
+/// A structurally valid snapshot with seed-derived geometry and finite but
+/// otherwise arbitrary frequencies (negative and huge values included —
+/// the wire layer must carry them bit-exactly).
+fn snapshot_from_seed(d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
+    let c = 1usize << c_pow;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g1 = 1usize << rng.random_range(0..=c_pow);
+    let g2 = 1usize << rng.random_range(0..=c_pow);
+    let mut value = |_: usize| -> f64 { rng.random_range(-1e9..1e9) };
+    let one_d = (0..d).map(|_| (0..g1).map(&mut value).collect()).collect();
+    let two_d = (0..pair_count(d))
+        .map(|_| (0..g2 * g2).map(&mut value).collect())
+        .collect();
+    ModelSnapshot::from_parts(
+        d,
+        c,
+        Granularities { g1, g2 },
+        if seed % 2 == 0 {
+            EstimatorKind::WeightedUpdate
+        } else {
+            EstimatorKind::MaxEntropy
+        },
+        rng.random_range(0.0..1.0),
+        rng.random_range(0..1000),
+        rng.random_range(0.0..1.0),
+        rng.random_range(0..1000),
+        one_d,
+        two_d,
+    )
+    .expect("constructed shape is valid")
+}
+
+/// A batch of seed-derived valid queries over domain `c`.
+fn query_batch_from_seed(c: usize, count: usize, seed: u64) -> QueryBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = (0..count)
+        .map(|_| {
+            let lambda = rng.random_range(1..=4usize);
+            let triples: Vec<(usize, usize, usize)> = (0..lambda)
+                .map(|i| {
+                    let (a, b) = (rng.random_range(0..c), rng.random_range(0..c));
+                    (i * 7 + rng.random_range(0..3usize), a.min(b), a.max(b))
+                })
+                .collect();
+            RangeQuery::from_triples(&triples, c).expect("distinct attrs, valid intervals")
+        })
+        .collect();
+    QueryBatch::new(c, queries)
 }
 
 proptest! {
@@ -81,5 +141,104 @@ proptest! {
         prop_assume!(bytes[idx] != byte);
         bytes[idx] = byte;
         prop_assert!(Batch::decode(&mut bytes.freeze()).is_err());
+    }
+
+    /// Snapshot frames round-trip *exactly* — every frequency bit, the
+    /// geometry, and the estimation settings — for arbitrary shapes.
+    #[test]
+    fn snapshot_roundtrip_exact(
+        d in 2usize..6,
+        c_pow in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let snap = snapshot_from_seed(d, c_pow, seed);
+        let bytes = snapshot_to_bytes(&snap);
+        prop_assert_eq!(bytes.len(), snapshot_encoded_len(&snap));
+        let back = decode_snapshot(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Every strict prefix of a valid snapshot frame errors — never a
+    /// panic, never a silently truncated model.
+    #[test]
+    fn truncated_snapshot_errors(
+        d in 2usize..5,
+        c_pow in 1u32..6,
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = snapshot_to_bytes(&snapshot_from_seed(d, c_pow, seed));
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(decode_snapshot(&mut bytes.slice(..cut)).is_err());
+    }
+
+    /// Corrupting any single header byte of a snapshot frame either yields
+    /// a structurally valid (but different) snapshot or an error — never a
+    /// panic. Only the tag and version bytes are guaranteed to error: other
+    /// header bytes (shape, estimator, settings) may land on a different
+    /// but still-valid value, which decode rightly accepts.
+    #[test]
+    fn corrupted_snapshot_header_never_panics(
+        seed in any::<u64>(),
+        idx in 0usize..SNAPSHOT_HEADER_LEN,
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = BytesMut::from(&snapshot_to_bytes(&snapshot_from_seed(3, 4, seed))[..]);
+        prop_assume!(bytes[idx] != byte);
+        bytes[idx] = byte;
+        let result = decode_snapshot(&mut bytes.freeze());
+        if idx < 2 {
+            prop_assert!(result.is_err(), "tag/version corruption must be rejected");
+        }
+    }
+
+    /// Query batches round-trip exactly, and answers round-trip to the bit
+    /// (including non-finite payloads — the frame is transport, not policy).
+    #[test]
+    fn query_and_answer_batches_roundtrip(
+        c_pow in 1u32..7,
+        count in 0usize..24,
+        seed in any::<u64>(),
+        answer_bits in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let qb = query_batch_from_seed(1usize << c_pow, count, seed);
+        let bytes = qb.to_bytes();
+        prop_assert_eq!(bytes.len(), qb.encoded_len());
+        let back = QueryBatch::decode(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, qb);
+
+        let ab = AnswerBatch::new(answer_bits.iter().map(|&b| f64::from_bits(b)).collect());
+        let back = AnswerBatch::decode(&mut ab.to_bytes().clone()).unwrap();
+        prop_assert_eq!(back.answers.len(), ab.answers.len());
+        for (x, y) in back.answers.iter().zip(&ab.answers) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Arbitrary byte garbage never panics any of the serving-frame
+    /// decoders; malformed shapes always surface as `ProtocolError`.
+    #[test]
+    fn serving_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_snapshot(&mut &bytes[..]);
+        let _ = QueryBatch::decode(&mut &bytes[..]);
+        let _ = AnswerBatch::decode(&mut &bytes[..]);
+    }
+
+    /// A garbage buffer opening with a valid serving tag + version (the
+    /// adversarial sweet spot: headers parse, payload lies) still never
+    /// panics and never over-allocates its way to an abort.
+    #[test]
+    fn lying_serving_headers_error(
+        tag_choice in 0usize..3,
+        body in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let mut buf = BytesMut::new();
+        buf.put_u8([0xC5u8, 0xD7, 0xA7][tag_choice]);
+        buf.put_u8(1); // WIRE_VERSION
+        buf.put_slice(&body);
+        let bytes = buf.freeze();
+        let _ = decode_snapshot(&mut bytes.clone());
+        let _ = QueryBatch::decode(&mut bytes.clone());
+        let _ = AnswerBatch::decode(&mut bytes.clone());
     }
 }

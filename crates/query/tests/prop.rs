@@ -1,9 +1,29 @@
 //! Property tests for queries and workloads.
 
 use privmdr_data::DatasetSpec;
+use privmdr_query::parse::{parse_query, ParseError};
 use privmdr_query::workload::{true_answers, WorkloadBuilder};
-use privmdr_query::{Predicate, RangeQuery};
+use privmdr_query::{Predicate, QueryError, RangeQuery};
 use proptest::prelude::*;
+
+/// A random valid query over `d` attributes and domain `c`: predicates on
+/// distinct attributes (keep-first dedup over random candidates) with
+/// ordered in-domain intervals.
+fn arb_query(d: usize, c: usize) -> impl Strategy<Value = RangeQuery> {
+    prop::collection::vec((0..d, 0..c, 0..c), 1..8).prop_map(move |candidates| {
+        let mut preds: Vec<Predicate> = Vec::new();
+        for (attr, a, b) in candidates {
+            if preds.iter().all(|p| p.attr != attr) {
+                preds.push(Predicate {
+                    attr,
+                    lo: a.min(b),
+                    hi: a.max(b),
+                });
+            }
+        }
+        RangeQuery::new(preds, c).expect("distinct attrs, valid intervals")
+    })
+}
 
 proptest! {
     /// Random workloads always produce valid queries of the requested
@@ -64,6 +84,54 @@ proptest! {
         }
     }
 
+    /// The textual syntax round-trips every valid query:
+    /// `parse(Display(q)) == q` in the display form, and the equivalent
+    /// compact form parses to the same query.
+    #[test]
+    fn parse_display_roundtrip(q in arb_query(7, 64)) {
+        let c = 64;
+        let parsed = parse_query(&q.to_string(), c).unwrap();
+        prop_assert_eq!(&parsed, &q);
+        let compact = q
+            .predicates()
+            .iter()
+            .map(|p| format!("{}:{}-{}", p.attr, p.lo, p.hi))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let parsed = parse_query(&compact, c).unwrap();
+        prop_assert_eq!(&parsed, &q);
+    }
+
+    /// Whitespace and AND-keyword case don't affect the parse.
+    #[test]
+    fn parse_is_case_and_space_tolerant(q in arb_query(5, 32), upper in any::<bool>()) {
+        let text = q.to_string();
+        let mangled = if upper {
+            text.replace(" AND ", " and ").replace('[', "[ ")
+        } else {
+            text.replace(", ", " , ")
+        };
+        prop_assert_eq!(&parse_query(&mangled, 32).unwrap(), &q);
+    }
+
+    /// Out-of-domain intervals survive the syntax layer but are rejected by
+    /// query validation, for every attribute position.
+    #[test]
+    fn parse_rejects_out_of_domain(q in arb_query(5, 16), bump in 16usize..1000) {
+        let mut text = q.to_string();
+        // Push the last interval's upper bound out of the domain.
+        let hi = q.predicates().last().unwrap().hi;
+        let needle = format!(", {hi}]");
+        let replacement = format!(", {bump}]");
+        let at = text.rfind(&needle).unwrap();
+        text.replace_range(at.., &replacement);
+        let rejected = matches!(
+            parse_query(&text, 16),
+            Err(ParseError::Query(QueryError::BadInterval { .. }))
+        );
+        prop_assert!(rejected, "'{}' should fail interval validation", text);
+    }
+
     /// Zero-count workloads really are zero-count; non-zero really aren't.
     #[test]
     fn count_workloads_honest(seed in any::<u64>()) {
@@ -75,5 +143,39 @@ proptest! {
         for q in wl.nonzero_count(&ds, 2, 0.7, 10) {
             prop_assert!(q.true_answer(&ds) > 0.0);
         }
+    }
+}
+
+/// Malformed predicate strings are rejected with a syntax (not query)
+/// error, and never panic — the cases a hand-written workload file gets
+/// wrong in practice.
+#[test]
+fn parser_rejects_malformed_predicates() {
+    for text in [
+        "",
+        "   ",
+        "a0",
+        "a0 in",
+        "a0 in 3-40",
+        "a0 in [3 40]",
+        "a0 in [3, 40",
+        "a0 in 3, 40]",
+        "x0 in [3, 40]",
+        "a in [3, 40]",
+        "a0 in [three, 40]",
+        "0:",
+        "0:3",
+        "0-3:4",
+        "0:3-40,",
+        "0:3-40, 1:",
+        "0:3-40 1:2-5",
+        "a0 in [3, 40] AND",
+        "AND a0 in [3, 40]",
+    ] {
+        assert!(
+            matches!(parse_query(text, 64), Err(ParseError::Syntax { .. })),
+            "{text:?} should be a syntax error, got {:?}",
+            parse_query(text, 64)
+        );
     }
 }

@@ -39,6 +39,25 @@ fn facade_fits_hdg_and_answers_a_2d_query() {
 }
 
 #[test]
+fn facade_snapshot_round_trip_matches_fit() {
+    // The serving artifact: capture a fit as a ModelSnapshot and restore it
+    // — answers must be bit-identical, through facade paths only.
+    let dataset = DatasetSpec::Ipums.generate(3_000, 3, 16, 5);
+    let hdg = Hdg::default();
+    let fitted = hdg.fit(&dataset, 1.0, 2).expect("fit");
+    let snapshot = hdg.snapshot(&dataset, 1.0, 2).expect("snapshot");
+    let restored = snapshot.to_model().expect("restore");
+    for triples in [
+        &[(0usize, 0usize, 7usize)][..],
+        &[(0, 2, 9), (1, 0, 15)],
+        &[(0, 0, 7), (1, 4, 11), (2, 8, 15)],
+    ] {
+        let q = RangeQuery::from_triples(triples, 16).unwrap();
+        assert_eq!(fitted.answer(&q).to_bits(), restored.answer(&q).to_bits());
+    }
+}
+
+#[test]
 fn facade_exposes_every_workspace_layer() {
     // One symbol per re-exported crate, so a dropped facade line fails here.
     let _ = privmdr::util::pow2::closest_pow2(10.0);

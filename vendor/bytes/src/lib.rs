@@ -205,6 +205,13 @@ pub trait Buf {
         b[0]
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -274,6 +281,11 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -303,13 +315,15 @@ mod tests {
 
     #[test]
     fn put_get_round_trip() {
-        let mut buf = BytesMut::with_capacity(13);
+        let mut buf = BytesMut::with_capacity(15);
         buf.put_u8(7);
+        buf.put_u16_le(0xBEE5);
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u64_le(0x0123_4567_89AB_CDEF);
-        assert_eq!(buf.len(), 13);
+        assert_eq!(buf.len(), 15);
         let mut frozen = buf.freeze();
         assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(frozen.get_u16_le(), 0xBEE5);
         assert_eq!(frozen.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(frozen.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert!(!frozen.has_remaining());
