@@ -119,6 +119,29 @@ pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// One machine-readable benchmark line for the replay subcommands'
+/// `--json` flag, so runs can be appended to `BENCH_*.json` files and the
+/// perf trajectory tracked across PRs. `unit` is `("reports", count)` or
+/// `("queries", count)`; the derived `<unit>_per_sec` field is the headline
+/// throughput figure.
+fn bench_json_line(cmd: &str, params: &ReplayParams, unit: (&str, usize), secs: f64) -> String {
+    let (what, count) = unit;
+    let ReplayParams {
+        n,
+        d,
+        c,
+        epsilon,
+        shards,
+        ..
+    } = params;
+    format!(
+        "{{\"cmd\":\"{cmd}\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
+         \"shards\":{shards},\"{what}\":{count},\"secs\":{secs:.6},\
+         \"{what}_per_sec\":{:.0}}}\n",
+        count as f64 / secs
+    )
+}
+
 /// Shared parameters of the stream-replay subcommands (`ingest`, `serve`):
 /// the synthetic population, the privacy budget, and the shard count.
 struct ReplayParams {
@@ -168,6 +191,7 @@ fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
 /// support-counting, and a finalized HDG model sanity-checked with a
 /// full-domain query.
 pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
+    let params = parse_replay_params(args)?;
     let ReplayParams {
         n,
         d,
@@ -175,8 +199,8 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         epsilon,
         seed,
         shards,
-        spec,
-    } = parse_replay_params(args)?;
+        ref spec,
+    } = params;
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(10_000).max(1);
 
     let plan = SessionPlan::new(n, d, c, epsilon, seed).map_err(|e| e.to_string())?;
@@ -220,6 +244,14 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let sanity = model.answer(&full);
 
+    if args.flag("json") {
+        return Ok(bench_json_line(
+            "ingest",
+            &params,
+            ("reports", ingested),
+            secs,
+        ));
+    }
     let g = plan.granularities;
     Ok(format!(
         "plan: n={n} d={d} c={c} eps={epsilon} -> {} groups (g1={}, g2={}x{})\n\
@@ -242,6 +274,7 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
 /// frame → restored `QueryServer` → `QueryBatch` request frames → sharded
 /// answering → `AnswerBatch` responses, reporting queries/sec.
 pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    let params = parse_replay_params(args)?;
     let ReplayParams {
         n,
         d,
@@ -249,8 +282,8 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         epsilon,
         seed,
         shards,
-        spec,
-    } = parse_replay_params(args)?;
+        ref spec,
+    } = params;
     let count: usize = args.number::<usize>("queries")?.unwrap_or(10_000).max(1);
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(1_024).max(1);
 
@@ -307,6 +340,14 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         return Err(format!("non-finite answer {bad} in served workload"));
     }
 
+    if args.flag("json") {
+        return Ok(bench_json_line(
+            "serve",
+            &params,
+            ("queries", answers.len()),
+            secs,
+        ));
+    }
     let g = snap.granularities;
     Ok(format!(
         "snapshot: d={d} c={c} eps={epsilon} (g1={}, g2={}x{}) -- {} bytes over the wire\n\
@@ -461,6 +502,50 @@ mod tests {
             .parse()
             .unwrap();
         assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn ingest_json_emits_one_machine_readable_line() {
+        let out = ingest(&argv(
+            "--n 2000 --d 3 --c 16 --epsilon 2.0 --seed 9 --shards 2 --json",
+        ))
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        let line = out.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for field in [
+            "\"cmd\":\"ingest\"",
+            "\"n\":2000",
+            "\"d\":3",
+            "\"c\":16",
+            "\"epsilon\":2",
+            "\"shards\":2",
+            "\"reports\":2000",
+            "\"secs\":",
+            "\"reports_per_sec\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+
+    #[test]
+    fn serve_json_emits_one_machine_readable_line() {
+        let out = serve(&argv(
+            "--n 2000 --d 3 --c 16 --epsilon 2.0 --seed 5 --queries 200 --shards 1 --json",
+        ))
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+        let line = out.trim();
+        for field in [
+            "\"cmd\":\"serve\"",
+            "\"n\":2000",
+            "\"c\":16",
+            "\"shards\":1",
+            "\"queries\":200",
+            "\"queries_per_sec\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
     }
 
     #[test]

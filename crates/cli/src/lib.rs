@@ -60,11 +60,14 @@ COMMANDS:
                   --data FILE --c C
     ingest      replay a synthetic report stream through the sharded collector
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
-                  [--seed S] [--shards K] [--batch B]
+                  [--seed S] [--shards K] [--batch B] [--json]
     serve       fit, snapshot, and replay a query workload through the
                 sharded query server (snapshot -> wire -> answers)
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
-                  [--seed S] [--queries Q] [--batch B] [--shards K]
+                  [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
+
+--json makes ingest/serve emit one machine-readable line (throughput, n, d,
+c, shards) suitable for appending to a BENCH_*.json trend file.
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

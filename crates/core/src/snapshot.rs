@@ -76,7 +76,7 @@ pub fn validate_shape(d: usize, c: usize, g1: usize, g2: usize) -> Result<(), Me
             "snapshot dimension {d} outside [2, {MAX_SNAPSHOT_DIMS}]"
         )));
     }
-    if !privmdr_util::is_pow2(c) || c < 2 || c > MAX_SNAPSHOT_DOMAIN {
+    if !privmdr_util::is_pow2(c) || !(2..=MAX_SNAPSHOT_DOMAIN).contains(&c) {
         return Err(MechanismError::Invalid(format!(
             "snapshot domain {c} must be a power of two in [2, {MAX_SNAPSHOT_DOMAIN}]"
         )));
@@ -137,8 +137,10 @@ impl ModelSnapshot {
         // answerer, so they are attack surface too: a negative threshold
         // never satisfies a convergence test, which with a huge iteration
         // cap would turn the first query into a CPU bomb.
-        if !(rm_threshold.is_finite() && rm_threshold >= 0.0)
-            || !(est_threshold.is_finite() && est_threshold >= 0.0)
+        if !(rm_threshold.is_finite()
+            && rm_threshold >= 0.0
+            && est_threshold.is_finite()
+            && est_threshold >= 0.0)
         {
             return Err(MechanismError::Invalid(
                 "snapshot thresholds must be finite and non-negative".into(),

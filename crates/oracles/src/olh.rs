@@ -11,9 +11,14 @@
 
 #![allow(clippy::needless_range_loop)]
 use crate::{check_domain, check_epsilon, OracleError, SimMode};
-use privmdr_util::hash::SeededHash;
+use privmdr_util::hash::{self, SeededHash};
 use privmdr_util::sampling::binomial;
 use rand::Rng;
+
+/// Report-block size of the batch support kernel: 1024 `(u64, u32)` pairs
+/// = 16 KiB, half a typical 32 KiB L1d, so a block stays resident while the
+/// value loop sweeps it `c` times.
+const SUPPORT_BLOCK: usize = 1024;
 
 /// One OLH report: the user's hash seed plus the perturbed hashed value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,20 +101,61 @@ impl Olh {
         OlhReport { seed, y: y as u32 }
     }
 
-    /// The support-counting kernel: folds one report into per-value support
-    /// counters, incrementing `supports[v]` for every `v` with `H_seed(v) = y`
-    /// (`O(domain)` hash evaluations).
+    /// The support-counting kernel, single-report form: folds one report
+    /// into per-value support counters, incrementing `supports[v]` for every
+    /// `v` with `H_seed(v) = y` (`O(domain)` hash evaluations).
     ///
-    /// This is the hot loop of exact aggregation — both [`Olh::aggregate`]
-    /// and the streaming collector in `privmdr-protocol` go through it, so
-    /// the two paths cannot drift apart.
+    /// This is a thin wrapper over [`Olh::add_support_batch`] with a
+    /// length-1 batch, so the per-report and batched paths share one kernel
+    /// and cannot drift apart.
     #[inline]
     pub fn add_support(&self, seed: u64, y: u32, supports: &mut [u64]) {
+        self.add_support_batch(&[(seed, y)], supports);
+    }
+
+    /// The support-counting kernel, block-transposed batch form — the hot
+    /// loop of exact aggregation. Folds a batch of `(seed, y)` report pairs
+    /// into per-value support counters: `supports[v]` gains, for each pair,
+    /// `1` iff `H_seed(v) = y`. Bit-identical to folding the reports one at
+    /// a time through [`Olh::add_support`] — `u64` adds commute — for any
+    /// batch size, including empty.
+    ///
+    /// The loop nest is transposed relative to the naive per-report sweep:
+    /// reports are tiled into `SUPPORT_BLOCK`-sized (1024-pair, 16 KiB,
+    /// L1-resident) blocks, and for each block the value loop runs
+    /// [`hash::support_count`] — premix hoisted, ×4 unrolled, branchless,
+    /// count kept in registers — so the supports array is streamed once per
+    /// *block* instead of once per report. Both [`Olh::aggregate`] and the
+    /// streaming collector in `privmdr-protocol` go through this kernel.
+    ///
+    /// The hashed-domain invariant (`c' >= 2`, [`SeededHash::new`]'s assert)
+    /// is validated once per batch here, not once per report.
+    pub fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+        self.add_support_batch_with_block(reports, supports, SUPPORT_BLOCK);
+    }
+
+    /// [`Olh::add_support_batch`] with an explicit report-block size, so the
+    /// equivalence property tests can sweep tilings. Not part of the stable
+    /// API — the default block is tuned for L1.
+    #[doc(hidden)]
+    pub fn add_support_batch_with_block(
+        &self,
+        reports: &[(u64, u32)],
+        supports: &mut [u64],
+        block: usize,
+    ) {
         debug_assert_eq!(supports.len(), self.domain);
-        let h = SeededHash::new(seed, self.c_prime);
-        for (v, s) in supports.iter_mut().enumerate() {
-            if h.hash(v) == y as usize {
-                *s += 1;
+        // Hoisted from the per-report SeededHash::new assert: one check per
+        // batch. (Olh::new already guarantees this; keep the guard so the
+        // kernel is safe under any future construction path.)
+        assert!(
+            self.c_prime >= 2,
+            "hash output domain must have at least 2 values"
+        );
+        let c_prime = self.c_prime as u64;
+        for block in reports.chunks(block.max(1)) {
+            for (v, s) in supports.iter_mut().enumerate() {
+                *s += hash::support_count(block, v as u64, c_prime);
             }
         }
     }
@@ -117,9 +163,8 @@ impl Olh {
     /// Aggregator side: unbiased frequency estimates for all `c` values.
     pub fn aggregate(&self, reports: &[OlhReport]) -> Vec<f64> {
         let mut supports = vec![0u64; self.domain];
-        for r in reports {
-            self.add_support(r.seed, r.y, &mut supports);
-        }
+        let pairs: Vec<(u64, u32)> = reports.iter().map(|r| (r.seed, r.y)).collect();
+        self.add_support_batch(&pairs, &mut supports);
         self.unbias(&supports, reports.len())
     }
 
@@ -269,6 +314,26 @@ mod tests {
         assert!((mean(&e4) - 0.5).abs() < 0.02, "{}", mean(&e4));
         assert!((mean(&e20) - 0.5).abs() < 0.02, "{}", mean(&e20));
         assert!(mean(&e9).abs() < 0.02, "{}", mean(&e9));
+    }
+
+    #[test]
+    fn add_support_batch_matches_per_report_across_block_boundaries() {
+        // Batch lengths straddling the internal SUPPORT_BLOCK tiling (1024)
+        // and every unroll remainder must fold to bit-identical counters.
+        let olh = Olh::new(1.0, 19).unwrap();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let pairs: Vec<(u64, u32)> = (0..2 * SUPPORT_BLOCK + 3)
+            .map(|_| (rng.random(), rng.random_range(0..6)))
+            .collect();
+        for n in [0, 1, 2, 3, 4, 5, 1023, 1024, 1025, 2 * SUPPORT_BLOCK + 3] {
+            let mut per_report = vec![0u64; 19];
+            for &(s, y) in &pairs[..n] {
+                olh.add_support(s, y, &mut per_report);
+            }
+            let mut batched = vec![0u64; 19];
+            olh.add_support_batch(&pairs[..n], &mut batched);
+            assert_eq!(batched, per_report, "batch length {n}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use privmdr_oracles::sw::SquareWave;
 use privmdr_oracles::SimMode;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     /// GRR perturbation always outputs a domain value, and its probability
@@ -39,6 +39,39 @@ proptest! {
         let r = olh.perturb(v_raw % domain, &mut rng);
         prop_assert!((r.y as usize) < olh.c_prime());
         prop_assert_eq!(olh.c_prime(), ((eps.exp() + 1.0).round() as usize).max(2));
+    }
+
+    /// The block-transposed batch kernel is bit-for-bit the per-report
+    /// kernel: for random domains, budgets (i.e. hashed domains c'), tiling
+    /// block sizes, and batch lengths — including empty and length-1
+    /// batches, and `y` values outside the hashed domain — folding a batch
+    /// through `add_support_batch` equals folding its reports one at a time
+    /// through `add_support`, with exact u64 equality.
+    #[test]
+    fn add_support_batch_equals_per_report(
+        eps in 0.1f64..4.0,
+        domain in 2usize..200,
+        n in 0usize..300,
+        block in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let olh = Olh::new(eps, domain).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.random(), rng.random_range(0..32)))
+            .collect();
+
+        let mut per_report = vec![0u64; domain];
+        for &(s, y) in &pairs {
+            olh.add_support(s, y, &mut per_report);
+        }
+        let mut batched = vec![0u64; domain];
+        olh.add_support_batch(&pairs, &mut batched);
+        prop_assert_eq!(&batched, &per_report, "default block");
+
+        let mut tiled = vec![0u64; domain];
+        olh.add_support_batch_with_block(&pairs, &mut tiled, block);
+        prop_assert_eq!(&tiled, &per_report, "block size {}", block);
     }
 
     /// Fast collection returns one finite estimate per domain value, with

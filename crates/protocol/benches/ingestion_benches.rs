@@ -1,6 +1,8 @@
 //! Throughput of the report-ingestion engine: reports/sec through the
-//! serial path and the sharded path at increasing shard counts, plus the
-//! wire decode cost of the two framings.
+//! serial path and the sharded path at increasing shard counts, a
+//! micro-bench sweep of the block-transposed OLH support kernel (batched
+//! vs per-report at c ∈ {64, 256, 1024} × batch lengths), plus the wire
+//! decode cost of the two framings.
 //!
 //! The headline number is `ingest/shards=K` on the 256-cell grid: the
 //! support-counting pass is O(cells) per report and embarrassingly
@@ -11,6 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use privmdr_grid::guideline::Granularities;
+use privmdr_oracles::olh::Olh;
 use privmdr_protocol::{Batch, Collector, GroupTarget, Report, SessionPlan};
 use privmdr_util::hash::mix64;
 use std::hint::black_box;
@@ -71,6 +74,42 @@ fn bench_sharded_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Micro-bench of the OLH support kernel itself, isolated from wire decode
+/// and collector plumbing: for each grid size `cells` and report-batch
+/// length, the block-transposed batch kernel vs folding the same reports
+/// through the single-report wrapper. The gap is the win from hoisting the
+/// value premix, the branchless register accumulator, and streaming the
+/// supports array once per block instead of once per report.
+fn bench_support_kernel(c: &mut Criterion) {
+    for cells in [64usize, 256, 1024] {
+        let olh = Olh::new(1.0, cells).unwrap();
+        let mut group = c.benchmark_group(format!("kernel_{cells}cells"));
+        for n in [64usize, 1024, 16384] {
+            let pairs: Vec<(u64, u32)> = (0..n as u64)
+                .map(|i| (mix64(i), (mix64(i ^ 0xF00D) % 4) as u32))
+                .collect();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new("batched", n), &pairs, |b, pairs| {
+                b.iter(|| {
+                    let mut supports = vec![0u64; cells];
+                    olh.add_support_batch(black_box(pairs), &mut supports);
+                    black_box(supports)
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("per_report", n), &pairs, |b, pairs| {
+                b.iter(|| {
+                    let mut supports = vec![0u64; cells];
+                    for &(seed, y) in black_box(pairs).iter() {
+                        olh.add_support(seed, y, &mut supports);
+                    }
+                    black_box(supports)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_wire_decode(c: &mut Criterion) {
     let n = 50_000usize;
     let reports = synthetic_reports(n);
@@ -97,5 +136,10 @@ fn bench_wire_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharded_ingest, bench_wire_decode);
+criterion_group!(
+    benches,
+    bench_sharded_ingest,
+    bench_support_kernel,
+    bench_wire_decode
+);
 criterion_main!(benches);

@@ -2,23 +2,29 @@
 //!
 //! The collector never stores raw reports: each incoming report updates the
 //! OLH support counters of its group (`O(grid cells)` work through the
-//! shared [`Olh::add_support`] kernel, constant memory), so arbitrarily
-//! large populations stream through in one pass. `finalize` unbiases the
-//! counters into grid frequencies and hands them to `privmdr-core` for
-//! Phase-2 post-processing and query answering.
+//! shared [`Olh::add_support_batch`] kernel, constant memory), so
+//! arbitrarily large populations stream through in one pass. `finalize`
+//! unbiases the counters into grid frequencies and hands them to
+//! `privmdr-core` for Phase-2 post-processing and query answering.
 //!
-//! # Sharded ingestion
+//! # Batched + sharded ingestion
 //!
 //! At ~10⁶ reports the support-counting pass dominates the collector, and
-//! it is embarrassingly parallel: support counters are sums, and sums can
-//! be computed per shard and merged. [`Collector::ingest_batch`] splits a
-//! batch into contiguous shards ([`privmdr_util::par::split_chunks`]), folds
-//! each shard into a private set of per-group counters on its own thread
-//! ([`privmdr_util::par::par_map`]), then merges with `u64` additions. The
-//! merged state is *exactly* the serial state — not approximately: every
-//! counter receives the same set of increments, only grouped differently —
-//! so `finalize` is bit-identical regardless of shard count. Property tests
-//! in `tests/sharding_prop.rs` pin this equivalence down.
+//! it is both batchable and embarrassingly parallel. Batches are first
+//! *partitioned by group* (`partition_by_group`) so each group's reports
+//! form one contiguous `(seed, y)` run, then each run is folded through the
+//! block-transposed batch kernel ([`Olh::add_support_batch`]) instead of
+//! dispatching reports to accumulators one at a time. For the sharded path,
+//! [`Collector::ingest_batch`] splits a batch into contiguous shards
+//! ([`privmdr_util::par::split_chunks`]), partitions *each shard's chunk*
+//! by group, folds it into a private set of per-group counters on its own
+//! thread ([`privmdr_util::par::par_map`]), then merges with `u64`
+//! additions. The merged state is *exactly* the serial state — not
+//! approximately: support counters are sums of per-report increments, and
+//! `u64` adds commute, so regrouping by group and/or by shard never changes
+//! a counter — and `finalize` is therefore bit-identical regardless of
+//! batch size or shard count. Property tests in `tests/sharding_prop.rs`
+//! pin down sharded ≡ batched ≡ serial.
 
 use crate::plan::{GroupTarget, SessionPlan};
 use crate::wire::{self, Report};
@@ -28,6 +34,23 @@ use privmdr_core::{Hdg, MechanismConfig, Model, ModelSnapshot};
 use privmdr_grid::{Grid1d, Grid2d};
 use privmdr_oracles::olh::Olh;
 use privmdr_util::par::{par_map, split_chunks};
+
+/// Splits a report batch into per-group `(seed, y)` runs, preserving
+/// arrival order within each group, so each group's reports can be fed to
+/// the block-transposed kernel in one contiguous pass. Callers must have
+/// validated that every `report.group < groups`.
+fn partition_by_group(reports: &[Report], groups: usize) -> Vec<Vec<(u64, u32)>> {
+    let mut counts = vec![0usize; groups];
+    for r in reports {
+        counts[r.group as usize] += 1;
+    }
+    let mut by_group: Vec<Vec<(u64, u32)>> =
+        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for r in reports {
+        by_group[r.group as usize].push((r.seed, r.y));
+    }
+    by_group
+}
 
 /// Per-group streaming state.
 #[derive(Debug, Clone)]
@@ -49,6 +72,15 @@ impl GroupAccumulator {
     fn ingest(&mut self, seed: u64, y: u32) {
         self.olh.add_support(seed, y, &mut self.supports);
         self.reports += 1;
+    }
+
+    /// Folds a whole group-partitioned batch through the block-transposed
+    /// kernel ([`Olh::add_support_batch`]) — bit-identical to ingesting the
+    /// pairs one at a time, `O(cells)` per report but with the supports
+    /// array streamed once per report block instead of once per report.
+    fn ingest_batch(&mut self, pairs: &[(u64, u32)]) {
+        self.olh.add_support_batch(pairs, &mut self.supports);
+        self.reports += pairs.len() as u64;
     }
 
     /// Unbiased frequency estimates (paper §2.2's OLH estimator).
@@ -145,8 +177,11 @@ impl Collector {
             return Err(ProtocolError::UnknownGroup(bad.group));
         }
         if shards <= 1 || reports.len() < 2 {
-            for r in reports {
-                self.groups[r.group as usize].ingest(r.seed, r.y);
+            for (g, pairs) in partition_by_group(reports, self.groups.len())
+                .iter()
+                .enumerate()
+            {
+                self.groups[g].ingest_batch(pairs);
             }
         } else {
             let chunks = split_chunks(reports, shards);
@@ -155,13 +190,12 @@ impl Collector {
             let olhs: Vec<Olh> = self.groups.iter().map(|g| g.olh).collect();
             let cells: Vec<usize> = self.groups.iter().map(|g| g.supports.len()).collect();
             let partials = par_map(&chunks, |chunk| {
+                let by_group = partition_by_group(chunk, olhs.len());
                 let mut supports: Vec<Vec<u64>> =
                     cells.iter().map(|&cells| vec![0u64; cells]).collect();
-                let mut counts = vec![0u64; olhs.len()];
-                for r in *chunk {
-                    let g = r.group as usize;
-                    olhs[g].add_support(r.seed, r.y, &mut supports[g]);
-                    counts[g] += 1;
+                let counts: Vec<u64> = by_group.iter().map(|p| p.len() as u64).collect();
+                for ((olh, sup), pairs) in olhs.iter().zip(&mut supports).zip(&by_group) {
+                    olh.add_support_batch(pairs, sup);
                 }
                 (supports, counts)
             });

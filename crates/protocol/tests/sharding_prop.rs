@@ -73,6 +73,40 @@ proptest! {
         }
     }
 
+    /// Group-partitioned batch ingestion (the block-transposed kernel fed
+    /// one contiguous per-group run at a time) is bit-identical to the
+    /// original serial path that dispatched reports to group accumulators
+    /// one by one — for arbitrary group interleavings and shard counts.
+    #[test]
+    fn partitioned_batch_equals_per_report_ingest(
+        d in 2usize..5,
+        c_pow in 2u32..5,
+        eps in 0.3f64..3.0,
+        n_reports in 0usize..240,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let c = 1usize << c_pow;
+        let plan = SessionPlan::new(100_000, d, c, eps, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ED);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+
+        // Reference: the pre-batching path — one report at a time, in
+        // arrival order, straight into its group's accumulator.
+        let mut per_report = Collector::new(plan.clone()).unwrap();
+        for r in &reports {
+            per_report.ingest(r).unwrap();
+        }
+
+        let mut batched = Collector::new(plan.clone()).unwrap();
+        batched.ingest_batch(&reports, 1).unwrap();
+        assert_same_state(&per_report, &batched, "partitioned batch")?;
+
+        let mut sharded = Collector::new(plan).unwrap();
+        sharded.ingest_batch(&reports, shards).unwrap();
+        assert_same_state(&per_report, &sharded, "partitioned sharded")?;
+    }
+
     /// Splitting the same stream into different batch sizes (wire-framed)
     /// with different shard counts never changes the collector state.
     #[test]

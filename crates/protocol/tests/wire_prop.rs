@@ -43,7 +43,7 @@ fn snapshot_from_seed(d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
         d,
         c,
         Granularities { g1, g2 },
-        if seed % 2 == 0 {
+        if seed.is_multiple_of(2) {
             EstimatorKind::WeightedUpdate
         } else {
             EstimatorKind::MaxEntropy
