@@ -2,11 +2,11 @@
 
 use crate::args::ParsedArgs;
 use bytes::BytesMut;
-use privmdr_core::{Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
+use privmdr_core::{ApproachKind, Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
 use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
 use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes, AnswerBatch, QueryBatch};
-use privmdr_protocol::{Batch, Client, Collector, QueryServer, SessionPlan};
+use privmdr_protocol::{Batch, ClientFactory, Collector, OraclePolicy, QueryServer, SessionPlan};
 use privmdr_query::parse::parse_workload;
 use privmdr_query::workload::{true_answers, WorkloadBuilder};
 use privmdr_util::rng::derive_rng;
@@ -132,18 +132,22 @@ fn bench_json_line(cmd: &str, params: &ReplayParams, unit: (&str, usize), secs: 
         c,
         epsilon,
         shards,
+        oracle,
+        approach,
         ..
     } = params;
     format!(
         "{{\"cmd\":\"{cmd}\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
-         \"shards\":{shards},\"{what}\":{count},\"secs\":{secs:.6},\
+         \"shards\":{shards},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
+         \"{what}\":{count},\"secs\":{secs:.6},\
          \"{what}_per_sec\":{:.0}}}\n",
         count as f64 / secs
     )
 }
 
 /// Shared parameters of the stream-replay subcommands (`ingest`, `serve`):
-/// the synthetic population, the privacy budget, and the shard count.
+/// the synthetic population, the privacy budget, the shard count, and the
+/// mechanism selection (oracle policy + estimation approach).
 struct ReplayParams {
     n: usize,
     d: usize,
@@ -152,6 +156,8 @@ struct ReplayParams {
     seed: u64,
     shards: usize,
     spec: DatasetSpec,
+    oracle: OraclePolicy,
+    approach: ApproachKind,
 }
 
 /// Parses and validates the options `ingest` and `serve` have in common,
@@ -170,6 +176,10 @@ fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
                 .unwrap_or(1)
         }),
         spec: parse_spec(args, Some("normal"))?,
+        oracle: OraclePolicy::parse(args.get("oracle").unwrap_or("olh"))
+            .map_err(|e| format!("--oracle: {e}"))?,
+        approach: ApproachKind::parse(args.get("approach").unwrap_or("hdg"))
+            .map_err(|e| format!("--approach: {e}"))?,
     };
     if params.n == 0 {
         return Err("--n must be at least 1".into());
@@ -186,9 +196,10 @@ fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
 /// `privmdr ingest`: replay a synthetic report stream through the wire
 /// protocol's sharded collector and report ingestion throughput.
 ///
-/// The replay is the full deployment path: a public `SessionPlan`, one
-/// client report per user, `Batch` wire frames, parallel sharded
-/// support-counting, and a finalized HDG model sanity-checked with a
+/// The replay is the full deployment path: a public `SessionPlan` (with
+/// the selected oracle policy and approach), one client report per user,
+/// `Batch` wire frames (mechanism-tagged when non-default), parallel
+/// sharded support-counting, and a finalized model sanity-checked with a
 /// full-domain query.
 pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     let params = parse_replay_params(args)?;
@@ -200,31 +211,37 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         seed,
         shards,
         ref spec,
+        oracle,
+        approach,
     } = params;
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(10_000).max(1);
 
-    let plan = SessionPlan::new(n, d, c, epsilon, seed).map_err(|e| e.to_string())?;
+    let plan = SessionPlan::with_mechanism(n, d, c, epsilon, seed, oracle, approach)
+        .map_err(|e| e.to_string())?;
     let ds = spec.generate(n, d, c, seed);
 
-    // Client phase: one report per user, framed into length-prefixed batches.
+    // Client phase: one report per user, framed into length-prefixed
+    // batches. The factory builds each group's oracle once, not per user.
+    let factory = ClientFactory::new(&plan).map_err(|e| e.to_string())?;
+    let tag = plan.mechanism_tag();
     let mut rng = derive_rng(seed, &[0x1A]);
     let mut buf = BytesMut::new();
     let mut pending = Vec::with_capacity(batch_size.min(n));
     let mut frames = 0usize;
     for uid in 0..n as u64 {
-        let client = Client::new(&plan, uid).map_err(|e| e.to_string())?;
+        let client = factory.client(uid);
         pending.push(
             client
                 .report(ds.row(uid as usize), &mut rng)
                 .map_err(|e| e.to_string())?,
         );
         if pending.len() == batch_size {
-            Batch::new(std::mem::take(&mut pending)).encode(&mut buf);
+            Batch::tagged(std::mem::take(&mut pending), tag).encode(&mut buf);
             frames += 1;
         }
     }
     if !pending.is_empty() {
-        Batch::new(pending).encode(&mut buf);
+        Batch::tagged(pending, tag).encode(&mut buf);
         frames += 1;
     }
     let wire_bytes = buf.len();
@@ -237,9 +254,10 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64().max(1e-9);
 
-    let model = collector
-        .finalize(MechanismConfig::default())
-        .map_err(|e| e.to_string())?;
+    let config = MechanismConfig::default()
+        .with_approach(approach)
+        .with_oracle(oracle);
+    let model = collector.finalize(config).map_err(|e| e.to_string())?;
     let full = privmdr_query::RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c - 1)], c)
         .map_err(|e| e.to_string())?;
     let sanity = model.answer(&full);
@@ -254,7 +272,8 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     }
     let g = plan.granularities;
     Ok(format!(
-        "plan: n={n} d={d} c={c} eps={epsilon} -> {} groups (g1={}, g2={}x{})\n\
+        "plan: n={n} d={d} c={c} eps={epsilon} oracle={oracle} approach={approach} \
+         -> {} groups (g1={}, g2={}x{})\n\
          encoded {ingested} reports into {frames} batch frames ({wire_bytes} bytes, {:.1} B/report)\n\
          ingested {ingested} reports with {shards} shard(s) in {secs:.3}s -- {:.0} reports/sec\n\
          full-domain sanity answer: {sanity:.4} (expect ~1)\n",
@@ -270,7 +289,8 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
 /// `privmdr serve`: fit a model, detach it as a snapshot, ship it across
 /// the wire, and replay a query workload through the sharded query server.
 ///
-/// The replay is the full serving path: HDG fit → `ModelSnapshot` → wire
+/// The replay is the full serving path: HDG or TDG fit (per `--approach`,
+/// grids collected through the `--oracle` policy) → `ModelSnapshot` → wire
 /// frame → restored `QueryServer` → `QueryBatch` request frames → sharded
 /// answering → `AnswerBatch` responses, reporting queries/sec.
 pub fn serve(args: &ParsedArgs) -> Result<String, String> {
@@ -283,6 +303,8 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         seed,
         shards,
         ref spec,
+        oracle,
+        approach,
     } = params;
     let count: usize = args.number::<usize>("queries")?.unwrap_or(10_000).max(1);
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(1_024).max(1);
@@ -290,9 +312,14 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     // Fit once, then detach the model as a snapshot and ship it through the
     // wire frame — the serving process only ever sees these bytes.
     let ds = spec.generate(n, d, c, seed);
-    let snap = Hdg::default()
-        .snapshot(&ds, epsilon, seed)
-        .map_err(|e| e.to_string())?;
+    let config = MechanismConfig::default()
+        .with_approach(approach)
+        .with_oracle(oracle);
+    let snap = match approach {
+        ApproachKind::Hdg => Hdg::new(config).snapshot(&ds, epsilon, seed),
+        ApproachKind::Tdg => Tdg::new(config).snapshot(&ds, epsilon, seed),
+    }
+    .map_err(|e| e.to_string())?;
     let snap_bytes = snapshot_to_bytes(&snap);
     let restored = decode_snapshot(&mut snap_bytes.clone()).map_err(|e| e.to_string())?;
     let server = QueryServer::new(&restored).map_err(|e| e.to_string())?;
@@ -350,7 +377,8 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     }
     let g = snap.granularities;
     Ok(format!(
-        "snapshot: d={d} c={c} eps={epsilon} (g1={}, g2={}x{}) -- {} bytes over the wire\n\
+        "snapshot: d={d} c={c} eps={epsilon} approach={approach} oracle={oracle} \
+         (g1={}, g2={}x{}) -- {} bytes over the wire\n\
          workload: {} queries (lambda in {lambdas:?}) in {} request frames ({request_bytes} bytes)\n\
          served {} answers with {shards} shard(s) in {secs:.3}s -- {:.0} queries/sec\n\
          full-domain sanity answer: {sanity:.4} (expect ~1)\n",
@@ -502,6 +530,70 @@ mod tests {
             .parse()
             .unwrap();
         assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn ingest_runs_grr_auto_and_tdg_paths_end_to_end() {
+        for (oracle, approach) in [("grr", "hdg"), ("auto", "hdg"), ("auto", "tdg")] {
+            let out = ingest(&argv(&format!(
+                "--n 3000 --d 3 --c 16 --epsilon 2.0 --seed 9 --shards 2 \
+                 --oracle {oracle} --approach {approach}"
+            )))
+            .unwrap();
+            assert!(
+                out.contains(&format!("oracle={oracle} approach={approach}")),
+                "{out}"
+            );
+            // TDG plans have only the (d choose 2) pair groups.
+            let groups = if approach == "tdg" { 3 } else { 6 };
+            assert!(out.contains(&format!("-> {groups} groups")), "{out}");
+            let sanity: f64 = out
+                .lines()
+                .find(|l| l.starts_with("full-domain sanity answer"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                (sanity - 1.0).abs() < 0.25,
+                "{oracle}/{approach} sanity {sanity}"
+            );
+        }
+        assert!(ingest(&argv("--n 100 --d 3 --c 16 --epsilon 1.0 --oracle nosuch")).is_err());
+        assert!(ingest(&argv(
+            "--n 100 --d 3 --c 16 --epsilon 1.0 --approach nosuch"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_runs_tdg_approach_end_to_end() {
+        let out = serve(&argv(
+            "--n 4000 --d 3 --c 16 --epsilon 2.0 --seed 5 --queries 300 --shards 2 \
+             --approach tdg --oracle auto",
+        ))
+        .unwrap();
+        assert!(out.contains("approach=tdg oracle=auto"), "{out}");
+        assert!(out.contains("served 300 answers"), "{out}");
+        let sanity: f64 = out
+            .lines()
+            .find(|l| l.starts_with("full-domain sanity answer"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn json_lines_carry_oracle_and_approach() {
+        let out = ingest(&argv(
+            "--n 2000 --d 3 --c 16 --epsilon 2.0 --seed 9 --shards 1 --json \
+             --oracle grr --approach tdg",
+        ))
+        .unwrap();
+        assert!(out.contains("\"oracle\":\"grr\""), "{out}");
+        assert!(out.contains("\"approach\":\"tdg\""), "{out}");
     }
 
     #[test]

@@ -60,14 +60,21 @@ COMMANDS:
                   --data FILE --c C
     ingest      replay a synthetic report stream through the sharded collector
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
+                  [--oracle olh|grr|auto] [--approach hdg|tdg]
                   [--seed S] [--shards K] [--batch B] [--json]
     serve       fit, snapshot, and replay a query workload through the
                 sharded query server (snapshot -> wire -> answers)
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
+                  [--oracle olh|grr|auto] [--approach hdg|tdg]
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
 
+--oracle picks the per-group frequency oracle (auto applies the paper's
+variance rule per group domain); --approach picks the estimation approach
+the session finalizes into (HDG = 1-D + 2-D grids, TDG = 2-D only).
+
 --json makes ingest/serve emit one machine-readable line (throughput, n, d,
-c, shards) suitable for appending to a BENCH_*.json trend file.
+c, shards, oracle, approach) suitable for appending to a BENCH_*.json trend
+file (see scripts/bench_trend.sh).
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

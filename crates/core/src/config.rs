@@ -2,7 +2,47 @@
 
 use privmdr_grid::consistency::PostProcessConfig;
 use privmdr_grid::guideline::{Granularities, GuidelineParams};
-use privmdr_oracles::SimMode;
+use privmdr_oracles::{OraclePolicy, SimMode};
+
+/// Which grid-based estimation approach builds and answers the model —
+/// the serving-side counterpart of picking [`crate::Tdg`] vs [`crate::Hdg`]
+/// (paper §4): TDG keeps only the `(d choose 2)` 2-D grids and assumes
+/// uniformity inside cells; HDG adds the `d` finer 1-D grids and fuses
+/// them through Algorithm 1. The discriminant travels with snapshots and
+/// wire frames so one serving engine can host either approach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproachKind {
+    /// Hybrid-Dimensional Grids — 1-D + 2-D grids (the paper's headline).
+    #[default]
+    Hdg,
+    /// Two-Dimensional Grids — 2-D grids only.
+    Tdg,
+}
+
+impl ApproachKind {
+    /// Short lowercase name (CLI/JSON/wire-facing).
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproachKind::Hdg => "hdg",
+            ApproachKind::Tdg => "tdg",
+        }
+    }
+
+    /// Parses a CLI-style name (`hdg`, `tdg`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hdg" => Ok(ApproachKind::Hdg),
+            "tdg" => Ok(ApproachKind::Tdg),
+            other => Err(format!("unknown approach '{other}' (expected hdg|tdg)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ApproachKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Which λ>2 estimator to use (paper §4.4 vs Appendix A.8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +85,11 @@ pub struct MechanismConfig {
     pub estimator: EstimatorKind,
     /// EMS smoothing for the Square Wave EM reconstruction (MSW).
     pub sw_smoothing: bool,
+    /// Which grid approach the collection finalizes into (TDG vs HDG).
+    pub approach: ApproachKind,
+    /// Frequency-oracle policy applied per report group (the paper's grids
+    /// pin OLH; `Auto` applies the §2.2 variance rule per group domain).
+    pub oracle: OraclePolicy,
 }
 
 impl Default for MechanismConfig {
@@ -61,6 +106,8 @@ impl Default for MechanismConfig {
             est_max_iters: 100,
             estimator: EstimatorKind::WeightedUpdate,
             sw_smoothing: false,
+            approach: ApproachKind::Hdg,
+            oracle: OraclePolicy::Olh,
         }
     }
 }
@@ -91,6 +138,18 @@ impl MechanismConfig {
     /// Overrides the 1-D user fraction σ = n1/n (Fig. 15).
     pub fn with_sigma(mut self, sigma: f64) -> Self {
         self.guideline.sigma = Some(sigma);
+        self
+    }
+
+    /// Selects the estimation approach the collection finalizes into.
+    pub fn with_approach(mut self, approach: ApproachKind) -> Self {
+        self.approach = approach;
+        self
+    }
+
+    /// Selects the per-group frequency-oracle policy.
+    pub fn with_oracle(mut self, oracle: OraclePolicy) -> Self {
+        self.oracle = oracle;
         self
     }
 }

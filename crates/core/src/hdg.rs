@@ -287,12 +287,13 @@ pub fn fit_hdg_grids(
     let mut one_d: Vec<Grid1d> = Vec::with_capacity(d);
     for (t, users) in groups[..d].iter().enumerate() {
         let values = ds.gather_attr(t, users);
-        one_d.push(Grid1d::collect(
+        one_d.push(Grid1d::collect_with(
             t,
             g1,
             c,
             &values,
             epsilon,
+            config.oracle,
             config.sim_mode,
             &mut rng,
         )?);
@@ -300,12 +301,13 @@ pub fn fit_hdg_grids(
     let mut two_d: Vec<Grid2d> = Vec::with_capacity(m2);
     for (&pair, users) in pairs.iter().zip(&groups[d..]) {
         let values = ds.gather_pair(pair, users);
-        two_d.push(Grid2d::collect(
+        two_d.push(Grid2d::collect_with(
             pair,
             g2,
             c,
             &values,
             epsilon,
+            config.oracle,
             config.sim_mode,
             &mut rng,
         )?);

@@ -36,7 +36,7 @@ pub mod tdg;
 pub mod uni;
 
 pub use calm::Calm;
-pub use config::{EstimatorKind, MechanismConfig};
+pub use config::{ApproachKind, EstimatorKind, MechanismConfig};
 pub use hdg::Hdg;
 pub use hio::HioMechanism;
 pub use lhio::Lhio;

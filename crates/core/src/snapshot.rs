@@ -17,8 +17,8 @@
 //! round-trip `fit → snapshot → to_model` is bit-identical to the fitted
 //! model (pinned by the golden and serving-equivalence test suites).
 
-use crate::config::{EstimatorKind, MechanismConfig};
-use crate::{Hdg, MechanismError, Model};
+use crate::config::{ApproachKind, EstimatorKind, MechanismConfig};
+use crate::{Hdg, MechanismError, Model, Tdg};
 use privmdr_data::Dataset;
 use privmdr_grid::guideline::Granularities;
 use privmdr_grid::pairs::{pair_count, pair_list};
@@ -39,9 +39,14 @@ pub const MAX_SNAPSHOT_DOMAIN: usize = 4096;
 /// buy unbounded CPU (the paper uses 100).
 pub const MAX_SNAPSHOT_ITERS: usize = 100_000;
 
-/// A finalized HDG fit, detached from the data and the protocol.
+/// A finalized grid fit (HDG or TDG), detached from the data and the
+/// protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelSnapshot {
+    /// Which estimation approach the fit used — and therefore which
+    /// answerer [`ModelSnapshot::to_model`] restores. TDG snapshots carry
+    /// no 1-D grids.
+    pub approach: ApproachKind,
     /// Number of attributes.
     pub d: usize,
     /// Attribute domain size (power of two).
@@ -92,10 +97,11 @@ pub fn validate_shape(d: usize, c: usize, g1: usize, g2: usize) -> Result<(), Me
 }
 
 impl ModelSnapshot {
-    /// Assembles and validates a snapshot from raw parts (the wire decoder's
-    /// entry point). Frequencies must be finite; shape must satisfy
-    /// [`validate_shape`] with one `g1`-vector per attribute and one
-    /// `g2²`-vector per pair.
+    /// Assembles and validates an HDG snapshot from raw parts. Frequencies
+    /// must be finite; shape must satisfy [`validate_shape`] with one
+    /// `g1`-vector per attribute and one `g2²`-vector per pair. See
+    /// [`ModelSnapshot::from_parts_for_approach`] for the
+    /// approach-parameterized entry point.
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         d: usize,
@@ -109,10 +115,47 @@ impl ModelSnapshot {
         one_d: Vec<Vec<f64>>,
         two_d: Vec<Vec<f64>>,
     ) -> Result<Self, MechanismError> {
+        Self::from_parts_for_approach(
+            ApproachKind::Hdg,
+            d,
+            c,
+            granularities,
+            estimator,
+            rm_threshold,
+            rm_max_iters,
+            est_threshold,
+            est_max_iters,
+            one_d,
+            two_d,
+        )
+    }
+
+    /// Assembles and validates a snapshot from raw parts (the wire
+    /// decoder's entry point). The expected grid set follows the approach:
+    /// HDG snapshots carry one `g1`-vector per attribute, TDG snapshots
+    /// carry none; both carry one `g2²`-vector per pair.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_for_approach(
+        approach: ApproachKind,
+        d: usize,
+        c: usize,
+        granularities: Granularities,
+        estimator: EstimatorKind,
+        rm_threshold: f64,
+        rm_max_iters: usize,
+        est_threshold: f64,
+        est_max_iters: usize,
+        one_d: Vec<Vec<f64>>,
+        two_d: Vec<Vec<f64>>,
+    ) -> Result<Self, MechanismError> {
         validate_shape(d, c, granularities.g1, granularities.g2)?;
-        if one_d.len() != d || one_d.iter().any(|f| f.len() != granularities.g1) {
+        let expected_one_d = match approach {
+            ApproachKind::Hdg => d,
+            ApproachKind::Tdg => 0,
+        };
+        if one_d.len() != expected_one_d || one_d.iter().any(|f| f.len() != granularities.g1) {
             return Err(MechanismError::Invalid(format!(
-                "snapshot needs {d} 1-D frequency vectors of length {}",
+                "{approach} snapshot needs {expected_one_d} 1-D frequency vectors of length {}",
                 granularities.g1
             )));
         }
@@ -152,6 +195,7 @@ impl ModelSnapshot {
             )));
         }
         Ok(ModelSnapshot {
+            approach,
             d,
             c,
             granularities,
@@ -194,12 +238,40 @@ impl ModelSnapshot {
         )
     }
 
+    /// Captures finalized (already post-processed) TDG pair grids under the
+    /// given configuration — the TDG counterpart of
+    /// [`ModelSnapshot::from_processed_grids`]. The set is validated the
+    /// way `Tdg::model_from_processed_grids` validates it; TDG has no 1-D
+    /// grids, so the snapshot's `g1` mirrors `g2` (it is never consulted).
+    pub fn from_processed_pair_grids(
+        d: usize,
+        two_d: &[Grid2d],
+        config: &MechanismConfig,
+    ) -> Result<Self, MechanismError> {
+        let c = crate::tdg::validate_pair_grid_set(d, two_d)?;
+        let g2 = two_d[0].granularity();
+        ModelSnapshot::from_parts_for_approach(
+            ApproachKind::Tdg,
+            d,
+            c,
+            Granularities { g1: g2, g2 },
+            config.estimator,
+            config.rm_threshold,
+            config.rm_max_iters,
+            config.est_threshold,
+            config.est_max_iters,
+            Vec::new(),
+            two_d.iter().map(|g| g.freqs.clone()).collect(),
+        )
+    }
+
     /// The mechanism configuration a restored answerer runs under. Only the
     /// answering-relevant fields are meaningful: collection-side settings
     /// (sim mode, guideline, post-processing) played their role before the
     /// snapshot was taken.
     pub fn config(&self) -> MechanismConfig {
         MechanismConfig {
+            approach: self.approach,
             granularity_override: Some(self.granularities),
             estimator: self.estimator,
             rm_threshold: self.rm_threshold,
@@ -227,11 +299,15 @@ impl ModelSnapshot {
         Ok((one_d, two_d))
     }
 
-    /// Rebuilds the query answerer. No protocol, no post-processing: the
-    /// restored model is bit-identical to the one the fit produced.
+    /// Rebuilds the query answerer for the snapshot's approach. No
+    /// protocol, no post-processing: the restored model is bit-identical
+    /// to the one the fit produced.
     pub fn to_model(&self) -> Result<Box<dyn Model>, MechanismError> {
         let (one_d, two_d) = self.grids()?;
-        Hdg::new(self.config()).model_from_processed_grids(one_d, two_d)
+        match self.approach {
+            ApproachKind::Hdg => Hdg::new(self.config()).model_from_processed_grids(one_d, two_d),
+            ApproachKind::Tdg => Tdg::new(self.config()).model_from_processed_grids(self.d, two_d),
+        }
     }
 }
 
@@ -259,6 +335,33 @@ impl Hdg {
     ) -> Result<ModelSnapshot, MechanismError> {
         let (one_d, two_d) = self.post_process_grids(one_d, two_d)?;
         ModelSnapshot::from_processed_grids(&one_d, &two_d, &self.config)
+    }
+}
+
+impl Tdg {
+    /// Runs TDG Phases 1–2 on a dataset and captures the result as a
+    /// snapshot instead of a live model (`fit` = `snapshot` + `to_model`,
+    /// bit for bit) — the TDG counterpart of [`Hdg::snapshot`].
+    pub fn snapshot(
+        &self,
+        ds: &Dataset,
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<ModelSnapshot, MechanismError> {
+        let two_d = crate::tdg::fit_tdg_grids(ds, epsilon, seed, &self.config)?;
+        ModelSnapshot::from_processed_pair_grids(ds.dims(), &two_d, &self.config)
+    }
+
+    /// Post-processes externally collected raw pair grids (the protocol
+    /// collector's output under the TDG approach) and captures the result
+    /// as a snapshot.
+    pub fn snapshot_from_grids(
+        &self,
+        d: usize,
+        two_d: Vec<Grid2d>,
+    ) -> Result<ModelSnapshot, MechanismError> {
+        let two_d = self.post_process_pair_grids(d, two_d)?;
+        ModelSnapshot::from_processed_pair_grids(d, &two_d, &self.config)
     }
 }
 
@@ -379,6 +482,53 @@ mod tests {
             &cfg,
         );
         assert!(mixed.is_err());
+    }
+
+    #[test]
+    fn tdg_snapshot_restores_bit_identical_model() {
+        let ds = DatasetSpec::Normal { rho: 0.7 }.generate(30_000, 3, 32, 13);
+        let tdg = crate::Tdg::new(MechanismConfig::default().with_approach(ApproachKind::Tdg));
+        let fitted = tdg.fit(&ds, 1.0, 5).unwrap();
+        let snap = tdg.snapshot(&ds, 1.0, 5).unwrap();
+        assert_eq!(snap.approach, ApproachKind::Tdg);
+        assert!(snap.one_d.is_empty());
+        let restored = snap.to_model().unwrap();
+        let wl = WorkloadBuilder::new(3, 32, 6);
+        let mut queries = wl.random(2, 0.5, 20);
+        queries.extend(wl.random(1, 0.3, 5));
+        queries.extend(wl.random(3, 0.5, 5));
+        for q in &queries {
+            assert_eq!(
+                fitted.answer(q).to_bits(),
+                restored.answer(q).to_bits(),
+                "TDG snapshot restore diverges on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_for_approach_enforces_grid_counts() {
+        let g = Granularities { g1: 4, g2: 2 };
+        let build = |approach, one_d: Vec<Vec<f64>>| {
+            ModelSnapshot::from_parts_for_approach(
+                approach,
+                2,
+                16,
+                g,
+                EstimatorKind::WeightedUpdate,
+                1e-7,
+                100,
+                1e-7,
+                100,
+                one_d,
+                vec![vec![0.25; 4]; 1],
+            )
+        };
+        // TDG carries no 1-D grids; HDG needs exactly d of them.
+        assert!(build(ApproachKind::Tdg, Vec::new()).is_ok());
+        assert!(build(ApproachKind::Tdg, vec![vec![0.25; 4]; 2]).is_err());
+        assert!(build(ApproachKind::Hdg, Vec::new()).is_err());
+        assert!(build(ApproachKind::Hdg, vec![vec![0.25; 4]; 2]).is_ok());
     }
 
     #[test]

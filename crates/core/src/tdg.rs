@@ -70,40 +70,134 @@ impl PairAnswerer for TdgAnswerer {
     }
 }
 
+/// Checks that `two_d` forms a complete TDG pair-grid set for `d`
+/// attributes: one 2-D grid per pair in [`pair_list`] order, all over one
+/// domain. Returns `c`.
+pub(crate) fn validate_pair_grid_set(d: usize, two_d: &[Grid2d]) -> Result<usize, MechanismError> {
+    if d < 2 {
+        return Err(MechanismError::Invalid(
+            "TDG needs at least 2 attributes".into(),
+        ));
+    }
+    let expected = pair_list(d);
+    let c = match two_d.first() {
+        Some(g) => g.domain(),
+        None => {
+            return Err(MechanismError::Invalid(
+                "TDG needs at least one 2-D grid".into(),
+            ))
+        }
+    };
+    if two_d.len() != expected.len()
+        || two_d
+            .iter()
+            .zip(&expected)
+            .any(|(g, &p)| g.attrs() != p || g.domain() != c)
+    {
+        return Err(MechanismError::Invalid(
+            "2-D grids must cover all pairs in pair_list order over one domain".into(),
+        ));
+    }
+    Ok(c)
+}
+
+impl Tdg {
+    /// Builds a TDG model from externally collected raw pair grids (e.g. a
+    /// deployment feeding reports through `privmdr-protocol`). Applies
+    /// Phase-2 post-processing per the configuration, then wraps the
+    /// answering machinery — the TDG counterpart of
+    /// `Hdg::model_from_grids`.
+    ///
+    /// Requires one 2-D grid per pair in `pair_list` order over one domain.
+    pub fn model_from_grids(
+        &self,
+        d: usize,
+        two_d: Vec<Grid2d>,
+    ) -> Result<Box<dyn Model>, MechanismError> {
+        let two_d = self.post_process_pair_grids(d, two_d)?;
+        self.model_from_processed_grids(d, two_d)
+    }
+
+    /// Validates a raw pair-grid set and runs Phase-2 post-processing on it
+    /// (TDG has no 1-D grids, so only Norm-Sub/consistency over the pairs).
+    pub(crate) fn post_process_pair_grids(
+        &self,
+        d: usize,
+        mut two_d: Vec<Grid2d>,
+    ) -> Result<Vec<Grid2d>, MechanismError> {
+        validate_pair_grid_set(d, &two_d)?;
+        let mut no_one_d: Vec<Option<Grid1d>> = (0..d).map(|_| None).collect();
+        post_process(d, &mut no_one_d, &mut two_d, &self.config.post_process);
+        Ok(two_d)
+    }
+
+    /// Builds a TDG model from pair grids that are **already**
+    /// post-processed — the snapshot-restore path (`crate::snapshot`).
+    /// Phase 2 is not idempotent, so restoring a finalized fit must skip
+    /// it; this constructor wraps the answering machinery verbatim.
+    pub fn model_from_processed_grids(
+        &self,
+        d: usize,
+        two_d: Vec<Grid2d>,
+    ) -> Result<Box<dyn Model>, MechanismError> {
+        let c = validate_pair_grid_set(d, &two_d)?;
+        Ok(Box::new(SplitModel::new(
+            TdgAnswerer { d, c, grids: two_d },
+            &self.config,
+        )))
+    }
+}
+
+/// Runs TDG Phase 1–2 and returns the post-processed pair grids.
+///
+/// Exposed separately (mirroring `fit_hdg_grids`) so the snapshot path can
+/// capture the exact grids a fit would answer from.
+pub fn fit_tdg_grids(
+    ds: &Dataset,
+    epsilon: f64,
+    seed: u64,
+    config: &MechanismConfig,
+) -> Result<Vec<Grid2d>, MechanismError> {
+    let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
+    if d < 2 {
+        return Err(MechanismError::Invalid(
+            "TDG needs at least 2 attributes".into(),
+        ));
+    }
+    let tdg = Tdg::new(*config);
+    let g2 = tdg.granularity(n, d, epsilon, c);
+    let pairs = pair_list(d);
+    let mut rng = derive_rng(seed, &[0x54_4447]); // "TDG"
+    let groups = partition_equal(n, pairs.len(), &mut rng);
+
+    let mut grids: Vec<Grid2d> = Vec::with_capacity(pairs.len());
+    for (&pair, users) in pairs.iter().zip(&groups) {
+        let values = ds.gather_pair(pair, users);
+        grids.push(Grid2d::collect_with(
+            pair,
+            g2,
+            c,
+            &values,
+            epsilon,
+            config.oracle,
+            config.sim_mode,
+            &mut rng,
+        )?);
+    }
+
+    let mut no_one_d: Vec<Option<Grid1d>> = (0..d).map(|_| None).collect();
+    post_process(d, &mut no_one_d, &mut grids, &config.post_process);
+    Ok(grids)
+}
+
 impl Mechanism for Tdg {
     fn name(&self) -> &'static str {
         "TDG"
     }
 
     fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
-        let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
-        if d < 2 {
-            return Err(MechanismError::Invalid(
-                "TDG needs at least 2 attributes".into(),
-            ));
-        }
-        let g2 = self.granularity(n, d, epsilon, c);
-        let pairs = pair_list(d);
-        let mut rng = derive_rng(seed, &[0x54_4447]); // "TDG"
-        let groups = partition_equal(n, pairs.len(), &mut rng);
-
-        let mut grids: Vec<Grid2d> = Vec::with_capacity(pairs.len());
-        for (&pair, users) in pairs.iter().zip(&groups) {
-            let values = ds.gather_pair(pair, users);
-            grids.push(Grid2d::collect(
-                pair,
-                g2,
-                c,
-                &values,
-                epsilon,
-                self.config.sim_mode,
-                &mut rng,
-            )?);
-        }
-
-        let mut no_one_d: Vec<Option<Grid1d>> = (0..d).map(|_| None).collect();
-        post_process(d, &mut no_one_d, &mut grids, &self.config.post_process);
-
+        let (d, c) = (ds.dims(), ds.domain());
+        let grids = fit_tdg_grids(ds, epsilon, seed, &self.config)?;
         Ok(Box::new(SplitModel::new(
             TdgAnswerer { d, c, grids },
             &self.config,

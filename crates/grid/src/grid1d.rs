@@ -6,8 +6,7 @@
 //! coarse 2-D cells.
 
 use crate::{check_geometry, GridError};
-use privmdr_oracles::olh::Olh;
-use privmdr_oracles::SimMode;
+use privmdr_oracles::{OraclePolicy, SimMode};
 use rand::Rng;
 
 /// A binned frequency view of a single attribute.
@@ -40,12 +39,32 @@ impl Grid1d {
         mode: SimMode,
         rng: &mut R,
     ) -> Result<Self, GridError> {
+        Self::collect_with(attr, g, c, values, epsilon, OraclePolicy::Olh, mode, rng)
+    }
+
+    /// [`Grid1d::collect`] with an explicit frequency-oracle policy: the
+    /// group reports through whichever oracle `oracle` selects for the
+    /// grid's `g`-cell randomization domain (`OraclePolicy::Olh` reproduces
+    /// [`Grid1d::collect`] bit for bit).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_with<R: Rng + ?Sized>(
+        attr: usize,
+        g: usize,
+        c: usize,
+        values: &[u16],
+        epsilon: f64,
+        oracle: OraclePolicy,
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Result<Self, GridError> {
         check_geometry(g, c)?;
         privmdr_oracles::validate_epsilon(epsilon).map_err(|_| GridError::BadEpsilon(epsilon))?;
         let width = (c / g) as u16;
         let cells: Vec<u32> = values.iter().map(|&v| (v / width) as u32).collect();
-        let olh = Olh::new(epsilon, g).expect("validated geometry implies valid domain");
-        let freqs = olh.collect(&cells, mode, rng);
+        let oracle = oracle
+            .build(epsilon, g)
+            .expect("validated geometry implies valid domain");
+        let freqs = oracle.collect(&cells, mode, rng);
         Ok(Grid1d { attr, g, c, freqs })
     }
 

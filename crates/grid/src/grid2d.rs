@@ -6,8 +6,7 @@
 //! pairwise-correlation information in TDG/HDG.
 
 use crate::{check_geometry, GridError};
-use privmdr_oracles::olh::Olh;
-use privmdr_oracles::SimMode;
+use privmdr_oracles::{OraclePolicy, SimMode};
 use rand::Rng;
 
 /// A binned joint-frequency view of an attribute pair `(j, k)` with `j < k`.
@@ -48,6 +47,32 @@ impl Grid2d {
         mode: SimMode,
         rng: &mut R,
     ) -> Result<Self, GridError> {
+        Self::collect_with(
+            attrs,
+            g,
+            c,
+            value_pairs,
+            epsilon,
+            OraclePolicy::Olh,
+            mode,
+            rng,
+        )
+    }
+
+    /// [`Grid2d::collect`] with an explicit frequency-oracle policy applied
+    /// to the grid's `g²`-cell randomization domain (`OraclePolicy::Olh`
+    /// reproduces [`Grid2d::collect`] bit for bit).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_with<R: Rng + ?Sized>(
+        attrs: (usize, usize),
+        g: usize,
+        c: usize,
+        value_pairs: &[(u16, u16)],
+        epsilon: f64,
+        oracle: OraclePolicy,
+        mode: SimMode,
+        rng: &mut R,
+    ) -> Result<Self, GridError> {
         check_geometry(g, c)?;
         assert!(attrs.0 < attrs.1, "pair must be ordered (j < k)");
         privmdr_oracles::validate_epsilon(epsilon).map_err(|_| GridError::BadEpsilon(epsilon))?;
@@ -56,8 +81,10 @@ impl Grid2d {
             .iter()
             .map(|&(vj, vk)| (vj / width) as u32 * g as u32 + (vk / width) as u32)
             .collect();
-        let olh = Olh::new(epsilon, g * g).expect("validated geometry implies valid domain");
-        let freqs = olh.collect(&cells, mode, rng);
+        let oracle = oracle
+            .build(epsilon, g * g)
+            .expect("validated geometry implies valid domain");
+        let freqs = oracle.collect(&cells, mode, rng);
         Ok(Grid2d { attrs, g, c, freqs })
     }
 

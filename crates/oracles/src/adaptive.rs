@@ -7,7 +7,7 @@
 
 use crate::grr::Grr;
 use crate::olh::Olh;
-use crate::{OracleError, SimMode};
+use crate::{FrequencyOracle, OracleError, SimMode};
 use rand::Rng;
 
 /// Which concrete oracle the adaptive rule selected.
@@ -19,12 +19,81 @@ pub enum OracleChoice {
     Olh,
 }
 
+impl OracleChoice {
+    /// Short lowercase name (CLI/JSON/wire-facing).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleChoice::Grr => "grr",
+            OracleChoice::Olh => "olh",
+        }
+    }
+}
+
 /// Applies the variance-comparison rule: GRR iff `c − 2 < 3eᵋ`.
 pub fn choose_oracle(epsilon: f64, domain: usize) -> OracleChoice {
     if (domain as f64) - 2.0 < 3.0 * epsilon.exp() {
         OracleChoice::Grr
     } else {
         OracleChoice::Olh
+    }
+}
+
+/// How a protocol session picks the frequency oracle for each report
+/// group. The policy is public plan state: it is chosen by the aggregator,
+/// published alongside the grid geometry, and applied per group to that
+/// group's randomization domain (`g1` for 1-D grids, `g2²` for 2-D grids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OraclePolicy {
+    /// Always OLH — the paper's grid default, variance independent of the
+    /// domain size.
+    #[default]
+    Olh,
+    /// Always GRR — cheaper reports and aggregation, best for small
+    /// domains.
+    Grr,
+    /// Per-group adaptive selection by the paper's variance-crossover rule
+    /// ([`choose_oracle`]: GRR iff `c − 2 < 3eᵋ`).
+    Auto,
+}
+
+impl OraclePolicy {
+    /// The concrete oracle this policy selects for `(epsilon, domain)`.
+    pub fn select(self, epsilon: f64, domain: usize) -> OracleChoice {
+        match self {
+            OraclePolicy::Olh => OracleChoice::Olh,
+            OraclePolicy::Grr => OracleChoice::Grr,
+            OraclePolicy::Auto => choose_oracle(epsilon, domain),
+        }
+    }
+
+    /// Builds the selected oracle for `(epsilon, domain)`.
+    pub fn build(self, epsilon: f64, domain: usize) -> Result<AdaptiveOracle, OracleError> {
+        AdaptiveOracle::from_choice(self.select(epsilon, domain), epsilon, domain)
+    }
+
+    /// Short lowercase name (CLI/JSON-facing).
+    pub fn name(self) -> &'static str {
+        match self {
+            OraclePolicy::Olh => "olh",
+            OraclePolicy::Grr => "grr",
+            OraclePolicy::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI-style name (`olh`, `grr`, `auto`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "olh" => Ok(OraclePolicy::Olh),
+            "grr" => Ok(OraclePolicy::Grr),
+            "auto" => Ok(OraclePolicy::Auto),
+            other => Err(format!("unknown oracle '{other}' (expected olh|grr|auto)")),
+        }
+    }
+}
+
+impl std::fmt::Display for OraclePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -40,7 +109,18 @@ pub enum AdaptiveOracle {
 impl AdaptiveOracle {
     /// Creates the variance-optimal oracle for `(epsilon, domain)`.
     pub fn new(epsilon: f64, domain: usize) -> Result<Self, OracleError> {
-        Ok(match choose_oracle(epsilon, domain) {
+        Self::from_choice(choose_oracle(epsilon, domain), epsilon, domain)
+    }
+
+    /// Constructs the branch a selection rule picked — the single
+    /// construction site both [`AdaptiveOracle::new`] and
+    /// [`OraclePolicy::build`] funnel through.
+    pub fn from_choice(
+        choice: OracleChoice,
+        epsilon: f64,
+        domain: usize,
+    ) -> Result<Self, OracleError> {
+        Ok(match choice {
             OracleChoice::Grr => AdaptiveOracle::Grr(Grr::new(epsilon, domain)?),
             OracleChoice::Olh => AdaptiveOracle::Olh(Olh::new(epsilon, domain)?),
         })
@@ -60,6 +140,64 @@ impl AdaptiveOracle {
             AdaptiveOracle::Grr(g) => g.variance(n),
             AdaptiveOracle::Olh(o) => o.variance(n),
         }
+    }
+
+    /// Which branch is active.
+    pub fn kind(&self) -> OracleChoice {
+        match self {
+            AdaptiveOracle::Grr(_) => OracleChoice::Grr,
+            AdaptiveOracle::Olh(_) => OracleChoice::Olh,
+        }
+    }
+}
+
+/// The trait passthrough: an `AdaptiveOracle` *is* its selected branch.
+/// Every method delegates to the concrete oracle's own implementation, so
+/// dispatching through the enum (or through `dyn FrequencyOracle`) is
+/// bit-identical to calling `Olh`/`Grr` directly — including the
+/// block-transposed OLH support kernel.
+impl FrequencyOracle for AdaptiveOracle {
+    fn kind(&self) -> OracleChoice {
+        AdaptiveOracle::kind(self)
+    }
+
+    fn domain(&self) -> usize {
+        match self {
+            AdaptiveOracle::Grr(g) => g.domain(),
+            AdaptiveOracle::Olh(o) => o.domain(),
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        match self {
+            AdaptiveOracle::Grr(g) => g.epsilon(),
+            AdaptiveOracle::Olh(o) => o.epsilon(),
+        }
+    }
+
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
+        match self {
+            AdaptiveOracle::Grr(g) => FrequencyOracle::randomize(g, value, rng),
+            AdaptiveOracle::Olh(o) => FrequencyOracle::randomize(o, value, rng),
+        }
+    }
+
+    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+        match self {
+            AdaptiveOracle::Grr(g) => g.add_support_batch(reports, supports),
+            AdaptiveOracle::Olh(o) => o.add_support_batch(reports, supports),
+        }
+    }
+
+    fn estimate(&self, supports: &[u64], reports: u64) -> Vec<f64> {
+        match self {
+            AdaptiveOracle::Grr(g) => FrequencyOracle::estimate(g, supports, reports),
+            AdaptiveOracle::Olh(o) => FrequencyOracle::estimate(o, supports, reports),
+        }
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        AdaptiveOracle::variance(self, n)
     }
 }
 

@@ -49,6 +49,11 @@ impl Grr {
         self.domain
     }
 
+    /// Privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Perturbs a single value (the client side of the protocol).
     pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
         debug_assert!(value < self.domain);
@@ -122,6 +127,53 @@ impl Grr {
     pub fn variance(&self, n: usize) -> f64 {
         let e = self.epsilon.exp();
         (self.domain as f64 - 2.0 + e) / ((e - 1.0).powi(2) * n as f64)
+    }
+
+    /// The support-counting kernel, batch form: a GRR report supports
+    /// exactly the value it carries, so each wire pair `(_, y)` bumps
+    /// `supports[y]`. The `seed` half of the pair is unused (GRR reports
+    /// carry `seed = 0` on the wire).
+    ///
+    /// An out-of-domain `y` — which only a dishonest client can produce —
+    /// supports nothing: the increment is dropped rather than panicking,
+    /// mirroring how an out-of-range OLH `y` matches no hash output.
+    pub fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+        debug_assert_eq!(supports.len(), self.domain);
+        for &(_seed, y) in reports {
+            if let Some(s) = supports.get_mut(y as usize) {
+                *s += 1;
+            }
+        }
+    }
+}
+
+impl crate::FrequencyOracle for Grr {
+    fn kind(&self) -> crate::OracleChoice {
+        crate::OracleChoice::Grr
+    }
+
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
+        (0, self.perturb(value, rng) as u32)
+    }
+
+    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+        Grr::add_support_batch(self, reports, supports);
+    }
+
+    fn estimate(&self, supports: &[u64], reports: u64) -> Vec<f64> {
+        self.unbias(supports, reports as usize)
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        Grr::variance(self, n)
     }
 }
 

@@ -31,10 +31,64 @@ pub mod partition;
 pub mod sw;
 pub mod wheel;
 
-pub use adaptive::{choose_oracle, OracleChoice};
+pub use adaptive::{choose_oracle, AdaptiveOracle, OracleChoice, OraclePolicy};
+pub use grr::Grr;
 pub use olh::{Olh, OlhReport, OlhReportSet};
 pub use partition::{partition_users, proportional_sizes};
 pub use wheel::{Wheel, WheelReport};
+
+use rand::RngCore;
+
+/// A pluggable LDP frequency oracle — the protocol-facing contract every
+/// mechanism plugs into (paper §2.2).
+///
+/// The trait covers the three protocol roles an oracle plays:
+///
+/// 1. **Client**: [`randomize`](FrequencyOracle::randomize) perturbs one
+///    value into a `(seed, y)` wire pair — the complete content of a
+///    report. OLH fills both halves (hash seed + perturbed hashed value);
+///    seedless oracles like GRR set `seed = 0` and carry the perturbed
+///    value in `y`.
+/// 2. **Aggregator hot loop**:
+///    [`add_support_batch`](FrequencyOracle::add_support_batch) folds a
+///    batch of wire pairs into per-value support counters. Support counts
+///    are sums of per-report `u64` increments, so folding commutes across
+///    any batching or sharding — the invariant the parallel ingestion
+///    engine is built on.
+/// 3. **Estimation**: [`estimate`](FrequencyOracle::estimate) unbiases the
+///    counters into frequency estimates, and
+///    [`variance`](FrequencyOracle::variance) reports the per-frequency
+///    estimation variance the adaptive GRR-vs-OLH rule compares.
+///
+/// Implementations must keep every method bit-identical to their concrete
+/// inherent counterparts (pinned by `tests/oracle_trait.rs`): dispatching
+/// through the trait is a routing decision, never a numeric one.
+pub trait FrequencyOracle: Send + Sync {
+    /// Which concrete oracle this is (the wire/protocol discriminant).
+    fn kind(&self) -> OracleChoice;
+
+    /// Input domain size `c`.
+    fn domain(&self) -> usize;
+
+    /// Privacy budget ε.
+    fn epsilon(&self) -> f64;
+
+    /// Client side: perturbs `value` into a `(seed, y)` wire pair.
+    fn randomize(&self, value: usize, rng: &mut dyn RngCore) -> (u64, u32);
+
+    /// Aggregator side: folds a batch of `(seed, y)` wire pairs into
+    /// per-value support counters (`supports.len() == domain`). Pairs a
+    /// dishonest client could never produce (e.g. out-of-range `y`) must
+    /// be absorbed without panicking — they simply support nothing.
+    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]);
+
+    /// Unbiased frequency estimates from support counters over `reports`
+    /// ingested reports.
+    fn estimate(&self, supports: &[u64], reports: u64) -> Vec<f64>;
+
+    /// Estimation variance of a single frequency at population `n`.
+    fn variance(&self, n: usize) -> f64;
+}
 
 /// How aggregate frequencies are produced from a user group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -82,6 +82,11 @@ impl Olh {
         self.domain
     }
 
+    /// Privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Client side: perturbs one value into an [`OlhReport`].
     pub fn perturb<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> OlhReport {
         debug_assert!(value < self.domain);
@@ -224,6 +229,37 @@ impl Olh {
     /// `c' = eᵋ + 1` exactly.
     pub fn variance(&self, n: usize) -> f64 {
         self.q * (1.0 - self.q) / ((self.p - self.q).powi(2) * n as f64)
+    }
+}
+
+impl crate::FrequencyOracle for Olh {
+    fn kind(&self) -> crate::OracleChoice {
+        crate::OracleChoice::Olh
+    }
+
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
+        let report = self.perturb(value, rng);
+        (report.seed, report.y)
+    }
+
+    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+        Olh::add_support_batch(self, reports, supports);
+    }
+
+    fn estimate(&self, supports: &[u64], reports: u64) -> Vec<f64> {
+        self.unbias(supports, reports as usize)
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        Olh::variance(self, n)
     }
 }
 

@@ -1,0 +1,194 @@
+//! The load-bearing contract of the `FrequencyOracle` trait: dispatching
+//! through the trait (or through a trait object) is a *routing* decision,
+//! never a numeric one. For arbitrary `(ε, domain)`, every trait method —
+//! `randomize`, the batched support kernel at all unroll remainders and
+//! tiling boundaries, and `estimate` — must be bit-identical to calling
+//! the concrete `Olh`/`Grr` inherent API directly, and the `auto` policy
+//! must select exactly the paper's variance rule per domain.
+
+use privmdr_oracles::{choose_oracle, FrequencyOracle, Grr, Olh, OracleChoice, OraclePolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random wire pairs: well-mixed seeds, `y` ranging past every hashed and
+/// raw domain in the sweep so out-of-range values are exercised too.
+fn random_pairs(n: usize, rng: &mut StdRng) -> Vec<(u64, u32)> {
+    (0..n)
+        .map(|_| (rng.random(), rng.random_range(0..40u32)))
+        .collect()
+}
+
+proptest! {
+    /// Trait-object `randomize` consumes the same randomness and returns
+    /// the same wire pair as the concrete perturbation calls.
+    #[test]
+    fn randomize_matches_concrete(
+        eps in 0.2f64..3.0,
+        domain in 2usize..40,
+        value_seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+    ) {
+        let value = (value_seed % domain as u64) as usize;
+
+        let olh = Olh::new(eps, domain).unwrap();
+        let via_concrete = {
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let r = olh.perturb(value, &mut rng);
+            (r.seed, r.y)
+        };
+        let via_trait = {
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let dyn_oracle: &dyn FrequencyOracle = &olh;
+            dyn_oracle.randomize(value, &mut rng)
+        };
+        prop_assert_eq!(via_concrete, via_trait, "OLH randomize diverges");
+
+        let grr = Grr::new(eps, domain).unwrap();
+        let via_concrete = {
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            (0u64, grr.perturb(value, &mut rng) as u32)
+        };
+        let via_trait = {
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let dyn_oracle: &dyn FrequencyOracle = &grr;
+            dyn_oracle.randomize(value, &mut rng)
+        };
+        prop_assert_eq!(via_concrete, via_trait, "GRR randomize diverges");
+    }
+
+    /// The trait-object support kernel is bit-identical to the concrete
+    /// batched kernel AND to one-pair-at-a-time folding, at every batch
+    /// length around the ×4 unroll (remainders 0..=4) and across tiling
+    /// block boundaries.
+    #[test]
+    fn support_kernel_matches_concrete_at_all_remainders(
+        eps in 0.2f64..3.0,
+        domain in 2usize..24,
+        seed in any::<u64>(),
+        block in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = random_pairs(21, &mut rng);
+        let olh = Olh::new(eps, domain).unwrap();
+        let grr = Grr::new(eps, domain).unwrap();
+        let oracles: [&dyn FrequencyOracle; 2] = [&olh, &grr];
+        // 0..=5 covers every ×4 unroll remainder; 21 adds a longer tail.
+        for n in [0usize, 1, 2, 3, 4, 5, 21] {
+            for oracle in oracles {
+                let mut via_trait = vec![0u64; domain];
+                oracle.add_support_batch(&pairs[..n], &mut via_trait);
+
+                let mut one_at_a_time = vec![0u64; domain];
+                for &pair in &pairs[..n] {
+                    oracle.add_support_batch(&[pair], &mut one_at_a_time);
+                }
+                prop_assert_eq!(
+                    &via_trait,
+                    &one_at_a_time,
+                    "{} batch {} != per-pair", oracle.kind().name(), n
+                );
+            }
+            // Concrete-vs-trait, including the OLH kernel's explicit
+            // tiling override sweeping small blocks.
+            let mut concrete = vec![0u64; domain];
+            olh.add_support_batch_with_block(&pairs[..n], &mut concrete, block);
+            let mut via_trait = vec![0u64; domain];
+            FrequencyOracle::add_support_batch(&olh, &pairs[..n], &mut via_trait);
+            prop_assert_eq!(&concrete, &via_trait, "OLH trait != block {}", block);
+
+            let mut concrete = vec![0u64; domain];
+            Grr::add_support_batch(&grr, &pairs[..n], &mut concrete);
+            let mut via_trait = vec![0u64; domain];
+            FrequencyOracle::add_support_batch(&grr, &pairs[..n], &mut via_trait);
+            prop_assert_eq!(&concrete, &via_trait, "GRR trait != concrete");
+        }
+    }
+
+    /// Trait-object estimation is bit-identical to the concrete unbiasing:
+    /// folding honest reports through the kernel and estimating equals
+    /// `aggregate` for OLH and the count-unbias pipeline for GRR.
+    #[test]
+    fn estimate_matches_concrete(
+        eps in 0.2f64..3.0,
+        domain in 2usize..24,
+        n_reports in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let olh = Olh::new(eps, domain).unwrap();
+        let reports: Vec<_> = (0..n_reports)
+            .map(|i| olh.perturb(i % domain, &mut rng))
+            .collect();
+        let concrete = olh.aggregate(&reports);
+        let pairs: Vec<(u64, u32)> = reports.iter().map(|r| (r.seed, r.y)).collect();
+        let dyn_oracle: &dyn FrequencyOracle = &olh;
+        let mut supports = vec![0u64; domain];
+        dyn_oracle.add_support_batch(&pairs, &mut supports);
+        let via_trait = dyn_oracle.estimate(&supports, n_reports as u64);
+        prop_assert_eq!(concrete.len(), via_trait.len());
+        for (a, b) in concrete.iter().zip(&via_trait) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "OLH estimate diverges");
+        }
+
+        let grr = Grr::new(eps, domain).unwrap();
+        let raw: Vec<u32> = (0..n_reports)
+            .map(|i| grr.perturb(i % domain, &mut rng) as u32)
+            .collect();
+        let concrete = grr.aggregate(&raw);
+        let pairs: Vec<(u64, u32)> = raw.iter().map(|&y| (0u64, y)).collect();
+        let dyn_oracle: &dyn FrequencyOracle = &grr;
+        let mut supports = vec![0u64; domain];
+        dyn_oracle.add_support_batch(&pairs, &mut supports);
+        let via_trait = dyn_oracle.estimate(&supports, n_reports as u64);
+        for (a, b) in concrete.iter().zip(&via_trait) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "GRR estimate diverges");
+        }
+    }
+
+    /// The policy layer: fixed policies always pick their oracle, and
+    /// `Auto` applies exactly the paper's `c − 2 < 3eᵋ` rule; the built
+    /// oracle's parameters and kind agree with the selection.
+    #[test]
+    fn policy_selection_matches_rule(
+        eps in 0.2f64..3.0,
+        domain in 2usize..200,
+    ) {
+        prop_assert_eq!(OraclePolicy::Olh.select(eps, domain), OracleChoice::Olh);
+        prop_assert_eq!(OraclePolicy::Grr.select(eps, domain), OracleChoice::Grr);
+        let auto = OraclePolicy::Auto.select(eps, domain);
+        prop_assert_eq!(auto, choose_oracle(eps, domain));
+        let expected = if (domain as f64) - 2.0 < 3.0 * eps.exp() {
+            OracleChoice::Grr
+        } else {
+            OracleChoice::Olh
+        };
+        prop_assert_eq!(auto, expected);
+
+        for policy in [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto] {
+            let oracle = policy.build(eps, domain).unwrap();
+            prop_assert_eq!(oracle.kind(), policy.select(eps, domain));
+            prop_assert_eq!(FrequencyOracle::domain(&oracle), domain);
+            prop_assert_eq!(FrequencyOracle::epsilon(&oracle), eps);
+        }
+    }
+}
+
+/// Out-of-domain `y` values (possible only from dishonest clients) are
+/// absorbed by both kernels without panicking: OLH counts no support (no
+/// hash output matches), GRR drops the increment.
+#[test]
+fn hostile_y_values_are_absorbed() {
+    let olh = Olh::new(1.0, 8).unwrap();
+    let grr = Grr::new(1.0, 8).unwrap();
+    let hostile: Vec<(u64, u32)> = (0..50u64).map(|i| (i * 77, u32::MAX - i as u32)).collect();
+    for oracle in [&olh as &dyn FrequencyOracle, &grr] {
+        let mut supports = vec![0u64; 8];
+        oracle.add_support_batch(&hostile, &mut supports);
+        assert!(
+            supports.iter().all(|&s| s == 0),
+            "{} counted hostile y values",
+            oracle.kind().name()
+        );
+    }
+}

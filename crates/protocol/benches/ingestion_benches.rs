@@ -14,6 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use privmdr_grid::guideline::Granularities;
 use privmdr_oracles::olh::Olh;
+use privmdr_oracles::{FrequencyOracle, Grr};
 use privmdr_protocol::{Batch, Collector, GroupTarget, Report, SessionPlan};
 use privmdr_util::hash::mix64;
 use std::hint::black_box;
@@ -110,6 +111,37 @@ fn bench_support_kernel(c: &mut Criterion) {
     }
 }
 
+/// GRR vs OLH through the `FrequencyOracle` trait — the cost profile the
+/// adaptive policy trades between. OLH pays `O(cells)` hash evaluations
+/// per report (amortized by the block-transposed kernel); GRR pays one
+/// counter bump per report regardless of the grid size, which is why the
+/// paper's rule hands small domains to GRR. Dispatch is through trait
+/// objects, so the numbers include exactly what the collector's per-group
+/// accumulators pay.
+fn bench_grr_vs_olh_kernel(c: &mut Criterion) {
+    let n = 16_384usize;
+    let pairs: Vec<(u64, u32)> = (0..n as u64)
+        .map(|i| (mix64(i), (mix64(i ^ 0xF00D) % 4) as u32))
+        .collect();
+    for cells in [64usize, 256, 1024] {
+        let olh = Olh::new(1.0, cells).unwrap();
+        let grr = Grr::new(1.0, cells).unwrap();
+        let oracles: [(&str, &dyn FrequencyOracle); 2] = [("olh", &olh), ("grr", &grr)];
+        let mut group = c.benchmark_group(format!("oracle_kernel_{cells}cells"));
+        group.throughput(Throughput::Elements(n as u64));
+        for (name, oracle) in oracles {
+            group.bench_with_input(BenchmarkId::new(name, n), &pairs, |b, pairs| {
+                b.iter(|| {
+                    let mut supports = vec![0u64; cells];
+                    oracle.add_support_batch(black_box(pairs), &mut supports);
+                    black_box(supports)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_wire_decode(c: &mut Criterion) {
     let n = 50_000usize;
     let reports = synthetic_reports(n);
@@ -140,6 +172,7 @@ criterion_group!(
     benches,
     bench_sharded_ingest,
     bench_support_kernel,
+    bench_grr_vs_olh_kernel,
     bench_wire_decode
 );
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 use crate::plan::{GroupTarget, SessionPlan};
 use crate::wire::Report;
 use crate::ProtocolError;
-use privmdr_oracles::olh::Olh;
+use privmdr_oracles::{AdaptiveOracle, FrequencyOracle};
 use rand::Rng;
 
 /// One participating user.
@@ -17,22 +17,56 @@ pub struct Client<'p> {
     plan: &'p SessionPlan,
     uid: u64,
     group: u32,
-    olh: Olh,
+    oracle: AdaptiveOracle,
+}
+
+/// Builds clients for one plan with the per-group oracles constructed
+/// **once**: [`Client::new`] redoes the ε → (p, q) probability math (an
+/// `exp` plus divisions) for every client, which at collection scale means
+/// n redundant computations for at most `d + (d choose 2)` distinct
+/// oracles. A factory hoists that work per group, so stamping out a
+/// million clients is pure table lookup — mirroring how the ingestion
+/// kernel hoists its once-per-batch guards.
+#[derive(Debug, Clone)]
+pub struct ClientFactory<'p> {
+    plan: &'p SessionPlan,
+    oracles: Vec<AdaptiveOracle>,
+}
+
+impl<'p> ClientFactory<'p> {
+    /// Precomputes every group's oracle for `plan`.
+    pub fn new(plan: &'p SessionPlan) -> Result<Self, ProtocolError> {
+        let oracles = (0..plan.group_count() as u32)
+            .map(|g| plan.group_oracle(g))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClientFactory { plan, oracles })
+    }
+
+    /// The client for user `uid` — identical to `Client::new(plan, uid)`
+    /// without rebuilding the group's oracle.
+    pub fn client(&self, uid: u64) -> Client<'p> {
+        let group = self.plan.group_of(uid);
+        Client {
+            plan: self.plan,
+            uid,
+            group,
+            oracle: self.oracles[group as usize],
+        }
+    }
 }
 
 impl<'p> Client<'p> {
     /// Creates the client for user `uid`; its report group follows the
-    /// plan's public assignment.
+    /// plan's public assignment. Building many clients for one plan?
+    /// Use [`ClientFactory`], which constructs each group's oracle once.
     pub fn new(plan: &'p SessionPlan, uid: u64) -> Result<Self, ProtocolError> {
         let group = plan.group_of(uid);
-        let domain = plan.group_domain(group)?;
-        let olh =
-            Olh::new(plan.epsilon, domain).map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
+        let oracle = plan.group_oracle(group)?;
         Ok(Client {
             plan,
             uid,
             group,
-            olh,
+            oracle,
         })
     }
 
@@ -71,18 +105,27 @@ impl<'p> Client<'p> {
         })
     }
 
-    /// Produces the client's single randomized report.
+    /// The frequency oracle this client randomizes through (the plan's
+    /// policy applied to its group's domain).
+    pub fn oracle(&self) -> &AdaptiveOracle {
+        &self.oracle
+    }
+
+    /// Produces the client's single randomized report through the group's
+    /// frequency oracle. For OLH groups `(seed, y)` is the hash seed and
+    /// perturbed hashed value; for GRR groups `seed` is 0 and `y` the
+    /// perturbed value.
     pub fn report<R: Rng + ?Sized>(
         &self,
         record: &[u16],
-        rng: &mut R,
+        mut rng: &mut R,
     ) -> Result<Report, ProtocolError> {
         let cell = self.cell_of(record)?;
-        let olh_report = self.olh.perturb(cell, rng);
+        let (seed, y) = self.oracle.randomize(cell, &mut rng);
         Ok(Report {
             group: self.group,
-            seed: olh_report.seed,
-            y: olh_report.y,
+            seed,
+            y,
         })
     }
 }

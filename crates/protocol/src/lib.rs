@@ -7,16 +7,22 @@
 //! report stream. This crate makes that concrete:
 //!
 //! * [`plan`] — the public [`plan::SessionPlan`]: everything a client needs
-//!   (ε, granularities, its group's target grid). Contains no private data.
-//! * [`client`] — the device side: record in, one wire report out.
+//!   (ε, granularities, its group's target grid, the session's oracle
+//!   policy and estimation approach). Contains no private data.
+//! * [`client`] — the device side: record in, one wire report out, through
+//!   whichever `privmdr_oracles::FrequencyOracle` the plan's policy selects
+//!   for the client's group ([`client::ClientFactory`] hoists the per-group
+//!   oracle construction when stamping out many clients).
 //! * [`wire`] — a compact binary encoding of reports (17 bytes standalone,
-//!   16 inside a length-prefixed [`wire::Batch`] frame), built on `bytes`
-//!   (justification for the dependency: zero-copy buffer management for the
-//!   report stream).
-//! * [`server`] — streaming ingestion: per-group OLH support accumulators
-//!   that never buffer raw reports, a sharded parallel batch path that is
-//!   bit-identical to serial ingestion, and a finalizer producing a fitted
-//!   `privmdr-core` HDG model or a serializable snapshot of it.
+//!   16 inside a length-prefixed [`wire::Batch`] frame; +2/+1 bytes for the
+//!   version-2 frames carrying a [`wire::MechanismTag`] oracle/approach
+//!   discriminant), built on `bytes` (justification for the dependency:
+//!   zero-copy buffer management for the report stream).
+//! * [`server`] — streaming ingestion: per-group frequency-oracle support
+//!   accumulators that never buffer raw reports, a sharded parallel batch
+//!   path that is bit-identical to serial ingestion, and an
+//!   approach-parameterized finalizer producing a fitted `privmdr-core`
+//!   HDG or TDG model or a serializable snapshot of it.
 //! * [`serve`] — the read path: a [`serve::QueryServer`] restores a
 //!   `privmdr_core::ModelSnapshot` (shipped via the wire frames in
 //!   [`wire`]) and answers framed query batches, sharding each batch
@@ -33,14 +39,19 @@ pub mod serve;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientFactory};
 pub use plan::{GroupTarget, SessionPlan};
 pub use serve::QueryServer;
 pub use server::Collector;
 pub use wire::{
-    decode_any_stream, decode_snapshot, encode_snapshot, snapshot_to_bytes, AnswerBatch, Batch,
-    QueryBatch, Report,
+    decode_any_stream, decode_any_stream_tagged, decode_snapshot, encode_snapshot,
+    snapshot_to_bytes, AnswerBatch, Batch, MechanismTag, QueryBatch, Report,
 };
+
+// Re-exported so protocol consumers can name the plan's mechanism knobs
+// without depending on the oracle crate directly.
+pub use privmdr_core::ApproachKind;
+pub use privmdr_oracles::OraclePolicy;
 
 /// Errors from protocol handling.
 #[derive(Debug, Clone, PartialEq)]

@@ -4,9 +4,14 @@
 //! granularity guideline); publishing it leaks nothing about records
 //! (paper §4.6's discussion of guideline privacy).
 
+use crate::wire::MechanismTag;
 use crate::ProtocolError;
-use privmdr_grid::guideline::{choose_granularities, default_sigma, Granularities};
+use privmdr_core::ApproachKind;
+use privmdr_grid::guideline::{
+    choose_granularities, choose_tdg_granularity, default_sigma, Granularities,
+};
 use privmdr_grid::pairs::pair_list;
+use privmdr_oracles::{AdaptiveOracle, OraclePolicy};
 use privmdr_util::hash::mix64;
 
 /// What one report group measures.
@@ -26,7 +31,7 @@ pub enum GroupTarget {
     },
 }
 
-/// The public collection plan for one HDG session.
+/// The public collection plan for one grid session (HDG or TDG).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionPlan {
     /// Number of participating users.
@@ -39,20 +44,53 @@ pub struct SessionPlan {
     pub epsilon: f64,
     /// Chosen granularities.
     pub granularities: Granularities,
-    /// Group targets: the `d` 1-D grids then the `(d choose 2)` 2-D grids.
+    /// Group targets: for HDG the `d` 1-D grids then the `(d choose 2)`
+    /// 2-D grids; for TDG the 2-D grids only.
     pub groups: Vec<GroupTarget>,
     /// Seed for the public user→group assignment.
     pub assignment_seed: u64,
+    /// Frequency-oracle policy applied per group (public plan state —
+    /// each group's oracle is determined by this policy and the group's
+    /// randomization domain, so clients and collector always agree).
+    pub oracle: OraclePolicy,
+    /// Estimation approach the session finalizes into.
+    pub approach: ApproachKind,
 }
 
 impl SessionPlan {
-    /// Builds a plan from public parameters using the paper's guideline.
+    /// Builds an OLH/HDG plan from public parameters using the paper's
+    /// guideline — the default mechanism stack.
     pub fn new(
         n: usize,
         d: usize,
         c: usize,
         epsilon: f64,
         assignment_seed: u64,
+    ) -> Result<Self, ProtocolError> {
+        Self::with_mechanism(
+            n,
+            d,
+            c,
+            epsilon,
+            assignment_seed,
+            OraclePolicy::Olh,
+            ApproachKind::Hdg,
+        )
+    }
+
+    /// Builds a plan with an explicit oracle policy and estimation
+    /// approach. HDG plans target `d + (d choose 2)` grids under the HDG
+    /// granularity guideline; TDG plans target the `(d choose 2)` 2-D
+    /// grids only, under the TDG guideline (with `g1` mirroring `g2`,
+    /// since no 1-D grid exists to consult it).
+    pub fn with_mechanism(
+        n: usize,
+        d: usize,
+        c: usize,
+        epsilon: f64,
+        assignment_seed: u64,
+        oracle: OraclePolicy,
+        approach: ApproachKind,
     ) -> Result<Self, ProtocolError> {
         if d < 2 {
             return Err(ProtocolError::BadPlan("need at least 2 attributes".into()));
@@ -65,13 +103,27 @@ impl SessionPlan {
         if !(epsilon > 0.0 && epsilon.is_finite()) {
             return Err(ProtocolError::BadPlan(format!("bad epsilon {epsilon}")));
         }
-        let granularities = choose_granularities(n, d, epsilon, c, &Default::default());
-        let mut groups: Vec<GroupTarget> = (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
-        groups.extend(
-            pair_list(d)
-                .into_iter()
-                .map(|(j, k)| GroupTarget::TwoD { j, k }),
-        );
+        let (granularities, groups) = match approach {
+            ApproachKind::Hdg => {
+                let granularities = choose_granularities(n, d, epsilon, c, &Default::default());
+                let mut groups: Vec<GroupTarget> =
+                    (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
+                groups.extend(
+                    pair_list(d)
+                        .into_iter()
+                        .map(|(j, k)| GroupTarget::TwoD { j, k }),
+                );
+                (granularities, groups)
+            }
+            ApproachKind::Tdg => {
+                let g2 = choose_tdg_granularity(n, d, epsilon, c, &Default::default());
+                let groups = pair_list(d)
+                    .into_iter()
+                    .map(|(j, k)| GroupTarget::TwoD { j, k })
+                    .collect();
+                (Granularities { g1: g2, g2 }, groups)
+            }
+        };
         Ok(SessionPlan {
             n,
             d,
@@ -80,6 +132,8 @@ impl SessionPlan {
             granularities,
             groups,
             assignment_seed,
+            oracle,
+            approach,
         })
     }
 
@@ -105,10 +159,34 @@ impl SessionPlan {
     /// population, the paper's default split σ0 = d / (d + (d choose 2)).
     pub fn group_of(&self, uid: u64) -> u32 {
         debug_assert!(
-            (default_sigma(self.d) - self.d as f64 / self.group_count() as f64).abs() < 1e-12
+            self.approach != ApproachKind::Hdg
+                || (default_sigma(self.d) - self.d as f64 / self.group_count() as f64).abs()
+                    < 1e-12
         );
         let h = mix64(self.assignment_seed ^ uid.wrapping_mul(0xA076_1D64_78BD_642F));
         (h % self.group_count() as u64) as u32
+    }
+
+    /// The frequency oracle a group reports through: the plan's policy
+    /// applied to the group's randomization domain. Built on demand —
+    /// callers constructing many clients should hoist this through
+    /// [`crate::client::ClientFactory`], which does the ε→(p, q) math once
+    /// per group instead of once per client.
+    pub fn group_oracle(&self, group: u32) -> Result<AdaptiveOracle, ProtocolError> {
+        let domain = self.group_domain(group)?;
+        self.oracle
+            .build(self.epsilon, domain)
+            .map_err(|e| ProtocolError::BadPlan(e.to_string()))
+    }
+
+    /// The wire discriminant matching this plan (tagged `Batch`/`Report`
+    /// frames carry it; the collector rejects streams whose tag disagrees
+    /// with its plan).
+    pub fn mechanism_tag(&self) -> MechanismTag {
+        MechanismTag {
+            oracle: self.oracle,
+            approach: self.approach,
+        }
     }
 }
 

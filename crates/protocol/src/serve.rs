@@ -23,30 +23,38 @@
 use crate::wire::{AnswerBatch, QueryBatch};
 use crate::ProtocolError;
 use bytes::{Buf, Bytes};
-use privmdr_core::{Model, ModelSnapshot};
+use privmdr_core::{ApproachKind, Model, ModelSnapshot};
 use privmdr_query::RangeQuery;
 use privmdr_util::par::{par_map, split_chunks};
 
-/// A query-answering service over one restored model snapshot.
+/// A query-answering service over one restored model snapshot (HDG or
+/// TDG — the snapshot's approach discriminant picks the answerer).
 pub struct QueryServer {
     model: Box<dyn Model>,
+    approach: ApproachKind,
     d: usize,
     c: usize,
 }
 
 impl QueryServer {
-    /// Restores the snapshot into an answerer. The snapshot's grids are
-    /// used verbatim (no re-post-processing), so answers are bit-identical
-    /// to the fit the snapshot captured.
+    /// Restores the snapshot into an answerer of the snapshot's approach.
+    /// The snapshot's grids are used verbatim (no re-post-processing), so
+    /// answers are bit-identical to the fit the snapshot captured.
     pub fn new(snapshot: &ModelSnapshot) -> Result<Self, ProtocolError> {
         let model = snapshot
             .to_model()
             .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
         Ok(QueryServer {
             model,
+            approach: snapshot.approach,
             d: snapshot.d,
             c: snapshot.c,
         })
+    }
+
+    /// The estimation approach the restored model answers with.
+    pub fn approach(&self) -> ApproachKind {
+        self.approach
     }
 
     /// Number of attributes the model covers.

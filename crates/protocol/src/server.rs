@@ -1,20 +1,24 @@
 //! The aggregator side: streaming report ingestion and model finalization.
 //!
-//! The collector never stores raw reports: each incoming report updates the
-//! OLH support counters of its group (`O(grid cells)` work through the
-//! shared [`Olh::add_support_batch`] kernel, constant memory), so
-//! arbitrarily large populations stream through in one pass. `finalize`
-//! unbiases the counters into grid frequencies and hands them to
-//! `privmdr-core` for Phase-2 post-processing and query answering.
+//! The collector never stores raw reports: each incoming report updates
+//! the support counters of its group through the group's
+//! [`FrequencyOracle`] — the block-transposed `Olh::add_support_batch`
+//! kernel for OLH groups (`O(grid cells)` per report, constant memory), a
+//! counting pass for GRR groups — so arbitrarily large populations stream
+//! through in one pass. `finalize` unbiases the counters into grid
+//! frequencies and hands them to `privmdr-core` for Phase-2
+//! post-processing and query answering under the plan's approach (HDG or
+//! TDG).
 //!
 //! # Batched + sharded ingestion
 //!
 //! At ~10⁶ reports the support-counting pass dominates the collector, and
 //! it is both batchable and embarrassingly parallel. Batches are first
 //! *partitioned by group* (`partition_by_group`) so each group's reports
-//! form one contiguous `(seed, y)` run, then each run is folded through the
-//! block-transposed batch kernel ([`Olh::add_support_batch`]) instead of
-//! dispatching reports to accumulators one at a time. For the sharded path,
+//! form one contiguous `(seed, y)` run, then each run is folded through
+//! the group oracle's batch kernel
+//! ([`FrequencyOracle::add_support_batch`]) instead of dispatching reports
+//! to accumulators one at a time. For the sharded path,
 //! [`Collector::ingest_batch`] splits a batch into contiguous shards
 //! ([`privmdr_util::par::split_chunks`]), partitions *each shard's chunk*
 //! by group, folds it into a private set of per-group counters on its own
@@ -30,9 +34,9 @@ use crate::plan::{GroupTarget, SessionPlan};
 use crate::wire::{self, Report};
 use crate::ProtocolError;
 use bytes::Buf;
-use privmdr_core::{Hdg, MechanismConfig, Model, ModelSnapshot};
+use privmdr_core::{ApproachKind, Hdg, MechanismConfig, Model, ModelSnapshot, Tdg};
 use privmdr_grid::{Grid1d, Grid2d};
-use privmdr_oracles::olh::Olh;
+use privmdr_oracles::{AdaptiveOracle, FrequencyOracle};
 use privmdr_util::par::{par_map, split_chunks};
 
 /// Splits a report batch into per-group `(seed, y)` runs, preserving
@@ -52,45 +56,43 @@ fn partition_by_group(reports: &[Report], groups: usize) -> Vec<Vec<(u64, u32)>>
     by_group
 }
 
-/// Per-group streaming state.
+/// Per-group streaming state: the group's frequency oracle (selected by
+/// the plan's policy) plus its support counters. All accumulation and
+/// estimation goes through the [`FrequencyOracle`] trait — for OLH groups
+/// that is exactly the PR-4 block-transposed kernel, bit for bit.
 #[derive(Debug, Clone)]
 struct GroupAccumulator {
-    olh: Olh,
+    oracle: AdaptiveOracle,
     supports: Vec<u64>,
     reports: u64,
 }
 
 impl GroupAccumulator {
-    fn new(olh: Olh, cells: usize) -> Self {
+    fn new(oracle: AdaptiveOracle, cells: usize) -> Self {
         GroupAccumulator {
-            olh,
+            oracle,
             supports: vec![0; cells],
             reports: 0,
         }
     }
 
     fn ingest(&mut self, seed: u64, y: u32) {
-        self.olh.add_support(seed, y, &mut self.supports);
-        self.reports += 1;
+        self.ingest_batch(&[(seed, y)]);
     }
 
-    /// Folds a whole group-partitioned batch through the block-transposed
-    /// kernel ([`Olh::add_support_batch`]) — bit-identical to ingesting the
-    /// pairs one at a time, `O(cells)` per report but with the supports
-    /// array streamed once per report block instead of once per report.
+    /// Folds a whole group-partitioned batch through the oracle's support
+    /// kernel (the block-transposed [`privmdr_oracles::Olh`] kernel for
+    /// OLH groups, a counting pass for GRR groups) — bit-identical to
+    /// ingesting the pairs one at a time: support counters are sums of
+    /// per-report `u64` increments, and `u64` adds commute.
     fn ingest_batch(&mut self, pairs: &[(u64, u32)]) {
-        self.olh.add_support_batch(pairs, &mut self.supports);
+        self.oracle.add_support_batch(pairs, &mut self.supports);
         self.reports += pairs.len() as u64;
     }
 
-    /// Unbiased frequency estimates (paper §2.2's OLH estimator).
+    /// Unbiased frequency estimates (the oracle's §2.2 estimator).
     fn estimates(&self) -> Vec<f64> {
-        let n = self.reports.max(1) as f64;
-        let (p, q) = (self.olh.p(), self.olh.q());
-        self.supports
-            .iter()
-            .map(|&s| (s as f64 / n - q) / (p - q))
-            .collect()
+        self.oracle.estimate(&self.supports, self.reports)
     }
 }
 
@@ -108,9 +110,8 @@ impl Collector {
         let mut groups = Vec::with_capacity(plan.group_count());
         for g in 0..plan.group_count() as u32 {
             let domain = plan.group_domain(g)?;
-            let olh = Olh::new(plan.epsilon, domain)
-                .map_err(|e| ProtocolError::BadPlan(e.to_string()))?;
-            groups.push(GroupAccumulator::new(olh, domain));
+            let oracle = plan.group_oracle(g)?;
+            groups.push(GroupAccumulator::new(oracle, domain));
         }
         Ok(Collector {
             plan,
@@ -147,14 +148,25 @@ impl Collector {
         self.ingest_stream_sharded(buf, 1)
     }
 
-    /// Ingests a raw wire buffer (either framing) across `shards` parallel
-    /// shard accumulators; returns how many reports were processed.
+    /// Ingests a raw wire buffer (either framing, tagged or untagged)
+    /// across `shards` parallel shard accumulators; returns how many
+    /// reports were processed. A stream whose mechanism tag disagrees with
+    /// the session plan — e.g. GRR-randomized reports arriving at an OLH
+    /// session — is rejected before any counter is touched (untagged
+    /// frames imply OLH/HDG).
     pub fn ingest_stream_sharded(
         &mut self,
         buf: impl Buf,
         shards: usize,
     ) -> Result<usize, ProtocolError> {
-        let reports = wire::decode_any_stream(buf)?;
+        let (reports, tag) = wire::decode_any_stream_tagged(buf)?;
+        if let Some(tag) = tag {
+            if tag != self.plan.mechanism_tag() {
+                return Err(ProtocolError::Malformed(
+                    "stream mechanism tag does not match the session plan",
+                ));
+            }
+        }
         self.ingest_batch(&reports, shards)
     }
 
@@ -185,17 +197,17 @@ impl Collector {
             }
         } else {
             let chunks = split_chunks(reports, shards);
-            // Olh is Copy; snapshot the per-group mechanisms so shard
-            // closures don't borrow `self`.
-            let olhs: Vec<Olh> = self.groups.iter().map(|g| g.olh).collect();
+            // AdaptiveOracle is Copy; snapshot the per-group oracles so
+            // shard closures don't borrow `self`.
+            let oracles: Vec<AdaptiveOracle> = self.groups.iter().map(|g| g.oracle).collect();
             let cells: Vec<usize> = self.groups.iter().map(|g| g.supports.len()).collect();
             let partials = par_map(&chunks, |chunk| {
-                let by_group = partition_by_group(chunk, olhs.len());
+                let by_group = partition_by_group(chunk, oracles.len());
                 let mut supports: Vec<Vec<u64>> =
                     cells.iter().map(|&cells| vec![0u64; cells]).collect();
                 let counts: Vec<u64> = by_group.iter().map(|p| p.len() as u64).collect();
-                for ((olh, sup), pairs) in olhs.iter().zip(&mut supports).zip(&by_group) {
-                    olh.add_support_batch(pairs, sup);
+                for ((oracle, sup), pairs) in oracles.iter().zip(&mut supports).zip(&by_group) {
+                    oracle.add_support_batch(pairs, sup);
                 }
                 (supports, counts)
             });
@@ -248,12 +260,33 @@ impl Collector {
         Ok((one_d, two_d))
     }
 
-    /// Finalizes the session into a queryable HDG model.
+    /// Rejects a finalize configuration whose approach disagrees with the
+    /// plan's group structure (a TDG plan collected no 1-D grids, so it
+    /// cannot finalize into HDG, and vice versa).
+    fn check_approach(&self, config: &MechanismConfig) -> Result<(), ProtocolError> {
+        if config.approach != self.plan.approach {
+            return Err(ProtocolError::BadPlan(format!(
+                "finalize approach {} does not match the plan's {}",
+                config.approach, self.plan.approach
+            )));
+        }
+        Ok(())
+    }
+
+    /// Finalizes the session into a queryable model of the plan's approach
+    /// (`config.approach` must agree with the plan). `config.oracle` is a
+    /// *collection-side* setting and is deliberately not validated here:
+    /// the plan's policy already shaped every counter during ingestion,
+    /// and finalization only unbiases through each group's accumulator —
+    /// nothing downstream of the counters consults the policy.
     pub fn finalize(&self, config: MechanismConfig) -> Result<Box<dyn Model>, ProtocolError> {
+        self.check_approach(&config)?;
         let (one_d, two_d) = self.grids()?;
-        Hdg::new(config)
-            .model_from_grids(one_d, two_d)
-            .map_err(|e| ProtocolError::BadPlan(e.to_string()))
+        match config.approach {
+            ApproachKind::Hdg => Hdg::new(config).model_from_grids(one_d, two_d),
+            ApproachKind::Tdg => Tdg::new(config).model_from_grids(self.plan.d, two_d),
+        }
+        .map_err(|e| ProtocolError::BadPlan(e.to_string()))
     }
 
     /// Finalizes the session into a serializable [`ModelSnapshot`] — the
@@ -261,10 +294,13 @@ impl Collector {
     /// same Phase-2 post-processing as [`Self::finalize`], so
     /// `snapshot(..).to_model()` answers bit-identically to `finalize(..)`.
     pub fn snapshot(&self, config: MechanismConfig) -> Result<ModelSnapshot, ProtocolError> {
+        self.check_approach(&config)?;
         let (one_d, two_d) = self.grids()?;
-        Hdg::new(config)
-            .snapshot_from_grids(one_d, two_d)
-            .map_err(|e| ProtocolError::BadPlan(e.to_string()))
+        match config.approach {
+            ApproachKind::Hdg => Hdg::new(config).snapshot_from_grids(one_d, two_d),
+            ApproachKind::Tdg => Tdg::new(config).snapshot_from_grids(self.plan.d, two_d),
+        }
+        .map_err(|e| ProtocolError::BadPlan(e.to_string()))
     }
 }
 
@@ -399,6 +435,101 @@ mod tests {
                 via_legacy.group_state(g).unwrap(),
                 via_batches.group_state(g).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn tdg_session_collects_and_finalizes_end_to_end() {
+        use crate::client::ClientFactory;
+        use privmdr_oracles::OraclePolicy;
+        let plan = SessionPlan::with_mechanism(
+            3_000,
+            3,
+            16,
+            2.0,
+            6,
+            OraclePolicy::Auto,
+            ApproachKind::Tdg,
+        )
+        .unwrap();
+        // A TDG plan has only the (d choose 2) pair groups.
+        assert_eq!(plan.group_count(), 3);
+        let factory = ClientFactory::new(&plan).unwrap();
+        let mut collector = Collector::new(plan.clone()).unwrap();
+        let mut rng = derive_rng(12, &[0]);
+        for uid in 0..3_000u64 {
+            let record = [(uid % 16) as u16, ((uid / 5) % 16) as u16, 3u16];
+            collector
+                .ingest(&factory.client(uid).report(&record, &mut rng).unwrap())
+                .unwrap();
+        }
+        let config = MechanismConfig::default()
+            .with_approach(ApproachKind::Tdg)
+            .with_oracle(OraclePolicy::Auto);
+        let model = collector.finalize(config).unwrap();
+        let q = privmdr_query::RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 15)], 16).unwrap();
+        let full = model.answer(&q);
+        assert!((full - 1.0).abs() < 0.25, "full-domain answer {full}");
+        // The snapshot path restores through the same approach.
+        let snap = collector.snapshot(config).unwrap();
+        assert_eq!(snap.approach, ApproachKind::Tdg);
+        let restored = snap.to_model().unwrap();
+        assert_eq!(restored.answer(&q).to_bits(), model.answer(&q).to_bits());
+        // Finalizing with a mismatched approach is rejected.
+        assert!(collector.finalize(MechanismConfig::default()).is_err());
+    }
+
+    #[test]
+    fn mismatched_stream_tag_is_rejected_before_ingestion() {
+        use privmdr_oracles::OraclePolicy;
+        let plan = SessionPlan::new(1_000, 3, 16, 1.0, 2).unwrap(); // OLH/HDG
+        let mut collector = Collector::new(plan).unwrap();
+        let reports = vec![
+            Report {
+                group: 0,
+                seed: 0,
+                y: 1,
+            };
+            5
+        ];
+        let mut buf = BytesMut::new();
+        crate::wire::Batch::tagged(
+            reports,
+            crate::wire::MechanismTag {
+                oracle: OraclePolicy::Grr,
+                approach: ApproachKind::Hdg,
+            },
+        )
+        .encode(&mut buf);
+        assert!(matches!(
+            collector.ingest_stream(buf.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        assert_eq!(collector.report_count(), 0);
+    }
+
+    #[test]
+    fn client_factory_reports_match_client_new_exactly() {
+        use crate::client::{Client, ClientFactory};
+        use privmdr_oracles::OraclePolicy;
+        for (oracle, approach) in [
+            (OraclePolicy::Olh, ApproachKind::Hdg),
+            (OraclePolicy::Grr, ApproachKind::Hdg),
+            (OraclePolicy::Auto, ApproachKind::Tdg),
+        ] {
+            let plan = SessionPlan::with_mechanism(2_000, 3, 16, 1.0, 9, oracle, approach).unwrap();
+            let factory = ClientFactory::new(&plan).unwrap();
+            for uid in 0..100u64 {
+                let record = [(uid % 16) as u16, 5, 9];
+                let mut rng_a = derive_rng(uid, &[1]);
+                let mut rng_b = derive_rng(uid, &[1]);
+                let via_new = Client::new(&plan, uid)
+                    .unwrap()
+                    .report(&record, &mut rng_a)
+                    .unwrap();
+                let via_factory = factory.client(uid).report(&record, &mut rng_b).unwrap();
+                assert_eq!(via_new, via_factory, "uid {uid} diverges");
+            }
         }
     }
 

@@ -28,6 +28,23 @@
 //! byte is [`WIRE_VERSION`]), so a stream of frames is self-describing:
 //! the decoder peeks one byte to tell the two framings apart.
 //!
+//! # Mechanism discriminant (wire version 2)
+//!
+//! Sessions are no longer hardwired to OLH/HDG, so the report-carrying
+//! frames gain a version-2 form that carries a [`MechanismTag`] — the
+//! session's oracle policy and estimation approach — right after the
+//! version byte. Version-1 frames remain decodable and *imply* the
+//! default tag (OLH/HDG), so pre-existing streams keep their meaning;
+//! encoders emit version 1 whenever the tag is the default, keeping the
+//! OLH/HDG byte stream bit-identical to earlier releases. A standalone
+//! tagged report is 19 bytes (`ver:2, oracle:u8, approach:u8, body`); a
+//! tagged batch header is 8 bytes (`0xB1, ver:2, oracle:u8, approach:u8,
+//! count:u32`). Decoders reject unknown discriminant values, and the
+//! tagged stream decoders additionally reject streams whose frames
+//! disagree with each other — the collector then checks the stream's tag
+//! against its plan, so a GRR stream can never be mis-aggregated by an
+//! OLH session (or vice versa).
+//!
 //! # Query-serving frames
 //!
 //! The read path adds three more tag-versioned frames, all following the
@@ -48,22 +65,104 @@
 use crate::ProtocolError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use privmdr_core::snapshot::{validate_shape, ModelSnapshot};
-use privmdr_core::EstimatorKind;
+use privmdr_core::{ApproachKind, EstimatorKind};
 use privmdr_grid::guideline::Granularities;
 use privmdr_grid::pairs::pair_count;
+use privmdr_oracles::OraclePolicy;
 use privmdr_query::RangeQuery;
 
-/// Wire protocol version byte.
+/// Wire protocol version byte (untagged frames: OLH/HDG implied).
 pub const WIRE_VERSION: u8 = 1;
+/// Wire version byte of mechanism-tagged frames.
+pub const WIRE_VERSION_TAGGED: u8 = 2;
 /// Encoded size of one standalone report.
 pub const REPORT_LEN: usize = 17;
+/// Encoded size of one standalone mechanism-tagged report.
+pub const TAGGED_REPORT_LEN: usize = 19;
 /// First byte of a [`Batch`] frame; distinct from [`WIRE_VERSION`] so the
 /// two framings coexist in one stream.
 pub const BATCH_TAG: u8 = 0xB1;
 /// Encoded size of a batch header (tag, version, count).
 pub const BATCH_HEADER_LEN: usize = 6;
+/// Encoded size of a mechanism-tagged batch header (tag, version, oracle,
+/// approach, count).
+pub const TAGGED_BATCH_HEADER_LEN: usize = 8;
 /// Encoded size of one report body inside a batch (no version byte).
 pub const REPORT_BODY_LEN: usize = 16;
+
+/// The session-mechanism discriminant carried by version-2 frames: which
+/// frequency-oracle policy randomized the reports and which estimation
+/// approach the session finalizes into. Version-1 frames imply
+/// [`MechanismTag::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MechanismTag {
+    /// The session's frequency-oracle policy.
+    pub oracle: OraclePolicy,
+    /// The session's estimation approach.
+    pub approach: ApproachKind,
+}
+
+/// The one place the `OraclePolicy` wire byte is defined — every frame
+/// that carries the discriminant encodes and decodes through this pair.
+fn oracle_wire_byte(oracle: OraclePolicy) -> u8 {
+    match oracle {
+        OraclePolicy::Olh => 0,
+        OraclePolicy::Grr => 1,
+        OraclePolicy::Auto => 2,
+    }
+}
+
+fn oracle_from_wire_byte(byte: u8) -> Result<OraclePolicy, ProtocolError> {
+    match byte {
+        0 => Ok(OraclePolicy::Olh),
+        1 => Ok(OraclePolicy::Grr),
+        2 => Ok(OraclePolicy::Auto),
+        _ => Err(ProtocolError::Malformed("unknown oracle discriminant")),
+    }
+}
+
+/// The one place the `ApproachKind` wire byte is defined (the snapshot
+/// frame and [`MechanismTag`] both go through this pair).
+fn approach_wire_byte(approach: ApproachKind) -> u8 {
+    match approach {
+        ApproachKind::Hdg => 0,
+        ApproachKind::Tdg => 1,
+    }
+}
+
+fn approach_from_wire_byte(byte: u8) -> Result<ApproachKind, ProtocolError> {
+    match byte {
+        0 => Ok(ApproachKind::Hdg),
+        1 => Ok(ApproachKind::Tdg),
+        _ => Err(ProtocolError::Malformed("unknown approach discriminant")),
+    }
+}
+
+impl MechanismTag {
+    /// The tag version-1 frames imply: OLH reports, HDG estimation.
+    pub const DEFAULT: MechanismTag = MechanismTag {
+        oracle: OraclePolicy::Olh,
+        approach: ApproachKind::Hdg,
+    };
+
+    /// Whether this is the implied default (and so encodes as version 1).
+    pub fn is_default(&self) -> bool {
+        *self == Self::DEFAULT
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(oracle_wire_byte(self.oracle));
+        buf.put_u8(approach_wire_byte(self.approach));
+    }
+
+    /// Decodes the two discriminant bytes; the caller must have checked
+    /// that they are present.
+    fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        let oracle = oracle_from_wire_byte(buf.get_u8())?;
+        let approach = approach_from_wire_byte(buf.get_u8())?;
+        Ok(MechanismTag { oracle, approach })
+    }
+}
 
 /// One user's randomized report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,33 +192,79 @@ impl Report {
         buf.freeze()
     }
 
-    /// Decodes one report from the front of `buf`, advancing it.
-    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
-        if buf.remaining() < REPORT_LEN {
-            return Err(ProtocolError::Malformed("truncated report"));
+    /// Appends the mechanism-tagged encoding to `buf`. Like
+    /// [`Batch::tagged`], the default tag canonicalizes to the version-1
+    /// form — an OLH/HDG stream is the same bytes however it is built.
+    pub fn encode_tagged(&self, tag: &MechanismTag, buf: &mut BytesMut) {
+        if tag.is_default() {
+            return self.encode(buf);
         }
-        let version = buf.get_u8();
-        if version != WIRE_VERSION {
-            return Err(ProtocolError::Malformed("unsupported wire version"));
-        }
-        let group = buf.get_u32_le();
-        let seed = buf.get_u64_le();
-        let y = buf.get_u32_le();
-        Ok(Report { group, seed, y })
+        buf.reserve(TAGGED_REPORT_LEN);
+        buf.put_u8(WIRE_VERSION_TAGGED);
+        tag.encode(buf);
+        self.encode_body(buf);
     }
 
-    /// Decodes a whole stream of concatenated reports.
-    pub fn decode_stream(mut buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
-        if !buf.remaining().is_multiple_of(REPORT_LEN) {
-            return Err(ProtocolError::Malformed(
-                "stream length not a report multiple",
-            ));
+    /// Decodes one report from the front of `buf`, advancing it. Accepts
+    /// both wire versions; the mechanism tag of a version-2 report is
+    /// validated and discarded (see [`Report::decode_with_tag`]).
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
+        Self::decode_with_tag(buf).map(|(report, _)| report)
+    }
+
+    /// Decodes one report plus its mechanism tag (`None` for version-1
+    /// reports, which imply [`MechanismTag::DEFAULT`]).
+    pub fn decode_with_tag(
+        buf: &mut impl Buf,
+    ) -> Result<(Self, Option<MechanismTag>), ProtocolError> {
+        if !buf.has_remaining() {
+            return Err(ProtocolError::Malformed("truncated report"));
         }
+        match buf.chunk()[0] {
+            WIRE_VERSION => {
+                if buf.remaining() < REPORT_LEN {
+                    return Err(ProtocolError::Malformed("truncated report"));
+                }
+                buf.advance(1);
+                Ok((Report::decode_body(buf), None))
+            }
+            WIRE_VERSION_TAGGED => {
+                if buf.remaining() < TAGGED_REPORT_LEN {
+                    return Err(ProtocolError::Malformed("truncated tagged report"));
+                }
+                buf.advance(1);
+                let tag = MechanismTag::decode(buf)?;
+                Ok((Report::decode_body(buf), Some(tag)))
+            }
+            _ => Err(ProtocolError::Malformed("unsupported wire version")),
+        }
+    }
+
+    /// Decodes a whole stream of concatenated reports (either version).
+    pub fn decode_stream(buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+        Self::decode_stream_tagged(buf).map(|(reports, _)| reports)
+    }
+
+    /// Decodes a stream of concatenated reports plus the stream's
+    /// mechanism tag. Every report must agree on the tag (version-1
+    /// reports imply the default), so a stream has one well-defined
+    /// mechanism; `None` only for an empty stream.
+    pub fn decode_stream_tagged(
+        mut buf: impl Buf,
+    ) -> Result<(Vec<Report>, Option<MechanismTag>), ProtocolError> {
         let mut out = Vec::with_capacity(buf.remaining() / REPORT_LEN);
+        let mut stream_tag: Option<MechanismTag> = None;
         while buf.has_remaining() {
-            out.push(Report::decode(&mut buf)?);
+            let (report, tag) = Report::decode_with_tag(&mut buf)?;
+            let tag = tag.unwrap_or(MechanismTag::DEFAULT);
+            if *stream_tag.get_or_insert(tag) != tag {
+                return Err(ProtocolError::Malformed(
+                    "conflicting mechanism tags in stream",
+                ));
+            }
+            out.push(report);
         }
-        Ok(out)
+        Ok((out, stream_tag))
     }
 
     fn encode_body(&self, buf: &mut BytesMut) {
@@ -142,17 +287,49 @@ impl Report {
 pub struct Batch {
     /// The framed reports, in arrival order.
     pub reports: Vec<Report>,
+    /// The session-mechanism discriminant: `None` encodes as version 1
+    /// (OLH/HDG implied), `Some` as a version-2 tagged frame.
+    pub mechanism: Option<MechanismTag>,
 }
 
 impl Batch {
-    /// Wraps reports into a batch.
+    /// Wraps reports into an untagged (version 1, OLH/HDG) batch.
     pub fn new(reports: Vec<Report>) -> Self {
-        Batch { reports }
+        Batch {
+            reports,
+            mechanism: None,
+        }
     }
 
-    /// Encoded size of a batch holding `count` reports.
+    /// Wraps reports into a mechanism-tagged batch. A default tag is
+    /// normalized away — the tagged and untagged forms of an OLH/HDG
+    /// session are the same value and the same bytes.
+    pub fn tagged(reports: Vec<Report>, tag: MechanismTag) -> Self {
+        Batch {
+            reports,
+            mechanism: (!tag.is_default()).then_some(tag),
+        }
+    }
+
+    /// Encoded size of an untagged batch holding `count` reports (tagged
+    /// frames add `TAGGED_BATCH_HEADER_LEN - BATCH_HEADER_LEN` bytes).
     pub fn encoded_len(count: usize) -> usize {
         BATCH_HEADER_LEN + count * REPORT_BODY_LEN
+    }
+
+    /// The non-default mechanism tag, if any. `encode` canonicalizes
+    /// through this, so a hand-built `mechanism: Some(MechanismTag::
+    /// DEFAULT)` still emits the version-1 bytes.
+    fn effective_mechanism(&self) -> Option<MechanismTag> {
+        self.mechanism.filter(|tag| !tag.is_default())
+    }
+
+    fn wire_len(&self) -> usize {
+        let header = match self.effective_mechanism() {
+            None => BATCH_HEADER_LEN,
+            Some(_) => TAGGED_BATCH_HEADER_LEN,
+        };
+        header + self.reports.len() * REPORT_BODY_LEN
     }
 
     /// Appends the encoded frame to `buf`.
@@ -163,9 +340,15 @@ impl Batch {
     /// prefix is 32-bit); split earlier than that.
     pub fn encode(&self, buf: &mut BytesMut) {
         let count = u32::try_from(self.reports.len()).expect("batch exceeds u32 count prefix");
-        buf.reserve(Self::encoded_len(self.reports.len()));
+        buf.reserve(self.wire_len());
         buf.put_u8(BATCH_TAG);
-        buf.put_u8(WIRE_VERSION);
+        match self.effective_mechanism() {
+            None => buf.put_u8(WIRE_VERSION),
+            Some(tag) => {
+                buf.put_u8(WIRE_VERSION_TAGGED);
+                tag.encode(buf);
+            }
+        }
         buf.put_u32_le(count);
         for r in &self.reports {
             r.encode_body(buf);
@@ -174,14 +357,14 @@ impl Batch {
 
     /// Encodes to a standalone buffer.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(Self::encoded_len(self.reports.len()));
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         self.encode(&mut buf);
         buf.freeze()
     }
 
-    /// Decodes one batch frame from the front of `buf`, advancing it.
-    /// Never panics on truncated or garbage input — every malformed shape
-    /// maps to a [`ProtocolError`].
+    /// Decodes one batch frame (either version) from the front of `buf`,
+    /// advancing it. Never panics on truncated or garbage input — every
+    /// malformed shape maps to a [`ProtocolError`].
     pub fn decode(buf: &mut impl Buf) -> Result<Self, ProtocolError> {
         if buf.remaining() < BATCH_HEADER_LEN {
             return Err(ProtocolError::Malformed("truncated batch header"));
@@ -190,10 +373,18 @@ impl Batch {
         if tag != BATCH_TAG {
             return Err(ProtocolError::Malformed("not a batch frame"));
         }
-        let version = buf.get_u8();
-        if version != WIRE_VERSION {
-            return Err(ProtocolError::Malformed("unsupported wire version"));
-        }
+        let mechanism = match buf.get_u8() {
+            WIRE_VERSION => None,
+            WIRE_VERSION_TAGGED => {
+                // Tag + version are consumed; the tagged header needs the
+                // two discriminant bytes and the count to still be there.
+                if buf.remaining() < TAGGED_BATCH_HEADER_LEN - 2 {
+                    return Err(ProtocolError::Malformed("truncated batch header"));
+                }
+                Some(MechanismTag::decode(buf)?)
+            }
+            _ => return Err(ProtocolError::Malformed("unsupported wire version")),
+        };
         let count = buf.get_u32_le() as usize;
         // The count prefix is attacker-controlled: validate against the
         // actual payload before allocating (division, not multiplication,
@@ -205,39 +396,69 @@ impl Batch {
         for _ in 0..count {
             reports.push(Report::decode_body(buf));
         }
-        Ok(Batch { reports })
+        Ok(Batch { reports, mechanism })
     }
 
     /// Decodes a stream of consecutive batch frames, concatenating their
     /// reports. Trailing bytes after the last complete frame are an error.
-    pub fn decode_stream(mut buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+    pub fn decode_stream(buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+        Self::decode_stream_tagged(buf).map(|(reports, _)| reports)
+    }
+
+    /// Decodes a stream of consecutive batch frames plus the stream's
+    /// mechanism tag. Every frame must agree on the tag (untagged frames
+    /// imply the default); `None` only for an empty stream.
+    pub fn decode_stream_tagged(
+        mut buf: impl Buf,
+    ) -> Result<(Vec<Report>, Option<MechanismTag>), ProtocolError> {
         let mut out = Vec::new();
+        let mut stream_tag: Option<MechanismTag> = None;
         while buf.has_remaining() {
-            out.extend(Batch::decode(&mut buf)?.reports);
+            let batch = Batch::decode(&mut buf)?;
+            let tag = batch.mechanism.unwrap_or(MechanismTag::DEFAULT);
+            if *stream_tag.get_or_insert(tag) != tag {
+                return Err(ProtocolError::Malformed(
+                    "conflicting mechanism tags in stream",
+                ));
+            }
+            out.extend(batch.reports);
         }
-        Ok(out)
+        Ok((out, stream_tag))
     }
 }
 
-/// Decodes a stream in either framing — legacy concatenated 17-byte
-/// reports or length-prefixed [`Batch`] frames — by peeking the first
-/// byte. An empty stream is zero reports in either framing.
+/// Decodes a stream in either framing — concatenated standalone reports
+/// or length-prefixed [`Batch`] frames — by peeking the first byte. An
+/// empty stream is zero reports in either framing.
 pub fn decode_any_stream(buf: impl Buf) -> Result<Vec<Report>, ProtocolError> {
+    decode_any_stream_tagged(buf).map(|(reports, _)| reports)
+}
+
+/// [`decode_any_stream`] plus the stream's mechanism tag: `Some` once the
+/// stream carries at least one frame (untagged frames imply
+/// [`MechanismTag::DEFAULT`]), `None` for an empty stream. The collector
+/// validates the tag against its session plan before aggregating.
+pub fn decode_any_stream_tagged(
+    buf: impl Buf,
+) -> Result<(Vec<Report>, Option<MechanismTag>), ProtocolError> {
     if !buf.has_remaining() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), None));
     }
     if buf.chunk()[0] == BATCH_TAG {
-        Batch::decode_stream(buf)
+        Batch::decode_stream_tagged(buf)
     } else {
-        Report::decode_stream(buf)
+        Report::decode_stream_tagged(buf)
     }
 }
 
 /// First byte of an encoded [`ModelSnapshot`] frame.
 pub const SNAPSHOT_TAG: u8 = 0xC5;
-/// Encoded size of a snapshot header (tag, version, shape, estimation
-/// settings); the payload is raw `f64` bits.
+/// Encoded size of a version-1 (HDG) snapshot header (tag, version, shape,
+/// estimation settings); the payload is raw `f64` bits.
 pub const SNAPSHOT_HEADER_LEN: usize = 41;
+/// Encoded size of a version-2 snapshot header: version 1 plus the
+/// approach discriminant byte right after the version byte.
+pub const TAGGED_SNAPSHOT_HEADER_LEN: usize = 42;
 /// First byte of a [`QueryBatch`] frame.
 pub const QUERY_BATCH_TAG: u8 = 0xD7;
 /// Encoded size of a query-batch header (tag, version, domain, count).
@@ -249,14 +470,21 @@ pub const ANSWER_BATCH_TAG: u8 = 0xA7;
 /// Encoded size of an answer-batch header (tag, version, count).
 pub const ANSWER_BATCH_HEADER_LEN: usize = 6;
 
-/// Encoded size of a snapshot frame for the given shape.
+/// Encoded size of a snapshot frame for the given shape and approach
+/// (HDG frames carry `d` 1-D vectors, TDG frames none).
 pub fn snapshot_encoded_len(snap: &ModelSnapshot) -> usize {
     let Granularities { g1, g2 } = snap.granularities;
-    SNAPSHOT_HEADER_LEN + (snap.d * g1 + pair_count(snap.d) * g2 * g2) * 8
+    let (header, n1) = match snap.approach {
+        ApproachKind::Hdg => (SNAPSHOT_HEADER_LEN, snap.d),
+        ApproachKind::Tdg => (TAGGED_SNAPSHOT_HEADER_LEN, 0),
+    };
+    header + (n1 * g1 + pair_count(snap.d) * g2 * g2) * 8
 }
 
 /// Appends the encoded snapshot frame to `buf`. Frequencies travel as raw
 /// `f64` bits, so decode reproduces the fit exactly — not approximately.
+/// HDG snapshots encode as version 1 (byte-identical to earlier releases);
+/// TDG snapshots encode as version 2 with the approach discriminant byte.
 ///
 /// # Panics
 ///
@@ -270,7 +498,13 @@ pub fn encode_snapshot(snap: &ModelSnapshot, buf: &mut BytesMut) {
     };
     buf.reserve(snapshot_encoded_len(snap));
     buf.put_u8(SNAPSHOT_TAG);
-    buf.put_u8(WIRE_VERSION);
+    match snap.approach {
+        ApproachKind::Hdg => buf.put_u8(WIRE_VERSION),
+        approach => {
+            buf.put_u8(WIRE_VERSION_TAGGED);
+            buf.put_u8(approach_wire_byte(approach));
+        }
+    }
     buf.put_u16_le(u16::try_from(snap.d).expect("snapshot dimension exceeds u16"));
     buf.put_u32_le(narrow32(snap.c, "domain"));
     buf.put_u32_le(narrow32(snap.granularities.g1, "granularity g1"));
@@ -313,10 +547,17 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<ModelSnapshot, ProtocolErro
     if tag != SNAPSHOT_TAG {
         return Err(ProtocolError::Malformed("not a snapshot frame"));
     }
-    let version = buf.get_u8();
-    if version != WIRE_VERSION {
-        return Err(ProtocolError::Malformed("unsupported wire version"));
-    }
+    let approach = match buf.get_u8() {
+        WIRE_VERSION => ApproachKind::Hdg,
+        WIRE_VERSION_TAGGED => {
+            // Tag + version consumed; the v2 header is one byte longer.
+            if buf.remaining() < TAGGED_SNAPSHOT_HEADER_LEN - 2 {
+                return Err(ProtocolError::Malformed("truncated snapshot header"));
+            }
+            approach_from_wire_byte(buf.get_u8())?
+        }
+        _ => return Err(ProtocolError::Malformed("unsupported wire version")),
+    };
     let d = buf.get_u16_le() as usize;
     let c = buf.get_u32_le() as usize;
     let g1 = buf.get_u32_le() as usize;
@@ -337,16 +578,21 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<ModelSnapshot, ProtocolErro
     // MAX_SNAPSHOT_DOMAIN = 4096), so the expected payload size fits u64
     // comfortably; checking it against the actual remaining bytes before
     // allocating keeps lying headers harmless.
+    let n1 = match approach {
+        ApproachKind::Hdg => d,
+        ApproachKind::Tdg => 0,
+    };
     let m2 = pair_count(d) as u64;
-    let expected = (d as u64) * (g1 as u64) + m2 * (g2 as u64) * (g2 as u64);
+    let expected = (n1 as u64) * (g1 as u64) + m2 * (g2 as u64) * (g2 as u64);
     if ((buf.remaining() / 8) as u64) < expected {
         return Err(ProtocolError::Malformed("snapshot shorter than its shape"));
     }
     let mut take_vec =
         |len: usize| -> Vec<f64> { (0..len).map(|_| f64::from_bits(buf.get_u64_le())).collect() };
-    let one_d: Vec<Vec<f64>> = (0..d).map(|_| take_vec(g1)).collect();
+    let one_d: Vec<Vec<f64>> = (0..n1).map(|_| take_vec(g1)).collect();
     let two_d: Vec<Vec<f64>> = (0..m2 as usize).map(|_| take_vec(g2 * g2)).collect();
-    ModelSnapshot::from_parts(
+    ModelSnapshot::from_parts_for_approach(
+        approach,
         d,
         c,
         Granularities { g1, g2 },
@@ -738,6 +984,152 @@ mod tests {
         lying.put_u32_le(8);
         lying.put_u32_le(u32::MAX);
         assert!(QueryBatch::decode(&mut lying.freeze()).is_err());
+    }
+
+    fn grr_tag() -> MechanismTag {
+        MechanismTag {
+            oracle: OraclePolicy::Grr,
+            approach: ApproachKind::Tdg,
+        }
+    }
+
+    #[test]
+    fn tagged_report_round_trips_and_reports_its_tag() {
+        let r = Report {
+            group: 3,
+            seed: 0,
+            y: 9,
+        };
+        let mut buf = BytesMut::new();
+        r.encode_tagged(&grr_tag(), &mut buf);
+        assert_eq!(buf.len(), TAGGED_REPORT_LEN);
+        let bytes = buf.freeze();
+        let (back, tag) = Report::decode_with_tag(&mut bytes.clone()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(tag, Some(grr_tag()));
+        // Plain decode accepts the tagged form too.
+        assert_eq!(Report::decode(&mut bytes.clone()).unwrap(), r);
+        // An untagged report decodes with no tag.
+        let (_, tag) = Report::decode_with_tag(&mut r.to_bytes().clone()).unwrap();
+        assert_eq!(tag, None);
+    }
+
+    #[test]
+    fn tagged_batch_round_trips_and_default_tag_is_v1_bytes() {
+        let reports = sample_reports(9);
+        let tagged = Batch::tagged(reports.clone(), grr_tag());
+        let bytes = tagged.to_bytes();
+        assert_eq!(
+            bytes.len(),
+            TAGGED_BATCH_HEADER_LEN + reports.len() * REPORT_BODY_LEN
+        );
+        let back = Batch::decode(&mut bytes.clone()).unwrap();
+        assert_eq!(back, tagged);
+        assert_eq!(back.mechanism, Some(grr_tag()));
+
+        // A default tag encodes as version 1 — byte-identical to an
+        // untagged batch, so pure OLH/HDG streams never grow. Standalone
+        // reports canonicalize the same way.
+        let default_tagged = Batch::tagged(reports.clone(), MechanismTag::DEFAULT).to_bytes();
+        assert_eq!(default_tagged, Batch::new(reports.clone()).to_bytes());
+        // ... even when the pub field is set by hand instead of through
+        // the normalizing constructor.
+        let hand_built = Batch {
+            reports: reports.clone(),
+            mechanism: Some(MechanismTag::DEFAULT),
+        };
+        assert_eq!(
+            hand_built.to_bytes(),
+            Batch::new(reports.clone()).to_bytes()
+        );
+        let mut buf = BytesMut::new();
+        reports[0].encode_tagged(&MechanismTag::DEFAULT, &mut buf);
+        assert_eq!(buf.freeze(), reports[0].to_bytes());
+    }
+
+    #[test]
+    fn tagged_frames_reject_malformed_discriminants_and_truncation() {
+        let bytes = Batch::tagged(sample_reports(4), grr_tag()).to_bytes();
+        // Truncated tagged header.
+        assert!(Batch::decode(&mut bytes.slice(..TAGGED_BATCH_HEADER_LEN - 1)).is_err());
+        // Unknown oracle / approach discriminants.
+        for (idx, bad) in [(2usize, 9u8), (3, 7)] {
+            let mut wrong = BytesMut::from(&bytes[..]);
+            wrong[idx] = bad;
+            assert!(Batch::decode(&mut wrong.freeze()).is_err(), "byte {idx}");
+        }
+        // Same for standalone tagged reports.
+        let mut buf = BytesMut::new();
+        sample_reports(1)[0].encode_tagged(&grr_tag(), &mut buf);
+        let bytes = buf.freeze();
+        assert!(Report::decode(&mut bytes.slice(..TAGGED_REPORT_LEN - 1)).is_err());
+        for idx in [1usize, 2] {
+            let mut wrong = BytesMut::from(&bytes[..]);
+            wrong[idx] = 0xEE;
+            assert!(Report::decode(&mut wrong.freeze()).is_err(), "byte {idx}");
+        }
+    }
+
+    #[test]
+    fn streams_with_conflicting_tags_are_rejected() {
+        let mut buf = BytesMut::new();
+        Batch::tagged(sample_reports(3), grr_tag()).encode(&mut buf);
+        Batch::new(sample_reports(2)).encode(&mut buf); // implies DEFAULT
+        assert!(matches!(
+            Batch::decode_stream_tagged(buf.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+
+        // Consistent tagged stream decodes with its tag.
+        let mut buf = BytesMut::new();
+        Batch::tagged(sample_reports(3), grr_tag()).encode(&mut buf);
+        Batch::tagged(sample_reports(2), grr_tag()).encode(&mut buf);
+        let (reports, tag) = decode_any_stream_tagged(buf.freeze()).unwrap();
+        assert_eq!(reports.len(), 5);
+        assert_eq!(tag, Some(grr_tag()));
+
+        // Standalone tagged reports stream the same way.
+        let mut buf = BytesMut::new();
+        for r in sample_reports(4) {
+            r.encode_tagged(&grr_tag(), &mut buf);
+        }
+        let (reports, tag) = decode_any_stream_tagged(buf.freeze()).unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(tag, Some(grr_tag()));
+    }
+
+    #[test]
+    fn tdg_snapshot_frame_round_trips_exactly() {
+        let snap = ModelSnapshot::from_parts_for_approach(
+            ApproachKind::Tdg,
+            3,
+            16,
+            Granularities { g1: 4, g2: 4 },
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-6,
+            80,
+            Vec::new(),
+            (0..3)
+                .map(|p| (0..16).map(|i| (p * 16 + i) as f64 / 500.0).collect())
+                .collect(),
+        )
+        .unwrap();
+        let bytes = snapshot_to_bytes(&snap);
+        assert_eq!(bytes.len(), snapshot_encoded_len(&snap));
+        assert_eq!(bytes[1], WIRE_VERSION_TAGGED);
+        let back = decode_snapshot(&mut bytes.clone()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.approach, ApproachKind::Tdg);
+
+        // Truncated v2 header and unknown approach byte must error.
+        assert!(decode_snapshot(&mut bytes.slice(..TAGGED_SNAPSHOT_HEADER_LEN - 1)).is_err());
+        let mut wrong = BytesMut::from(&bytes[..]);
+        wrong[2] = 9;
+        assert!(decode_snapshot(&mut wrong.freeze()).is_err());
+        // HDG snapshots still encode as version 1.
+        assert_eq!(snapshot_to_bytes(&sample_snapshot())[1], WIRE_VERSION);
     }
 
     #[test]

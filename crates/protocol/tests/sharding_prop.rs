@@ -6,8 +6,8 @@
 //! produces bit-identical estimates.
 
 use bytes::BytesMut;
-use privmdr_core::MechanismConfig;
-use privmdr_protocol::{Batch, Collector, Report, SessionPlan};
+use privmdr_core::{ApproachKind, MechanismConfig};
+use privmdr_protocol::{Batch, Collector, OraclePolicy, Report, SessionPlan};
 use privmdr_query::RangeQuery;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -105,6 +105,98 @@ proptest! {
         let mut sharded = Collector::new(plan).unwrap();
         sharded.ingest_batch(&reports, shards).unwrap();
         assert_same_state(&per_report, &sharded, "partitioned sharded")?;
+    }
+
+    /// The GRR ingestion path: sharded ≡ batched ≡ serial, bit for bit,
+    /// for arbitrary report sets (including out-of-domain `y` values no
+    /// honest GRR client would send), shard counts, and plan shapes —
+    /// extending the OLH invariant above to the second oracle.
+    #[test]
+    fn grr_sharded_equals_serial(
+        d in 2usize..5,
+        c_pow in 2u32..5,
+        eps in 0.3f64..3.0,
+        n_reports in 0usize..240,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let c = 1usize << c_pow;
+        let plan = SessionPlan::with_mechanism(
+            100_000, d, c, eps, seed, OraclePolicy::Grr, ApproachKind::Hdg,
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6172);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+
+        let mut per_report = Collector::new(plan.clone()).unwrap();
+        for r in &reports {
+            per_report.ingest(r).unwrap();
+        }
+        let mut batched = Collector::new(plan.clone()).unwrap();
+        batched.ingest_batch(&reports, 1).unwrap();
+        assert_same_state(&per_report, &batched, "grr batch")?;
+
+        let mut sharded = Collector::new(plan.clone()).unwrap();
+        sharded.ingest_batch(&reports, shards).unwrap();
+        assert_same_state(&per_report, &sharded, "grr sharded")?;
+
+        if n_reports > 0 {
+            let qs = RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c / 2)], c).unwrap();
+            let ms = batched.finalize(MechanismConfig::default()).unwrap();
+            let mh = sharded.finalize(MechanismConfig::default()).unwrap();
+            prop_assert_eq!(
+                ms.answer(&qs).to_bits(),
+                mh.answer(&qs).to_bits(),
+                "grr finalized estimates diverge at {} shards", shards
+            );
+        }
+    }
+
+    /// The auto policy (mixed GRR and OLH groups in one session) and the
+    /// TDG approach both preserve the invariant: sharded ≡ serial for the
+    /// merged state, and the mechanism-tagged wire framing round-trips
+    /// through `ingest_stream_sharded` to the same state.
+    #[test]
+    fn auto_and_tdg_sharded_equal_serial(
+        d in 2usize..5,
+        eps in 0.3f64..2.0,
+        n_reports in 1usize..200,
+        shards in 1usize..9,
+        batch_size in 1usize..64,
+        tdg in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let approach = if tdg { ApproachKind::Tdg } else { ApproachKind::Hdg };
+        let plan = SessionPlan::with_mechanism(
+            60_000, d, 16, eps, seed, OraclePolicy::Auto, approach,
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA070);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+
+        let mut serial = Collector::new(plan.clone()).unwrap();
+        serial.ingest_batch(&reports, 1).unwrap();
+        let mut sharded = Collector::new(plan.clone()).unwrap();
+        sharded.ingest_batch(&reports, shards).unwrap();
+        assert_same_state(&serial, &sharded, "auto batch")?;
+
+        // Same stream through mechanism-tagged wire frames.
+        let mut buf = BytesMut::new();
+        for chunk in reports.chunks(batch_size) {
+            Batch::tagged(chunk.to_vec(), plan.mechanism_tag()).encode(&mut buf);
+        }
+        let mut framed = Collector::new(plan.clone()).unwrap();
+        let n = framed.ingest_stream_sharded(buf.freeze(), shards).unwrap();
+        prop_assert_eq!(n, n_reports);
+        assert_same_state(&serial, &framed, "auto framed stream")?;
+
+        let config = MechanismConfig::default().with_approach(approach);
+        let qs = RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 7)], 16).unwrap();
+        let ms = serial.finalize(config).unwrap();
+        let mh = sharded.finalize(config).unwrap();
+        prop_assert_eq!(
+            ms.answer(&qs).to_bits(),
+            mh.answer(&qs).to_bits(),
+            "auto finalized estimates diverge at {} shards", shards
+        );
     }
 
     /// Splitting the same stream into different batch sizes (wire-framed)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Appends one `privmdr ingest` and one `privmdr serve` benchmark line to
+# the repo-root perf-trajectory files BENCH_ingest.json / BENCH_serve.json
+# (JSON Lines: one machine-readable record per run, oldest first), so
+# throughput can be tracked across PRs.
+#
+# Usage: scripts/bench_trend.sh
+#   Tunables via environment (defaults match the README headline figures):
+#     N=1000000 D=3 C=64 EPS=1.0 SEED=1 QUERIES=10000
+#     SHARDS=        (empty = all available cores)
+#     ORACLE=olh     (olh|grr|auto)   APPROACH=hdg (hdg|tdg)
+#     BIN=           (prebuilt privmdr binary; default: cargo-built release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${N:-1000000}
+D=${D:-3}
+C=${C:-64}
+EPS=${EPS:-1.0}
+SEED=${SEED:-1}
+QUERIES=${QUERIES:-10000}
+SHARDS=${SHARDS:-}
+ORACLE=${ORACLE:-olh}
+APPROACH=${APPROACH:-hdg}
+
+if [ -z "${BIN:-}" ]; then
+    cargo build --release -p privmdr-cli >&2
+    BIN=target/release/privmdr
+fi
+
+common=(--n "$N" --d "$D" --c "$C" --epsilon "$EPS" --seed "$SEED"
+        --oracle "$ORACLE" --approach "$APPROACH" --json)
+if [ -n "$SHARDS" ]; then
+    common+=(--shards "$SHARDS")
+fi
+
+"$BIN" ingest "${common[@]}" | tee -a BENCH_ingest.json
+"$BIN" serve "${common[@]}" --queries "$QUERIES" | tee -a BENCH_serve.json
