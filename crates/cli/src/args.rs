@@ -2,16 +2,19 @@
 
 use std::collections::HashMap;
 
-/// Parsed `--key value` pairs plus bare flags (`--truth`).
+/// Parsed `--key value` pairs, bare flags (`--truth`), and positional
+/// operands (`privmdr merge a.state b.state`).
 #[derive(Debug, Default, Clone)]
 pub struct ParsedArgs {
     values: HashMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl ParsedArgs {
     /// Parses an argument list. A token starting with `--` followed by a
-    /// non-`--` token is a key/value pair; otherwise it is a flag.
+    /// non-`--` token is a key/value pair; a `--` token on its own is a
+    /// flag; anything else is a positional operand.
     pub fn parse(argv: &[String]) -> Self {
         let mut out = ParsedArgs::default();
         let mut i = 0;
@@ -24,10 +27,17 @@ impl ParsedArgs {
                     continue;
                 }
                 out.flags.push(key.to_string());
+            } else {
+                out.positionals.push(token.clone());
             }
             i += 1;
         }
         out
+    }
+
+    /// The positional operands, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// A string value.
@@ -121,5 +131,14 @@ mod tests {
         let a = ParsedArgs::parse(&argv("--truth --verbose"));
         assert!(a.flag("truth"));
         assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn positionals_interleave_with_options() {
+        let a = ParsedArgs::parse(&argv("a.state --out merged.bin b.state c.state --truth"));
+        assert_eq!(a.positionals(), ["a.state", "b.state", "c.state"]);
+        assert_eq!(a.get("out"), Some("merged.bin"));
+        assert!(a.flag("truth"));
+        assert!(ParsedArgs::parse(&argv("--n 5")).positionals().is_empty());
     }
 }

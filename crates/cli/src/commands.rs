@@ -5,8 +5,11 @@ use bytes::BytesMut;
 use privmdr_core::{ApproachKind, Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
 use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
 use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
+use privmdr_protocol::stream::{collector_state_to_bytes, decode_collector_state};
 use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes, AnswerBatch, QueryBatch};
-use privmdr_protocol::{Batch, ClientFactory, Collector, OraclePolicy, QueryServer, SessionPlan};
+use privmdr_protocol::{
+    Batch, ClientFactory, Collector, EpochCollector, OraclePolicy, QueryServer, SessionPlan,
+};
 use privmdr_query::parse::parse_workload;
 use privmdr_query::workload::{true_answers, WorkloadBuilder};
 use privmdr_util::rng::derive_rng;
@@ -119,6 +122,15 @@ pub fn fit_query(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// The CPU parallelism available to this process — recorded next to
+/// `shards` in benchmark lines so a `BENCH_*.json` entry from a 1-core box
+/// is distinguishable from a real multicore run.
+fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// One machine-readable benchmark line for the replay subcommands'
 /// `--json` flag, so runs can be appended to `BENCH_*.json` files and the
 /// perf trajectory tracked across PRs. `unit` is `("reports", count)` or
@@ -138,9 +150,10 @@ fn bench_json_line(cmd: &str, params: &ReplayParams, unit: (&str, usize), secs: 
     } = params;
     format!(
         "{{\"cmd\":\"{cmd}\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
-         \"shards\":{shards},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
+         \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
          \"{what}\":{count},\"secs\":{secs:.6},\
          \"{what}_per_sec\":{:.0}}}\n",
+        available_cpus(),
         count as f64 / secs
     )
 }
@@ -170,11 +183,7 @@ fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
         c: args.require_number("c")?,
         epsilon: args.require_number("epsilon")?,
         seed: args.number("seed")?.unwrap_or(1),
-        shards: args.number("shards")?.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        }),
+        shards: args.number("shards")?.unwrap_or_else(available_cpus),
         spec: parse_spec(args, Some("normal"))?,
         oracle: OraclePolicy::parse(args.get("oracle").unwrap_or("olh"))
             .map_err(|e| format!("--oracle: {e}"))?,
@@ -201,6 +210,12 @@ fn parse_replay_params(args: &ParsedArgs) -> Result<ReplayParams, String> {
 /// `Batch` wire frames (mechanism-tagged when non-default), parallel
 /// sharded support-counting, and a finalized model sanity-checked with a
 /// full-domain query.
+///
+/// `--uid-start`/`--uid-count` replay only that slice of the population
+/// (the plan and dataset still cover all `n` users), so disjoint ranges of
+/// one session can be produced by separate runs and fanned back in via
+/// `privmdr collect`/`merge`. `--emit FILE` additionally writes the
+/// encoded wire stream out for such a `collect` run to consume.
 pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     let params = parse_replay_params(args)?;
     let ReplayParams {
@@ -215,20 +230,33 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         approach,
     } = params;
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(10_000).max(1);
+    let uid_start: usize = args.number::<usize>("uid-start")?.unwrap_or(0);
+    let uid_count: usize = args
+        .number::<usize>("uid-count")?
+        .unwrap_or(n.saturating_sub(uid_start));
+    if uid_start + uid_count > n {
+        return Err(format!(
+            "--uid-start {uid_start} + --uid-count {uid_count} exceeds --n {n}"
+        ));
+    }
+    if uid_count == 0 {
+        return Err("--uid-count must be at least 1".into());
+    }
 
     let plan = SessionPlan::with_mechanism(n, d, c, epsilon, seed, oracle, approach)
         .map_err(|e| e.to_string())?;
     let ds = spec.generate(n, d, c, seed);
 
-    // Client phase: one report per user, framed into length-prefixed
-    // batches. The factory builds each group's oracle once, not per user.
+    // Client phase: one report per user in the replayed range, framed into
+    // length-prefixed batches. The factory builds each group's oracle
+    // once, not per user.
     let factory = ClientFactory::new(&plan).map_err(|e| e.to_string())?;
     let tag = plan.mechanism_tag();
     let mut rng = derive_rng(seed, &[0x1A]);
     let mut buf = BytesMut::new();
-    let mut pending = Vec::with_capacity(batch_size.min(n));
+    let mut pending = Vec::with_capacity(batch_size.min(uid_count));
     let mut frames = 0usize;
-    for uid in 0..n as u64 {
+    for uid in uid_start as u64..(uid_start + uid_count) as u64 {
         let client = factory.client(uid);
         pending.push(
             client
@@ -245,6 +273,11 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         frames += 1;
     }
     let wire_bytes = buf.len();
+    let mut emitted = String::new();
+    if let Some(path) = args.get("emit") {
+        std::fs::write(path, &*buf).map_err(|e| format!("writing {path}: {e}"))?;
+        emitted = format!("emitted wire stream to {path}\n");
+    }
 
     // Server phase (timed): decode the stream and shard the support counting.
     let mut collector = Collector::new(plan.clone()).map_err(|e| e.to_string())?;
@@ -274,16 +307,93 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     Ok(format!(
         "plan: n={n} d={d} c={c} eps={epsilon} oracle={oracle} approach={approach} \
          -> {} groups (g1={}, g2={}x{})\n\
-         encoded {ingested} reports into {frames} batch frames ({wire_bytes} bytes, {:.1} B/report)\n\
+         encoded {ingested} reports (uids {uid_start}..{}) into {frames} batch frames \
+         ({wire_bytes} bytes, {:.1} B/report)\n\
+         {emitted}\
          ingested {ingested} reports with {shards} shard(s) in {secs:.3}s -- {:.0} reports/sec\n\
          full-domain sanity answer: {sanity:.4} (expect ~1)\n",
         plan.group_count(),
         g.g1,
         g.g2,
         g.g2,
+        uid_start + uid_count,
         wire_bytes as f64 / ingested.max(1) as f64,
         ingested as f64 / secs,
     ))
+}
+
+/// Result of replaying a framed query workload through a [`QueryServer`].
+struct WorkloadReplay {
+    lambdas: Vec<usize>,
+    query_count: usize,
+    request_frames: usize,
+    request_bytes: usize,
+    answer_count: usize,
+    secs: f64,
+    sanity: f64,
+}
+
+/// The serving replay shared by every `serve` mode: build a mixed-λ
+/// workload, frame it into `QueryBatch` requests, answer across the shards
+/// (timed — the figure is server throughput; response decoding happens
+/// after the clock stops), and sanity-check the answers.
+fn replay_workload(
+    server: &QueryServer,
+    d: usize,
+    c: usize,
+    seed: u64,
+    count: usize,
+    batch_size: usize,
+    shards: usize,
+) -> Result<WorkloadReplay, String> {
+    // Client phase: a mixed-λ workload, framed into QueryBatch requests.
+    let wl = WorkloadBuilder::new(d, c, seed);
+    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
+    let per = count.div_ceil(lambdas.len());
+    let mut queries = Vec::with_capacity(count);
+    for &lambda in &lambdas {
+        queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
+    }
+    let requests: Vec<bytes::Bytes> = queries
+        .chunks(batch_size)
+        .map(|chunk| QueryBatch::new(c, chunk.to_vec()).to_bytes())
+        .collect();
+    let request_bytes: usize = requests.iter().map(|r| r.len()).sum();
+
+    let start = std::time::Instant::now();
+    let responses: Vec<bytes::Bytes> = requests
+        .iter()
+        .map(|request| server.serve_frame(&mut request.clone(), shards))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut answers = Vec::with_capacity(queries.len());
+    for response in &responses {
+        answers.extend(
+            AnswerBatch::decode(&mut response.clone())
+                .map_err(|e| e.to_string())?
+                .answers,
+        );
+    }
+
+    // Sanity anchors: the full-domain query must sit near 1, and every
+    // answer must at least be finite.
+    let full = privmdr_query::RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c - 1)], c)
+        .map_err(|e| e.to_string())?;
+    let sanity = server.answer_workload(std::slice::from_ref(&full), 1)[0];
+    if let Some(bad) = answers.iter().find(|a| !a.is_finite()) {
+        return Err(format!("non-finite answer {bad} in served workload"));
+    }
+    Ok(WorkloadReplay {
+        lambdas,
+        query_count: queries.len(),
+        request_frames: requests.len(),
+        request_bytes,
+        answer_count: answers.len(),
+        secs,
+        sanity,
+    })
 }
 
 /// `privmdr serve`: fit a model, detach it as a snapshot, ship it across
@@ -293,7 +403,14 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
 /// grids collected through the `--oracle` policy) → `ModelSnapshot` → wire
 /// frame → restored `QueryServer` → `QueryBatch` request frames → sharded
 /// answering → `AnswerBatch` responses, reporting queries/sec.
+///
+/// With `--snapshot FILE` the fit is skipped entirely: the server restores
+/// the wire-framed snapshot a `collect`/`merge` run wrote and replays the
+/// workload against it — the read side of the streaming deployment.
 pub fn serve(args: &ParsedArgs) -> Result<String, String> {
+    if let Some(path) = args.get("snapshot") {
+        return serve_snapshot(args, path);
+    }
     let params = parse_replay_params(args)?;
     let ReplayParams {
         n,
@@ -324,73 +441,218 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     let restored = decode_snapshot(&mut snap_bytes.clone()).map_err(|e| e.to_string())?;
     let server = QueryServer::new(&restored).map_err(|e| e.to_string())?;
 
-    // Client phase: a mixed-λ workload, framed into QueryBatch requests.
-    let wl = WorkloadBuilder::new(d, c, seed);
-    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
-    let per = count.div_ceil(lambdas.len());
-    let mut queries = Vec::with_capacity(count);
-    for &lambda in &lambdas {
-        queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
-    }
-    let requests: Vec<bytes::Bytes> = queries
-        .chunks(batch_size)
-        .map(|chunk| QueryBatch::new(c, chunk.to_vec()).to_bytes())
-        .collect();
-    let request_bytes: usize = requests.iter().map(|r| r.len()).sum();
-
-    // Server phase (timed): decode each request frame, answer it across
-    // the shards, encode the response frame. Client-side response decoding
-    // happens after the clock stops — the figure is server throughput.
-    let start = std::time::Instant::now();
-    let responses: Vec<bytes::Bytes> = requests
-        .iter()
-        .map(|request| server.serve_frame(&mut request.clone(), shards))
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-
-    let mut answers = Vec::with_capacity(queries.len());
-    for response in &responses {
-        answers.extend(
-            AnswerBatch::decode(&mut response.clone())
-                .map_err(|e| e.to_string())?
-                .answers,
-        );
-    }
-
-    // Sanity anchors: the full-domain query must sit near 1, and every
-    // answer must at least be finite.
-    let full = privmdr_query::RangeQuery::from_triples(&[(0, 0, c - 1), (1, 0, c - 1)], c)
-        .map_err(|e| e.to_string())?;
-    let sanity = server.answer_workload(std::slice::from_ref(&full), 1)[0];
-    if let Some(bad) = answers.iter().find(|a| !a.is_finite()) {
-        return Err(format!("non-finite answer {bad} in served workload"));
-    }
+    let r = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
 
     if args.flag("json") {
         return Ok(bench_json_line(
             "serve",
             &params,
-            ("queries", answers.len()),
-            secs,
+            ("queries", r.answer_count),
+            r.secs,
         ));
     }
     let g = snap.granularities;
     Ok(format!(
         "snapshot: d={d} c={c} eps={epsilon} approach={approach} oracle={oracle} \
          (g1={}, g2={}x{}) -- {} bytes over the wire\n\
-         workload: {} queries (lambda in {lambdas:?}) in {} request frames ({request_bytes} bytes)\n\
-         served {} answers with {shards} shard(s) in {secs:.3}s -- {:.0} queries/sec\n\
-         full-domain sanity answer: {sanity:.4} (expect ~1)\n",
+         workload: {} queries (lambda in {:?}) in {} request frames ({} bytes)\n\
+         served {} answers with {shards} shard(s) in {:.3}s -- {:.0} queries/sec\n\
+         full-domain sanity answer: {:.4} (expect ~1)\n",
         g.g1,
         g.g2,
         g.g2,
         snap_bytes.len(),
-        queries.len(),
-        requests.len(),
-        answers.len(),
-        answers.len() as f64 / secs,
+        r.query_count,
+        r.lambdas,
+        r.request_frames,
+        r.request_bytes,
+        r.answer_count,
+        r.secs,
+        r.answer_count as f64 / r.secs,
+        r.sanity,
     ))
+}
+
+/// The `--snapshot FILE` mode of `privmdr serve`: restore a wire-framed
+/// snapshot from disk (d/c/approach come from the frame, so no replay
+/// parameters are needed) and serve the workload against it.
+fn serve_snapshot(args: &ParsedArgs, path: &str) -> Result<String, String> {
+    if args.flag("json") {
+        return Err("--json is not supported with --snapshot (the fit's replay \
+                    parameters are not in the frame)"
+            .into());
+    }
+    let seed: u64 = args.number("seed")?.unwrap_or(1);
+    let shards: usize = args.number("shards")?.unwrap_or_else(available_cpus);
+    let count: usize = args.number::<usize>("queries")?.unwrap_or(10_000).max(1);
+    let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(1_024).max(1);
+
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snap = decode_snapshot(&mut &bytes[..]).map_err(|e| format!("{path}: {e}"))?;
+    let server = QueryServer::new(&snap).map_err(|e| e.to_string())?;
+
+    let r = replay_workload(&server, snap.d, snap.c, seed, count, batch_size, shards)?;
+    let g = snap.granularities;
+    Ok(format!(
+        "restored snapshot from {path}: d={} c={} approach={} (g1={}, g2={}x{}) -- {} bytes\n\
+         workload: {} queries (lambda in {:?}) in {} request frames ({} bytes)\n\
+         served {} answers with {shards} shard(s) in {:.3}s -- {:.0} queries/sec\n\
+         full-domain sanity answer: {:.4} (expect ~1)\n",
+        snap.d,
+        snap.c,
+        snap.approach,
+        g.g1,
+        g.g2,
+        g.g2,
+        bytes.len(),
+        r.query_count,
+        r.lambdas,
+        r.request_frames,
+        r.request_bytes,
+        r.answer_count,
+        r.secs,
+        r.answer_count as f64 / r.secs,
+        r.sanity,
+    ))
+}
+
+/// `privmdr collect`: stream a wire report file (or stdin, `--in -`)
+/// through an [`EpochCollector`], sealing a cumulative snapshot every
+/// `--epoch-every N` reports without halting ingestion, then write the
+/// final collector state (`--state`, the `0xCC` fan-in frame `privmdr
+/// merge` consumes) and/or the cumulative snapshot (`--snapshot`, the
+/// frame `privmdr serve --snapshot` restores).
+///
+/// The plan options (`--n --d --c --epsilon --seed --oracle --approach`)
+/// must match the session that produced the stream — the collector rejects
+/// frames whose mechanism tag disagrees.
+pub fn collect(args: &ParsedArgs) -> Result<String, String> {
+    let params = parse_replay_params(args)?;
+    let ReplayParams {
+        n,
+        d,
+        c,
+        epsilon,
+        seed,
+        shards,
+        oracle,
+        approach,
+        ..
+    } = params;
+    let input = args.require("in")?;
+    let bytes = if input == "-" {
+        use std::io::Read;
+        let mut v = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut v)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        v
+    } else {
+        std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?
+    };
+    let epoch_every: u64 = args.number("epoch-every")?.unwrap_or(0);
+
+    let plan = SessionPlan::with_mechanism(n, d, c, epsilon, seed, oracle, approach)
+        .map_err(|e| e.to_string())?;
+    let mut collector = EpochCollector::new(plan).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let start = std::time::Instant::now();
+    let processed = collector
+        .ingest_stream_epochs(
+            &bytes[..],
+            shards,
+            // 0 = never cut mid-stream; the cumulative outputs below still
+            // cover every report.
+            if epoch_every == 0 {
+                u64::MAX
+            } else {
+                epoch_every
+            },
+            |cut| {
+                out.push_str(&format!(
+                    "epoch {}: {} reports sealed ({} cumulative) -> snapshot\n",
+                    cut.epoch, cut.epoch_reports, cut.total_reports
+                ));
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let cumulative = collector.cumulative().map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("state") {
+        std::fs::write(path, collector_state_to_bytes(&cumulative))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("wrote collector state to {path}\n"));
+    }
+    if let Some(path) = args.get("snapshot") {
+        let snap = collector.cumulative_snapshot().map_err(|e| e.to_string())?;
+        std::fs::write(path, snapshot_to_bytes(&snap))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("wrote cumulative snapshot to {path}\n"));
+    }
+    out.push_str(&format!(
+        "collected {processed} reports ({} epochs sealed, {} in flight) \
+         with {shards} shard(s) in {secs:.3}s -- {:.0} reports/sec\n",
+        collector.epochs_cut(),
+        collector.epoch_reports(),
+        processed as f64 / secs,
+    ));
+    Ok(out)
+}
+
+/// `privmdr merge`: fan geographically split collector states back into
+/// one model. Each positional operand is a `0xCC` state file written by
+/// `privmdr collect --state`; the first defines the session plan and every
+/// later one must match it exactly. The merge is commutative u64 addition,
+/// so the result is bit-identical to one collector having ingested every
+/// report (pinned by `protocol/tests/epoch_prop.rs`).
+pub fn merge(args: &ParsedArgs) -> Result<String, String> {
+    let paths = args.positionals();
+    if paths.is_empty() {
+        return Err("merge needs at least one state-file operand".into());
+    }
+    let first = std::fs::read(&paths[0]).map_err(|e| format!("reading {}: {e}", paths[0]))?;
+    let mut merged =
+        decode_collector_state(&mut &first[..]).map_err(|e| format!("{}: {e}", paths[0]))?;
+    let mut out = format!("{}: {} reports\n", paths[0], merged.report_count());
+    for path in &paths[1..] {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let n = merged
+            .merge_state(&mut &bytes[..])
+            .map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("{path}: {n} reports\n"));
+    }
+
+    if let Some(path) = args.get("state") {
+        std::fs::write(path, collector_state_to_bytes(&merged))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("wrote merged state to {path}\n"));
+    }
+    if let Some(path) = args.get("snapshot") {
+        let plan = merged.plan();
+        let config = MechanismConfig::default()
+            .with_approach(plan.approach)
+            .with_oracle(plan.oracle);
+        let snap = merged.snapshot(config).map_err(|e| e.to_string())?;
+        std::fs::write(path, snapshot_to_bytes(&snap))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("wrote merged snapshot to {path}\n"));
+    }
+    let plan = merged.plan();
+    out.push_str(&format!(
+        "merged {} state file(s): {} reports, plan n={} d={} c={} eps={} \
+         oracle={} approach={}\n",
+        paths.len(),
+        merged.report_count(),
+        plan.n,
+        plan.d,
+        plan.c,
+        plan.epsilon,
+        plan.oracle,
+        plan.approach,
+    ));
+    Ok(out)
 }
 
 /// `privmdr guideline`: print the recommended granularities.
@@ -612,12 +874,19 @@ mod tests {
             "\"c\":16",
             "\"epsilon\":2",
             "\"shards\":2",
+            "\"cpus\":",
             "\"reports\":2000",
             "\"secs\":",
             "\"reports_per_sec\":",
         ] {
             assert!(line.contains(field), "missing {field} in {line}");
         }
+        // The recorded cpu count is the live parallelism, so 1-core runs
+        // are distinguishable from multicore ones.
+        assert!(
+            line.contains(&format!("\"cpus\":{}", available_cpus())),
+            "{line}"
+        );
     }
 
     #[test]
@@ -633,6 +902,7 @@ mod tests {
             "\"n\":2000",
             "\"c\":16",
             "\"shards\":1",
+            "\"cpus\":",
             "\"queries\":200",
             "\"queries_per_sec\":",
         ] {
@@ -679,6 +949,165 @@ mod tests {
         assert!(ingest(&argv("--n 0 --d 3 --c 16 --epsilon 1.0")).is_err());
         assert!(ingest(&argv("--d 3 --c 16 --epsilon 1.0")).is_err()); // no n
         assert!(ingest(&argv("--n 100 --d 3 --c 16 --epsilon 1.0 --spec nosuch")).is_err());
+    }
+
+    #[test]
+    fn collect_merge_serve_streaming_loop_end_to_end() {
+        let dir = std::env::temp_dir().join("privmdr_cli_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        // One 6000-user auto-policy session, produced as two disjoint
+        // uid slices by separate ingest runs.
+        let session = "--n 6000 --d 3 --c 16 --epsilon 1.0 --seed 13 --oracle auto";
+        for (start, file) in [(0, "a.bin"), (3000, "b.bin")] {
+            let out = ingest(&argv(&format!(
+                "{session} --shards 2 --uid-start {start} --uid-count 3000 --emit {}",
+                p(file)
+            )))
+            .unwrap();
+            assert!(
+                out.contains(&format!("uids {start}..{}", start + 3000)),
+                "{out}"
+            );
+            assert!(out.contains("emitted wire stream to"), "{out}");
+        }
+
+        // Collect each slice; the first with mid-stream epoch cuts.
+        let out = collect(&argv(&format!(
+            "{session} --shards 2 --in {} --epoch-every 1000 --state {}",
+            p("a.bin"),
+            p("a.state")
+        )))
+        .unwrap();
+        assert!(
+            out.contains("epoch 3: 1000 reports sealed (3000 cumulative)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("collected 3000 reports (3 epochs sealed, 0 in flight)"),
+            "{out}"
+        );
+        let out = collect(&argv(&format!(
+            "{session} --in {} --state {}",
+            p("b.bin"),
+            p("b.state")
+        )))
+        .unwrap();
+        assert!(out.contains("(0 epochs sealed, 3000 in flight)"), "{out}");
+
+        // Fan the two states into one model.
+        let out = merge(&argv(&format!(
+            "{} {} --state {} --snapshot {}",
+            p("a.state"),
+            p("b.state"),
+            p("merged.state"),
+            p("merged.snap")
+        )))
+        .unwrap();
+        assert!(
+            out.contains("merged 2 state file(s): 6000 reports"),
+            "{out}"
+        );
+        assert!(out.contains("oracle=auto"), "{out}");
+
+        // Exactness across the whole loop: collecting the concatenated
+        // stream in one shot must produce byte-identical state and
+        // snapshot files — merge is commutative u64 addition, nothing else.
+        let mut whole = std::fs::read(p("a.bin")).unwrap();
+        whole.extend(std::fs::read(p("b.bin")).unwrap());
+        std::fs::write(p("whole.bin"), &whole).unwrap();
+        collect(&argv(&format!(
+            "{session} --in {} --state {} --snapshot {}",
+            p("whole.bin"),
+            p("whole.state"),
+            p("whole.snap")
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(p("merged.state")).unwrap(),
+            std::fs::read(p("whole.state")).unwrap(),
+            "merged state diverges from the one-shot collector state"
+        );
+        assert_eq!(
+            std::fs::read(p("merged.snap")).unwrap(),
+            std::fs::read(p("whole.snap")).unwrap(),
+            "merged snapshot diverges from the one-shot snapshot"
+        );
+
+        // Serve the merged snapshot.
+        let out = serve(&argv(&format!(
+            "--snapshot {} --queries 200 --shards 2 --seed 5",
+            p("merged.snap")
+        )))
+        .unwrap();
+        assert!(out.contains("restored snapshot from"), "{out}");
+        assert!(out.contains("served 200 answers with 2 shard(s)"), "{out}");
+        let sanity: f64 = out
+            .lines()
+            .find(|l| l.starts_with("full-domain sanity answer"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn collect_and_merge_validate_inputs() {
+        let dir = std::env::temp_dir().join("privmdr_cli_stream_errs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        // Missing input file, missing operands, and garbage state files
+        // surface as user errors, not panics.
+        assert!(collect(&argv(&format!(
+            "--n 100 --d 3 --c 16 --epsilon 1.0 --in {}",
+            p("nosuch.bin")
+        )))
+        .is_err());
+        assert!(collect(&argv("--n 100 --d 3 --c 16 --epsilon 1.0")).is_err()); // no --in
+        assert!(merge(&argv("--state out.bin")).is_err()); // no operands
+        std::fs::write(p("garbage.state"), b"not a state frame").unwrap();
+        assert!(merge(&argv(&p("garbage.state"))).is_err());
+
+        // Mismatched plans refuse to merge.
+        let session = "--n 400 --d 3 --c 16 --seed 3 --shards 1";
+        for (eps, stream, state) in [(1.0, "e1.bin", "e1.state"), (2.0, "e2.bin", "e2.state")] {
+            ingest(&argv(&format!(
+                "{session} --epsilon {eps} --emit {}",
+                p(stream)
+            )))
+            .unwrap();
+            collect(&argv(&format!(
+                "{session} --epsilon {eps} --in {} --state {}",
+                p(stream),
+                p(state)
+            )))
+            .unwrap();
+        }
+        let err = merge(&argv(&format!("{} {}", p("e1.state"), p("e2.state")))).unwrap_err();
+        assert!(err.contains("different session plans"), "{err}");
+
+        // A stream whose mechanism tag conflicts with the plan is rejected.
+        ingest(&argv(&format!(
+            "{session} --epsilon 1.0 --oracle grr --emit {}",
+            p("grr.bin")
+        )))
+        .unwrap();
+        let err = collect(&argv(&format!(
+            "{session} --epsilon 1.0 --oracle olh --in {}",
+            p("grr.bin")
+        )))
+        .unwrap_err();
+        assert!(err.contains("mechanism tag"), "{err}");
+
+        // uid-range validation.
+        assert!(ingest(&argv(
+            "--n 100 --d 3 --c 16 --epsilon 1.0 --uid-start 90 --uid-count 20"
+        ))
+        .is_err());
+        assert!(ingest(&argv("--n 100 --d 3 --c 16 --epsilon 1.0 --uid-count 0")).is_err());
+        // --json has no replay parameters to record in snapshot mode.
+        assert!(serve(&argv("--snapshot nosuch.snap --json")).is_err());
     }
 
     #[test]

@@ -10,8 +10,14 @@
 //!   sketch, pairwise correlations);
 //! * `ingest` — replay a synthetic report stream through the wire
 //!   protocol's sharded collector and report ingestion throughput.
-//! * `serve` — fit a model, detach it as a wire-framed snapshot, and replay
-//!   a query workload through the sharded query server, reporting
+//! * `collect` — stream a wire report file through the epoch collector,
+//!   sealing cumulative snapshots every `--epoch-every` reports and
+//!   writing the fan-in collector state.
+//! * `merge` — fan split collector-state files back into one model
+//!   (bit-identical to a single collector, by construction).
+//! * `serve` — fit a model (or restore a `--snapshot` written by
+//!   `collect`/`merge`), detach it as a wire-framed snapshot, and replay a
+//!   query workload through the sharded query server, reporting
 //!   queries/sec.
 //!
 //! The logic lives in this library so tests can drive it without spawning
@@ -34,6 +40,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "guideline" => commands::guideline(&parsed),
         "info" => commands::info(&parsed),
         "ingest" => commands::ingest(&parsed),
+        "collect" => commands::collect(&parsed),
+        "merge" => commands::merge(&parsed),
         "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -62,19 +70,34 @@ COMMANDS:
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--oracle olh|grr|auto] [--approach hdg|tdg]
                   [--seed S] [--shards K] [--batch B] [--json]
+                  [--uid-start U] [--uid-count K] [--emit FILE]
+    collect     stream a wire report file through the epoch collector
+                  --in FILE|- --n N --d D --c C --epsilon E
+                  [--oracle O] [--approach A] [--seed S] [--shards K]
+                  [--epoch-every N] [--state FILE] [--snapshot FILE]
+    merge       fan split collector states back into one model
+                  <STATE>... [--state FILE] [--snapshot FILE]
     serve       fit, snapshot, and replay a query workload through the
                 sharded query server (snapshot -> wire -> answers)
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--oracle olh|grr|auto] [--approach hdg|tdg]
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
+                or restore a collect/merge snapshot instead of fitting:
+                  --snapshot FILE [--queries Q] [--batch B] [--shards K]
 
 --oracle picks the per-group frequency oracle (auto applies the paper's
 variance rule per group domain); --approach picks the estimation approach
 the session finalizes into (HDG = 1-D + 2-D grids, TDG = 2-D only).
 
+The streaming loop: `ingest --emit` writes a wire report stream (optionally
+one `--uid-start/--uid-count` slice of the population per run); `collect`
+replays it with epoch cuts and writes the 0xCC collector state; `merge`
+fans split states into one; `serve --snapshot` answers queries from the
+result. Every path is bit-identical to the one-shot fit.
+
 --json makes ingest/serve emit one machine-readable line (throughput, n, d,
-c, shards, oracle, approach) suitable for appending to a BENCH_*.json trend
-file (see scripts/bench_trend.sh).
+c, shards, available cpus, oracle, approach) suitable for appending to a
+BENCH_*.json trend file (see scripts/bench_trend.sh).
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

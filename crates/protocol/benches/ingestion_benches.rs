@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use privmdr_grid::guideline::Granularities;
 use privmdr_oracles::olh::Olh;
 use privmdr_oracles::{FrequencyOracle, Grr};
-use privmdr_protocol::{Batch, Collector, GroupTarget, Report, SessionPlan};
+use privmdr_protocol::{Batch, Collector, EpochCollector, GroupTarget, Report, SessionPlan};
 use privmdr_util::hash::mix64;
 use std::hint::black_box;
 
@@ -142,6 +142,71 @@ fn bench_grr_vs_olh_kernel(c: &mut Criterion) {
     }
 }
 
+/// The streaming overheads on top of plain batch ingestion: ingesting the
+/// same wire stream through `EpochCollector::ingest_stream_epochs` with no
+/// mid-stream cuts (pure drain-and-swap bookkeeping) vs cutting a
+/// cumulative snapshot every 4_000 reports (each cut pays a merge plus a
+/// full finalize), and the cost of fanning two half-streams back in via
+/// the `CollectorState` wire frame.
+fn bench_epoch_streaming(c: &mut Criterion) {
+    let cells = 256usize;
+    let n = 20_000usize;
+    let plan = plan_with_cells(cells);
+    let reports = synthetic_reports(n);
+    let mut wire = bytes::BytesMut::new();
+    for chunk in reports.chunks(10_000) {
+        Batch::new(chunk.to_vec()).encode(&mut wire);
+    }
+    let wire = wire.freeze();
+
+    let mut group = c.benchmark_group(format!("epoch_stream_{cells}cells"));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("no_cuts", |b| {
+        b.iter(|| {
+            let mut collector = EpochCollector::new(plan.clone()).unwrap();
+            collector
+                .ingest_stream_epochs(black_box(wire.clone()), 1, u64::MAX, |_| {})
+                .unwrap();
+            black_box(collector.report_count())
+        })
+    });
+    group.bench_function("cut_every_4000", |b| {
+        b.iter(|| {
+            let mut collector = EpochCollector::new(plan.clone()).unwrap();
+            let mut cuts = 0usize;
+            collector
+                .ingest_stream_epochs(black_box(wire.clone()), 1, 4_000, |cut| {
+                    cuts += 1;
+                    black_box(cut.snapshot);
+                })
+                .unwrap();
+            black_box((collector.report_count(), cuts))
+        })
+    });
+    group.bench_function("fan_in_merge", |b| {
+        let halves: Vec<Collector> = reports
+            .chunks(n / 2)
+            .map(|chunk| {
+                let mut half = Collector::new(plan.clone()).unwrap();
+                half.ingest_batch(chunk, 1).unwrap();
+                half
+            })
+            .collect();
+        let frames: Vec<bytes::Bytes> = halves
+            .iter()
+            .map(privmdr_protocol::collector_state_to_bytes)
+            .collect();
+        b.iter(|| {
+            let mut merged = Collector::new(plan.clone()).unwrap();
+            for frame in &frames {
+                merged.merge_state(&mut black_box(frame.clone())).unwrap();
+            }
+            black_box(merged.report_count())
+        })
+    });
+    group.finish();
+}
+
 fn bench_wire_decode(c: &mut Criterion) {
     let n = 50_000usize;
     let reports = synthetic_reports(n);
@@ -173,6 +238,7 @@ criterion_group!(
     bench_sharded_ingest,
     bench_support_kernel,
     bench_grr_vs_olh_kernel,
+    bench_epoch_streaming,
     bench_wire_decode
 );
 criterion_main!(benches);

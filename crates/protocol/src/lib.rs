@@ -27,6 +27,12 @@
 //!   `privmdr_core::ModelSnapshot` (shipped via the wire frames in
 //!   [`wire`]) and answers framed query batches, sharding each batch
 //!   across threads with answers bit-identical to a serial pass.
+//! * [`stream`] — long-lived deployment shapes: an
+//!   [`stream::EpochCollector`] that cuts cumulative per-epoch snapshots
+//!   without halting ingestion, and a `CollectorState` wire frame (`0xCC`)
+//!   that lets geographically split collectors fan in through
+//!   [`server::Collector::merge`] — both bit-identical to the one-shot
+//!   path by construction.
 //!
 //! The end-to-end path is equivalent to `Hdg::fit` in `SimMode::Exact`
 //! (tests verify the accuracy statistically); the difference is that here
@@ -37,12 +43,17 @@ pub mod client;
 pub mod plan;
 pub mod serve;
 pub mod server;
+pub mod stream;
 pub mod wire;
 
 pub use client::{Client, ClientFactory};
 pub use plan::{GroupTarget, SessionPlan};
 pub use serve::QueryServer;
 pub use server::Collector;
+pub use stream::{
+    collector_state_to_bytes, decode_collector_state, encode_collector_state, EpochCollector,
+    EpochCut,
+};
 pub use wire::{
     decode_any_stream, decode_any_stream_tagged, decode_snapshot, encode_snapshot,
     snapshot_to_bytes, AnswerBatch, Batch, MechanismTag, QueryBatch, Report,

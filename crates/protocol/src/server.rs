@@ -236,6 +236,48 @@ impl Collector {
             .ok_or(ProtocolError::UnknownGroup(group))
     }
 
+    /// Fans another collector's state into this one. Both collectors must
+    /// run the *same* session plan (geometry, ε, seed, oracle policy,
+    /// approach); the merge is then exact by construction — support
+    /// counters are sums of per-report `u64` increments and `u64` adds
+    /// commute, so a K-way split merged in any order is bit-identical to
+    /// one collector having seen every report. On a plan mismatch the
+    /// error leaves `self` untouched.
+    ///
+    /// Counter additions saturate rather than wrap: honest populations sit
+    /// astronomically far below `u64::MAX` (saturation is unreachable, so
+    /// the bit-identity contract is unaffected), but a hostile
+    /// [`crate::stream`] state frame claiming near-`u64::MAX` counts must
+    /// not be able to panic a debug-build collector.
+    pub fn merge(&mut self, other: &Collector) -> Result<(), ProtocolError> {
+        if self.plan != other.plan {
+            return Err(ProtocolError::BadPlan(
+                "cannot merge collectors with different session plans".into(),
+            ));
+        }
+        for (dst, src) in self.groups.iter_mut().zip(&other.groups) {
+            for (d, s) in dst.supports.iter_mut().zip(&src.supports) {
+                *d = d.saturating_add(*s);
+            }
+            dst.reports = dst.reports.saturating_add(src.reports);
+        }
+        self.total_reports = self.total_reports.saturating_add(other.total_reports);
+        Ok(())
+    }
+
+    /// Adds raw per-group counters decoded from a wire state frame
+    /// (`crate::stream`). The caller has already validated the group index
+    /// and counter length against the plan.
+    pub(crate) fn load_group_state(&mut self, group: usize, supports: &[u64], reports: u64) {
+        let acc = &mut self.groups[group];
+        debug_assert_eq!(acc.supports.len(), supports.len());
+        for (d, s) in acc.supports.iter_mut().zip(supports) {
+            *d = d.saturating_add(*s);
+        }
+        acc.reports = acc.reports.saturating_add(reports);
+        self.total_reports = self.total_reports.saturating_add(reports);
+    }
+
     /// Unbiases the per-group counters into the session's raw grids.
     fn grids(&self) -> Result<(Vec<Grid1d>, Vec<Grid2d>), ProtocolError> {
         let g = self.plan.granularities;

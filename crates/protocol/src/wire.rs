@@ -103,8 +103,9 @@ pub struct MechanismTag {
 }
 
 /// The one place the `OraclePolicy` wire byte is defined — every frame
-/// that carries the discriminant encodes and decodes through this pair.
-fn oracle_wire_byte(oracle: OraclePolicy) -> u8 {
+/// that carries the discriminant encodes and decodes through this pair
+/// (including the `CollectorState` frame in [`crate::stream`]).
+pub(crate) fn oracle_wire_byte(oracle: OraclePolicy) -> u8 {
     match oracle {
         OraclePolicy::Olh => 0,
         OraclePolicy::Grr => 1,
@@ -112,7 +113,7 @@ fn oracle_wire_byte(oracle: OraclePolicy) -> u8 {
     }
 }
 
-fn oracle_from_wire_byte(byte: u8) -> Result<OraclePolicy, ProtocolError> {
+pub(crate) fn oracle_from_wire_byte(byte: u8) -> Result<OraclePolicy, ProtocolError> {
     match byte {
         0 => Ok(OraclePolicy::Olh),
         1 => Ok(OraclePolicy::Grr),
@@ -123,14 +124,14 @@ fn oracle_from_wire_byte(byte: u8) -> Result<OraclePolicy, ProtocolError> {
 
 /// The one place the `ApproachKind` wire byte is defined (the snapshot
 /// frame and [`MechanismTag`] both go through this pair).
-fn approach_wire_byte(approach: ApproachKind) -> u8 {
+pub(crate) fn approach_wire_byte(approach: ApproachKind) -> u8 {
     match approach {
         ApproachKind::Hdg => 0,
         ApproachKind::Tdg => 1,
     }
 }
 
-fn approach_from_wire_byte(byte: u8) -> Result<ApproachKind, ProtocolError> {
+pub(crate) fn approach_from_wire_byte(byte: u8) -> Result<ApproachKind, ProtocolError> {
     match byte {
         0 => Ok(ApproachKind::Hdg),
         1 => Ok(ApproachKind::Tdg),

@@ -8,11 +8,17 @@ use privmdr_core::snapshot::ModelSnapshot;
 use privmdr_core::EstimatorKind;
 use privmdr_grid::guideline::Granularities;
 use privmdr_grid::pairs::pair_count;
+use privmdr_protocol::stream::{
+    collector_state_encoded_len, collector_state_to_bytes, decode_collector_state,
+    COLLECTOR_STATE_TAG, COLLECTOR_STATE_VERSION,
+};
 use privmdr_protocol::wire::{
     decode_snapshot, snapshot_encoded_len, snapshot_to_bytes, AnswerBatch, Batch, QueryBatch,
     BATCH_HEADER_LEN, REPORT_BODY_LEN, SNAPSHOT_HEADER_LEN,
 };
-use privmdr_protocol::{decode_any_stream, Report};
+use privmdr_protocol::{
+    decode_any_stream, ApproachKind, Collector, OraclePolicy, Report, SessionPlan,
+};
 use privmdr_query::RangeQuery;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -56,6 +62,39 @@ fn snapshot_from_seed(d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
         two_d,
     )
     .expect("constructed shape is valid")
+}
+
+/// A collector with seed-derived mechanism and arbitrary (not necessarily
+/// honest) ingested reports — the source material for `CollectorState`
+/// frame properties.
+fn collector_from_seed(d: usize, seed: u64) -> Collector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let oracle =
+        [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto][rng.random_range(0..3usize)];
+    let approach = if rng.random() {
+        ApproachKind::Tdg
+    } else {
+        ApproachKind::Hdg
+    };
+    let plan = SessionPlan::with_mechanism(50_000, d, 16, 1.0, seed, oracle, approach).unwrap();
+    let reports: Vec<Report> = (0..rng.random_range(0..160usize))
+        .map(|_| Report {
+            group: rng.random_range(0..plan.group_count() as u32),
+            seed: rng.random(),
+            y: rng.random_range(0..64),
+        })
+        .collect();
+    let mut collector = Collector::new(plan).unwrap();
+    collector.ingest_batch(&reports, 1).unwrap();
+    collector
+}
+
+fn assert_untouched(dst: &Collector, before: &Collector) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dst.report_count(), before.report_count());
+    for g in 0..dst.plan().group_count() as u32 {
+        prop_assert_eq!(dst.group_state(g).unwrap(), before.group_state(g).unwrap());
+    }
+    Ok(())
 }
 
 /// A batch of seed-derived valid queries over domain `c`.
@@ -240,5 +279,89 @@ proptest! {
         let _ = decode_snapshot(&mut bytes.clone());
         let _ = QueryBatch::decode(&mut bytes.clone());
         let _ = AnswerBatch::decode(&mut bytes.clone());
+    }
+
+    /// `CollectorState` frames round-trip *exactly*: the rebuilt plan and
+    /// every group's raw counters are bit-identical to the source, so the
+    /// wire boundary can never perturb a fan-in merge.
+    #[test]
+    fn collector_state_roundtrip_exact(d in 2usize..5, seed in any::<u64>()) {
+        let collector = collector_from_seed(d, seed);
+        let bytes = collector_state_to_bytes(&collector);
+        prop_assert_eq!(bytes.len(), collector_state_encoded_len(&collector));
+        let back = decode_collector_state(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back.plan(), collector.plan());
+        prop_assert_eq!(back.report_count(), collector.report_count());
+        for g in 0..collector.plan().group_count() as u32 {
+            prop_assert_eq!(back.group_state(g).unwrap(), collector.group_state(g).unwrap());
+        }
+    }
+
+    /// Every strict prefix of a valid state frame errors — never a panic,
+    /// never a silently shortened counter set — and a failed `merge_state`
+    /// leaves the destination collector untouched.
+    #[test]
+    fn truncated_collector_state_errors_untouched(
+        d in 2usize..5,
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let collector = collector_from_seed(d, seed);
+        let bytes = collector_state_to_bytes(&collector);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(decode_collector_state(&mut bytes.slice(..cut)).is_err());
+
+        let mut dst = collector.clone();
+        let before = dst.clone();
+        prop_assert!(dst.merge_state(&mut bytes.slice(..cut)).is_err());
+        assert_untouched(&dst, &before)?;
+    }
+
+    /// Arbitrary byte garbage never panics the state decoder; neither does
+    /// a frame that opens with a valid tag + version but lies about its
+    /// shape, group count, or counter lengths — the geometry is validated
+    /// against the rebuilt plan before any counter vector is allocated.
+    #[test]
+    fn collector_state_decoder_never_panics(
+        with_header in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let mut buf = BytesMut::new();
+        if with_header {
+            buf.put_u8(COLLECTOR_STATE_TAG);
+            buf.put_u8(COLLECTOR_STATE_VERSION);
+        }
+        buf.put_slice(&body);
+        let _ = decode_collector_state(&mut buf.freeze());
+    }
+
+    /// A state frame whose mechanism discriminant conflicts with the
+    /// destination's plan — or whose plan geometry differs in any public
+    /// parameter — is rejected with the destination untouched: the frame
+    /// decodes into its *own* plan, and `merge` refuses mismatched plans
+    /// before any counter moves.
+    #[test]
+    fn mismatched_collector_state_rejected_untouched(
+        d in 2usize..5,
+        seed in any::<u64>(),
+        other_seed in any::<u64>(),
+    ) {
+        let src = collector_from_seed(d, seed);
+        let mut dst = collector_from_seed(d, other_seed);
+        prop_assume!(src.plan() != dst.plan());
+        let before = dst.clone();
+        prop_assert!(dst.merge_state(&mut collector_state_to_bytes(&src).clone()).is_err());
+        assert_untouched(&dst, &before)?;
+
+        // Corrupting the mechanism discriminant bytes of a frame aimed at a
+        // matching destination must also reject (either as an unknown
+        // discriminant or as a now-mismatched plan) — never panic, never
+        // partially merge.
+        let mut twin = Collector::new(src.plan().clone()).unwrap();
+        let twin_before = twin.clone();
+        let mut bytes = BytesMut::from(&collector_state_to_bytes(&src)[..]);
+        bytes[2] = bytes[2].wrapping_add(1); // oracle discriminant
+        prop_assert!(twin.merge_state(&mut bytes.freeze()).is_err());
+        assert_untouched(&twin, &twin_before)?;
     }
 }

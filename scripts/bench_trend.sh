@@ -2,7 +2,10 @@
 # Appends one `privmdr ingest` and one `privmdr serve` benchmark line to
 # the repo-root perf-trajectory files BENCH_ingest.json / BENCH_serve.json
 # (JSON Lines: one machine-readable record per run, oldest first), so
-# throughput can be tracked across PRs.
+# throughput can be tracked across PRs. Each record carries a "cpus" field
+# (the parallelism available to the run) next to "shards", so entries from
+# a 1-core box are distinguishable from real multicore runs when reading
+# the trend.
 #
 # Usage: scripts/bench_trend.sh
 #   Tunables via environment (defaults match the README headline figures):
