@@ -4,6 +4,11 @@ use std::collections::HashMap;
 
 /// Parsed `--key value` pairs, bare flags (`--truth`), and positional
 /// operands (`privmdr merge a.state b.state`).
+///
+/// Duplicate options resolve **last-wins**: `--shards 2 --shards 8` means
+/// 8, matching the common shell habit of appending an override to a saved
+/// command line. The resolution lives in [`ParsedArgs::parse`], not in the
+/// accessors, so every lookup sees the same winner.
 #[derive(Debug, Default, Clone)]
 pub struct ParsedArgs {
     values: HashMap<String, String>,
@@ -14,7 +19,8 @@ pub struct ParsedArgs {
 impl ParsedArgs {
     /// Parses an argument list. A token starting with `--` followed by a
     /// non-`--` token is a key/value pair; a `--` token on its own is a
-    /// flag; anything else is a positional operand.
+    /// flag; anything else is a positional operand. A repeated key
+    /// overwrites the earlier value (explicit last-wins).
     pub fn parse(argv: &[String]) -> Self {
         let mut out = ParsedArgs::default();
         let mut i = 0;
@@ -22,6 +28,8 @@ impl ParsedArgs {
             let token = &argv[i];
             if let Some(key) = token.strip_prefix("--") {
                 if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    // Last occurrence wins, deliberately: `insert`
+                    // replaces any earlier value for the key.
                     out.values.insert(key.to_string(), argv[i + 1].clone());
                     i += 2;
                     continue;
@@ -51,21 +59,18 @@ impl ParsedArgs {
             .ok_or_else(|| format!("missing required option --{key}"))
     }
 
-    /// A parsed numeric value (supports `1e6`-style floats for counts).
-    pub fn number<T: FromF64>(&self, key: &str) -> Result<Option<T>, String> {
+    /// A parsed numeric value (supports `1e6`-style floats for counts,
+    /// while integer-typed options reject anything a round-trip through
+    /// `f64` would corrupt — see [`FromArg`]).
+    pub fn number<T: FromArg>(&self, key: &str) -> Result<Option<T>, String> {
         match self.get(key) {
             None => Ok(None),
-            Some(raw) => {
-                let f: f64 = raw
-                    .parse()
-                    .map_err(|_| format!("--{key}: '{raw}' is not a number"))?;
-                Ok(Some(T::from_f64(f)))
-            }
+            Some(raw) => T::from_arg(key, raw).map(Some),
         }
     }
 
     /// A required numeric value.
-    pub fn require_number<T: FromF64>(&self, key: &str) -> Result<T, String> {
+    pub fn require_number<T: FromArg>(&self, key: &str) -> Result<T, String> {
         self.number(key)?
             .ok_or_else(|| format!("missing required option --{key}"))
     }
@@ -76,27 +81,68 @@ impl ParsedArgs {
     }
 }
 
-/// Numeric conversion for CLI values (`--n 1e6` should work for counts).
-pub trait FromF64 {
-    /// Converts from the parsed f64.
-    fn from_f64(f: f64) -> Self;
+/// Largest integer magnitude `f64` represents exactly (2^53). Scientific
+/// notation beyond this cannot name a specific integer, so integer options
+/// reject it rather than silently rounding.
+const EXACT_F64_INT: f64 = 9_007_199_254_740_992.0;
+
+/// Parses one option value for a numeric type.
+///
+/// Floats parse as `f64` directly. Integer types try the native integer
+/// path first (so `--uid-start 18446744073709551615` survives untruncated),
+/// then fall back to the float form for `1e6`-style counts — but only when
+/// the float names an exact integer within `f64`'s 2^53-exact range and the
+/// target type; any lossy value is an error, never a silent round.
+pub trait FromArg: Sized {
+    /// Converts the raw string for option `--{key}`, with a flag-naming
+    /// error on failure.
+    fn from_arg(key: &str, raw: &str) -> Result<Self, String>;
 }
 
-impl FromF64 for f64 {
-    fn from_f64(f: f64) -> Self {
-        f
+impl FromArg for f64 {
+    fn from_arg(key: &str, raw: &str) -> Result<Self, String> {
+        raw.parse()
+            .map_err(|_| format!("--{key}: '{raw}' is not a number"))
     }
 }
 
-impl FromF64 for usize {
-    fn from_f64(f: f64) -> Self {
-        f.max(0.0).round() as usize
+/// The shared integer path: exact native parse, then a lossless-only
+/// float fallback.
+fn int_from_arg<T>(key: &str, raw: &str, max: u64) -> Result<T, String>
+where
+    T: std::str::FromStr + TryFrom<u64>,
+{
+    if let Ok(v) = raw.parse::<T>() {
+        return Ok(v);
+    }
+    let f: f64 = raw
+        .parse()
+        .map_err(|_| format!("--{key}: '{raw}' is not a number"))?;
+    if !f.is_finite() || f < 0.0 || f.fract() != 0.0 {
+        return Err(format!("--{key}: '{raw}' is not a non-negative integer"));
+    }
+    if f > EXACT_F64_INT {
+        return Err(format!(
+            "--{key}: '{raw}' exceeds 2^53 and would lose integer precision; \
+             write the exact integer instead"
+        ));
+    }
+    let v = f as u64;
+    if v > max {
+        return Err(format!("--{key}: '{raw}' is out of range"));
+    }
+    T::try_from(v).map_err(|_| format!("--{key}: '{raw}' is out of range"))
+}
+
+impl FromArg for usize {
+    fn from_arg(key: &str, raw: &str) -> Result<Self, String> {
+        int_from_arg(key, raw, usize::MAX as u64)
     }
 }
 
-impl FromF64 for u64 {
-    fn from_f64(f: f64) -> Self {
-        f.max(0.0).round() as u64
+impl FromArg for u64 {
+    fn from_arg(key: &str, raw: &str) -> Result<Self, String> {
+        int_from_arg(key, raw, u64::MAX)
     }
 }
 
@@ -124,6 +170,57 @@ mod tests {
         assert!(a.require("spec").is_err());
         assert!(a.number::<usize>("n").is_err());
         assert!(a.number::<usize>("absent").unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_options_resolve_last_wins() {
+        let a = ParsedArgs::parse(&argv("--shards 2 --n 10 --shards 8"));
+        assert_eq!(a.require_number::<usize>("shards").unwrap(), 8);
+        assert_eq!(a.require_number::<usize>("n").unwrap(), 10);
+        // Same for string-valued options.
+        let a = ParsedArgs::parse(&argv("--spec ipums --spec uniform"));
+        assert_eq!(a.get("spec"), Some("uniform"));
+    }
+
+    #[test]
+    fn integer_options_keep_full_u64_precision() {
+        // u64::MAX round-trips exactly through the integer path; the old
+        // f64 route would have rounded it to 2^64 and wrapped.
+        let a = ParsedArgs::parse(&argv("--uid-start 18446744073709551615"));
+        assert_eq!(
+            a.require_number::<u64>("uid-start").unwrap(),
+            u64::MAX,
+            "u64::MAX must survive parsing untruncated"
+        );
+        // Just above 2^53, adjacent integers are distinguishable only via
+        // the integer path.
+        let a = ParsedArgs::parse(&argv("--uid-start 9007199254740993"));
+        assert_eq!(
+            a.require_number::<u64>("uid-start").unwrap(),
+            9_007_199_254_740_993
+        );
+    }
+
+    #[test]
+    fn integer_options_reject_lossy_values() {
+        // Scientific notation beyond 2^53 cannot name an exact integer.
+        let a = ParsedArgs::parse(&argv("--n 1e19"));
+        let err = a.require_number::<u64>("n").unwrap_err();
+        assert!(err.contains("--n"), "error must name the flag: {err}");
+        assert!(err.contains("precision"), "error must say why: {err}");
+        // Fractions, negatives, and non-finite values are no better.
+        for bad in ["2.5", "-3", "inf", "nan"] {
+            let a = ParsedArgs::parse(&["--n".to_string(), bad.to_string()]);
+            assert!(
+                a.require_number::<usize>("n").is_err(),
+                "'{bad}' must be rejected for an integer option"
+            );
+        }
+        // Exact float forms still work for counts.
+        let a = ParsedArgs::parse(&argv("--n 2.5e5"));
+        assert_eq!(a.require_number::<usize>("n").unwrap(), 250_000);
+        let a = ParsedArgs::parse(&argv("--n 0"));
+        assert_eq!(a.require_number::<u64>("n").unwrap(), 0);
     }
 
     #[test]

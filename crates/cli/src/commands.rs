@@ -8,7 +8,8 @@ use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, Guid
 use privmdr_protocol::stream::{collector_state_to_bytes, decode_collector_state};
 use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes, AnswerBatch, QueryBatch};
 use privmdr_protocol::{
-    Batch, ClientFactory, Collector, EpochCollector, OraclePolicy, QueryServer, SessionPlan,
+    encode_session_open, encode_session_route, Batch, ClientFactory, Collector, EpochCollector,
+    OraclePolicy, QueryServer, ServedNode, SessionPlan,
 };
 use privmdr_query::parse::parse_workload;
 use privmdr_query::workload::{true_answers, WorkloadBuilder};
@@ -322,6 +323,20 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
+/// The mixed-λ workload every replay subcommand shares: `count` queries
+/// split evenly over λ = 1..=min(d,3) at selectivity 0.5, deterministic in
+/// `seed`.
+fn mixed_queries(d: usize, c: usize, seed: u64, count: usize) -> Vec<privmdr_query::RangeQuery> {
+    let wl = WorkloadBuilder::new(d, c, seed);
+    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
+    let per = count.div_ceil(lambdas.len());
+    let mut queries = Vec::with_capacity(count);
+    for &lambda in &lambdas {
+        queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
+    }
+    queries
+}
+
 /// Result of replaying a framed query workload through a [`QueryServer`].
 struct WorkloadReplay {
     lambdas: Vec<usize>,
@@ -347,13 +362,8 @@ fn replay_workload(
     shards: usize,
 ) -> Result<WorkloadReplay, String> {
     // Client phase: a mixed-λ workload, framed into QueryBatch requests.
-    let wl = WorkloadBuilder::new(d, c, seed);
     let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
-    let per = count.div_ceil(lambdas.len());
-    let mut queries = Vec::with_capacity(count);
-    for &lambda in &lambdas {
-        queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
-    }
+    let queries = mixed_queries(d, c, seed, count);
     let requests: Vec<bytes::Bytes> = queries
         .chunks(batch_size)
         .map(|chunk| QueryBatch::new(c, chunk.to_vec()).to_bytes())
@@ -551,35 +561,57 @@ pub fn collect(args: &ParsedArgs) -> Result<String, String> {
     } else {
         std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?
     };
-    let epoch_every: u64 = args.number("epoch-every")?.unwrap_or(0);
+    // Absent = never cut mid-stream (the cumulative outputs below still
+    // cover every report); an explicit 0 is a user error, named after the
+    // flag rather than surfacing the streaming engine's bare message.
+    let epoch_every: u64 = match args.number("epoch-every")? {
+        Some(0) => {
+            return Err(
+                "--epoch-every must be at least 1 (omit the flag to never cut mid-stream)".into(),
+            )
+        }
+        Some(k) => k,
+        None => u64::MAX,
+    };
+    let session_id: u64 = args.number("session-id")?.unwrap_or(1);
 
     let plan = SessionPlan::with_mechanism(n, d, c, epsilon, seed, oracle, approach)
         .map_err(|e| e.to_string())?;
     let mut collector = EpochCollector::new(plan).map_err(|e| e.to_string())?;
     let mut out = String::new();
+    let mut opens_buf = BytesMut::new();
+    let emit_opens = args.get("opens").is_some();
+    let mut opens_written = 0usize;
     let start = std::time::Instant::now();
     let processed = collector
-        .ingest_stream_epochs(
-            &bytes[..],
-            shards,
-            // 0 = never cut mid-stream; the cumulative outputs below still
-            // cover every report.
-            if epoch_every == 0 {
-                u64::MAX
-            } else {
-                epoch_every
-            },
-            |cut| {
-                out.push_str(&format!(
-                    "epoch {}: {} reports sealed ({} cumulative) -> snapshot\n",
-                    cut.epoch, cut.epoch_reports, cut.total_reports
-                ));
-            },
-        )
+        .ingest_stream_epochs(&bytes[..], shards, epoch_every, |cut| {
+            out.push_str(&format!(
+                "epoch {}: {} reports sealed ({} cumulative) -> snapshot\n",
+                cut.epoch, cut.epoch_reports, cut.total_reports
+            ));
+            if emit_opens {
+                encode_session_open(session_id, &cut.snapshot, &mut opens_buf);
+                opens_written += 1;
+            }
+        })
         .map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64().max(1e-9);
 
     let cumulative = collector.cumulative().map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("opens") {
+        // Reports past the last cut (or a stream too short to cut at all)
+        // still deserve an epoch: close with the cumulative snapshot so
+        // the served session always ends on the full-stream model.
+        if collector.epoch_reports() > 0 || collector.epochs_cut() == 0 {
+            let snap = collector.cumulative_snapshot().map_err(|e| e.to_string())?;
+            encode_session_open(session_id, &snap, &mut opens_buf);
+            opens_written += 1;
+        }
+        std::fs::write(path, &*opens_buf).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!(
+            "wrote {opens_written} session-open frame(s) for session {session_id} to {path}\n"
+        ));
+    }
     if let Some(path) = args.get("state") {
         std::fs::write(path, collector_state_to_bytes(&cumulative))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -653,6 +685,203 @@ pub fn merge(args: &ParsedArgs) -> Result<String, String> {
         plan.approach,
     ));
     Ok(out)
+}
+
+/// Routes one pre-encoded round of `0x5E` session-route frames through
+/// the node `passes` times, returning total answers and elapsed seconds.
+fn drive_rounds(
+    node: &ServedNode,
+    round: &bytes::Bytes,
+    passes: usize,
+) -> Result<(u64, f64), String> {
+    let mut answers = 0u64;
+    let start = std::time::Instant::now();
+    for _ in 0..passes {
+        let stats = node
+            .serve_stream(round.clone(), |_, _| {})
+            .map_err(|e| e.to_string())?;
+        answers += stats.answers;
+    }
+    Ok((answers, start.elapsed().as_secs_f64().max(1e-9)))
+}
+
+/// `privmdr served`: the multi-tenant serving daemon loop. Sessions are
+/// opened from `0x5E` session-open frames — read from file operands (the
+/// output of `collect --opens`), or fitted in-process for `--sessions K`
+/// synthetic tenants with per-session ε / oracle / approach — then a
+/// mixed-λ workload is routed to every open session for `--repeat` passes
+/// through each tenant's LRU answer cache (`--cache-cap`, 0 disables),
+/// reporting cold, warm, and (in synthetic mode) uncached-baseline
+/// queries/sec.
+pub fn served(args: &ParsedArgs) -> Result<String, String> {
+    let cache_cap: usize = args.number("cache-cap")?.unwrap_or(4096);
+    let count: usize = args.number::<usize>("queries")?.unwrap_or(2_000).max(1);
+    // At least one cold and one warm pass, so the cache figures exist.
+    let repeat: usize = args.number::<usize>("repeat")?.unwrap_or(2).max(2);
+
+    if !args.positionals().is_empty() {
+        return served_files(args, cache_cap, count, repeat);
+    }
+
+    let params = parse_replay_params(args)?;
+    let ReplayParams {
+        n,
+        d,
+        c,
+        epsilon,
+        seed,
+        shards,
+        ref spec,
+        oracle,
+        approach,
+    } = params;
+    let sessions: usize = args.number::<usize>("sessions")?.unwrap_or(2).max(1);
+
+    // K tenants with distinct mechanism settings: ε scales per session and
+    // the oracle/approach rotate starting from the requested pair, so the
+    // daemon always hosts mixed snapshot shapes and cache keyspaces.
+    let oracles = [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto];
+    let approaches = [ApproachKind::Hdg, ApproachKind::Tdg];
+    let oracle_base = oracles.iter().position(|o| *o == oracle).unwrap_or(0);
+    let approach_base = approaches.iter().position(|a| *a == approach).unwrap_or(0);
+
+    let mut opens = BytesMut::new();
+    let mut round = BytesMut::new();
+    for i in 0..sessions {
+        let session = i as u64 + 1;
+        let eps_i = epsilon * (1.0 + i as f64 * 0.5);
+        let oracle_i = oracles[(oracle_base + i) % oracles.len()];
+        let approach_i = approaches[(approach_base + i) % approaches.len()];
+        let ds = spec.generate(n, d, c, seed + i as u64);
+        let config = MechanismConfig::default()
+            .with_approach(approach_i)
+            .with_oracle(oracle_i);
+        let snap = match approach_i {
+            ApproachKind::Hdg => Hdg::new(config).snapshot(&ds, eps_i, seed + i as u64),
+            ApproachKind::Tdg => Tdg::new(config).snapshot(&ds, eps_i, seed + i as u64),
+        }
+        .map_err(|e| e.to_string())?;
+        encode_session_open(session, &snap, &mut opens);
+        let queries = mixed_queries(d, c, seed ^ session, count);
+        encode_session_route(session, &QueryBatch::new(c, queries), &mut round);
+    }
+    let (opens, round) = (opens.freeze(), round.freeze());
+
+    let node = ServedNode::new(cache_cap, shards);
+    node.serve_stream(opens.clone(), |_, _| {})
+        .map_err(|e| e.to_string())?;
+    let (cold_answers, cold_secs) = drive_rounds(&node, &round, 1)?;
+    let (warm_answers, warm_secs) = drive_rounds(&node, &round, repeat - 1)?;
+    let totals = node.registry().cache_stats_total();
+
+    // Uncached baseline: the same node shape with caching disabled, so the
+    // warm delta is attributable to the answer cache alone.
+    let baseline = ServedNode::new(0, shards);
+    baseline
+        .serve_stream(opens, |_, _| {})
+        .map_err(|e| e.to_string())?;
+    let (unc_answers, unc_secs) = drive_rounds(&baseline, &round, repeat - 1)?;
+
+    let cold_qps = cold_answers as f64 / cold_secs;
+    let warm_qps = warm_answers as f64 / warm_secs;
+    let unc_qps = unc_answers as f64 / unc_secs;
+
+    if args.flag("json") {
+        return Ok(format!(
+            "{{\"cmd\":\"served\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
+             \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
+             \"sessions\":{sessions},\"cache_cap\":{cache_cap},\
+             \"queries\":{warm_answers},\"secs\":{warm_secs:.6},\
+             \"queries_per_sec\":{warm_qps:.0},\"cold_queries_per_sec\":{cold_qps:.0},\
+             \"uncached_queries_per_sec\":{unc_qps:.0},\
+             \"cache_hits\":{},\"cache_misses\":{}}}\n",
+            available_cpus(),
+            totals.hits,
+            totals.misses,
+        ));
+    }
+    Ok(format!(
+        "served {sessions} session(s): d={d} c={c} base eps={epsilon} (scaled per session), \
+         oracle/approach rotating from {oracle}/{approach}\n\
+         workload: {count} queries per session x {repeat} passes, cache cap {cache_cap}, \
+         {shards} shard(s)\n\
+         cold:     {cold_answers} answers in {cold_secs:.3}s -- {cold_qps:.0} queries/sec\n\
+         warm:     {warm_answers} answers in {warm_secs:.3}s -- {warm_qps:.0} queries/sec \
+         ({} hits / {} misses / {} evictions)\n\
+         uncached: {unc_answers} answers in {unc_secs:.3}s -- {unc_qps:.0} queries/sec\n",
+        totals.hits, totals.misses, totals.evictions,
+    ))
+}
+
+/// The frame-file mode of `privmdr served`: concatenate the operands (the
+/// session-open streams `collect --opens` writes; bare `0xC5` snapshot
+/// files open session 0), replay them through one node, then route a
+/// synthetic workload to every session that ended up open.
+fn served_files(
+    args: &ParsedArgs,
+    cache_cap: usize,
+    count: usize,
+    repeat: usize,
+) -> Result<String, String> {
+    if args.flag("json") {
+        return Err(
+            "--json is not supported with frame-file operands (the fit's replay \
+                    parameters are not in the frames)"
+                .into(),
+        );
+    }
+    let seed: u64 = args.number("seed")?.unwrap_or(1);
+    let shards: usize = args.number("shards")?.unwrap_or_else(available_cpus);
+
+    let node = ServedNode::new(cache_cap, shards);
+    let mut frames = BytesMut::new();
+    for path in args.positionals() {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        frames.extend_from_slice(&bytes);
+    }
+    let stats = node
+        .serve_stream(frames.freeze(), |_, _| {})
+        .map_err(|e| e.to_string())?;
+    let sessions = node.registry().session_ids();
+    if sessions.is_empty() {
+        return Err("no session-open frames in the input (write them with collect --opens)".into());
+    }
+
+    // One mixed-λ workload per open session, sized from its live epoch's
+    // geometry, routed once cold and `--repeat`-1 times warm.
+    let mut round = BytesMut::new();
+    for &s in &sessions {
+        let tenant = node.registry().get(s).expect("listed session exists");
+        let epoch = tenant.current();
+        let (d, c) = (epoch.snapshot.d, epoch.snapshot.c);
+        encode_session_route(
+            s,
+            &QueryBatch::new(c, mixed_queries(d, c, seed ^ s, count)),
+            &mut round,
+        );
+    }
+    let round = round.freeze();
+    let (cold_answers, cold_secs) = drive_rounds(&node, &round, 1)?;
+    let (warm_answers, warm_secs) = drive_rounds(&node, &round, repeat - 1)?;
+    let totals = node.registry().cache_stats_total();
+    Ok(format!(
+        "replayed {} frame file(s): {} open(s) ({} hot-swaps), {} routed batch(es), \
+         {} answer(s)\n\
+         sessions {:?}: {count} queries each, cache cap {cache_cap}, {shards} shard(s)\n\
+         cold: {cold_answers} answers in {cold_secs:.3}s -- {:.0} queries/sec\n\
+         warm: {warm_answers} answers in {warm_secs:.3}s -- {:.0} queries/sec \
+         ({} hits / {} misses)\n",
+        args.positionals().len(),
+        stats.opens,
+        stats.swaps,
+        stats.routes,
+        stats.answers,
+        sessions,
+        cold_answers as f64 / cold_secs,
+        warm_answers as f64 / warm_secs,
+        totals.hits,
+        totals.misses,
+    ))
 }
 
 /// `privmdr guideline`: print the recommended granularities.
@@ -1050,6 +1279,122 @@ mod tests {
             .parse()
             .unwrap();
         assert!((sanity - 1.0).abs() < 0.25, "sanity {sanity}");
+    }
+
+    #[test]
+    fn collect_opens_feeds_served_daemon_end_to_end() {
+        let dir = std::env::temp_dir().join("privmdr_cli_served_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        let session = "--n 3000 --d 3 --c 16 --epsilon 1.0 --seed 21";
+        ingest(&argv(&format!(
+            "{session} --shards 2 --emit {}",
+            p("stream.bin")
+        )))
+        .unwrap();
+
+        // Epochs of 1250 over 3000 reports: two mid-stream cuts plus the
+        // trailing cumulative open covering the 500 in-flight reports.
+        for sid in [3u64, 7] {
+            let out = collect(&argv(&format!(
+                "{session} --shards 2 --in {} --epoch-every 1250 --session-id {sid} --opens {}",
+                p("stream.bin"),
+                p(&format!("opens_{sid}.bin"))
+            )))
+            .unwrap();
+            assert!(
+                out.contains(&format!("wrote 3 session-open frame(s) for session {sid}")),
+                "{out}"
+            );
+        }
+
+        // Two tenants' epoch streams through one daemon: 6 opens, 4 of
+        // which hot-swap a live session; cold misses then pure warm hits.
+        let out = served(&argv(&format!(
+            "{} {} --queries 100 --repeat 3 --cache-cap 256 --seed 9 --shards 2",
+            p("opens_3.bin"),
+            p("opens_7.bin")
+        )))
+        .unwrap();
+        assert!(out.contains("6 open(s) (4 hot-swaps)"), "{out}");
+        assert!(out.contains("sessions [3, 7]: 100 queries each"), "{out}");
+        assert!(out.contains("(400 hits / 200 misses)"), "{out}");
+
+        // A bare 0xC5 snapshot file (no session envelope) opens session 0.
+        collect(&argv(&format!(
+            "{session} --in {} --snapshot {}",
+            p("stream.bin"),
+            p("cumulative.snap")
+        )))
+        .unwrap();
+        let out = served(&argv(&format!(
+            "{} --queries 50 --cache-cap 64",
+            p("cumulative.snap")
+        )))
+        .unwrap();
+        assert!(out.contains("sessions [0]"), "{out}");
+        assert!(out.contains("(50 hits / 50 misses)"), "{out}");
+    }
+
+    #[test]
+    fn served_synthetic_sessions_reports_cached_and_uncached_rates() {
+        let out = served(&argv(
+            "--sessions 2 --n 400 --d 3 --c 16 --epsilon 1.0 --seed 3 --shards 2 \
+             --queries 60 --repeat 2 --cache-cap 128",
+        ))
+        .unwrap();
+        assert!(out.contains("served 2 session(s)"), "{out}");
+        assert!(out.contains("cold:"), "{out}");
+        assert!(
+            out.contains("(120 hits / 120 misses / 0 evictions)"),
+            "{out}"
+        );
+        assert!(out.contains("uncached:"), "{out}");
+
+        let line = served(&argv(
+            "--sessions 2 --n 400 --d 3 --c 16 --epsilon 1.0 --seed 3 --queries 40 --json",
+        ))
+        .unwrap();
+        assert!(line.starts_with("{\"cmd\":\"served\""), "{line}");
+        for field in [
+            "\"sessions\":2",
+            "\"cache_cap\":4096",
+            "\"queries_per_sec\":",
+            "\"cold_queries_per_sec\":",
+            "\"uncached_queries_per_sec\":",
+            "\"cache_hits\":80",
+            "\"cache_misses\":80",
+        ] {
+            assert!(line.contains(field), "{field} missing from {line}");
+        }
+    }
+
+    #[test]
+    fn served_and_collect_epoch_flags_validate_inputs() {
+        let dir = std::env::temp_dir().join("privmdr_cli_served_errs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+
+        // An explicit --epoch-every 0 is rejected by name (absent = never
+        // cut mid-stream, which stays valid).
+        std::fs::write(p("empty.bin"), b"").unwrap();
+        let err = collect(&argv(&format!(
+            "--n 100 --d 3 --c 16 --epsilon 1.0 --epoch-every 0 --in {}",
+            p("empty.bin")
+        )))
+        .unwrap_err();
+        assert!(err.contains("--epoch-every must be at least 1"), "{err}");
+
+        // served: synthetic mode still validates the replay parameters;
+        // file mode needs at least one opened session and refuses --json
+        // (no fit parameters to report).
+        assert!(served(&argv("--sessions 2")).is_err()); // no --n/--d/--c/--epsilon
+        let err = served(&argv(&p("empty.bin"))).unwrap_err();
+        assert!(err.contains("no session-open frames"), "{err}");
+        let err = served(&argv(&format!("{} --json", p("empty.bin")))).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+        std::fs::write(p("garbage.bin"), b"\x5Egarbage").unwrap();
+        assert!(served(&argv(&p("garbage.bin"))).is_err());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   `collect`/`merge`), detach it as a wire-framed snapshot, and replay a
 //!   query workload through the sharded query server, reporting
 //!   queries/sec.
+//! * `served` — the multi-tenant daemon loop: open sessions from `0x5E`
+//!   frame files (`collect --opens`) or fit `--sessions K` synthetic
+//!   tenants, route workloads through per-tenant LRU answer caches with
+//!   epoch hot-swap, reporting cold/warm/uncached queries/sec.
 //!
 //! The logic lives in this library so tests can drive it without spawning
 //! processes; `main.rs` is a thin wrapper.
@@ -43,6 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "collect" => commands::collect(&parsed),
         "merge" => commands::merge(&parsed),
         "serve" => commands::serve(&parsed),
+        "served" => commands::served(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -75,6 +80,7 @@ COMMANDS:
                   --in FILE|- --n N --d D --c C --epsilon E
                   [--oracle O] [--approach A] [--seed S] [--shards K]
                   [--epoch-every N] [--state FILE] [--snapshot FILE]
+                  [--opens FILE] [--session-id S]
     merge       fan split collector states back into one model
                   <STATE>... [--state FILE] [--snapshot FILE]
     serve       fit, snapshot, and replay a query workload through the
@@ -84,6 +90,14 @@ COMMANDS:
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
                 or restore a collect/merge snapshot instead of fitting:
                   --snapshot FILE [--queries Q] [--batch B] [--shards K]
+    served      multi-tenant daemon: sessions -> hot-swapped snapshots ->
+                per-tenant LRU-cached answers (cold/warm/uncached rates)
+                  <FRAMES>... [--seed S] [--shards K]
+                  [--cache-cap N] [--queries Q] [--repeat R]
+                or fit synthetic tenants instead of reading frame files:
+                  --sessions K --n N --d D --c C --epsilon E [--spec S]
+                  [--oracle O] [--approach A] [--seed S] [--shards K]
+                  [--cache-cap N] [--queries Q] [--repeat R] [--json]
 
 --oracle picks the per-group frequency oracle (auto applies the paper's
 variance rule per group domain); --approach picks the estimation approach
@@ -93,9 +107,12 @@ The streaming loop: `ingest --emit` writes a wire report stream (optionally
 one `--uid-start/--uid-count` slice of the population per run); `collect`
 replays it with epoch cuts and writes the 0xCC collector state; `merge`
 fans split states into one; `serve --snapshot` answers queries from the
-result. Every path is bit-identical to the one-shot fit.
+result. Every path is bit-identical to the one-shot fit. With `collect
+--opens FILE` each epoch cut is additionally written as a 0x5E session-open
+frame, ready for `served FILE` to replay as hot-swapped epochs of one
+tenant session.
 
---json makes ingest/serve emit one machine-readable line (throughput, n, d,
+--json makes ingest/serve/served emit one machine-readable line (throughput, n, d,
 c, shards, available cpus, oracle, approach) suitable for appending to a
 BENCH_*.json trend file (see scripts/bench_trend.sh).
 

@@ -24,6 +24,7 @@ use privmdr_grid::response_matrix::{build_response_matrix, ResponseMatrix};
 use privmdr_grid::{Grid1d, Grid2d, PrefixSum2d};
 use privmdr_oracles::partition::{partition_users, proportional_sizes};
 use privmdr_util::rng::derive_rng;
+use privmdr_util::sync::lock_unpoisoned;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -68,7 +69,10 @@ struct HdgAnswerer {
 
 impl HdgAnswerer {
     fn pair_cache(&self, pair_idx: usize) -> Arc<PairCache> {
-        if let Some(cache) = self.caches.lock().expect("poisoned").get(&pair_idx) {
+        // Entries are deterministic and insert-only, so a map poisoned by a
+        // panicking query thread is still valid — recover it rather than
+        // letting one caught panic wedge every later query on the model.
+        if let Some(cache) = lock_unpoisoned(&self.caches).get(&pair_idx) {
             return Arc::clone(cache);
         }
         // Build outside the lock: Algorithm 1 can take milliseconds at
@@ -87,9 +91,7 @@ impl HdgAnswerer {
             grid_prefix: PrefixSum2d::build(&grid.freqs, g2, g2),
             matrix,
         });
-        self.caches
-            .lock()
-            .expect("poisoned")
+        lock_unpoisoned(&self.caches)
             .entry(pair_idx)
             .or_insert(cache)
             .clone()

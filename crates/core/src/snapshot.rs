@@ -265,6 +265,41 @@ impl ModelSnapshot {
         )
     }
 
+    /// A 64-bit digest of everything that determines the snapshot's
+    /// answers: approach, geometry, estimation settings, and every stored
+    /// frequency bit. Equal snapshots always digest equally, so the serving
+    /// tier uses this as a cheap prefilter when deciding whether a
+    /// republished epoch actually changed — but a matching digest is only a
+    /// hint (64 bits can collide); callers needing certainty must follow up
+    /// with full `==` on the snapshots.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut h = 0x9e37_79b9_7f4a_7c15u64;
+        let mut mix = |v: u64| h = privmdr_util::mix64(h ^ v);
+        mix(match self.approach {
+            ApproachKind::Hdg => 1,
+            ApproachKind::Tdg => 2,
+        });
+        mix(self.d as u64);
+        mix(self.c as u64);
+        mix(self.granularities.g1 as u64);
+        mix(self.granularities.g2 as u64);
+        mix(match self.estimator {
+            EstimatorKind::WeightedUpdate => 1,
+            EstimatorKind::MaxEntropy => 2,
+        });
+        mix(self.rm_threshold.to_bits());
+        mix(self.rm_max_iters as u64);
+        mix(self.est_threshold.to_bits());
+        mix(self.est_max_iters as u64);
+        for freqs in self.one_d.iter().chain(self.two_d.iter()) {
+            mix(freqs.len() as u64);
+            for &f in freqs {
+                mix(f.to_bits());
+            }
+        }
+        h
+    }
+
     /// The mechanism configuration a restored answerer runs under. Only the
     /// answering-relevant fields are meaningful: collection-side settings
     /// (sim mode, guideline, post-processing) played their role before the
@@ -529,6 +564,44 @@ mod tests {
         assert!(build(ApproachKind::Tdg, vec![vec![0.25; 4]; 2]).is_err());
         assert!(build(ApproachKind::Hdg, Vec::new()).is_err());
         assert!(build(ApproachKind::Hdg, vec![vec![0.25; 4]; 2]).is_ok());
+    }
+
+    #[test]
+    fn cache_fingerprint_tracks_every_answer_relevant_field() {
+        let g = Granularities { g1: 4, g2: 2 };
+        let base = ModelSnapshot::from_parts(
+            2,
+            16,
+            g,
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-7,
+            100,
+            vec![vec![0.25; 4]; 2],
+            vec![vec![0.25; 4]; 1],
+        )
+        .unwrap();
+        assert_eq!(
+            base.cache_fingerprint(),
+            base.clone().cache_fingerprint(),
+            "equal snapshots must digest equally"
+        );
+        // Flip one frequency bit: the digest must move.
+        let mut tweaked = base.clone();
+        tweaked.two_d[0][3] = 0.25000000000000006;
+        assert_ne!(base.cache_fingerprint(), tweaked.cache_fingerprint());
+        // A settings-only change moves it too.
+        let mut retuned = base.clone();
+        retuned.est_max_iters = 99;
+        assert_ne!(base.cache_fingerprint(), retuned.cache_fingerprint());
+        // Negative zero and positive zero are distinct bit patterns, so a
+        // bitwise-faithful digest must separate them (== on f64 would not).
+        let mut pos = base.clone();
+        pos.one_d[0][0] = 0.0;
+        let mut neg = base;
+        neg.one_d[0][0] = -0.0;
+        assert_ne!(pos.cache_fingerprint(), neg.cache_fingerprint());
     }
 
     #[test]

@@ -75,6 +75,50 @@ fn concurrent_answers_match_serial_bit_for_bit() {
 }
 
 #[test]
+fn caught_panic_in_one_thread_does_not_wedge_the_model() {
+    // A serving daemon catches per-request panics and keeps going; the
+    // shared model must survive that. A query referencing an attribute the
+    // model does not have panics inside the answer path (out-of-bounds pair
+    // lookup) — after catching it, every other thread must still answer
+    // the model's real workload bit-identically to a never-panicked run.
+    let (d, c) = (3usize, 16usize);
+    let ds = DatasetSpec::Normal { rho: 0.6 }.generate(8_000, d, c, 5);
+    let hdg = Hdg::default();
+    let queries = workload(d, c);
+    let reference: Vec<f64> = hdg.fit(&ds, 1.0, 3).unwrap().answer_all(&queries);
+
+    let shared = hdg.fit(&ds, 1.0, 3).unwrap();
+    // `RangeQuery` validates intervals, not attribute indices — the model's
+    // dimensionality is not known at construction time — so an
+    // out-of-range attribute is exactly the malformed input a buggy router
+    // could hand a tenant's model.
+    let oob = RangeQuery::from_triples(&[(d + 3, 0, 1), (d + 4, 0, 1)], c).unwrap();
+    std::thread::scope(|scope| {
+        let panicker = scope.spawn(|| {
+            let shared = &shared;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.answer(&oob);
+            }));
+            assert!(caught.is_err(), "out-of-range attribute should panic");
+        });
+        assert!(panicker.join().is_ok());
+        // Both a thread that raced the panic and threads started after it
+        // must keep answering; a poisoned-and-propagated cache lock would
+        // panic every one of them.
+        for _ in 0..4 {
+            let shared = &shared;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (q, r) in queries.iter().zip(reference) {
+                    assert_eq!(shared.answer(q).to_bits(), r.to_bits(), "query {q}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn snapshot_restored_model_is_equally_thread_safe() {
     // The serving path restores models from snapshots; the restored
     // answerer shares the same cache machinery and must behave identically

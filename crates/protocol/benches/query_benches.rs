@@ -9,13 +9,16 @@
 //! collapse to the serial figure). λ = 1 and 2 are direct grid lookups;
 //! λ = 3 pays the Algorithm-2 estimation loop per query.
 
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use privmdr_core::snapshot::ModelSnapshot;
 use privmdr_core::EstimatorKind;
 use privmdr_grid::guideline::Granularities;
 use privmdr_grid::pairs::pair_count;
 use privmdr_protocol::wire::{decode_snapshot, snapshot_to_bytes};
-use privmdr_protocol::{AnswerBatch, QueryBatch, QueryServer};
+use privmdr_protocol::{
+    encode_session_open, encode_session_route, AnswerBatch, QueryBatch, QueryServer, ServedNode,
+};
 use privmdr_query::workload::WorkloadBuilder;
 use std::hint::black_box;
 
@@ -119,5 +122,46 @@ fn bench_serving_wire(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharded_serving, bench_serving_wire);
+/// The multi-tenant serving tier on a repeated-query workload: one session
+/// routed the same λ=2 batch through `ServedNode`, with the per-tenant LRU
+/// answer cache warm versus disabled. The cached figure should sit well
+/// above the uncached one — a warm pass is a key build + one locked LRU
+/// probe per query, no grid arithmetic.
+fn bench_served_tier(c: &mut Criterion) {
+    let snap = bench_snapshot();
+    let n_queries = 4_000usize;
+    let queries = WorkloadBuilder::new(snap.d, snap.c, 59).random(2, 0.5, n_queries);
+    let mut round = BytesMut::new();
+    encode_session_route(9, &QueryBatch::new(snap.c, queries), &mut round);
+    let round = round.freeze();
+
+    let mut group = c.benchmark_group("served");
+    group.throughput(Throughput::Elements(n_queries as u64));
+    for (name, cap) in [("uncached", 0usize), ("cached_warm", 8192)] {
+        let node = ServedNode::new(cap, 1);
+        let mut open = BytesMut::new();
+        encode_session_open(9, &snap, &mut open);
+        node.serve_stream(open.freeze(), |_, _| {}).unwrap();
+        // One pass outside the clock: populates the lazily-built
+        // response-matrix caches (both modes) and fills the answer cache
+        // (cached mode), so the loop measures steady state.
+        node.serve_stream(round.clone(), |_, _| {}).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    node.serve_stream(black_box(round.clone()), |_, _| {})
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sharded_serving,
+    bench_serving_wire,
+    bench_served_tier
+);
 criterion_main!(benches);

@@ -33,6 +33,15 @@
 //!   that lets geographically split collectors fan in through
 //!   [`server::Collector::merge`] — both bit-identical to the one-shot
 //!   path by construction.
+//! * [`registry`] — the multi-tenant serving tier: a
+//!   [`registry::SnapshotRegistry`] keyed by session id whose tenants
+//!   hot-swap epochs behind an `Arc` (in-flight batches finish on the old
+//!   epoch) with a bounded LRU answer cache in front of each tenant,
+//!   cached ≡ uncached ≡ single-tenant bit for bit.
+//! * [`served`] — the daemon loop over the registry: a tag-versioned
+//!   session envelope (`0x5E`) routing the existing snapshot/query frames
+//!   to tenants, so `collect --epoch-every` output feeds a
+//!   [`served::ServedNode`] directly.
 //!
 //! The end-to-end path is equivalent to `Hdg::fit` in `SimMode::Exact`
 //! (tests verify the accuracy statistically); the difference is that here
@@ -41,14 +50,21 @@
 
 pub mod client;
 pub mod plan;
+pub mod registry;
 pub mod serve;
+pub mod served;
 pub mod server;
 pub mod stream;
 pub mod wire;
 
 pub use client::{Client, ClientFactory};
 pub use plan::{GroupTarget, SessionPlan};
+pub use registry::{AnswerCache, CacheStats, PublishReceipt, SnapshotRegistry, Tenant};
 pub use serve::QueryServer;
+pub use served::{
+    decode_session_frame, encode_session_open, encode_session_route, session_open_to_bytes,
+    session_route_to_bytes, ServedNode, ServedStats, SessionFrame,
+};
 pub use server::Collector;
 pub use stream::{
     collector_state_to_bytes, decode_collector_state, encode_collector_state, EpochCollector,

@@ -1,0 +1,394 @@
+//! The `served` loop: framed multi-tenant serving over a session frame.
+//!
+//! A serving daemon multiplexes many sessions over one framed input. The
+//! existing frames already carry the payloads — `0xC5` snapshots and
+//! `0xD7` query batches — so the session frame is a thin, tag-versioned
+//! envelope that adds routing:
+//!
+//! ```text
+//! +------+-------+------+----------------+------------------------+
+//! | 0x5E | ver:1 | op:1 | session id u64 | embedded frame         |
+//! +------+-------+------+----------------+------------------------+
+//!                  op 0 = open  → embedded 0xC5 snapshot frame
+//!                  op 1 = route → embedded 0xD7 query-batch frame
+//! ```
+//!
+//! All integers little-endian. The embedded frame is the *existing*
+//! encoding, verbatim — a session stream is therefore exactly a stream of
+//! frames the single-tenant tools already produce, each prefixed with an
+//! 11-byte envelope, and `collect --epoch-every` output feeds a
+//! [`ServedNode`] directly (each epoch cut published as an `open`).
+//!
+//! An `open` on a new session id creates the tenant; an `open` on a live
+//! session hot-swaps its epoch ([`crate::registry`] semantics: in-flight
+//! batches finish on the old epoch, the answer cache invalidates). A
+//! `route` answers through the tenant's cache and emits the standard
+//! `0xA7` answer frame. A `route` to a session no `open` has introduced
+//! is an error — answering from nothing would hide a wiring bug.
+
+use crate::registry::{PublishReceipt, SnapshotRegistry};
+use crate::wire::{decode_snapshot, encode_snapshot, QueryBatch, SNAPSHOT_TAG};
+use crate::ProtocolError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use privmdr_core::ModelSnapshot;
+
+/// First byte of a session frame.
+pub const SESSION_TAG: u8 = 0x5E;
+/// Wire version of the session frame.
+pub const SESSION_VERSION: u8 = 1;
+/// Encoded size of the session-frame envelope (tag, version, op,
+/// session id).
+pub const SESSION_HEADER_LEN: usize = 1 + 1 + 1 + 8;
+/// Op discriminant: publish the embedded snapshot to the session.
+pub const SESSION_OP_OPEN: u8 = 0;
+/// Op discriminant: answer the embedded query batch on the session.
+pub const SESSION_OP_ROUTE: u8 = 1;
+
+/// One decoded session frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionFrame {
+    /// Publish `snapshot` as `session`'s current epoch (create or swap).
+    Open {
+        /// Target session id.
+        session: u64,
+        /// The epoch to publish.
+        snapshot: ModelSnapshot,
+    },
+    /// Answer `queries` on `session`.
+    Route {
+        /// Target session id.
+        session: u64,
+        /// The framed workload.
+        queries: QueryBatch,
+    },
+}
+
+fn put_session_header(buf: &mut BytesMut, op: u8, session: u64) {
+    buf.put_u8(SESSION_TAG);
+    buf.put_u8(SESSION_VERSION);
+    buf.put_u8(op);
+    buf.put_u64_le(session);
+}
+
+/// Appends a session-open frame (envelope + embedded snapshot frame).
+pub fn encode_session_open(session: u64, snapshot: &ModelSnapshot, buf: &mut BytesMut) {
+    put_session_header(buf, SESSION_OP_OPEN, session);
+    encode_snapshot(snapshot, buf);
+}
+
+/// Encodes a session-open frame to a standalone buffer.
+pub fn session_open_to_bytes(session: u64, snapshot: &ModelSnapshot) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_session_open(session, snapshot, &mut buf);
+    buf.freeze()
+}
+
+/// Appends a session-route frame (envelope + embedded query-batch frame).
+pub fn encode_session_route(session: u64, batch: &QueryBatch, buf: &mut BytesMut) {
+    put_session_header(buf, SESSION_OP_ROUTE, session);
+    batch.encode(buf);
+}
+
+/// Encodes a session-route frame to a standalone buffer.
+pub fn session_route_to_bytes(session: u64, batch: &QueryBatch) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_session_route(session, batch, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes one session frame from the front of `buf`, advancing it. The
+/// embedded frame decodes through the existing garbage-robust decoders,
+/// so a lying envelope cannot buy memory beyond what a bare snapshot or
+/// query-batch frame could.
+pub fn decode_session_frame(buf: &mut impl Buf) -> Result<SessionFrame, ProtocolError> {
+    if buf.remaining() < SESSION_HEADER_LEN {
+        return Err(ProtocolError::Malformed("truncated session header"));
+    }
+    if buf.get_u8() != SESSION_TAG {
+        return Err(ProtocolError::Malformed("not a session frame"));
+    }
+    if buf.get_u8() != SESSION_VERSION {
+        return Err(ProtocolError::Malformed("unsupported wire version"));
+    }
+    let op = buf.get_u8();
+    let session = buf.get_u64_le();
+    match op {
+        SESSION_OP_OPEN => Ok(SessionFrame::Open {
+            session,
+            snapshot: decode_snapshot(buf)?,
+        }),
+        SESSION_OP_ROUTE => Ok(SessionFrame::Route {
+            session,
+            queries: QueryBatch::decode(buf)?,
+        }),
+        _ => Err(ProtocolError::Malformed("unknown session frame op")),
+    }
+}
+
+/// What one handled frame did.
+#[derive(Debug)]
+pub enum ServedEvent {
+    /// An `open` published an epoch.
+    Opened(PublishReceipt),
+    /// A `route` produced an encoded `0xA7` answer frame.
+    Answered {
+        /// The session that answered.
+        session: u64,
+        /// Number of queries in the batch.
+        queries: usize,
+        /// The encoded [`crate::wire::AnswerBatch`].
+        response: Bytes,
+    },
+}
+
+/// Counters over one [`ServedNode::serve_stream`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServedStats {
+    /// `open` frames handled (session creations + hot-swaps + no-ops).
+    pub opens: u64,
+    /// `open` frames that hot-swapped a live session's epoch.
+    pub swaps: u64,
+    /// `route` frames handled.
+    pub routes: u64,
+    /// Queries answered across all routes.
+    pub answers: u64,
+}
+
+/// A multi-tenant serving daemon: a [`SnapshotRegistry`] plus the framed
+/// event loop over it.
+pub struct ServedNode {
+    registry: SnapshotRegistry,
+    shards: usize,
+}
+
+impl ServedNode {
+    /// A node whose tenants get `cache_cap`-bounded answer caches and
+    /// whose workloads shard across up to `shards` threads.
+    pub fn new(cache_cap: usize, shards: usize) -> Self {
+        ServedNode {
+            registry: SnapshotRegistry::new(cache_cap),
+            shards,
+        }
+    }
+
+    /// The underlying registry (stats, direct tenant access).
+    pub fn registry(&self) -> &SnapshotRegistry {
+        &self.registry
+    }
+
+    /// Handles one session frame from the front of `buf`.
+    pub fn handle_frame(&self, buf: &mut impl Buf) -> Result<ServedEvent, ProtocolError> {
+        match decode_session_frame(buf)? {
+            SessionFrame::Open { session, snapshot } => Ok(ServedEvent::Opened(
+                self.registry.publish(session, &snapshot)?,
+            )),
+            SessionFrame::Route { session, queries } => {
+                let tenant = self.registry.get(session).ok_or_else(|| {
+                    ProtocolError::BadPlan(format!("route to unknown session {session}"))
+                })?;
+                let response = tenant.serve_batch(&queries, self.shards)?;
+                Ok(ServedEvent::Answered {
+                    session,
+                    queries: queries.queries.len(),
+                    response,
+                })
+            }
+        }
+    }
+
+    /// Loops over a framed input, handling every session frame in order
+    /// and passing each route's encoded answer frame to `on_answer`. For
+    /// operator convenience a bare `0xC5` snapshot frame (no envelope) is
+    /// accepted as an `open` on session 0, so single-tenant snapshot
+    /// files replay unmodified. Like the streaming ingest loop, this is a
+    /// long-lived-service path: a malformed frame aborts mid-stream with
+    /// earlier frames already handled.
+    pub fn serve_stream(
+        &self,
+        mut buf: impl Buf,
+        mut on_answer: impl FnMut(u64, Bytes),
+    ) -> Result<ServedStats, ProtocolError> {
+        let mut stats = ServedStats::default();
+        while buf.has_remaining() {
+            let event = if buf.chunk()[0] == SNAPSHOT_TAG {
+                let snapshot = decode_snapshot(&mut buf)?;
+                ServedEvent::Opened(self.registry.publish(0, &snapshot)?)
+            } else {
+                self.handle_frame(&mut buf)?
+            };
+            match event {
+                ServedEvent::Opened(receipt) => {
+                    stats.opens += 1;
+                    if receipt.swapped && !receipt.created {
+                        stats.swaps += 1;
+                    }
+                }
+                ServedEvent::Answered {
+                    session,
+                    queries,
+                    response,
+                } => {
+                    stats.routes += 1;
+                    stats.answers += queries as u64;
+                    on_answer(session, response);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::QueryServer;
+    use crate::wire::AnswerBatch;
+    use privmdr_core::Hdg;
+    use privmdr_data::DatasetSpec;
+    use privmdr_query::workload::WorkloadBuilder;
+
+    fn snapshot(seed: u64) -> ModelSnapshot {
+        let ds = DatasetSpec::Normal { rho: 0.6 }.generate(8_000, 3, 16, seed);
+        Hdg::default().snapshot(&ds, 1.0, seed).unwrap()
+    }
+
+    #[test]
+    fn session_frames_round_trip() {
+        let snap = snapshot(1);
+        let open = session_open_to_bytes(42, &snap);
+        assert_eq!(open[0], SESSION_TAG);
+        match decode_session_frame(&mut open.clone()).unwrap() {
+            SessionFrame::Open {
+                session,
+                snapshot: s,
+            } => {
+                assert_eq!(session, 42);
+                assert_eq!(s, snap);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+
+        let batch = QueryBatch::new(16, WorkloadBuilder::new(3, 16, 3).random(2, 0.5, 5));
+        let route = session_route_to_bytes(42, &batch);
+        match decode_session_frame(&mut route.clone()).unwrap() {
+            SessionFrame::Route {
+                session,
+                queries: q,
+            } => {
+                assert_eq!(session, 42);
+                assert_eq!(q.queries, batch.queries);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // Truncated header.
+        assert!(decode_session_frame(&mut &[SESSION_TAG, SESSION_VERSION][..]).is_err());
+        // Wrong tag / version / op.
+        let snap = snapshot(2);
+        let good = session_open_to_bytes(1, &snap);
+        for (i, bad_byte) in [(0usize, 0xFFu8), (1, 9), (2, 7)] {
+            let mut bytes = good.to_vec();
+            bytes[i] = bad_byte;
+            assert!(
+                decode_session_frame(&mut &bytes[..]).is_err(),
+                "byte {i} = {bad_byte:#x} must be rejected"
+            );
+        }
+        // An open whose embedded frame is a query batch (and vice versa)
+        // fails in the embedded decoder.
+        let batch = QueryBatch::new(16, WorkloadBuilder::new(3, 16, 3).random(1, 0.5, 2));
+        let mut crossed = BytesMut::new();
+        put_session_header(&mut crossed, SESSION_OP_OPEN, 1);
+        batch.encode(&mut crossed);
+        assert!(decode_session_frame(&mut crossed.freeze()).is_err());
+        let mut crossed = BytesMut::new();
+        put_session_header(&mut crossed, SESSION_OP_ROUTE, 1);
+        encode_snapshot(&snap, &mut crossed);
+        assert!(decode_session_frame(&mut crossed.freeze()).is_err());
+    }
+
+    #[test]
+    fn node_opens_swaps_and_answers() {
+        let first = snapshot(3);
+        let second = snapshot(4);
+        let queries = {
+            let wl = WorkloadBuilder::new(3, 16, 9);
+            let mut q = wl.random(1, 0.5, 4);
+            q.extend(wl.random(2, 0.5, 8));
+            q
+        };
+        let batch = QueryBatch::new(16, queries.clone());
+
+        let mut stream = BytesMut::new();
+        encode_session_open(5, &first, &mut stream);
+        encode_session_route(5, &batch, &mut stream);
+        encode_session_open(5, &second, &mut stream); // hot-swap
+        encode_session_route(5, &batch, &mut stream);
+        encode_session_route(5, &batch, &mut stream); // warm re-ask
+
+        let node = ServedNode::new(256, 1);
+        let mut responses = Vec::new();
+        let stats = node
+            .serve_stream(stream.freeze(), |session, resp| {
+                responses.push((session, resp));
+            })
+            .unwrap();
+        assert_eq!(
+            stats,
+            ServedStats {
+                opens: 2,
+                swaps: 1,
+                routes: 3,
+                answers: 36,
+            }
+        );
+        assert_eq!(responses.len(), 3);
+
+        // Each response matches the uncached single-tenant server of the
+        // epoch that was current when it was routed, bit for bit.
+        for (resp, snap) in responses.iter().zip([&first, &second, &second]) {
+            let answers = AnswerBatch::decode(&mut resp.1.clone()).unwrap().answers;
+            let want = QueryServer::new(snap).unwrap().answer_workload(&queries, 1);
+            assert_eq!(resp.0, 5);
+            for (a, w) in answers.iter().zip(&want) {
+                assert_eq!(a.to_bits(), w.to_bits());
+            }
+        }
+        // The warm re-ask was served from cache.
+        let totals = node.registry().cache_stats_total();
+        assert_eq!(totals.hits, 12);
+        assert_eq!(totals.misses, 24);
+    }
+
+    #[test]
+    fn route_to_unknown_session_is_an_error() {
+        let node = ServedNode::new(16, 1);
+        let batch = QueryBatch::new(16, WorkloadBuilder::new(3, 16, 1).random(1, 0.5, 1));
+        let route = session_route_to_bytes(99, &batch);
+        let err = node.serve_stream(route, |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("unknown session 99"), "{err}");
+    }
+
+    #[test]
+    fn bare_snapshot_frames_open_session_zero() {
+        let snap = snapshot(6);
+        let mut stream = BytesMut::new();
+        encode_snapshot(&snap, &mut stream);
+        let batch = QueryBatch::new(16, WorkloadBuilder::new(3, 16, 2).random(2, 0.4, 3));
+        encode_session_route(0, &batch, &mut stream);
+        let node = ServedNode::new(16, 1);
+        let mut answered = 0usize;
+        let stats = node
+            .serve_stream(stream.freeze(), |session, _| {
+                assert_eq!(session, 0);
+                answered += 1;
+            })
+            .unwrap();
+        assert_eq!(stats.opens, 1);
+        assert_eq!(answered, 1);
+        assert_eq!(node.registry().session_ids(), [0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The load-bearing invariant of the multi-tenant serving tier: a
+//! registry of K tenants — distinct snapshots, mixed HDG/TDG approaches,
+//! answering interleaved batches through per-tenant answer caches, with
+//! epochs hot-swapped mid-workload — produces answers bit-identical to K
+//! *independent single-tenant* uncached `QueryServer`s. Cached ≡ uncached
+//! ≡ single-tenant, for any cache capacity (disabled, eviction-heavy
+//! small, and all-fits large), any shard count, and any interleaving the
+//! strategies generate (256 cases per property, the proptest default).
+
+use privmdr_core::snapshot::ModelSnapshot;
+use privmdr_core::{ApproachKind, EstimatorKind};
+use privmdr_grid::guideline::Granularities;
+use privmdr_grid::pairs::pair_count;
+use privmdr_protocol::wire::{AnswerBatch, QueryBatch};
+use privmdr_protocol::{
+    encode_session_open, encode_session_route, QueryServer, ServedNode, SnapshotRegistry,
+};
+use privmdr_query::workload::WorkloadBuilder;
+use privmdr_query::RangeQuery;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random but structurally valid snapshot over a random pow2 geometry
+/// (the `serving_prop.rs` generator, extended with the approach): HDG
+/// tenants carry 1-D grids, TDG tenants none — the serving tier must keep
+/// both kinds of tenant separate and exact.
+fn random_snapshot(approach: ApproachKind, d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
+    let c = 1usize << c_pow;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g1 = 1usize << rng.random_range(0..=c_pow);
+    let g2 = 1usize << rng.random_range(0..=c_pow);
+    let one_d = match approach {
+        ApproachKind::Hdg => (0..d)
+            .map(|_| (0..g1).map(|_| rng.random_range(0.0..0.5)).collect())
+            .collect(),
+        ApproachKind::Tdg => Vec::new(),
+    };
+    let two_d = (0..pair_count(d))
+        .map(|_| (0..g2 * g2).map(|_| rng.random_range(0.0..0.5)).collect())
+        .collect();
+    ModelSnapshot::from_parts_for_approach(
+        approach,
+        d,
+        c,
+        Granularities { g1, g2 },
+        EstimatorKind::WeightedUpdate,
+        1e-7,
+        50,
+        1e-7,
+        50,
+        one_d,
+        two_d,
+    )
+    .expect("constructed shape is valid")
+}
+
+/// Tenant `t`'s approach: alternating, so every multi-tenant case mixes
+/// HDG and TDG sessions.
+fn approach_for(t: usize) -> ApproachKind {
+    if t.is_multiple_of(2) {
+        ApproachKind::Hdg
+    } else {
+        ApproachKind::Tdg
+    }
+}
+
+/// A mixed-λ workload covering 1-D lookups, 2-D lookups, and λ>2
+/// estimation.
+fn mixed_workload(d: usize, c: usize, seed: u64, per_lambda: usize) -> Vec<RangeQuery> {
+    let wl = WorkloadBuilder::new(d, c, seed);
+    let mut queries = Vec::new();
+    for lambda in 1..=d.min(3) {
+        queries.extend(wl.random(lambda, 0.6, per_lambda));
+    }
+    queries
+}
+
+proptest! {
+    /// Registry-level equivalence: K tenants answer interleaved batch
+    /// rounds through their caches; mid-workload every tenant hot-swaps
+    /// to a second epoch. Every batch must match an independent uncached
+    /// single-tenant server of whichever epoch was live, bit for bit —
+    /// across cache capacities 0 (disabled), 3 (evicting constantly), and
+    /// 4096 (everything fits), and across shard counts.
+    #[test]
+    fn interleaved_multi_tenant_equals_independent_single_tenant(
+        tenants in 2usize..5,
+        d in 2usize..4,
+        c_pow in 2u32..4,
+        cache_cap in prop_oneof![Just(0usize), Just(3usize), Just(4096usize)],
+        shards in 1usize..5,
+        per_lambda in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let epochs: Vec<(ModelSnapshot, ModelSnapshot)> = (0..tenants)
+            .map(|t| {
+                let approach = approach_for(t);
+                let s = seed ^ ((t as u64 + 1) << 8);
+                (
+                    random_snapshot(approach, d, c_pow, s),
+                    random_snapshot(approach, d, c_pow, s ^ 0xE9),
+                )
+            })
+            .collect();
+        let c = 1usize << c_pow;
+
+        let registry = SnapshotRegistry::new(cache_cap);
+        let mut references: Vec<QueryServer> = Vec::new();
+        for (t, (first, _)) in epochs.iter().enumerate() {
+            registry.publish(t as u64, first).unwrap();
+            references.push(QueryServer::new(first).unwrap());
+        }
+        let workloads: Vec<Vec<RangeQuery>> = (0..tenants)
+            .map(|t| mixed_workload(d, c, seed ^ (t as u64) ^ 0x51, per_lambda))
+            .collect();
+
+        // Rounds 0–1 on epoch one (cold then warm cache), swap, rounds
+        // 2–3 on epoch two (cold-after-invalidation then warm) — batches
+        // interleave across tenants within every round.
+        for round in 0..4 {
+            if round == 2 {
+                for (t, (_, second)) in epochs.iter().enumerate() {
+                    let receipt = registry.publish(t as u64, second).unwrap();
+                    prop_assert!(receipt.swapped && !receipt.created);
+                    prop_assert_eq!(receipt.version, 2);
+                    references[t] = QueryServer::new(second).unwrap();
+                }
+            }
+            for t in 0..tenants {
+                let tenant = registry.get(t as u64).unwrap();
+                let got = tenant.answer_cached(&workloads[t], shards);
+                let want = references[t].answer_workload(&workloads[t], 1);
+                prop_assert_eq!(got.len(), want.len());
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "round {}, tenant {}, query {} ({}) diverges",
+                        round, t, i, &workloads[t][i]
+                    );
+                }
+            }
+        }
+
+        // With caching disabled every probe missed; with an all-fits cap
+        // the warm rounds were pure hits.
+        let totals = registry.cache_stats_total();
+        let per_round: u64 = workloads.iter().map(|w| w.len() as u64).sum();
+        if cache_cap == 0 {
+            prop_assert_eq!(totals.hits + totals.misses, 0);
+        } else if cache_cap == 4096 {
+            prop_assert_eq!(totals.misses, 2 * per_round, "cold rounds 0 and 2 miss");
+            prop_assert_eq!(totals.hits, 2 * per_round, "warm rounds 1 and 3 hit");
+            prop_assert_eq!(totals.evictions, 0);
+        }
+    }
+
+    /// Daemon-level equivalence: the same interleaved session stream —
+    /// opens, routes, a hot-swap per tenant — expressed as `0x5E` wire
+    /// frames and replayed through `ServedNode::serve_stream`, with every
+    /// emitted `0xA7` answer frame decoded and compared bit-for-bit
+    /// against independent single-tenant servers.
+    #[test]
+    fn served_stream_equals_independent_single_tenant(
+        tenants in 2usize..4,
+        d in 2usize..4,
+        cache_cap in prop_oneof![Just(0usize), Just(64usize)],
+        shards in 1usize..4,
+        per_lambda in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let c_pow = 3u32;
+        let c = 1usize << c_pow;
+        let epochs: Vec<(ModelSnapshot, ModelSnapshot)> = (0..tenants)
+            .map(|t| {
+                let approach = approach_for(t);
+                let s = seed ^ ((t as u64 + 1) << 16);
+                (
+                    random_snapshot(approach, d, c_pow, s),
+                    random_snapshot(approach, d, c_pow, s ^ 0xA1),
+                )
+            })
+            .collect();
+        let workloads: Vec<Vec<RangeQuery>> = (0..tenants)
+            .map(|t| mixed_workload(d, c, seed ^ (t as u64) ^ 0xB2, per_lambda))
+            .collect();
+
+        // Build the stream and, in lockstep, the expected answer per
+        // route: open all, route all (cold), route all (warm), swap all,
+        // route all again.
+        let mut stream = bytes::BytesMut::new();
+        let mut expected: Vec<(u64, Vec<f64>)> = Vec::new();
+        for (t, (first, _)) in epochs.iter().enumerate() {
+            encode_session_open(t as u64, first, &mut stream);
+        }
+        for pass in 0..3 {
+            if pass == 2 {
+                for (t, (_, second)) in epochs.iter().enumerate() {
+                    encode_session_open(t as u64, second, &mut stream);
+                }
+            }
+            for t in 0..tenants {
+                let snap = if pass == 2 { &epochs[t].1 } else { &epochs[t].0 };
+                encode_session_route(
+                    t as u64,
+                    &QueryBatch::new(c, workloads[t].clone()),
+                    &mut stream,
+                );
+                expected.push((
+                    t as u64,
+                    QueryServer::new(snap).unwrap().answer_workload(&workloads[t], 1),
+                ));
+            }
+        }
+
+        let node = ServedNode::new(cache_cap, shards);
+        let mut responses: Vec<(u64, Vec<f64>)> = Vec::new();
+        let stats = node
+            .serve_stream(stream.freeze(), |session, resp| {
+                let answers = AnswerBatch::decode(&mut resp.clone()).unwrap().answers;
+                responses.push((session, answers));
+            })
+            .unwrap();
+        prop_assert_eq!(stats.opens, 2 * tenants as u64);
+        prop_assert_eq!(stats.swaps, tenants as u64);
+        prop_assert_eq!(responses.len(), expected.len());
+        for (i, ((gs, got), (ws, want))) in responses.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(gs, ws, "route {} answered the wrong session", i);
+            prop_assert_eq!(got.len(), want.len());
+            for (j, (g, w)) in got.iter().zip(want).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "route {}, query {} diverges (session {})", i, j, gs
+                );
+            }
+        }
+    }
+}

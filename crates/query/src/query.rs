@@ -124,6 +124,22 @@ impl RangeQuery {
             .map_or((0, c - 1), |p| (p.lo, p.hi))
     }
 
+    /// Appends the query's canonical byte encoding to `out`: for each
+    /// predicate in ascending-attribute order (the constructor's invariant),
+    /// `attr`, `lo`, `hi` as little-endian `u64` — 24 bytes per predicate,
+    /// self-delimiting given the buffer length. Two queries produce the same
+    /// bytes iff they are equal, which is what makes the encoding usable as
+    /// an answer-cache key: `(a0∈[1,2]) ∧ (a1∈[3,4])` and its reordered
+    /// spelling collapse to one entry, and no two distinct queries collide.
+    pub fn write_canonical_key(&self, out: &mut Vec<u8>) {
+        out.reserve(self.preds.len() * 24);
+        for p in &self.preds {
+            out.extend_from_slice(&(p.attr as u64).to_le_bytes());
+            out.extend_from_slice(&(p.lo as u64).to_le_bytes());
+            out.extend_from_slice(&(p.hi as u64).to_le_bytes());
+        }
+    }
+
     /// Fraction of the data space the query selects (`∏ len_i / c`).
     pub fn volume(&self, c: usize) -> f64 {
         self.preds
@@ -226,6 +242,37 @@ mod tests {
         assert!((q.true_answer(&ds) - 1.0).abs() < 1e-12);
         let q = RangeQuery::from_triples(&[(0, 1, 2)], 8).unwrap();
         assert_eq!(q.true_answer(&ds), 0.0);
+    }
+
+    #[test]
+    fn canonical_key_is_order_insensitive_and_injective() {
+        let q = RangeQuery::from_triples(&[(2, 1, 5), (0, 3, 4)], 8).unwrap();
+        let reordered = RangeQuery::from_triples(&[(0, 3, 4), (2, 1, 5)], 8).unwrap();
+        let mut key = Vec::new();
+        q.write_canonical_key(&mut key);
+        assert_eq!(key.len(), 48);
+        let mut key2 = Vec::new();
+        reordered.write_canonical_key(&mut key2);
+        assert_eq!(key, key2, "predicate spelling order must not matter");
+        // Fixed-width fields: the first predicate is (attr=0, lo=3, hi=4).
+        assert_eq!(&key[0..8], &0u64.to_le_bytes());
+        assert_eq!(&key[8..16], &3u64.to_le_bytes());
+        assert_eq!(&key[16..24], &4u64.to_le_bytes());
+        // Any differing query yields different bytes.
+        for other in [
+            RangeQuery::from_triples(&[(2, 1, 5)], 8).unwrap(),
+            RangeQuery::from_triples(&[(2, 1, 5), (0, 3, 5)], 8).unwrap(),
+            RangeQuery::from_triples(&[(2, 1, 5), (1, 3, 4)], 8).unwrap(),
+        ] {
+            let mut other_key = Vec::new();
+            other.write_canonical_key(&mut other_key);
+            assert_ne!(key, other_key, "{other} must not collide with {q}");
+        }
+        // Appends rather than overwrites, so callers can prefix a version.
+        let mut prefixed = vec![0xAB];
+        q.write_canonical_key(&mut prefixed);
+        assert_eq!(prefixed[0], 0xAB);
+        assert_eq!(&prefixed[1..], &key[..]);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`par`] — scoped-thread work distribution (`par_map`) and contiguous
 //!   slice sharding (`split_chunks`), shared by the bench harness and the
 //!   protocol's report-ingestion engine.
+//! * [`sync`] — poison-tolerant locking for deterministic caches, shared
+//!   by the HDG response-matrix cache and the serving tier's answer cache.
 
 pub mod hash;
 pub mod linalg;
@@ -24,7 +26,9 @@ pub mod pow2;
 pub mod rng;
 pub mod sampling;
 pub mod stats;
+pub mod sync;
 
 pub use hash::mix64;
 pub use pow2::{closest_pow2, is_pow2};
 pub use rng::derive_seed;
+pub use sync::lock_unpoisoned;

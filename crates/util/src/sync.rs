@@ -1,0 +1,57 @@
+//! Poison-tolerant locking for deterministic shared state.
+//!
+//! Several hot read paths in the workspace share a `Mutex`-guarded map
+//! whose entries are *deterministic*: whichever thread computes an entry
+//! stores the same bits any other thread would have (the HDG response-
+//! matrix cache, the serving tier's answer cache). For such maps a
+//! poisoned lock carries no information — the panicking thread cannot
+//! have left a half-wrong value behind, because inserts are the only
+//! mutation and `HashMap::insert` either completes or unwinds without
+//! publishing the entry. Propagating the poison would instead turn one
+//! caught panic in one request thread into a permanent denial of service
+//! for every later reader.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Only use this for state that stays valid across a panic — e.g. maps of
+/// deterministic, insert-only entries where a lost insert is merely a
+/// cache miss. State with multi-step invariants should keep the default
+/// poisoning behavior.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_lock_poisoned_by_a_panicking_holder() {
+        let cache: Mutex<HashMap<u32, u64>> = Mutex::new(HashMap::new());
+        lock_unpoisoned(&cache).insert(1, 10);
+
+        // A thread panics while holding the guard, poisoning the mutex.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut guard = cache.lock().unwrap();
+                guard.insert(2, 20);
+                panic!("simulated query-thread panic while holding the lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(cache.lock().is_err(), "the lock should be poisoned");
+
+        // The recovering accessor still reads and writes the map; the
+        // completed inserts are intact.
+        let mut guard = lock_unpoisoned(&cache);
+        assert_eq!(guard.get(&1), Some(&10));
+        assert_eq!(guard.get(&2), Some(&20));
+        guard.insert(3, 30);
+        drop(guard);
+        assert_eq!(lock_unpoisoned(&cache).len(), 3);
+    }
+}

@@ -12,7 +12,13 @@
 #     N=1000000 D=3 C=64 EPS=1.0 SEED=1 QUERIES=10000
 #     SHARDS=        (empty = all available cores)
 #     ORACLE=olh     (olh|grr|auto)   APPROACH=hdg (hdg|tdg)
+#     SESSIONS=2     (served tenants) CACHE_CAP=16384 (served LRU capacity)
 #     BIN=           (prebuilt privmdr binary; default: cargo-built release)
+#
+# Three records are appended per run: an ingest line to BENCH_ingest.json,
+# and a serve (uncached single-tenant) plus a served (multi-tenant daemon,
+# warm-cache queries_per_sec with cold/uncached figures alongside) line to
+# BENCH_serve.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +31,8 @@ QUERIES=${QUERIES:-10000}
 SHARDS=${SHARDS:-}
 ORACLE=${ORACLE:-olh}
 APPROACH=${APPROACH:-hdg}
+SESSIONS=${SESSIONS:-2}
+CACHE_CAP=${CACHE_CAP:-16384}
 
 if [ -z "${BIN:-}" ]; then
     cargo build --release -p privmdr-cli >&2
@@ -39,3 +47,5 @@ fi
 
 "$BIN" ingest "${common[@]}" | tee -a BENCH_ingest.json
 "$BIN" serve "${common[@]}" --queries "$QUERIES" | tee -a BENCH_serve.json
+"$BIN" served "${common[@]}" --sessions "$SESSIONS" --cache-cap "$CACHE_CAP" \
+    --queries "$QUERIES" | tee -a BENCH_serve.json
