@@ -445,6 +445,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     let snap = match approach {
         ApproachKind::Hdg => Hdg::new(config).snapshot(&ds, epsilon, seed),
         ApproachKind::Tdg => Tdg::new(config).snapshot(&ds, epsilon, seed),
+        ApproachKind::Msw => Msw::new(config).snapshot(&ds, epsilon, seed),
     }
     .map_err(|e| e.to_string())?;
     let snap_bytes = snapshot_to_bytes(&snap);
@@ -740,8 +741,14 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
     // K tenants with distinct mechanism settings: ε scales per session and
     // the oracle/approach rotate starting from the requested pair, so the
     // daemon always hosts mixed snapshot shapes and cache keyspaces.
-    let oracles = [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto];
-    let approaches = [ApproachKind::Hdg, ApproachKind::Tdg];
+    let oracles = [
+        OraclePolicy::Olh,
+        OraclePolicy::Grr,
+        OraclePolicy::Auto,
+        OraclePolicy::Wheel,
+        OraclePolicy::Sw,
+    ];
+    let approaches = [ApproachKind::Hdg, ApproachKind::Tdg, ApproachKind::Msw];
     let oracle_base = oracles.iter().position(|o| *o == oracle).unwrap_or(0);
     let approach_base = approaches.iter().position(|a| *a == approach).unwrap_or(0);
 
@@ -759,6 +766,7 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
         let snap = match approach_i {
             ApproachKind::Hdg => Hdg::new(config).snapshot(&ds, eps_i, seed + i as u64),
             ApproachKind::Tdg => Tdg::new(config).snapshot(&ds, eps_i, seed + i as u64),
+            ApproachKind::Msw => Msw::new(config).snapshot(&ds, eps_i, seed + i as u64),
         }
         .map_err(|e| e.to_string())?;
         encode_session_open(session, &snap, &mut opens);

@@ -73,7 +73,7 @@ COMMANDS:
                   --data FILE --c C
     ingest      replay a synthetic report stream through the sharded collector
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
-                  [--oracle olh|grr|auto] [--approach hdg|tdg]
+                  [--oracle olh|grr|auto|wheel|sw] [--approach hdg|tdg|msw]
                   [--seed S] [--shards K] [--batch B] [--json]
                   [--uid-start U] [--uid-count K] [--emit FILE]
     collect     stream a wire report file through the epoch collector
@@ -86,7 +86,7 @@ COMMANDS:
     serve       fit, snapshot, and replay a query workload through the
                 sharded query server (snapshot -> wire -> answers)
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
-                  [--oracle olh|grr|auto] [--approach hdg|tdg]
+                  [--oracle olh|grr|auto|wheel|sw] [--approach hdg|tdg|msw]
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
                 or restore a collect/merge snapshot instead of fitting:
                   --snapshot FILE [--queries Q] [--batch B] [--shards K]
@@ -100,8 +100,10 @@ COMMANDS:
                   [--cache-cap N] [--queries Q] [--repeat R] [--json]
 
 --oracle picks the per-group frequency oracle (auto applies the paper's
-variance rule per group domain); --approach picks the estimation approach
-the session finalizes into (HDG = 1-D + 2-D grids, TDG = 2-D only).
+variance rule per group domain; wheel and sw are the wide, float-reporting
+oracles framed as v3 wire records); --approach picks the estimation
+approach the session finalizes into (HDG = 1-D + 2-D grids, TDG = 2-D
+only, MSW = d full-resolution marginals composed by product-of-CDFs).
 
 The streaming loop: `ingest --emit` writes a wire report stream (optionally
 one `--uid-start/--uid-count` slice of the population per run); `collect`

@@ -17,6 +17,10 @@ pub enum ApproachKind {
     Hdg,
     /// Two-Dimensional Grids — 2-D grids only.
     Tdg,
+    /// Multi-dimensional Square Wave (§3.5 baseline) — `d` full-resolution
+    /// 1-D marginals, multi-dimensional answers as products of 1-D range
+    /// masses (attribute independence assumed).
+    Msw,
 }
 
 impl ApproachKind {
@@ -25,15 +29,17 @@ impl ApproachKind {
         match self {
             ApproachKind::Hdg => "hdg",
             ApproachKind::Tdg => "tdg",
+            ApproachKind::Msw => "msw",
         }
     }
 
-    /// Parses a CLI-style name (`hdg`, `tdg`).
+    /// Parses a CLI-style name (`hdg`, `tdg`, `msw`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "hdg" => Ok(ApproachKind::Hdg),
             "tdg" => Ok(ApproachKind::Tdg),
-            other => Err(format!("unknown approach '{other}' (expected hdg|tdg)")),
+            "msw" => Ok(ApproachKind::Msw),
+            other => Err(format!("unknown approach '{other}' (expected hdg|tdg|msw)")),
         }
     }
 }

@@ -28,6 +28,84 @@ impl Msw {
     pub fn new(config: MechanismConfig) -> Self {
         Msw { config }
     }
+
+    /// Restores the product-of-marginals answerer from per-attribute
+    /// distributions (length `c` each) — the snapshot-restore entry point.
+    /// No re-estimation happens: answers are a pure function of the stored
+    /// marginals, so restore is bit-identical to the fit that produced
+    /// them.
+    pub fn model_from_distributions(
+        c: usize,
+        dists: &[Vec<f64>],
+    ) -> Result<Box<dyn Model>, MechanismError> {
+        Ok(Box::new(MswModel::from_distributions(c, dists)?))
+    }
+
+    /// Runs the MSW protocol on a dataset and captures the per-attribute
+    /// marginals as a snapshot instead of a live model (`fit` equals
+    /// `snapshot` then `to_model`, bit for bit) — the MSW counterpart of
+    /// [`crate::Hdg::snapshot`].
+    pub fn snapshot(
+        &self,
+        ds: &Dataset,
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<crate::ModelSnapshot, MechanismError> {
+        let dists = self.fit_marginals(ds, epsilon, seed)?;
+        self.snapshot_from_marginals(ds.dims(), ds.domain(), dists)
+    }
+
+    /// Packages externally estimated per-attribute marginals (the protocol
+    /// collector's output under the MSW approach) as a snapshot.
+    pub fn snapshot_from_marginals(
+        &self,
+        d: usize,
+        c: usize,
+        dists: Vec<Vec<f64>>,
+    ) -> Result<crate::ModelSnapshot, MechanismError> {
+        use privmdr_grid::guideline::Granularities;
+        crate::ModelSnapshot::from_parts_for_approach(
+            crate::ApproachKind::Msw,
+            d,
+            c,
+            // MSW marginals are full resolution; g2 = 1 is the smallest
+            // legal pair granularity and is never consulted (no pair
+            // grids exist).
+            Granularities { g1: c, g2: 1 },
+            self.config.estimator,
+            self.config.rm_threshold,
+            self.config.rm_max_iters,
+            self.config.est_threshold,
+            self.config.est_max_iters,
+            dists,
+            Vec::new(),
+        )
+    }
+
+    /// The estimation core shared by [`Mechanism::fit`] and
+    /// [`Msw::snapshot`]: partitions users over attributes and reconstructs
+    /// each attribute's distribution through SW + EM.
+    fn fit_marginals(
+        &self,
+        ds: &Dataset,
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Vec<Vec<f64>>, MechanismError> {
+        let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
+        let mut rng = derive_rng(seed, &[0x4d_5357]); // "MSW"
+        let groups = partition_equal(n, d, &mut rng);
+        let sw = SquareWave::new(epsilon, c)?.with_smoothing(self.config.sw_smoothing);
+        let mut dists = Vec::with_capacity(d);
+        for (t, users) in groups.iter().enumerate() {
+            let values: Vec<u32> = ds
+                .gather_attr(t, users)
+                .into_iter()
+                .map(u32::from)
+                .collect();
+            dists.push(sw.collect(&values, self.config.sim_mode, &mut rng));
+        }
+        Ok(dists)
+    }
 }
 
 struct MswModel {
@@ -37,6 +115,35 @@ struct MswModel {
 }
 
 impl MswModel {
+    /// Builds the prefix-sum model from per-attribute distributions of
+    /// length `c` each. The CDF construction here is the single place
+    /// distributions become answers, shared by `fit` and snapshot restore,
+    /// so the two paths cannot drift apart bit-wise.
+    fn from_distributions(c: usize, dists: &[Vec<f64>]) -> Result<Self, MechanismError> {
+        if dists.is_empty() {
+            return Err(MechanismError::Invalid(
+                "MSW model needs at least one attribute distribution".into(),
+            ));
+        }
+        if dists.iter().any(|d| d.len() != c) {
+            return Err(MechanismError::Invalid(format!(
+                "MSW marginals must have length {c}"
+            )));
+        }
+        let mut cdfs = Vec::with_capacity(dists.len());
+        for dist in dists {
+            let mut cdf = Vec::with_capacity(c + 1);
+            let mut acc = 0.0;
+            cdf.push(0.0);
+            for &f in dist {
+                acc += f;
+                cdf.push(acc);
+            }
+            cdfs.push(cdf);
+        }
+        Ok(MswModel { cdfs })
+    }
+
     fn interval_mass(&self, attr: usize, lo: usize, hi: usize) -> f64 {
         self.cdfs[attr][hi + 1] - self.cdfs[attr][lo]
     }
@@ -58,28 +165,8 @@ impl Mechanism for Msw {
     }
 
     fn fit(&self, ds: &Dataset, epsilon: f64, seed: u64) -> Result<Box<dyn Model>, MechanismError> {
-        let (n, d, c) = (ds.len(), ds.dims(), ds.domain());
-        let mut rng = derive_rng(seed, &[0x4d_5357]); // "MSW"
-        let groups = partition_equal(n, d, &mut rng);
-        let sw = SquareWave::new(epsilon, c)?.with_smoothing(self.config.sw_smoothing);
-        let mut cdfs = Vec::with_capacity(d);
-        for (t, users) in groups.iter().enumerate() {
-            let values: Vec<u32> = ds
-                .gather_attr(t, users)
-                .into_iter()
-                .map(u32::from)
-                .collect();
-            let dist = sw.collect(&values, self.config.sim_mode, &mut rng);
-            let mut cdf = Vec::with_capacity(c + 1);
-            let mut acc = 0.0;
-            cdf.push(0.0);
-            for f in dist {
-                acc += f;
-                cdf.push(acc);
-            }
-            cdfs.push(cdf);
-        }
-        Ok(Box::new(MswModel { cdfs }))
+        let dists = self.fit_marginals(ds, epsilon, seed)?;
+        Ok(Box::new(MswModel::from_distributions(ds.domain(), &dists)?))
     }
 }
 

@@ -133,7 +133,9 @@ impl ModelSnapshot {
     /// Assembles and validates a snapshot from raw parts (the wire
     /// decoder's entry point). The expected grid set follows the approach:
     /// HDG snapshots carry one `g1`-vector per attribute, TDG snapshots
-    /// carry none; both carry one `g2²`-vector per pair.
+    /// carry none; both carry one `g2²`-vector per pair. MSW snapshots
+    /// carry one full-resolution (`g1 = c`) marginal per attribute and no
+    /// pair grids at all.
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts_for_approach(
         approach: ApproachKind,
@@ -150,16 +152,25 @@ impl ModelSnapshot {
     ) -> Result<Self, MechanismError> {
         validate_shape(d, c, granularities.g1, granularities.g2)?;
         let expected_one_d = match approach {
-            ApproachKind::Hdg => d,
+            ApproachKind::Hdg | ApproachKind::Msw => d,
             ApproachKind::Tdg => 0,
         };
+        if approach == ApproachKind::Msw && granularities.g1 != c {
+            return Err(MechanismError::Invalid(format!(
+                "msw snapshot marginals must be full resolution (g1 = {c}, got {})",
+                granularities.g1
+            )));
+        }
         if one_d.len() != expected_one_d || one_d.iter().any(|f| f.len() != granularities.g1) {
             return Err(MechanismError::Invalid(format!(
                 "{approach} snapshot needs {expected_one_d} 1-D frequency vectors of length {}",
                 granularities.g1
             )));
         }
-        let m2 = pair_count(d);
+        let m2 = match approach {
+            ApproachKind::Hdg | ApproachKind::Tdg => pair_count(d),
+            ApproachKind::Msw => 0,
+        };
         let g2_cells = granularities.g2 * granularities.g2;
         if two_d.len() != m2 || two_d.iter().any(|f| f.len() != g2_cells) {
             return Err(MechanismError::Invalid(format!(
@@ -278,6 +289,7 @@ impl ModelSnapshot {
         mix(match self.approach {
             ApproachKind::Hdg => 1,
             ApproachKind::Tdg => 2,
+            ApproachKind::Msw => 3,
         });
         mix(self.d as u64);
         mix(self.c as u64);
@@ -338,10 +350,16 @@ impl ModelSnapshot {
     /// protocol, no post-processing: the restored model is bit-identical
     /// to the one the fit produced.
     pub fn to_model(&self) -> Result<Box<dyn Model>, MechanismError> {
-        let (one_d, two_d) = self.grids()?;
         match self.approach {
-            ApproachKind::Hdg => Hdg::new(self.config()).model_from_processed_grids(one_d, two_d),
-            ApproachKind::Tdg => Tdg::new(self.config()).model_from_processed_grids(self.d, two_d),
+            ApproachKind::Hdg => {
+                let (one_d, two_d) = self.grids()?;
+                Hdg::new(self.config()).model_from_processed_grids(one_d, two_d)
+            }
+            ApproachKind::Tdg => {
+                let (_, two_d) = self.grids()?;
+                Tdg::new(self.config()).model_from_processed_grids(self.d, two_d)
+            }
+            ApproachKind::Msw => crate::Msw::model_from_distributions(self.c, &self.one_d),
         }
     }
 }

@@ -7,6 +7,8 @@
 
 use crate::grr::Grr;
 use crate::olh::Olh;
+use crate::sw::SquareWave;
+use crate::wheel::Wheel;
 use crate::{FrequencyOracle, OracleError, SimMode};
 use rand::Rng;
 
@@ -17,6 +19,10 @@ pub enum OracleChoice {
     Grr,
     /// Optimized Local Hash.
     Olh,
+    /// The Wheel mechanism (OLH-equivalent variance, float reports).
+    Wheel,
+    /// Square Wave with EM reconstruction (ordinal domains; MSW substrate).
+    Sw,
 }
 
 impl OracleChoice {
@@ -25,6 +31,8 @@ impl OracleChoice {
         match self {
             OracleChoice::Grr => "grr",
             OracleChoice::Olh => "olh",
+            OracleChoice::Wheel => "wheel",
+            OracleChoice::Sw => "sw",
         }
     }
 }
@@ -54,6 +62,12 @@ pub enum OraclePolicy {
     /// Per-group adaptive selection by the paper's variance-crossover rule
     /// ([`choose_oracle`]: GRR iff `c − 2 < 3eᵋ`).
     Auto,
+    /// Always the Wheel mechanism (paper §6) — OLH-equivalent variance with
+    /// circle-point (`f64`) reports; exercises the wide wire encoding.
+    Wheel,
+    /// Always Square Wave — ordinal-domain reporting with EM
+    /// reconstruction; the substrate the MSW approach builds on.
+    Sw,
 }
 
 impl OraclePolicy {
@@ -63,6 +77,8 @@ impl OraclePolicy {
             OraclePolicy::Olh => OracleChoice::Olh,
             OraclePolicy::Grr => OracleChoice::Grr,
             OraclePolicy::Auto => choose_oracle(epsilon, domain),
+            OraclePolicy::Wheel => OracleChoice::Wheel,
+            OraclePolicy::Sw => OracleChoice::Sw,
         }
     }
 
@@ -77,16 +93,22 @@ impl OraclePolicy {
             OraclePolicy::Olh => "olh",
             OraclePolicy::Grr => "grr",
             OraclePolicy::Auto => "auto",
+            OraclePolicy::Wheel => "wheel",
+            OraclePolicy::Sw => "sw",
         }
     }
 
-    /// Parses a CLI-style name (`olh`, `grr`, `auto`).
+    /// Parses a CLI-style name (`olh`, `grr`, `auto`, `wheel`, `sw`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "olh" => Ok(OraclePolicy::Olh),
             "grr" => Ok(OraclePolicy::Grr),
             "auto" => Ok(OraclePolicy::Auto),
-            other => Err(format!("unknown oracle '{other}' (expected olh|grr|auto)")),
+            "wheel" => Ok(OraclePolicy::Wheel),
+            "sw" => Ok(OraclePolicy::Sw),
+            other => Err(format!(
+                "unknown oracle '{other}' (expected olh|grr|auto|wheel|sw)"
+            )),
         }
     }
 }
@@ -97,13 +119,17 @@ impl std::fmt::Display for OraclePolicy {
     }
 }
 
-/// A frequency oracle that dispatches to GRR or OLH by the adaptive rule.
+/// A frequency oracle that dispatches to the policy-selected branch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdaptiveOracle {
     /// GRR branch (small domains).
     Grr(Grr),
     /// OLH branch (large domains).
     Olh(Olh),
+    /// Wheel branch (explicit `wheel` policy).
+    Wheel(Wheel),
+    /// Square Wave branch (explicit `sw` policy; MSW substrate).
+    Sw(SquareWave),
 }
 
 impl AdaptiveOracle {
@@ -123,6 +149,8 @@ impl AdaptiveOracle {
         Ok(match choice {
             OracleChoice::Grr => AdaptiveOracle::Grr(Grr::new(epsilon, domain)?),
             OracleChoice::Olh => AdaptiveOracle::Olh(Olh::new(epsilon, domain)?),
+            OracleChoice::Wheel => AdaptiveOracle::Wheel(Wheel::new(epsilon, domain)?),
+            OracleChoice::Sw => AdaptiveOracle::Sw(SquareWave::new(epsilon, domain)?),
         })
     }
 
@@ -131,6 +159,8 @@ impl AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(g) => g.collect(values, mode, rng),
             AdaptiveOracle::Olh(o) => o.collect(values, mode, rng),
+            AdaptiveOracle::Wheel(w) => w.collect(values, mode, rng),
+            AdaptiveOracle::Sw(s) => s.collect(values, mode, rng),
         }
     }
 
@@ -139,6 +169,8 @@ impl AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(g) => g.variance(n),
             AdaptiveOracle::Olh(o) => o.variance(n),
+            AdaptiveOracle::Wheel(w) => w.variance(n),
+            AdaptiveOracle::Sw(s) => s.variance(n),
         }
     }
 
@@ -147,6 +179,8 @@ impl AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(_) => OracleChoice::Grr,
             AdaptiveOracle::Olh(_) => OracleChoice::Olh,
+            AdaptiveOracle::Wheel(_) => OracleChoice::Wheel,
+            AdaptiveOracle::Sw(_) => OracleChoice::Sw,
         }
     }
 }
@@ -165,6 +199,8 @@ impl FrequencyOracle for AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(g) => g.domain(),
             AdaptiveOracle::Olh(o) => o.domain(),
+            AdaptiveOracle::Wheel(w) => w.domain(),
+            AdaptiveOracle::Sw(s) => s.bins(),
         }
     }
 
@@ -172,20 +208,35 @@ impl FrequencyOracle for AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(g) => g.epsilon(),
             AdaptiveOracle::Olh(o) => o.epsilon(),
+            AdaptiveOracle::Wheel(w) => FrequencyOracle::epsilon(w),
+            AdaptiveOracle::Sw(s) => s.epsilon(),
         }
     }
 
-    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
+    fn support_cells(&self) -> usize {
+        match self {
+            AdaptiveOracle::Grr(g) => FrequencyOracle::support_cells(g),
+            AdaptiveOracle::Olh(o) => FrequencyOracle::support_cells(o),
+            AdaptiveOracle::Wheel(w) => FrequencyOracle::support_cells(w),
+            AdaptiveOracle::Sw(s) => FrequencyOracle::support_cells(s),
+        }
+    }
+
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u64) {
         match self {
             AdaptiveOracle::Grr(g) => FrequencyOracle::randomize(g, value, rng),
             AdaptiveOracle::Olh(o) => FrequencyOracle::randomize(o, value, rng),
+            AdaptiveOracle::Wheel(w) => FrequencyOracle::randomize(w, value, rng),
+            AdaptiveOracle::Sw(s) => FrequencyOracle::randomize(s, value, rng),
         }
     }
 
-    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
         match self {
             AdaptiveOracle::Grr(g) => g.add_support_batch(reports, supports),
             AdaptiveOracle::Olh(o) => o.add_support_batch(reports, supports),
+            AdaptiveOracle::Wheel(w) => Wheel::add_support_batch(w, reports, supports),
+            AdaptiveOracle::Sw(s) => FrequencyOracle::add_support_batch(s, reports, supports),
         }
     }
 
@@ -193,6 +244,8 @@ impl FrequencyOracle for AdaptiveOracle {
         match self {
             AdaptiveOracle::Grr(g) => FrequencyOracle::estimate(g, supports, reports),
             AdaptiveOracle::Olh(o) => FrequencyOracle::estimate(o, supports, reports),
+            AdaptiveOracle::Wheel(w) => FrequencyOracle::estimate(w, supports, reports),
+            AdaptiveOracle::Sw(s) => FrequencyOracle::estimate(s, supports, reports),
         }
     }
 
@@ -221,6 +274,7 @@ mod tests {
                     OracleChoice::Olh => {
                         assert!(olh_var <= grr_var * 1.2, "eps {eps} c {c}")
                     }
+                    other => panic!("auto rule never selects {other:?}"),
                 }
             }
         }

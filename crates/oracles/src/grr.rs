@@ -137,7 +137,7 @@ impl Grr {
     /// An out-of-domain `y` — which only a dishonest client can produce —
     /// supports nothing: the increment is dropped rather than panicking,
     /// mirroring how an out-of-range OLH `y` matches no hash output.
-    pub fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+    pub fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
         debug_assert_eq!(supports.len(), self.domain);
         for &(_seed, y) in reports {
             if let Some(s) = supports.get_mut(y as usize) {
@@ -160,11 +160,11 @@ impl crate::FrequencyOracle for Grr {
         self.epsilon
     }
 
-    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
-        (0, self.perturb(value, rng) as u32)
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u64) {
+        (0, self.perturb(value, rng) as u64)
     }
 
-    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
         Grr::add_support_batch(self, reports, supports);
     }
 

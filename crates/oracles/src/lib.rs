@@ -35,6 +35,7 @@ pub use adaptive::{choose_oracle, AdaptiveOracle, OracleChoice, OraclePolicy};
 pub use grr::Grr;
 pub use olh::{Olh, OlhReport, OlhReportSet};
 pub use partition::{partition_users, proportional_sizes};
+pub use sw::SquareWave;
 pub use wheel::{Wheel, WheelReport};
 
 use rand::RngCore;
@@ -48,13 +49,18 @@ use rand::RngCore;
 ///    value into a `(seed, y)` wire pair — the complete content of a
 ///    report. OLH fills both halves (hash seed + perturbed hashed value);
 ///    seedless oracles like GRR set `seed = 0` and carry the perturbed
-///    value in `y`.
+///    value in `y`. Continuous-output oracles (Wheel, Square Wave) carry
+///    the report point's `f64` bit pattern in `y` — the pair is wide
+///    enough (`u64`) for either shape, and integer-valued oracles use
+///    values `< 2³²` so nothing changes for them.
 /// 2. **Aggregator hot loop**:
 ///    [`add_support_batch`](FrequencyOracle::add_support_batch) folds a
 ///    batch of wire pairs into per-value support counters. Support counts
 ///    are sums of per-report `u64` increments, so folding commutes across
 ///    any batching or sharding — the invariant the parallel ingestion
-///    engine is built on.
+///    engine is built on. Counter layout is oracle-defined:
+///    [`support_cells`](FrequencyOracle::support_cells) is `domain` for
+///    value-supporting oracles but an output-histogram width for SW.
 /// 3. **Estimation**: [`estimate`](FrequencyOracle::estimate) unbiases the
 ///    counters into frequency estimates, and
 ///    [`variance`](FrequencyOracle::variance) reports the per-frequency
@@ -73,14 +79,23 @@ pub trait FrequencyOracle: Send + Sync {
     /// Privacy budget ε.
     fn epsilon(&self) -> f64;
 
+    /// Number of accumulator cells
+    /// [`add_support_batch`](FrequencyOracle::add_support_batch) folds
+    /// into. Defaults to [`domain`](FrequencyOracle::domain) (one counter
+    /// per value); SW overrides it with its output-histogram width.
+    fn support_cells(&self) -> usize {
+        self.domain()
+    }
+
     /// Client side: perturbs `value` into a `(seed, y)` wire pair.
-    fn randomize(&self, value: usize, rng: &mut dyn RngCore) -> (u64, u32);
+    fn randomize(&self, value: usize, rng: &mut dyn RngCore) -> (u64, u64);
 
     /// Aggregator side: folds a batch of `(seed, y)` wire pairs into
-    /// per-value support counters (`supports.len() == domain`). Pairs a
-    /// dishonest client could never produce (e.g. out-of-range `y`) must
-    /// be absorbed without panicking — they simply support nothing.
-    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]);
+    /// support counters (`supports.len() == support_cells()`). Pairs a
+    /// dishonest client could never produce (e.g. out-of-range `y`, or a
+    /// NaN bit pattern for float-carrying oracles) must be absorbed
+    /// without panicking — they simply support nothing.
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]);
 
     /// Unbiased frequency estimates from support counters over `reports`
     /// ingested reports.

@@ -15,9 +15,11 @@ use privmdr_util::hash::{self, SeededHash};
 use privmdr_util::sampling::binomial;
 use rand::Rng;
 
-/// Report-block size of the batch support kernel: 1024 `(u64, u32)` pairs
+/// Report-block size of the batch support kernel: 1024 `(u64, u64)` pairs
 /// = 16 KiB, half a typical 32 KiB L1d, so a block stays resident while the
-/// value loop sweeps it `c` times.
+/// value loop sweeps it `c` times. (The old `(u64, u32)` pair occupied the
+/// same 16 bytes after alignment padding, so widening `y` to `u64` for the
+/// float-carrying oracles left the tiling unchanged.)
 const SUPPORT_BLOCK: usize = 1024;
 
 /// One OLH report: the user's hash seed plus the perturbed hashed value.
@@ -115,7 +117,7 @@ impl Olh {
     /// and cannot drift apart.
     #[inline]
     pub fn add_support(&self, seed: u64, y: u32, supports: &mut [u64]) {
-        self.add_support_batch(&[(seed, y)], supports);
+        self.add_support_batch(&[(seed, y as u64)], supports);
     }
 
     /// The support-counting kernel, block-transposed batch form — the hot
@@ -135,7 +137,7 @@ impl Olh {
     ///
     /// The hashed-domain invariant (`c' >= 2`, [`SeededHash::new`]'s assert)
     /// is validated once per batch here, not once per report.
-    pub fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+    pub fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
         self.add_support_batch_with_block(reports, supports, SUPPORT_BLOCK);
     }
 
@@ -145,7 +147,7 @@ impl Olh {
     #[doc(hidden)]
     pub fn add_support_batch_with_block(
         &self,
-        reports: &[(u64, u32)],
+        reports: &[(u64, u64)],
         supports: &mut [u64],
         block: usize,
     ) {
@@ -168,7 +170,7 @@ impl Olh {
     /// Aggregator side: unbiased frequency estimates for all `c` values.
     pub fn aggregate(&self, reports: &[OlhReport]) -> Vec<f64> {
         let mut supports = vec![0u64; self.domain];
-        let pairs: Vec<(u64, u32)> = reports.iter().map(|r| (r.seed, r.y)).collect();
+        let pairs: Vec<(u64, u64)> = reports.iter().map(|r| (r.seed, r.y as u64)).collect();
         self.add_support_batch(&pairs, &mut supports);
         self.unbias(&supports, reports.len())
     }
@@ -245,12 +247,12 @@ impl crate::FrequencyOracle for Olh {
         self.epsilon
     }
 
-    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u32) {
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u64) {
         let report = self.perturb(value, rng);
-        (report.seed, report.y)
+        (report.seed, report.y as u64)
     }
 
-    fn add_support_batch(&self, reports: &[(u64, u32)], supports: &mut [u64]) {
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
         Olh::add_support_batch(self, reports, supports);
     }
 
@@ -358,13 +360,13 @@ mod tests {
         // and every unroll remainder must fold to bit-identical counters.
         let olh = Olh::new(1.0, 19).unwrap();
         let mut rng = StdRng::seed_from_u64(4242);
-        let pairs: Vec<(u64, u32)> = (0..2 * SUPPORT_BLOCK + 3)
+        let pairs: Vec<(u64, u64)> = (0..2 * SUPPORT_BLOCK + 3)
             .map(|_| (rng.random(), rng.random_range(0..6)))
             .collect();
         for n in [0, 1, 2, 3, 4, 5, 1023, 1024, 1025, 2 * SUPPORT_BLOCK + 3] {
             let mut per_report = vec![0u64; 19];
             for &(s, y) in &pairs[..n] {
-                olh.add_support(s, y, &mut per_report);
+                olh.add_support(s, y as u32, &mut per_report);
             }
             let mut batched = vec![0u64; 19];
             olh.add_support_batch(&pairs[..n], &mut batched);

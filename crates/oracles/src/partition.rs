@@ -11,15 +11,23 @@ use rand::Rng;
 
 /// Splits `n` into `weights.len()` integer sizes proportional to `weights`,
 /// summing exactly to `n` (largest-remainder rounding).
+///
+/// Every weight must be finite and non-negative: a negative weight would
+/// inflate `total` while contributing nothing assignable, leaving the
+/// floors summing past `n` and the leftover count underflowing.
 pub fn proportional_sizes(n: usize, weights: &[f64]) -> Vec<usize> {
     assert!(!weights.is_empty(), "need at least one group");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must have positive mass");
     let mut sizes = Vec::with_capacity(weights.len());
     let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
     let mut assigned = 0usize;
     for (i, &w) in weights.iter().enumerate() {
-        let exact = n as f64 * w.max(0.0) / total;
+        let exact = n as f64 * w / total;
         let floor = exact.floor() as usize;
         sizes.push(floor);
         assigned += floor;
@@ -114,5 +122,22 @@ mod tests {
     fn partition_rejects_bad_sizes() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = partition_users(10, &[3, 3], &mut rng);
+    }
+
+    /// Regression: a negative weight used to be clamped per-entry but still
+    /// counted in `total`, so the floors could sum past `n` and the
+    /// leftover count `n - assigned` underflowed `usize` (debug panic with
+    /// "attempt to subtract with overflow", near-infinite loop in release).
+    /// It must be rejected up front with a named invariant instead.
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn proportional_sizes_rejects_negative_weights() {
+        let _ = proportional_sizes(10, &[5.0, -4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn proportional_sizes_rejects_non_finite_weights() {
+        let _ = proportional_sizes(10, &[1.0, f64::NAN]);
     }
 }

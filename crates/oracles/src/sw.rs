@@ -15,7 +15,7 @@ use privmdr_util::sampling::multinomial;
 use rand::Rng;
 
 /// A configured Square Wave mechanism for one ordinal attribute.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SquareWave {
     epsilon: f64,
     /// Input discretization (the attribute's domain size `c`).
@@ -90,6 +90,12 @@ impl SquareWave {
     /// Input domain size.
     pub fn bins(&self) -> usize {
         self.bins
+    }
+
+    /// Output discretization over `[−δ, 1+δ]` — the number of support
+    /// cells the aggregator accumulates before EM reconstruction.
+    pub fn out_bins(&self) -> usize {
+        self.out_bins
     }
 
     /// The privacy budget this mechanism was configured with.
@@ -190,6 +196,18 @@ impl SquareWave {
         t
     }
 
+    /// Coarse single-frequency estimation variance analogue, treating a
+    /// report inside a value's ±δ band as "support": a holder lands there
+    /// with mass `p_eff = 2δp`, a uniformly random non-holder with mass
+    /// `q_eff = 2δ` (unit density over the unit interval). This is a
+    /// diagnostic figure for oracle comparison dashboards — EM estimates
+    /// are not per-cell unbiasings, so no exact closed form exists.
+    pub fn variance(&self, n: usize) -> f64 {
+        let p_eff = 2.0 * self.delta * self.p;
+        let q_eff = 2.0 * self.delta;
+        q_eff * (1.0 - q_eff) / ((p_eff - q_eff).powi(2) * n as f64)
+    }
+
     /// EM reconstruction of the input distribution from the observed output
     /// histogram. Returns a non-negative vector summing to 1.
     fn em(&self, obs: &[u64]) -> Vec<f64> {
@@ -238,6 +256,56 @@ impl SquareWave {
             prev_ll = ll;
         }
         f
+    }
+}
+
+impl crate::FrequencyOracle for SquareWave {
+    fn kind(&self) -> crate::OracleChoice {
+        crate::OracleChoice::Sw
+    }
+
+    fn domain(&self) -> usize {
+        self.bins
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// SW support counters are *output-bin* counters, not value counters:
+    /// the aggregator accumulates the discretized report histogram and EM
+    /// inverts it at estimation time.
+    fn support_cells(&self) -> usize {
+        self.out_bins
+    }
+
+    /// The wire pair carries the report point's `f64` bit pattern in `y`
+    /// (`seed = 0` — SW has no per-user hash).
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u64) {
+        debug_assert!(value < self.bins);
+        let v01 = (value as f64 + 0.5) / self.bins as f64;
+        (0, self.perturb(v01, rng).to_bits())
+    }
+
+    /// Folds report points into the output histogram. `out_bin_of` clamps
+    /// every float — including hostile NaN/∞ bit patterns a dishonest
+    /// client could send — onto a valid bin, deterministically, so the
+    /// fold never panics and stays order-independent (`u64` adds).
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
+        debug_assert_eq!(supports.len(), self.out_bins);
+        for &(_seed, y_bits) in reports {
+            supports[self.out_bin_of(f64::from_bits(y_bits))] += 1;
+        }
+    }
+
+    /// EM reconstruction over the accumulated output histogram; the
+    /// `reports` count is implicit in the histogram total.
+    fn estimate(&self, supports: &[u64], _reports: u64) -> Vec<f64> {
+        self.em(supports)
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        SquareWave::variance(self, n)
     }
 }
 

@@ -88,26 +88,61 @@ impl Wheel {
         debug_assert!(value < self.domain);
         let seed: u64 = rng.random();
         let omega = self.position(seed, value);
+        let y = self.report_point(omega, rng.random());
+        WheelReport { seed, y }
+    }
+
+    /// The deterministic half of [`Wheel::perturb`]: maps one uniform draw
+    /// `u ∈ [0, 1)` to the report point for a value sitting at circle
+    /// position `omega`. Split out so the float-boundary cases are directly
+    /// testable.
+    fn report_point(&self, omega: f64, u: f64) -> f64 {
         let in_arc_mass = self.b * self.p;
-        let u: f64 = rng.random();
-        let y = if u < in_arc_mass {
+        if u < in_arc_mass {
             // Uniform over the arc [omega, omega + b).
-            omega + self.b * (u / in_arc_mass)
+            (omega + self.b * (u / in_arc_mass)).fract()
         } else {
-            // Uniform over the complement arc of length 1 - b.
-            let t = (u - in_arc_mass) / ((1.0 - self.b) * self.q) * (1.0 - self.b);
-            omega + self.b + t
-        };
-        WheelReport { seed, y: y.fract() }
+            // Uniform over the complement arc of length 1 - b. In exact
+            // arithmetic t < 1 - b, but the floating-point out-of-arc mass
+            // (1 - b)·q can fall a few ulps short of 1 - in_arc_mass, so a
+            // draw near 1 can round t up to exactly 1 - b — wrapping the
+            // claimed out-of-arc report back onto `omega`, inside the
+            // holder's own arc. Clamp strictly inside the complement arc.
+            let t = ((u - in_arc_mass) / ((1.0 - self.b) * self.q) * (1.0 - self.b))
+                .min((1.0 - self.b) * (1.0 - f64::EPSILON));
+            let mut y = (omega + self.b + t).fract();
+            // Even clamped, the rounded sum `omega + b + t` can cross onto
+            // the arc by a fraction of an ulp — at either end. In exact
+            // arithmetic the point lies in [omega + b, omega + 1), so which
+            // end it rounded across is unambiguous: penetration is ulps,
+            // never a macroscopic fraction of the arc length `b`.
+            if circle_dist(y, omega) < 0.5 * self.b {
+                // Rounded the full circle back onto omega (t near 1 − b,
+                // e.g. omega + 1 − (1−b)ε rounding to omega + 1): snap to
+                // the last point strictly below omega.
+                y = if omega > 0.0 {
+                    omega.next_down()
+                } else {
+                    1.0f64.next_down()
+                };
+            }
+            // Rounded a hair back across the arc's exclusive end omega + b
+            // (e.g. the boundary draw u == in_arc_mass, t = 0): step the
+            // few ulps out so an out-of-arc draw never supports the holder.
+            while circle_dist(y, omega) < self.b {
+                y = y.next_up();
+                if y >= 1.0 {
+                    y = 0.0;
+                }
+            }
+            y
+        }
     }
 
     /// Whether a report supports `value` (its point lies in the value's arc).
     #[inline]
-    fn supports(&self, report: &WheelReport, value: usize) -> bool {
-        let omega = self.position(report.seed, value);
-        let dist = report.y - omega;
-        let dist = if dist < 0.0 { dist + 1.0 } else { dist };
-        dist < self.b
+    pub fn supports(&self, report: &WheelReport, value: usize) -> bool {
+        circle_dist(report.y, self.position(report.seed, value)) < self.b
     }
 
     /// Aggregator side: unbiased frequency estimates for all values.
@@ -116,14 +151,28 @@ impl Wheel {
     /// probability is exactly `b`; a holder supports with probability `b·p`.
     pub fn aggregate(&self, reports: &[WheelReport]) -> Vec<f64> {
         let mut supports = vec![0u64; self.domain];
-        for r in reports {
+        let pairs: Vec<(u64, u64)> = reports.iter().map(|r| (r.seed, r.y.to_bits())).collect();
+        self.add_support_batch(&pairs, &mut supports);
+        self.unbias(&supports, reports.len())
+    }
+
+    /// The support-counting kernel, batch form: folds `(seed, y_bits)` wire
+    /// pairs (`y_bits` = the report point's `f64` bit pattern) into
+    /// per-value support counters. A pair only a dishonest client could
+    /// produce — a point outside `[0, 1)`, including NaN — supports
+    /// nothing: every honest report point lies on the circle by
+    /// construction.
+    pub fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
+        debug_assert_eq!(supports.len(), self.domain);
+        for &(seed, y_bits) in reports {
+            let y = f64::from_bits(y_bits);
+            if !(0.0..1.0).contains(&y) {
+                continue;
+            }
             for (v, s) in supports.iter_mut().enumerate() {
-                if self.supports(r, v) {
-                    *s += 1;
-                }
+                *s += u64::from(circle_dist(y, self.position(seed, v)) < self.b);
             }
         }
-        self.unbias(&supports, reports.len())
     }
 
     /// Collects frequency estimates from true `values`, dispatching on the
@@ -153,7 +202,13 @@ impl Wheel {
     }
 
     fn unbias(&self, supports: &[u64], n: usize) -> Vec<f64> {
-        let n = n.max(1) as f64;
+        // Zero reports carry zero information: estimate every frequency as
+        // zero rather than unbiasing empty counters into the constant
+        // −q_eff/(p_eff − q_eff) for every cell.
+        if n == 0 {
+            return vec![0.0; supports.len()];
+        }
+        let n = n as f64;
         let p_eff = self.b * self.p;
         let q_eff = self.b;
         supports
@@ -169,6 +224,50 @@ impl Wheel {
         let p_eff = self.b * self.p;
         let q_eff = self.b;
         q_eff * (1.0 - q_eff) / ((p_eff - q_eff).powi(2) * n as f64)
+    }
+}
+
+/// Forward distance from `omega` to `y` on the unit circle — the one
+/// membership primitive both perturbation and support counting share, so
+/// the two sides cannot disagree about the arc boundary.
+#[inline]
+fn circle_dist(y: f64, omega: f64) -> f64 {
+    let dist = y - omega;
+    if dist < 0.0 {
+        dist + 1.0
+    } else {
+        dist
+    }
+}
+
+impl crate::FrequencyOracle for Wheel {
+    fn kind(&self) -> crate::OracleChoice {
+        crate::OracleChoice::Wheel
+    }
+
+    fn domain(&self) -> usize {
+        self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn randomize(&self, value: usize, rng: &mut dyn rand::RngCore) -> (u64, u64) {
+        let report = self.perturb(value, rng);
+        (report.seed, report.y.to_bits())
+    }
+
+    fn add_support_batch(&self, reports: &[(u64, u64)], supports: &mut [u64]) {
+        Wheel::add_support_batch(self, reports, supports);
+    }
+
+    fn estimate(&self, supports: &[u64], reports: u64) -> Vec<f64> {
+        self.unbias(supports, reports as usize)
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        Wheel::variance(self, n)
     }
 }
 
@@ -255,6 +354,80 @@ mod tests {
                 "eps {eps}: wheel {wheel_var} vs olh {olh_var}"
             );
         }
+    }
+
+    /// Regression: `aggregate(&[])` (and the Fast path at `n = 0`) used to
+    /// run the unbias formula with `n.max(1)`, turning empty support
+    /// counters into the constant `−q_eff/(p_eff − q_eff)` for every cell.
+    /// Zero reports must estimate zero everywhere.
+    #[test]
+    fn empty_aggregate_estimates_all_zeros() {
+        let w = Wheel::new(1.0, 16).unwrap();
+        assert_eq!(w.aggregate(&[]), vec![0.0; 16]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(w.collect(&[], SimMode::Fast, &mut rng), vec![0.0; 16]);
+        assert_eq!(w.collect(&[], SimMode::Exact, &mut rng), vec![0.0; 16]);
+    }
+
+    /// Regression for the float-boundary leak in the complement-arc branch:
+    /// a draw near 1 could round `t` up to exactly `1 − b`, wrapping the
+    /// claimed out-of-arc report back onto `omega` — inside the holder's
+    /// arc. The boundary draw `u == in_arc_mass` (`t = 0`, the arc's
+    /// exclusive end) must stay out-of-arc too.
+    #[test]
+    fn out_of_arc_draws_never_support_the_holder() {
+        for eps in [0.2f64, 1.0, 3.0] {
+            let w = Wheel::new(eps, 16).unwrap();
+            let in_arc_mass = w.arc() * w.p();
+            let mut boundary_draws = vec![in_arc_mass, 1.0 - f64::EPSILON];
+            let mut u = 1.0f64;
+            for _ in 0..8 {
+                u = u.next_down();
+                boundary_draws.push(u);
+            }
+            for seed in 0..64u64 {
+                let omega = w.position(seed, 3);
+                for &u in &boundary_draws {
+                    let y = w.report_point(omega, u);
+                    let report = WheelReport { seed, y };
+                    assert!(
+                        !w.supports(&report, 3),
+                        "eps {eps} seed {seed} u {u:.17}: out-of-arc draw landed \
+                         in the holder's arc (omega {omega}, y {y})"
+                    );
+                    assert!((0.0..1.0).contains(&y), "y {y} off the circle");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_report_supports_and_absorbs_hostile_pairs() {
+        let w = Wheel::new(1.0, 12).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let reports: Vec<WheelReport> = (0..400).map(|i| w.perturb(i % 12, &mut rng)).collect();
+        let mut manual = vec![0u64; 12];
+        for r in &reports {
+            for (v, cell) in manual.iter_mut().enumerate() {
+                *cell += u64::from(w.supports(r, v));
+            }
+        }
+        let pairs: Vec<(u64, u64)> = reports.iter().map(|r| (r.seed, r.y.to_bits())).collect();
+        let mut batched = vec![0u64; 12];
+        w.add_support_batch(&pairs, &mut batched);
+        assert_eq!(batched, manual);
+        // Hostile pairs — points off the circle, NaN, negative zero's
+        // complement — support nothing and never panic.
+        let hostile = [
+            (1u64, 1.5f64.to_bits()),
+            (2, (-0.25f64).to_bits()),
+            (3, f64::NAN.to_bits()),
+            (4, f64::INFINITY.to_bits()),
+            (5, 1.0f64.to_bits()),
+        ];
+        let mut supports = vec![0u64; 12];
+        w.add_support_batch(&hostile, &mut supports);
+        assert_eq!(supports, vec![0u64; 12]);
     }
 
     #[test]

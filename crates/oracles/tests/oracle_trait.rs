@@ -6,16 +6,18 @@
 //! the concrete `Olh`/`Grr` inherent API directly, and the `auto` policy
 //! must select exactly the paper's variance rule per domain.
 
-use privmdr_oracles::{choose_oracle, FrequencyOracle, Grr, Olh, OracleChoice, OraclePolicy};
+use privmdr_oracles::{
+    choose_oracle, FrequencyOracle, Grr, Olh, OracleChoice, OraclePolicy, Wheel,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Random wire pairs: well-mixed seeds, `y` ranging past every hashed and
 /// raw domain in the sweep so out-of-range values are exercised too.
-fn random_pairs(n: usize, rng: &mut StdRng) -> Vec<(u64, u32)> {
+fn random_pairs(n: usize, rng: &mut StdRng) -> Vec<(u64, u64)> {
     (0..n)
-        .map(|_| (rng.random(), rng.random_range(0..40u32)))
+        .map(|_| (rng.random(), rng.random_range(0..40u64)))
         .collect()
 }
 
@@ -35,7 +37,7 @@ proptest! {
         let via_concrete = {
             let mut rng = StdRng::seed_from_u64(rng_seed);
             let r = olh.perturb(value, &mut rng);
-            (r.seed, r.y)
+            (r.seed, r.y as u64)
         };
         let via_trait = {
             let mut rng = StdRng::seed_from_u64(rng_seed);
@@ -47,7 +49,7 @@ proptest! {
         let grr = Grr::new(eps, domain).unwrap();
         let via_concrete = {
             let mut rng = StdRng::seed_from_u64(rng_seed);
-            (0u64, grr.perturb(value, &mut rng) as u32)
+            (0u64, grr.perturb(value, &mut rng) as u64)
         };
         let via_trait = {
             let mut rng = StdRng::seed_from_u64(rng_seed);
@@ -121,7 +123,7 @@ proptest! {
             .map(|i| olh.perturb(i % domain, &mut rng))
             .collect();
         let concrete = olh.aggregate(&reports);
-        let pairs: Vec<(u64, u32)> = reports.iter().map(|r| (r.seed, r.y)).collect();
+        let pairs: Vec<(u64, u64)> = reports.iter().map(|r| (r.seed, r.y as u64)).collect();
         let dyn_oracle: &dyn FrequencyOracle = &olh;
         let mut supports = vec![0u64; domain];
         dyn_oracle.add_support_batch(&pairs, &mut supports);
@@ -136,7 +138,7 @@ proptest! {
             .map(|i| grr.perturb(i % domain, &mut rng) as u32)
             .collect();
         let concrete = grr.aggregate(&raw);
-        let pairs: Vec<(u64, u32)> = raw.iter().map(|&y| (0u64, y)).collect();
+        let pairs: Vec<(u64, u64)> = raw.iter().map(|&y| (0u64, y as u64)).collect();
         let dyn_oracle: &dyn FrequencyOracle = &grr;
         let mut supports = vec![0u64; domain];
         dyn_oracle.add_support_batch(&pairs, &mut supports);
@@ -165,12 +167,64 @@ proptest! {
         };
         prop_assert_eq!(auto, expected);
 
-        for policy in [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto] {
+        prop_assert_eq!(OraclePolicy::Wheel.select(eps, domain), OracleChoice::Wheel);
+        prop_assert_eq!(OraclePolicy::Sw.select(eps, domain), OracleChoice::Sw);
+
+        for policy in [
+            OraclePolicy::Olh,
+            OraclePolicy::Grr,
+            OraclePolicy::Auto,
+            OraclePolicy::Wheel,
+            OraclePolicy::Sw,
+        ] {
             let oracle = policy.build(eps, domain).unwrap();
             prop_assert_eq!(oracle.kind(), policy.select(eps, domain));
             prop_assert_eq!(FrequencyOracle::domain(&oracle), domain);
             prop_assert_eq!(FrequencyOracle::epsilon(&oracle), eps);
+            // Value-supporting oracles count per value; SW counts output
+            // bins, strictly more than the input bins by construction.
+            match oracle.kind() {
+                OracleChoice::Sw => {
+                    prop_assert!(FrequencyOracle::support_cells(&oracle) > domain)
+                }
+                _ => prop_assert_eq!(FrequencyOracle::support_cells(&oracle), domain),
+            }
         }
+    }
+
+    /// Trait-object Wheel dispatch is bit-identical to the concrete API:
+    /// the same randomness gives the same wire pair, and folding pairs
+    /// through the trait kernel + `estimate` equals `aggregate`.
+    #[test]
+    fn wheel_trait_matches_concrete(
+        eps in 0.2f64..3.0,
+        domain in 2usize..24,
+        n_reports in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let wheel = Wheel::new(eps, domain).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<_> = (0..n_reports)
+            .map(|i| wheel.perturb(i % domain, &mut rng))
+            .collect();
+
+        let dyn_oracle: &dyn FrequencyOracle = &wheel;
+        let concrete = wheel.aggregate(&reports);
+        let pairs: Vec<(u64, u64)> = reports.iter().map(|r| (r.seed, r.y.to_bits())).collect();
+        let mut supports = vec![0u64; domain];
+        dyn_oracle.add_support_batch(&pairs, &mut supports);
+        let via_trait = dyn_oracle.estimate(&supports, n_reports as u64);
+        prop_assert_eq!(concrete.len(), via_trait.len());
+        for (a, b) in concrete.iter().zip(&via_trait) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "Wheel estimate diverges");
+        }
+
+        let value = (seed % domain as u64) as usize;
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let r = wheel.perturb(value, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let (s, y_bits) = dyn_oracle.randomize(value, &mut rng_b);
+        prop_assert_eq!((r.seed, r.y.to_bits()), (s, y_bits), "Wheel randomize diverges");
     }
 }
 
@@ -181,8 +235,9 @@ proptest! {
 fn hostile_y_values_are_absorbed() {
     let olh = Olh::new(1.0, 8).unwrap();
     let grr = Grr::new(1.0, 8).unwrap();
-    let hostile: Vec<(u64, u32)> = (0..50u64).map(|i| (i * 77, u32::MAX - i as u32)).collect();
-    for oracle in [&olh as &dyn FrequencyOracle, &grr] {
+    let hostile: Vec<(u64, u64)> = (0..50u64).map(|i| (i * 77, u64::MAX - i)).collect();
+    let wheel = Wheel::new(1.0, 8).unwrap();
+    for oracle in [&olh as &dyn FrequencyOracle, &grr, &wheel] {
         let mut supports = vec![0u64; 8];
         oracle.add_support_batch(&hostile, &mut supports);
         assert!(

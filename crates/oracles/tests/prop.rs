@@ -4,7 +4,7 @@ use privmdr_oracles::grr::Grr;
 use privmdr_oracles::olh::Olh;
 use privmdr_oracles::partition::{partition_users, proportional_sizes};
 use privmdr_oracles::sw::SquareWave;
-use privmdr_oracles::SimMode;
+use privmdr_oracles::{FrequencyOracle, SimMode};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,13 +57,13 @@ proptest! {
     ) {
         let olh = Olh::new(eps, domain).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let pairs: Vec<(u64, u32)> = (0..n)
+        let pairs: Vec<(u64, u64)> = (0..n)
             .map(|_| (rng.random(), rng.random_range(0..32)))
             .collect();
 
         let mut per_report = vec![0u64; domain];
         for &(s, y) in &pairs {
-            olh.add_support(s, y, &mut per_report);
+            olh.add_support(s, y as u32, &mut per_report);
         }
         let mut batched = vec![0u64; domain];
         olh.add_support_batch(&pairs, &mut batched);
@@ -114,6 +114,33 @@ proptest! {
         prop_assert!(y >= -sw.delta() - 1e-9 && y <= 1.0 + sw.delta() + 1e-9);
     }
 
+    /// SW's EM reconstruction is a pure function of the observed histogram:
+    /// repeated runs on the same counters are bit-identical, invariant to
+    /// when/where they run. Together with the pinned-bits unit test below
+    /// (asserted under both debug and release in CI) this is the
+    /// precondition for pinning MSW golden answers.
+    #[test]
+    fn sw_em_is_deterministic(
+        eps in 0.2f64..3.0,
+        bins in 2usize..48,
+        seed in any::<u64>(),
+        n_scale in 1u64..10_000,
+    ) {
+        let sw = SquareWave::new(eps, bins).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs: Vec<u64> = (0..sw.out_bins())
+            .map(|_| rng.random_range(0..n_scale))
+            .collect();
+        let total: u64 = obs.iter().sum();
+        let a = FrequencyOracle::estimate(&sw, &obs, total);
+        let b = FrequencyOracle::estimate(&sw, &obs, total);
+        prop_assert_eq!(a.len(), bins);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "EM is not deterministic");
+        }
+        prop_assert!(a.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
     /// Proportional sizes always partition n exactly.
     #[test]
     fn sizes_partition_exactly(
@@ -140,4 +167,33 @@ proptest! {
         }
         prop_assert!(seen.iter().all(|&x| x));
     }
+}
+
+/// Pinned EM reconstruction bits for one fixed histogram: the exact `u64`
+/// bit patterns must reproduce under both debug and release profiles (CI
+/// runs this test in both). EM uses only scalar IEEE-754 ops in a fixed
+/// iteration order, so optimization level must not change a single bit.
+#[test]
+fn sw_em_pinned_bits() {
+    let sw = SquareWave::new(1.0, 8).unwrap();
+    let obs: Vec<u64> = (0..sw.out_bins() as u64)
+        .map(|i| (i * 37 + 11) % 101)
+        .collect();
+    let total: u64 = obs.iter().sum();
+    let f = FrequencyOracle::estimate(&sw, &obs, total);
+    let bits: Vec<u64> = f.iter().map(|x| x.to_bits()).collect();
+    let expected: Vec<u64> = vec![
+        4553995124347337789,
+        4602939968793853373,
+        4562180409030541950,
+        4593674313038638247,
+        4522621146927474261,
+        4576775626778430582,
+        4421987841708643665,
+        4599704685023312698,
+    ];
+    assert_eq!(
+        bits, expected,
+        "EM output bits moved; floats: {f:?}, bits: {bits:?}"
+    );
 }

@@ -39,7 +39,7 @@ fn synthetic_reports(n: usize) -> Vec<Report> {
         .map(|i| Report {
             group: 0,
             seed: mix64(i),
-            y: (mix64(i ^ 0xF00D) % 4) as u32,
+            y: mix64(i ^ 0xF00D) % 4,
         })
         .collect()
 }
@@ -86,8 +86,8 @@ fn bench_support_kernel(c: &mut Criterion) {
         let olh = Olh::new(1.0, cells).unwrap();
         let mut group = c.benchmark_group(format!("kernel_{cells}cells"));
         for n in [64usize, 1024, 16384] {
-            let pairs: Vec<(u64, u32)> = (0..n as u64)
-                .map(|i| (mix64(i), (mix64(i ^ 0xF00D) % 4) as u32))
+            let pairs: Vec<(u64, u64)> = (0..n as u64)
+                .map(|i| (mix64(i), mix64(i ^ 0xF00D) % 4))
                 .collect();
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new("batched", n), &pairs, |b, pairs| {
@@ -101,7 +101,7 @@ fn bench_support_kernel(c: &mut Criterion) {
                 b.iter(|| {
                     let mut supports = vec![0u64; cells];
                     for &(seed, y) in black_box(pairs).iter() {
-                        olh.add_support(seed, y, &mut supports);
+                        olh.add_support(seed, y as u32, &mut supports);
                     }
                     black_box(supports)
                 })
@@ -120,8 +120,8 @@ fn bench_support_kernel(c: &mut Criterion) {
 /// accumulators pay.
 fn bench_grr_vs_olh_kernel(c: &mut Criterion) {
     let n = 16_384usize;
-    let pairs: Vec<(u64, u32)> = (0..n as u64)
-        .map(|i| (mix64(i), (mix64(i ^ 0xF00D) % 4) as u32))
+    let pairs: Vec<(u64, u64)> = (0..n as u64)
+        .map(|i| (mix64(i), mix64(i ^ 0xF00D) % 4))
         .collect();
     for cells in [64usize, 256, 1024] {
         let olh = Olh::new(1.0, cells).unwrap();

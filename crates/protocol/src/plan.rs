@@ -82,7 +82,9 @@ impl SessionPlan {
     /// approach. HDG plans target `d + (d choose 2)` grids under the HDG
     /// granularity guideline; TDG plans target the `(d choose 2)` 2-D
     /// grids only, under the TDG guideline (with `g1` mirroring `g2`,
-    /// since no 1-D grid exists to consult it).
+    /// since no 1-D grid exists to consult it). MSW plans target the `d`
+    /// per-attribute marginals at full resolution (`g1 = c`, no pair
+    /// groups; `g2 = 1` is never consulted).
     pub fn with_mechanism(
         n: usize,
         d: usize,
@@ -122,6 +124,10 @@ impl SessionPlan {
                     .map(|(j, k)| GroupTarget::TwoD { j, k })
                     .collect();
                 (Granularities { g1: g2, g2 }, groups)
+            }
+            ApproachKind::Msw => {
+                let groups = (0..d).map(|attr| GroupTarget::OneD { attr }).collect();
+                (Granularities { g1: c, g2: 1 }, groups)
             }
         };
         Ok(SessionPlan {

@@ -34,7 +34,7 @@ use crate::plan::{GroupTarget, SessionPlan};
 use crate::wire::{self, Report};
 use crate::ProtocolError;
 use bytes::Buf;
-use privmdr_core::{ApproachKind, Hdg, MechanismConfig, Model, ModelSnapshot, Tdg};
+use privmdr_core::{ApproachKind, Hdg, MechanismConfig, Model, ModelSnapshot, Msw, Tdg};
 use privmdr_grid::{Grid1d, Grid2d};
 use privmdr_oracles::{AdaptiveOracle, FrequencyOracle};
 use privmdr_util::par::{par_map, split_chunks};
@@ -43,12 +43,12 @@ use privmdr_util::par::{par_map, split_chunks};
 /// arrival order within each group, so each group's reports can be fed to
 /// the block-transposed kernel in one contiguous pass. Callers must have
 /// validated that every `report.group < groups`.
-fn partition_by_group(reports: &[Report], groups: usize) -> Vec<Vec<(u64, u32)>> {
+fn partition_by_group(reports: &[Report], groups: usize) -> Vec<Vec<(u64, u64)>> {
     let mut counts = vec![0usize; groups];
     for r in reports {
         counts[r.group as usize] += 1;
     }
-    let mut by_group: Vec<Vec<(u64, u32)>> =
+    let mut by_group: Vec<Vec<(u64, u64)>> =
         counts.iter().map(|&c| Vec::with_capacity(c)).collect();
     for r in reports {
         by_group[r.group as usize].push((r.seed, r.y));
@@ -76,16 +76,17 @@ impl GroupAccumulator {
         }
     }
 
-    fn ingest(&mut self, seed: u64, y: u32) {
+    fn ingest(&mut self, seed: u64, y: u64) {
         self.ingest_batch(&[(seed, y)]);
     }
 
     /// Folds a whole group-partitioned batch through the oracle's support
     /// kernel (the block-transposed [`privmdr_oracles::Olh`] kernel for
-    /// OLH groups, a counting pass for GRR groups) — bit-identical to
+    /// OLH groups, a counting pass for GRR groups, an out-bin histogram
+    /// pass for the float-carrying Wheel/SW groups) — bit-identical to
     /// ingesting the pairs one at a time: support counters are sums of
     /// per-report `u64` increments, and `u64` adds commute.
-    fn ingest_batch(&mut self, pairs: &[(u64, u32)]) {
+    fn ingest_batch(&mut self, pairs: &[(u64, u64)]) {
         self.oracle.add_support_batch(pairs, &mut self.supports);
         self.reports += pairs.len() as u64;
     }
@@ -109,9 +110,12 @@ impl Collector {
     pub fn new(plan: SessionPlan) -> Result<Self, ProtocolError> {
         let mut groups = Vec::with_capacity(plan.group_count());
         for g in 0..plan.group_count() as u32 {
-            let domain = plan.group_domain(g)?;
             let oracle = plan.group_oracle(g)?;
-            groups.push(GroupAccumulator::new(oracle, domain));
+            // The counter layout is oracle-defined: SW observes more
+            // out-bins than its input domain has values, so accumulators
+            // are sized by `support_cells`, not the group's grid.
+            let cells = oracle.support_cells();
+            groups.push(GroupAccumulator::new(oracle, cells));
         }
         Ok(Collector {
             plan,
@@ -278,6 +282,13 @@ impl Collector {
         self.total_reports = self.total_reports.saturating_add(reports);
     }
 
+    /// Unbiases each group's counters into the session's per-attribute
+    /// marginals (the MSW shape: group `t` is attribute `t`'s SW/EM
+    /// reconstruction at full resolution).
+    fn marginals(&self) -> Vec<Vec<f64>> {
+        self.groups.iter().map(|acc| acc.estimates()).collect()
+    }
+
     /// Unbiases the per-group counters into the session's raw grids.
     fn grids(&self) -> Result<(Vec<Grid1d>, Vec<Grid2d>), ProtocolError> {
         let g = self.plan.granularities;
@@ -323,10 +334,16 @@ impl Collector {
     /// nothing downstream of the counters consults the policy.
     pub fn finalize(&self, config: MechanismConfig) -> Result<Box<dyn Model>, ProtocolError> {
         self.check_approach(&config)?;
-        let (one_d, two_d) = self.grids()?;
         match config.approach {
-            ApproachKind::Hdg => Hdg::new(config).model_from_grids(one_d, two_d),
-            ApproachKind::Tdg => Tdg::new(config).model_from_grids(self.plan.d, two_d),
+            ApproachKind::Hdg => {
+                let (one_d, two_d) = self.grids()?;
+                Hdg::new(config).model_from_grids(one_d, two_d)
+            }
+            ApproachKind::Tdg => {
+                let (_, two_d) = self.grids()?;
+                Tdg::new(config).model_from_grids(self.plan.d, two_d)
+            }
+            ApproachKind::Msw => Msw::model_from_distributions(self.plan.c, &self.marginals()),
         }
         .map_err(|e| ProtocolError::BadPlan(e.to_string()))
     }
@@ -337,10 +354,18 @@ impl Collector {
     /// `snapshot(..).to_model()` answers bit-identically to `finalize(..)`.
     pub fn snapshot(&self, config: MechanismConfig) -> Result<ModelSnapshot, ProtocolError> {
         self.check_approach(&config)?;
-        let (one_d, two_d) = self.grids()?;
         match config.approach {
-            ApproachKind::Hdg => Hdg::new(config).snapshot_from_grids(one_d, two_d),
-            ApproachKind::Tdg => Tdg::new(config).snapshot_from_grids(self.plan.d, two_d),
+            ApproachKind::Hdg => {
+                let (one_d, two_d) = self.grids()?;
+                Hdg::new(config).snapshot_from_grids(one_d, two_d)
+            }
+            ApproachKind::Tdg => {
+                let (_, two_d) = self.grids()?;
+                Tdg::new(config).snapshot_from_grids(self.plan.d, two_d)
+            }
+            ApproachKind::Msw => {
+                Msw::new(config).snapshot_from_marginals(self.plan.d, self.plan.c, self.marginals())
+            }
         }
         .map_err(|e| ProtocolError::BadPlan(e.to_string()))
     }

@@ -74,8 +74,11 @@ pub const COLLECTOR_STATE_GROUP_HEADER_LEN: usize = 12;
 /// Encoded size of a state frame for `collector`.
 pub fn collector_state_encoded_len(collector: &Collector) -> usize {
     let plan = collector.plan();
+    // Counter layouts are oracle-defined (SW observes more out-bins than
+    // its grid has cells), so sizes come from the accumulators themselves,
+    // not the plan's grid geometry.
     let cells: usize = (0..plan.group_count() as u32)
-        .map(|g| plan.group_domain(g).expect("in-plan group"))
+        .map(|g| collector.group_state(g).expect("in-plan group").0.len())
         .sum();
     COLLECTOR_STATE_HEADER_LEN + plan.group_count() * COLLECTOR_STATE_GROUP_HEADER_LEN + cells * 8
 }
@@ -174,10 +177,14 @@ pub fn decode_collector_state(buf: &mut impl Buf) -> Result<Collector, ProtocolE
         }
         let reports = buf.get_u64_le();
         let cells = buf.get_u32_le() as usize;
+        // The freshly built collector's accumulators carry the plan's
+        // oracle-defined counter layout, so they are the shape to validate
+        // the frame's declared cell counts against.
         let expected = collector
-            .plan()
-            .group_domain(g as u32)
-            .expect("validated group index");
+            .group_state(g as u32)
+            .expect("validated group index")
+            .0
+            .len();
         if cells != expected {
             return Err(ProtocolError::Malformed(
                 "collector state group geometry does not match its plan",

@@ -45,6 +45,21 @@
 //! against its plan, so a GRR stream can never be mis-aggregated by an
 //! OLH session (or vice versa).
 //!
+//! # Wide reports (wire version 3)
+//!
+//! The Wheel and Square Wave oracles report a *float* — Wheel's `(seed,
+//! y ∈ [0,1))` pair, SW's padded-interval sample — so their `y` travels
+//! as the full 8 IEEE-754 bits rather than the 4-byte integer the
+//! GRR/OLH bodies carry. Frames whose [`MechanismTag`] names a
+//! float-carrying oracle use wire version 3: the same header layout as
+//! version 2 (so a wide batch header is still 8 bytes) followed by
+//! 20-byte bodies (`group:u32, seed:u64, y:u64 LE`); a standalone wide
+//! report is 23 bytes. The pairing of tag and width is enforced in both
+//! directions — a wheel/sw discriminant inside a version-1/2 frame and a
+//! grr/olh/auto discriminant inside a version-3 frame are both rejected —
+//! so every byte stream has exactly one valid framing, and version-1/2
+//! streams keep decoding byte-identically to earlier releases.
+//!
 //! # Query-serving frames
 //!
 //! The read path adds three more tag-versioned frames, all following the
@@ -75,10 +90,14 @@ use privmdr_query::RangeQuery;
 pub const WIRE_VERSION: u8 = 1;
 /// Wire version byte of mechanism-tagged frames.
 pub const WIRE_VERSION_TAGGED: u8 = 2;
+/// Wire version byte of wide (float-carrying, always tagged) frames.
+pub const WIRE_VERSION_WIDE: u8 = 3;
 /// Encoded size of one standalone report.
 pub const REPORT_LEN: usize = 17;
 /// Encoded size of one standalone mechanism-tagged report.
 pub const TAGGED_REPORT_LEN: usize = 19;
+/// Encoded size of one standalone wide (version 3) report.
+pub const WIDE_REPORT_LEN: usize = 23;
 /// First byte of a [`Batch`] frame; distinct from [`WIRE_VERSION`] so the
 /// two framings coexist in one stream.
 pub const BATCH_TAG: u8 = 0xB1;
@@ -89,6 +108,8 @@ pub const BATCH_HEADER_LEN: usize = 6;
 pub const TAGGED_BATCH_HEADER_LEN: usize = 8;
 /// Encoded size of one report body inside a batch (no version byte).
 pub const REPORT_BODY_LEN: usize = 16;
+/// Encoded size of one wide report body inside a version-3 batch.
+pub const WIDE_REPORT_BODY_LEN: usize = 20;
 
 /// The session-mechanism discriminant carried by version-2 frames: which
 /// frequency-oracle policy randomized the reports and which estimation
@@ -110,6 +131,8 @@ pub(crate) fn oracle_wire_byte(oracle: OraclePolicy) -> u8 {
         OraclePolicy::Olh => 0,
         OraclePolicy::Grr => 1,
         OraclePolicy::Auto => 2,
+        OraclePolicy::Wheel => 3,
+        OraclePolicy::Sw => 4,
     }
 }
 
@@ -118,6 +141,8 @@ pub(crate) fn oracle_from_wire_byte(byte: u8) -> Result<OraclePolicy, ProtocolEr
         0 => Ok(OraclePolicy::Olh),
         1 => Ok(OraclePolicy::Grr),
         2 => Ok(OraclePolicy::Auto),
+        3 => Ok(OraclePolicy::Wheel),
+        4 => Ok(OraclePolicy::Sw),
         _ => Err(ProtocolError::Malformed("unknown oracle discriminant")),
     }
 }
@@ -128,6 +153,7 @@ pub(crate) fn approach_wire_byte(approach: ApproachKind) -> u8 {
     match approach {
         ApproachKind::Hdg => 0,
         ApproachKind::Tdg => 1,
+        ApproachKind::Msw => 2,
     }
 }
 
@@ -135,6 +161,7 @@ pub(crate) fn approach_from_wire_byte(byte: u8) -> Result<ApproachKind, Protocol
     match byte {
         0 => Ok(ApproachKind::Hdg),
         1 => Ok(ApproachKind::Tdg),
+        2 => Ok(ApproachKind::Msw),
         _ => Err(ProtocolError::Malformed("unknown approach discriminant")),
     }
 }
@@ -149,6 +176,12 @@ impl MechanismTag {
     /// Whether this is the implied default (and so encodes as version 1).
     pub fn is_default(&self) -> bool {
         *self == Self::DEFAULT
+    }
+
+    /// Whether this tag names a float-carrying oracle, and so frames wide
+    /// (version 3, `y` as raw `f64` bits).
+    pub fn is_wide(&self) -> bool {
+        matches!(self.oracle, OraclePolicy::Wheel | OraclePolicy::Sw)
     }
 
     fn encode(&self, buf: &mut BytesMut) {
@@ -170,20 +203,25 @@ impl MechanismTag {
 pub struct Report {
     /// Report group (index into the plan's group list).
     pub group: u32,
-    /// OLH per-user hash seed.
+    /// OLH/Wheel per-user hash seed (0 for GRR and SW).
     pub seed: u64,
-    /// Perturbed hashed value `GRR_{c'}(H(v))`.
-    pub y: u32,
+    /// Perturbed value: the hashed `GRR_{c'}(H(v))` integer for OLH/GRR
+    /// (always `< 2³²`), or the raw `f64` bits of the randomized float for
+    /// the wide oracles (Wheel, SW).
+    pub y: u64,
 }
 
 impl Report {
     /// Appends the encoded report to `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` exceeds `u32` — a float-carrying report must travel
+    /// in a wide (version 3) frame via [`Report::encode_tagged`].
     pub fn encode(&self, buf: &mut BytesMut) {
         buf.reserve(REPORT_LEN);
         buf.put_u8(WIRE_VERSION);
-        buf.put_u32_le(self.group);
-        buf.put_u64_le(self.seed);
-        buf.put_u32_le(self.y);
+        self.encode_body(buf);
     }
 
     /// Encodes to a standalone buffer.
@@ -195,8 +233,16 @@ impl Report {
 
     /// Appends the mechanism-tagged encoding to `buf`. Like
     /// [`Batch::tagged`], the default tag canonicalizes to the version-1
-    /// form — an OLH/HDG stream is the same bytes however it is built.
+    /// form — an OLH/HDG stream is the same bytes however it is built —
+    /// and a wide tag (Wheel/SW) frames as version 3 with an 8-byte `y`.
     pub fn encode_tagged(&self, tag: &MechanismTag, buf: &mut BytesMut) {
+        if tag.is_wide() {
+            buf.reserve(WIDE_REPORT_LEN);
+            buf.put_u8(WIRE_VERSION_WIDE);
+            tag.encode(buf);
+            self.encode_wide_body(buf);
+            return;
+        }
         if tag.is_default() {
             return self.encode(buf);
         }
@@ -235,7 +281,23 @@ impl Report {
                 }
                 buf.advance(1);
                 let tag = MechanismTag::decode(buf)?;
+                if tag.is_wide() {
+                    return Err(ProtocolError::Malformed(
+                        "float-carrying oracle in a narrow frame",
+                    ));
+                }
                 Ok((Report::decode_body(buf), Some(tag)))
+            }
+            WIRE_VERSION_WIDE => {
+                if buf.remaining() < WIDE_REPORT_LEN {
+                    return Err(ProtocolError::Malformed("truncated wide report"));
+                }
+                buf.advance(1);
+                let tag = MechanismTag::decode(buf)?;
+                if !tag.is_wide() {
+                    return Err(ProtocolError::Malformed("integer oracle in a wide frame"));
+                }
+                Ok((Report::decode_wide_body(buf), Some(tag)))
             }
             _ => Err(ProtocolError::Malformed("unsupported wire version")),
         }
@@ -271,13 +333,26 @@ impl Report {
     fn encode_body(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.group);
         buf.put_u64_le(self.seed);
-        buf.put_u32_le(self.y);
+        buf.put_u32_le(u32::try_from(self.y).expect("wide report y in a narrow frame"));
     }
 
     fn decode_body(buf: &mut impl Buf) -> Report {
         let group = buf.get_u32_le();
         let seed = buf.get_u64_le();
-        let y = buf.get_u32_le();
+        let y = buf.get_u32_le() as u64;
+        Report { group, seed, y }
+    }
+
+    fn encode_wide_body(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.group);
+        buf.put_u64_le(self.seed);
+        buf.put_u64_le(self.y);
+    }
+
+    fn decode_wide_body(buf: &mut impl Buf) -> Report {
+        let group = buf.get_u32_le();
+        let seed = buf.get_u64_le();
+        let y = buf.get_u64_le();
         Report { group, seed, y }
     }
 }
@@ -326,11 +401,12 @@ impl Batch {
     }
 
     fn wire_len(&self) -> usize {
-        let header = match self.effective_mechanism() {
-            None => BATCH_HEADER_LEN,
-            Some(_) => TAGGED_BATCH_HEADER_LEN,
+        let (header, body) = match self.effective_mechanism() {
+            None => (BATCH_HEADER_LEN, REPORT_BODY_LEN),
+            Some(tag) if tag.is_wide() => (TAGGED_BATCH_HEADER_LEN, WIDE_REPORT_BODY_LEN),
+            Some(_) => (TAGGED_BATCH_HEADER_LEN, REPORT_BODY_LEN),
         };
-        header + self.reports.len() * REPORT_BODY_LEN
+        header + self.reports.len() * body
     }
 
     /// Appends the encoded frame to `buf`.
@@ -343,16 +419,26 @@ impl Batch {
         let count = u32::try_from(self.reports.len()).expect("batch exceeds u32 count prefix");
         buf.reserve(self.wire_len());
         buf.put_u8(BATCH_TAG);
+        let mut wide = false;
         match self.effective_mechanism() {
             None => buf.put_u8(WIRE_VERSION),
             Some(tag) => {
-                buf.put_u8(WIRE_VERSION_TAGGED);
+                wide = tag.is_wide();
+                buf.put_u8(if wide {
+                    WIRE_VERSION_WIDE
+                } else {
+                    WIRE_VERSION_TAGGED
+                });
                 tag.encode(buf);
             }
         }
         buf.put_u32_le(count);
         for r in &self.reports {
-            r.encode_body(buf);
+            if wide {
+                r.encode_wide_body(buf);
+            } else {
+                r.encode_body(buf);
+            }
         }
     }
 
@@ -374,28 +460,51 @@ impl Batch {
         if tag != BATCH_TAG {
             return Err(ProtocolError::Malformed("not a batch frame"));
         }
-        let mechanism = match buf.get_u8() {
+        let version = buf.get_u8();
+        let mechanism = match version {
             WIRE_VERSION => None,
-            WIRE_VERSION_TAGGED => {
+            WIRE_VERSION_TAGGED | WIRE_VERSION_WIDE => {
                 // Tag + version are consumed; the tagged header needs the
                 // two discriminant bytes and the count to still be there.
                 if buf.remaining() < TAGGED_BATCH_HEADER_LEN - 2 {
                     return Err(ProtocolError::Malformed("truncated batch header"));
                 }
-                Some(MechanismTag::decode(buf)?)
+                let tag = MechanismTag::decode(buf)?;
+                match (version == WIRE_VERSION_WIDE, tag.is_wide()) {
+                    (false, true) => {
+                        return Err(ProtocolError::Malformed(
+                            "float-carrying oracle in a narrow frame",
+                        ))
+                    }
+                    (true, false) => {
+                        return Err(ProtocolError::Malformed("integer oracle in a wide frame"))
+                    }
+                    _ => {}
+                }
+                Some(tag)
             }
             _ => return Err(ProtocolError::Malformed("unsupported wire version")),
+        };
+        let wide = version == WIRE_VERSION_WIDE;
+        let body_len = if wide {
+            WIDE_REPORT_BODY_LEN
+        } else {
+            REPORT_BODY_LEN
         };
         let count = buf.get_u32_le() as usize;
         // The count prefix is attacker-controlled: validate against the
         // actual payload before allocating (division, not multiplication,
         // so a huge count cannot overflow usize on 32-bit targets).
-        if buf.remaining() / REPORT_BODY_LEN < count {
+        if buf.remaining() / body_len < count {
             return Err(ProtocolError::Malformed("batch shorter than its count"));
         }
         let mut reports = Vec::with_capacity(count);
         for _ in 0..count {
-            reports.push(Report::decode_body(buf));
+            reports.push(if wide {
+                Report::decode_wide_body(buf)
+            } else {
+                Report::decode_body(buf)
+            });
         }
         Ok(Batch { reports, mechanism })
     }
@@ -471,21 +580,35 @@ pub const ANSWER_BATCH_TAG: u8 = 0xA7;
 /// Encoded size of an answer-batch header (tag, version, count).
 pub const ANSWER_BATCH_HEADER_LEN: usize = 6;
 
+/// The snapshot payload shape of an approach: how many 1-D and 2-D
+/// frequency vectors travel (HDG: `d` + the pairs; TDG: pairs only; MSW:
+/// `d` full-resolution marginals, no pairs).
+fn snapshot_vector_counts(approach: ApproachKind, d: usize) -> (usize, usize) {
+    match approach {
+        ApproachKind::Hdg => (d, pair_count(d)),
+        ApproachKind::Tdg => (0, pair_count(d)),
+        ApproachKind::Msw => (d, 0),
+    }
+}
+
 /// Encoded size of a snapshot frame for the given shape and approach
-/// (HDG frames carry `d` 1-D vectors, TDG frames none).
+/// (HDG frames carry `d` 1-D vectors, TDG frames none, MSW frames `d`
+/// marginals and no pair vectors).
 pub fn snapshot_encoded_len(snap: &ModelSnapshot) -> usize {
     let Granularities { g1, g2 } = snap.granularities;
-    let (header, n1) = match snap.approach {
-        ApproachKind::Hdg => (SNAPSHOT_HEADER_LEN, snap.d),
-        ApproachKind::Tdg => (TAGGED_SNAPSHOT_HEADER_LEN, 0),
+    let header = match snap.approach {
+        ApproachKind::Hdg => SNAPSHOT_HEADER_LEN,
+        ApproachKind::Tdg | ApproachKind::Msw => TAGGED_SNAPSHOT_HEADER_LEN,
     };
-    header + (n1 * g1 + pair_count(snap.d) * g2 * g2) * 8
+    let (n1, m2) = snapshot_vector_counts(snap.approach, snap.d);
+    header + (n1 * g1 + m2 * g2 * g2) * 8
 }
 
 /// Appends the encoded snapshot frame to `buf`. Frequencies travel as raw
 /// `f64` bits, so decode reproduces the fit exactly — not approximately.
 /// HDG snapshots encode as version 1 (byte-identical to earlier releases);
-/// TDG snapshots encode as version 2 with the approach discriminant byte.
+/// TDG and MSW snapshots encode as version 2 with the approach
+/// discriminant byte.
 ///
 /// # Panics
 ///
@@ -579,19 +702,15 @@ pub fn decode_snapshot(buf: &mut impl Buf) -> Result<ModelSnapshot, ProtocolErro
     // MAX_SNAPSHOT_DOMAIN = 4096), so the expected payload size fits u64
     // comfortably; checking it against the actual remaining bytes before
     // allocating keeps lying headers harmless.
-    let n1 = match approach {
-        ApproachKind::Hdg => d,
-        ApproachKind::Tdg => 0,
-    };
-    let m2 = pair_count(d) as u64;
-    let expected = (n1 as u64) * (g1 as u64) + m2 * (g2 as u64) * (g2 as u64);
+    let (n1, m2) = snapshot_vector_counts(approach, d);
+    let expected = (n1 as u64) * (g1 as u64) + (m2 as u64) * (g2 as u64) * (g2 as u64);
     if ((buf.remaining() / 8) as u64) < expected {
         return Err(ProtocolError::Malformed("snapshot shorter than its shape"));
     }
     let mut take_vec =
         |len: usize| -> Vec<f64> { (0..len).map(|_| f64::from_bits(buf.get_u64_le())).collect() };
     let one_d: Vec<Vec<f64>> = (0..n1).map(|_| take_vec(g1)).collect();
-    let two_d: Vec<Vec<f64>> = (0..m2 as usize).map(|_| take_vec(g2 * g2)).collect();
+    let two_d: Vec<Vec<f64>> = (0..m2).map(|_| take_vec(g2 * g2)).collect();
     ModelSnapshot::from_parts_for_approach(
         approach,
         d,
@@ -804,11 +923,11 @@ mod tests {
 
     #[test]
     fn round_trip_stream() {
-        let reports: Vec<Report> = (0..100)
+        let reports: Vec<Report> = (0..100u32)
             .map(|i| Report {
                 group: i % 5,
                 seed: i as u64 * 77,
-                y: i % 4,
+                y: (i % 4) as u64,
             })
             .collect();
         let mut buf = BytesMut::new();
@@ -843,9 +962,34 @@ mod tests {
             .map(|i| Report {
                 group: i % 7,
                 seed: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                y: i % 5,
+                y: (i % 5) as u64,
             })
             .collect()
+    }
+
+    /// Reports whose `y` carries full f64 bit patterns (always > u32).
+    fn wide_reports(n: u32) -> Vec<Report> {
+        (0..n)
+            .map(|i| Report {
+                group: i % 7,
+                seed: (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                y: (0.001 + i as f64 / (n.max(1) as f64 + 1.0)).to_bits(),
+            })
+            .collect()
+    }
+
+    fn wheel_tag() -> MechanismTag {
+        MechanismTag {
+            oracle: OraclePolicy::Wheel,
+            approach: ApproachKind::Hdg,
+        }
+    }
+
+    fn sw_msw_tag() -> MechanismTag {
+        MechanismTag {
+            oracle: OraclePolicy::Sw,
+            approach: ApproachKind::Msw,
+        }
     }
 
     #[test]
@@ -1131,6 +1275,128 @@ mod tests {
         assert!(decode_snapshot(&mut wrong.freeze()).is_err());
         // HDG snapshots still encode as version 1.
         assert_eq!(snapshot_to_bytes(&sample_snapshot())[1], WIRE_VERSION);
+    }
+
+    #[test]
+    fn wide_report_and_batch_round_trip_exact_f64_bits() {
+        for tag in [wheel_tag(), sw_msw_tag()] {
+            let reports = wide_reports(9);
+            let mut buf = BytesMut::new();
+            reports[0].encode_tagged(&tag, &mut buf);
+            assert_eq!(buf.len(), WIDE_REPORT_LEN);
+            let bytes = buf.freeze();
+            assert_eq!(bytes[0], WIRE_VERSION_WIDE);
+            let (back, got) = Report::decode_with_tag(&mut bytes.clone()).unwrap();
+            assert_eq!(back, reports[0]);
+            assert_eq!(got, Some(tag));
+
+            let batch = Batch::tagged(reports.clone(), tag);
+            let bytes = batch.to_bytes();
+            assert_eq!(
+                bytes.len(),
+                TAGGED_BATCH_HEADER_LEN + reports.len() * WIDE_REPORT_BODY_LEN
+            );
+            assert_eq!(bytes[1], WIRE_VERSION_WIDE);
+            let back = Batch::decode(&mut bytes.clone()).unwrap();
+            assert_eq!(back, batch);
+
+            // Streamed standalone wide reports decode with their tag.
+            let mut buf = BytesMut::new();
+            for r in &reports {
+                r.encode_tagged(&tag, &mut buf);
+            }
+            let (decoded, stream_tag) = decode_any_stream_tagged(buf.freeze()).unwrap();
+            assert_eq!(decoded, reports);
+            assert_eq!(stream_tag, Some(tag));
+        }
+    }
+
+    #[test]
+    fn frame_width_and_tag_must_agree() {
+        // A wheel/sw discriminant inside a version-2 frame is rejected.
+        let narrow = Batch::tagged(sample_reports(3), grr_tag()).to_bytes();
+        let mut forged = BytesMut::from(&narrow[..]);
+        forged[2] = 3; // oracle byte -> wheel, version byte still 2
+        assert!(matches!(
+            Batch::decode(&mut forged.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // An integer-oracle discriminant inside a version-3 frame is too.
+        let wide = Batch::tagged(wide_reports(3), wheel_tag()).to_bytes();
+        let mut forged = BytesMut::from(&wide[..]);
+        forged[2] = 0; // oracle byte -> olh, version byte still 3
+        assert!(matches!(
+            Batch::decode(&mut forged.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Same for standalone reports.
+        let mut buf = BytesMut::new();
+        sample_reports(1)[0].encode_tagged(&grr_tag(), &mut buf);
+        let mut forged = buf;
+        forged[1] = 4; // oracle byte -> sw inside a 19-byte frame
+        assert!(Report::decode(&mut forged.freeze()).is_err());
+        let mut buf = BytesMut::new();
+        wide_reports(1)[0].encode_tagged(&wheel_tag(), &mut buf);
+        let mut forged = buf;
+        forged[1] = 1; // oracle byte -> grr inside a 23-byte frame
+        assert!(Report::decode(&mut forged.freeze()).is_err());
+    }
+
+    #[test]
+    fn wide_streams_reject_conflicts_and_truncation() {
+        // Wide and narrow frames cannot mix in one stream.
+        let mut buf = BytesMut::new();
+        Batch::tagged(wide_reports(3), wheel_tag()).encode(&mut buf);
+        Batch::new(sample_reports(2)).encode(&mut buf);
+        assert!(matches!(
+            Batch::decode_stream_tagged(buf.freeze()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Two different wide tags conflict too.
+        let mut buf = BytesMut::new();
+        Batch::tagged(wide_reports(3), wheel_tag()).encode(&mut buf);
+        Batch::tagged(wide_reports(2), sw_msw_tag()).encode(&mut buf);
+        assert!(Batch::decode_stream_tagged(buf.freeze()).is_err());
+        // Truncated wide frames error instead of panicking.
+        let bytes = Batch::tagged(wide_reports(4), wheel_tag()).to_bytes();
+        assert!(Batch::decode(&mut bytes.slice(..bytes.len() - 1)).is_err());
+        assert!(Batch::decode(&mut bytes.slice(..TAGGED_BATCH_HEADER_LEN - 1)).is_err());
+        let mut buf = BytesMut::new();
+        wide_reports(1)[0].encode_tagged(&wheel_tag(), &mut buf);
+        assert!(Report::decode(&mut buf.freeze().slice(..WIDE_REPORT_LEN - 1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wide report y in a narrow frame")]
+    fn narrow_encoding_of_a_wide_report_fails_loudly() {
+        let mut buf = BytesMut::new();
+        wide_reports(1)[0].encode(&mut buf);
+    }
+
+    #[test]
+    fn msw_snapshot_frame_round_trips_exactly() {
+        let snap = ModelSnapshot::from_parts_for_approach(
+            ApproachKind::Msw,
+            3,
+            16,
+            Granularities { g1: 16, g2: 1 },
+            EstimatorKind::WeightedUpdate,
+            1e-7,
+            100,
+            1e-6,
+            80,
+            (0..3)
+                .map(|t| (0..16).map(|i| (t * 16 + i) as f64 / 1000.0).collect())
+                .collect(),
+            Vec::new(),
+        )
+        .unwrap();
+        let bytes = snapshot_to_bytes(&snap);
+        assert_eq!(bytes.len(), snapshot_encoded_len(&snap));
+        assert_eq!(bytes[1], WIRE_VERSION_TAGGED);
+        let back = decode_snapshot(&mut bytes.clone()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.approach, ApproachKind::Msw);
     }
 
     #[test]

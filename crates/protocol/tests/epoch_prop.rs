@@ -19,10 +19,21 @@ use rand::{Rng, SeedableRng};
 /// regardless, as in `sharding_prop.rs`).
 fn random_reports(plan: &SessionPlan, n: usize, rng: &mut StdRng) -> Vec<Report> {
     (0..n)
-        .map(|_| Report {
-            group: rng.random_range(0..plan.group_count() as u32),
-            seed: rng.random(),
-            y: rng.random_range(0..64),
+        .map(|_| {
+            // A third of the reports carry an `f64` bit pattern in `y` so
+            // the wide oracles (Wheel/SW) see plausible report points; the
+            // rest stay small integers. Either way the counters are pure
+            // `u64` folds, so every oracle must stay exact on both.
+            let y = if rng.random_range(0..3) == 0 {
+                rng.random_range(-0.3f64..1.3).to_bits()
+            } else {
+                rng.random_range(0..64)
+            };
+            Report {
+                group: rng.random_range(0..plan.group_count() as u32),
+                seed: rng.random(),
+                y,
+            }
         })
         .collect()
 }
@@ -49,7 +60,17 @@ fn assert_same_state(a: &Collector, b: &Collector, what: &str) -> Result<(), Tes
 }
 
 fn oracle_from_index(i: usize) -> OraclePolicy {
-    [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto][i]
+    [
+        OraclePolicy::Olh,
+        OraclePolicy::Grr,
+        OraclePolicy::Auto,
+        OraclePolicy::Wheel,
+        OraclePolicy::Sw,
+    ][i]
+}
+
+fn approach_from_index(i: usize) -> ApproachKind {
+    [ApproachKind::Hdg, ApproachKind::Tdg, ApproachKind::Msw][i]
 }
 
 /// The ISSUE's shard grid: serial, small, prime, and saturating counts.
@@ -69,12 +90,12 @@ proptest! {
         eps in 0.3f64..3.0,
         n_reports in 1usize..240,
         pieces in 1usize..9,
-        oracle_idx in 0usize..3,
+        oracle_idx in 0usize..5,
         shard_idx in 0usize..5,
-        tdg in any::<bool>(),
+        approach_idx in 0usize..3,
         seed in any::<u64>(),
     ) {
-        let approach = if tdg { ApproachKind::Tdg } else { ApproachKind::Hdg };
+        let approach = approach_from_index(approach_idx);
         let plan = SessionPlan::with_mechanism(
             60_000, d, 16, eps, seed, oracle_from_index(oracle_idx), approach,
         ).unwrap();
@@ -119,14 +140,16 @@ proptest! {
     #[test]
     fn merge_is_commutative_and_associative(
         d in 2usize..5,
-        oracle_idx in 0usize..3,
+        oracle_idx in 0usize..5,
+        approach_idx in 0usize..3,
         na in 0usize..120,
         nb in 0usize..120,
         nc in 0usize..120,
         seed in any::<u64>(),
     ) {
         let plan = SessionPlan::with_mechanism(
-            60_000, d, 16, 1.0, seed, oracle_from_index(oracle_idx), ApproachKind::Hdg,
+            60_000, d, 16, 1.0, seed,
+            oracle_from_index(oracle_idx), approach_from_index(approach_idx),
         ).unwrap();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x3E26);
         let build = |n: usize, rng: &mut StdRng| {
@@ -164,13 +187,15 @@ proptest! {
         eps in 0.3f64..3.0,
         n_reports in 1usize..240,
         pieces in 1usize..8,
-        oracle_idx in 0usize..3,
+        oracle_idx in 0usize..5,
         shard_idx in 0usize..5,
+        approach_idx in 0usize..3,
         reverse in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let plan = SessionPlan::with_mechanism(
-            60_000, d, 16, eps, seed, oracle_from_index(oracle_idx), ApproachKind::Hdg,
+            60_000, d, 16, eps, seed,
+            oracle_from_index(oracle_idx), approach_from_index(approach_idx),
         ).unwrap();
         let shards = shard_from_index(shard_idx);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5917);
@@ -211,7 +236,9 @@ proptest! {
         }
         assert_same_state(&single, &wired, "wire fan-in")?;
 
-        let config = MechanismConfig::default().with_oracle(plan.oracle);
+        let config = MechanismConfig::default()
+            .with_approach(plan.approach)
+            .with_oracle(plan.oracle);
         prop_assert_eq!(
             wired.snapshot(config).unwrap(),
             single.snapshot(config).unwrap()

@@ -23,22 +23,32 @@ use rand::{Rng, SeedableRng};
 
 /// A random but structurally valid snapshot over a random pow2 geometry
 /// (the `serving_prop.rs` generator, extended with the approach): HDG
-/// tenants carry 1-D grids, TDG tenants none — the serving tier must keep
-/// both kinds of tenant separate and exact.
+/// tenants carry 1-D grids, TDG tenants none, MSW tenants `d`
+/// full-resolution marginals — the serving tier must keep every kind of
+/// tenant separate and exact.
 fn random_snapshot(approach: ApproachKind, d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
     let c = 1usize << c_pow;
     let mut rng = StdRng::seed_from_u64(seed);
-    let g1 = 1usize << rng.random_range(0..=c_pow);
-    let g2 = 1usize << rng.random_range(0..=c_pow);
+    let (g1, g2) = match approach {
+        // MSW snapshots are pinned to full-resolution marginals.
+        ApproachKind::Msw => (c, 1),
+        _ => (
+            1usize << rng.random_range(0..=c_pow),
+            1usize << rng.random_range(0..=c_pow),
+        ),
+    };
     let one_d = match approach {
-        ApproachKind::Hdg => (0..d)
+        ApproachKind::Hdg | ApproachKind::Msw => (0..d)
             .map(|_| (0..g1).map(|_| rng.random_range(0.0..0.5)).collect())
             .collect(),
         ApproachKind::Tdg => Vec::new(),
     };
-    let two_d = (0..pair_count(d))
-        .map(|_| (0..g2 * g2).map(|_| rng.random_range(0.0..0.5)).collect())
-        .collect();
+    let two_d = match approach {
+        ApproachKind::Msw => Vec::new(),
+        _ => (0..pair_count(d))
+            .map(|_| (0..g2 * g2).map(|_| rng.random_range(0.0..0.5)).collect())
+            .collect(),
+    };
     ModelSnapshot::from_parts_for_approach(
         approach,
         d,
@@ -55,14 +65,10 @@ fn random_snapshot(approach: ApproachKind, d: usize, c_pow: u32, seed: u64) -> M
     .expect("constructed shape is valid")
 }
 
-/// Tenant `t`'s approach: alternating, so every multi-tenant case mixes
-/// HDG and TDG sessions.
+/// Tenant `t`'s approach: rotating, so every multi-tenant case mixes HDG,
+/// TDG, and MSW sessions.
 fn approach_for(t: usize) -> ApproachKind {
-    if t.is_multiple_of(2) {
-        ApproachKind::Hdg
-    } else {
-        ApproachKind::Tdg
-    }
+    [ApproachKind::Hdg, ApproachKind::Tdg, ApproachKind::Msw][t % 3]
 }
 
 /// A mixed-λ workload covering 1-D lookups, 2-D lookups, and λ>2

@@ -26,6 +26,27 @@ fn random_reports(plan: &SessionPlan, n: usize, rng: &mut StdRng) -> Vec<Report>
         .collect()
 }
 
+/// Random reports for the float-carrying (wide-framed) oracles: `y` is an
+/// `f64` bit pattern, mostly a plausible report point but occasionally
+/// hostile raw bits (NaN/∞/huge) — Wheel and SW must fold both
+/// deterministically.
+fn random_wide_reports(plan: &SessionPlan, n: usize, rng: &mut StdRng) -> Vec<Report> {
+    (0..n)
+        .map(|_| {
+            let y = if rng.random_range(0..8) == 0 {
+                rng.random::<u64>()
+            } else {
+                rng.random_range(-0.3f64..1.3).to_bits()
+            };
+            Report {
+                group: rng.random_range(0..plan.group_count() as u32),
+                seed: rng.random(),
+                y,
+            }
+        })
+        .collect()
+}
+
 fn assert_same_state(a: &Collector, b: &Collector, what: &str) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.report_count(), b.report_count(), "{}: totals", what);
     for g in 0..a.plan().group_count() as u32 {
@@ -196,6 +217,61 @@ proptest! {
             ms.answer(&qs).to_bits(),
             mh.answer(&qs).to_bits(),
             "auto finalized estimates diverge at {} shards", shards
+        );
+    }
+
+    /// The wide-framed mechanisms — Wheel as HDG's oracle, MSW on its SW
+    /// substrate, and the Wheel/MSW cross — preserve the invariant:
+    /// sharded ≡ batched ≡ serial, bit for bit, and the v3 wide wire
+    /// framing round-trips through `ingest_stream_sharded` to the same
+    /// state and bit-identical answers.
+    #[test]
+    fn wheel_and_msw_sharded_equal_serial(
+        d in 2usize..5,
+        eps in 0.3f64..2.0,
+        n_reports in 1usize..200,
+        shards in 1usize..9,
+        batch_size in 1usize..64,
+        combo in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (oracle, approach) = [
+            (OraclePolicy::Wheel, ApproachKind::Hdg),
+            (OraclePolicy::Sw, ApproachKind::Msw),
+            (OraclePolicy::Wheel, ApproachKind::Msw),
+        ][combo];
+        let plan = SessionPlan::with_mechanism(
+            60_000, d, 16, eps, seed, oracle, approach,
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x37EE);
+        let reports = random_wide_reports(&plan, n_reports, &mut rng);
+
+        let mut serial = Collector::new(plan.clone()).unwrap();
+        serial.ingest_batch(&reports, 1).unwrap();
+        let mut sharded = Collector::new(plan.clone()).unwrap();
+        sharded.ingest_batch(&reports, shards).unwrap();
+        assert_same_state(&serial, &sharded, "wide batch")?;
+
+        // Same stream through mechanism-tagged *wide* wire frames.
+        let mut buf = BytesMut::new();
+        for chunk in reports.chunks(batch_size) {
+            Batch::tagged(chunk.to_vec(), plan.mechanism_tag()).encode(&mut buf);
+        }
+        let mut framed = Collector::new(plan.clone()).unwrap();
+        let n = framed.ingest_stream_sharded(buf.freeze(), shards).unwrap();
+        prop_assert_eq!(n, n_reports);
+        assert_same_state(&serial, &framed, "wide framed stream")?;
+
+        let config = MechanismConfig::default()
+            .with_approach(approach)
+            .with_oracle(oracle);
+        let qs = RangeQuery::from_triples(&[(0, 0, 15), (1, 0, 7)], 16).unwrap();
+        let ms = serial.finalize(config).unwrap();
+        let mh = sharded.finalize(config).unwrap();
+        prop_assert_eq!(
+            ms.answer(&qs).to_bits(),
+            mh.answer(&qs).to_bits(),
+            "wide finalized estimates diverge at {} shards", shards
         );
     }
 

@@ -17,7 +17,7 @@ use privmdr_protocol::wire::{
     BATCH_HEADER_LEN, REPORT_BODY_LEN, SNAPSHOT_HEADER_LEN,
 };
 use privmdr_protocol::{
-    decode_any_stream, ApproachKind, Collector, OraclePolicy, Report, SessionPlan,
+    decode_any_stream, ApproachKind, Collector, MechanismTag, OraclePolicy, Report, SessionPlan,
 };
 use privmdr_query::RangeQuery;
 use proptest::prelude::*;
@@ -26,6 +26,16 @@ use rand::{Rng, SeedableRng};
 
 fn arb_report() -> impl Strategy<Value = Report> {
     (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(group, seed, y)| Report {
+        group,
+        seed,
+        y: y as u64,
+    })
+}
+
+/// Reports whose `y` spans the full u64 range (raw f64 bit patterns) —
+/// only encodable through the wide (version 3) framing.
+fn arb_wide_report() -> impl Strategy<Value = Report> {
+    (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(group, seed, y)| Report {
         group,
         seed,
         y,
@@ -69,13 +79,15 @@ fn snapshot_from_seed(d: usize, c_pow: u32, seed: u64) -> ModelSnapshot {
 /// frame properties.
 fn collector_from_seed(d: usize, seed: u64) -> Collector {
     let mut rng = StdRng::seed_from_u64(seed);
-    let oracle =
-        [OraclePolicy::Olh, OraclePolicy::Grr, OraclePolicy::Auto][rng.random_range(0..3usize)];
-    let approach = if rng.random() {
-        ApproachKind::Tdg
-    } else {
-        ApproachKind::Hdg
-    };
+    let oracle = [
+        OraclePolicy::Olh,
+        OraclePolicy::Grr,
+        OraclePolicy::Auto,
+        OraclePolicy::Wheel,
+        OraclePolicy::Sw,
+    ][rng.random_range(0..5usize)];
+    let approach =
+        [ApproachKind::Hdg, ApproachKind::Tdg, ApproachKind::Msw][rng.random_range(0..3usize)];
     let plan = SessionPlan::with_mechanism(50_000, d, 16, 1.0, seed, oracle, approach).unwrap();
     let reports: Vec<Report> = (0..rng.random_range(0..160usize))
         .map(|_| Report {
@@ -119,10 +131,32 @@ proptest! {
     /// Wire encoding round-trips arbitrary report contents.
     #[test]
     fn report_roundtrip(group in any::<u32>(), seed in any::<u64>(), y in any::<u32>()) {
-        let r = Report { group, seed, y };
+        let r = Report { group, seed, y: y as u64 };
         let bytes = r.to_bytes();
         let back = Report::decode(&mut bytes.clone()).unwrap();
         prop_assert_eq!(back, r);
+    }
+
+    /// Wide (version 3) frames round-trip the full 64-bit `y` exactly, in
+    /// both framings, for both float-carrying oracle discriminants.
+    #[test]
+    fn wide_report_roundtrip(
+        reports in prop::collection::vec(arb_wide_report(), 0..32),
+        use_sw in any::<bool>(),
+    ) {
+        let tag = MechanismTag {
+            oracle: if use_sw { OraclePolicy::Sw } else { OraclePolicy::Wheel },
+            approach: ApproachKind::Msw,
+        };
+        let batch = Batch::tagged(reports.clone(), tag);
+        let back = Batch::decode(&mut batch.to_bytes().clone()).unwrap();
+        prop_assert_eq!(&back, &batch);
+        let mut buf = BytesMut::new();
+        for r in &reports {
+            r.encode_tagged(&tag, &mut buf);
+        }
+        let back = Report::decode_stream(buf.freeze()).unwrap();
+        prop_assert_eq!(back, reports);
     }
 
     /// Batch frames round-trip arbitrary report sets of any size, and the

@@ -58,19 +58,19 @@ pub fn hash_to_domain(seed: u64, value: u64, domain: u64) -> u64 {
 /// path by construction: the same `mix64`/reduction on the same inputs,
 /// folded with exact `u64` adds.
 #[inline]
-pub fn support_count(pairs: &[(u64, u32)], value: u64, domain: u64) -> u64 {
+pub fn support_count(pairs: &[(u64, u64)], value: u64, domain: u64) -> u64 {
     debug_assert!(domain > 0);
     let mv = premix_value(value);
     let (mut a0, mut a1, mut a2, mut a3) = (0u64, 0u64, 0u64, 0u64);
     let mut quads = pairs.chunks_exact(4);
     for q in quads.by_ref() {
-        a0 += u64::from(reduce_to_domain(mix64(q[0].0 ^ mv), domain) == q[0].1 as u64);
-        a1 += u64::from(reduce_to_domain(mix64(q[1].0 ^ mv), domain) == q[1].1 as u64);
-        a2 += u64::from(reduce_to_domain(mix64(q[2].0 ^ mv), domain) == q[2].1 as u64);
-        a3 += u64::from(reduce_to_domain(mix64(q[3].0 ^ mv), domain) == q[3].1 as u64);
+        a0 += u64::from(reduce_to_domain(mix64(q[0].0 ^ mv), domain) == q[0].1);
+        a1 += u64::from(reduce_to_domain(mix64(q[1].0 ^ mv), domain) == q[1].1);
+        a2 += u64::from(reduce_to_domain(mix64(q[2].0 ^ mv), domain) == q[2].1);
+        a3 += u64::from(reduce_to_domain(mix64(q[3].0 ^ mv), domain) == q[3].1);
     }
     for &(seed, y) in quads.remainder() {
-        a0 += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y as u64);
+        a0 += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
     }
     (a0 + a1) + (a2 + a3)
 }
@@ -173,14 +173,14 @@ mod tests {
     fn support_count_matches_scalar_hash_exactly() {
         // Every unroll phase (remainders 0..3) against the scalar path.
         for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 64, 65, 66, 67] {
-            let pairs: Vec<(u64, u32)> = (0..n as u64)
-                .map(|i| (mix64(i), (mix64(i ^ 0xBEEF) % 5) as u32))
+            let pairs: Vec<(u64, u64)> = (0..n as u64)
+                .map(|i| (mix64(i), mix64(i ^ 0xBEEF) % 5))
                 .collect();
             for domain in [2u64, 3, 4, 8] {
                 for value in 0..16u64 {
                     let manual = pairs
                         .iter()
-                        .filter(|&&(s, y)| hash_to_domain(s, value, domain) == y as u64)
+                        .filter(|&&(s, y)| hash_to_domain(s, value, domain) == y)
                         .count() as u64;
                     assert_eq!(
                         support_count(&pairs, value, domain),

@@ -11,14 +11,16 @@
 #   Tunables via environment (defaults match the README headline figures):
 #     N=1000000 D=3 C=64 EPS=1.0 SEED=1 QUERIES=10000
 #     SHARDS=        (empty = all available cores)
-#     ORACLE=olh     (olh|grr|auto)   APPROACH=hdg (hdg|tdg)
+#     ORACLE=olh     (olh|grr|auto|wheel|sw)   APPROACH=hdg (hdg|tdg|msw)
 #     SESSIONS=2     (served tenants) CACHE_CAP=16384 (served LRU capacity)
 #     BIN=           (prebuilt privmdr binary; default: cargo-built release)
 #
-# Three records are appended per run: an ingest line to BENCH_ingest.json,
-# and a serve (uncached single-tenant) plus a served (multi-tenant daemon,
+# Five records are appended per run: an ingest line to BENCH_ingest.json,
+# a serve (uncached single-tenant) plus a served (multi-tenant daemon,
 # warm-cache queries_per_sec with cold/uncached figures alongside) line to
-# BENCH_serve.json.
+# BENCH_serve.json, and two fixed wide-mechanism rows — a Wheel ingest
+# record and an MSW (SW-substrate) serve record — so the wide paths'
+# throughput is tracked alongside the default stack.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,3 +51,13 @@ fi
 "$BIN" serve "${common[@]}" --queries "$QUERIES" | tee -a BENCH_serve.json
 "$BIN" served "${common[@]}" --sessions "$SESSIONS" --cache-cap "$CACHE_CAP" \
     --queries "$QUERIES" | tee -a BENCH_serve.json
+
+# Wide-mechanism trend rows, pinned to wheel/hdg and sw/msw regardless of
+# ORACLE/APPROACH above.
+wide=(--n "$N" --d "$D" --c "$C" --epsilon "$EPS" --seed "$SEED" --json)
+if [ -n "$SHARDS" ]; then
+    wide+=(--shards "$SHARDS")
+fi
+"$BIN" ingest "${wide[@]}" --oracle wheel --approach hdg | tee -a BENCH_ingest.json
+"$BIN" serve "${wide[@]}" --oracle sw --approach msw --queries "$QUERIES" \
+    | tee -a BENCH_serve.json
