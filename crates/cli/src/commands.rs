@@ -136,8 +136,16 @@ fn available_cpus() -> usize {
 /// `--json` flag, so runs can be appended to `BENCH_*.json` files and the
 /// perf trajectory tracked across PRs. `unit` is `("reports", count)` or
 /// `("queries", count)`; the derived `<unit>_per_sec` field is the headline
-/// throughput figure.
-fn bench_json_line(cmd: &str, params: &ReplayParams, unit: (&str, usize), secs: f64) -> String {
+/// throughput figure. `secs` is the best-of-`repeat` timing and `repeat`
+/// is recorded in the line, so gated records are self-describing about how
+/// much noise suppression they carry.
+fn bench_json_line(
+    cmd: &str,
+    params: &ReplayParams,
+    unit: (&str, usize),
+    secs: f64,
+    repeat: usize,
+) -> String {
     let (what, count) = unit;
     let ReplayParams {
         n,
@@ -152,7 +160,7 @@ fn bench_json_line(cmd: &str, params: &ReplayParams, unit: (&str, usize), secs: 
     format!(
         "{{\"cmd\":\"{cmd}\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
          \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
-         \"{what}\":{count},\"secs\":{secs:.6},\
+         \"repeat\":{repeat},\"{what}\":{count},\"secs\":{secs:.6},\
          \"{what}_per_sec\":{:.0}}}\n",
         available_cpus(),
         count as f64 / secs
@@ -280,13 +288,30 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
         emitted = format!("emitted wire stream to {path}\n");
     }
 
-    // Server phase (timed): decode the stream and shard the support counting.
-    let mut collector = Collector::new(plan.clone()).map_err(|e| e.to_string())?;
-    let start = std::time::Instant::now();
-    let ingested = collector
-        .ingest_stream_sharded(buf.freeze(), shards)
-        .map_err(|e| e.to_string())?;
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    // Server phase (timed): walk the wire frames zero-copy and shard the
+    // support counting. `--repeat K` reruns the timed section on a fresh
+    // collector each pass and keeps the best time — the counters are
+    // bit-identical across passes, only the clock varies — so trend
+    // records absorb scheduler noise.
+    let repeat: usize = args.number::<usize>("repeat")?.unwrap_or(1).max(1);
+    eprintln!(
+        "support kernel backend: {}",
+        privmdr_util::hash::kernel_backend().name()
+    );
+    let bytes = buf.freeze();
+    let mut best: Option<(Collector, usize, f64)> = None;
+    for _ in 0..repeat {
+        let mut pass = Collector::new(plan.clone()).map_err(|e| e.to_string())?;
+        let start = std::time::Instant::now();
+        let ingested = pass
+            .ingest_stream_sharded(bytes.clone(), shards)
+            .map_err(|e| e.to_string())?;
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
+            best = Some((pass, ingested, secs));
+        }
+    }
+    let (collector, ingested, secs) = best.expect("repeat >= 1");
 
     let config = MechanismConfig::default()
         .with_approach(approach)
@@ -302,6 +327,7 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
             &params,
             ("reports", ingested),
             secs,
+            repeat,
         ));
     }
     let g = plan.granularities;
@@ -452,7 +478,16 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     let restored = decode_snapshot(&mut snap_bytes.clone()).map_err(|e| e.to_string())?;
     let server = QueryServer::new(&restored).map_err(|e| e.to_string())?;
 
-    let r = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
+    // `--repeat K` replays the same workload K times and keeps the
+    // fastest pass — answers are deterministic, so only the clock varies.
+    let repeat: usize = args.number::<usize>("repeat")?.unwrap_or(1).max(1);
+    let mut r = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
+    for _ in 1..repeat {
+        let pass = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
+        if pass.secs < r.secs {
+            r = pass;
+        }
+    }
 
     if args.flag("json") {
         return Ok(bench_json_line(
@@ -460,6 +495,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
             &params,
             ("queries", r.answer_count),
             r.secs,
+            repeat,
         ));
     }
     let g = snap.granularities;

@@ -74,7 +74,7 @@ COMMANDS:
     ingest      replay a synthetic report stream through the sharded collector
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--oracle olh|grr|auto|wheel|sw] [--approach hdg|tdg|msw]
-                  [--seed S] [--shards K] [--batch B] [--json]
+                  [--seed S] [--shards K] [--batch B] [--json] [--repeat K]
                   [--uid-start U] [--uid-count K] [--emit FILE]
     collect     stream a wire report file through the epoch collector
                   --in FILE|- --n N --d D --c C --epsilon E
@@ -88,6 +88,7 @@ COMMANDS:
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--oracle olh|grr|auto|wheel|sw] [--approach hdg|tdg|msw]
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
+                  [--repeat K]
                 or restore a collect/merge snapshot instead of fitting:
                   --snapshot FILE [--queries Q] [--batch B] [--shards K]
     served      multi-tenant daemon: sessions -> hot-swapped snapshots ->

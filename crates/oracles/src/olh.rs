@@ -130,10 +130,16 @@ impl Olh {
     /// The loop nest is transposed relative to the naive per-report sweep:
     /// reports are tiled into `SUPPORT_BLOCK`-sized (1024-pair, 16 KiB,
     /// L1-resident) blocks, and for each block the value loop runs
-    /// [`hash::support_count`] — premix hoisted, ×4 unrolled, branchless,
-    /// count kept in registers — so the supports array is streamed once per
-    /// *block* instead of once per report. Both [`Olh::aggregate`] and the
-    /// streaming collector in `privmdr-protocol` go through this kernel.
+    /// [`hash::support_count_lanes_soa`] over a once-per-block SoA
+    /// transpose of the pairs — premix hoisted, lane-parallel (runtime
+    /// dispatch to an explicit AVX-512 or AVX2 path on x86-64 CPUs that
+    /// have one, a portable 8-chain autovectorized sweep otherwise; see
+    /// [`hash::kernel_backend`]), branchless, count kept in registers — so
+    /// the supports array is streamed once per *block* instead of once per
+    /// report and the SIMD loads are two straight vector loads. Both
+    /// [`Olh::aggregate`] and the streaming collector in `privmdr-protocol`
+    /// go through this kernel. Every backend is bit-identical to the scalar
+    /// reference [`hash::support_count`].
     ///
     /// The hashed-domain invariant (`c' >= 2`, [`SeededHash::new`]'s assert)
     /// is validated once per batch here, not once per report.
@@ -160,9 +166,20 @@ impl Olh {
             "hash output domain must have at least 2 values"
         );
         let c_prime = self.c_prime as u64;
+        // Per-block SoA transpose: the SIMD lane kernels fill all lanes
+        // with two straight vector loads from the parallel slices, where
+        // an AoS block would pay a per-field gather per lane. The copy is
+        // linear in the block and amortizes over the `cells` value sweeps.
+        let scratch = reports.len().min(block.max(1));
+        let mut seeds = Vec::with_capacity(scratch);
+        let mut ys = Vec::with_capacity(scratch);
         for block in reports.chunks(block.max(1)) {
+            seeds.clear();
+            ys.clear();
+            seeds.extend(block.iter().map(|&(seed, _)| seed));
+            ys.extend(block.iter().map(|&(_, y)| y));
             for (v, s) in supports.iter_mut().enumerate() {
-                *s += hash::support_count(block, v as u64, c_prime);
+                *s += hash::support_count_lanes_soa(&seeds, &ys, v as u64, c_prime);
             }
         }
     }

@@ -1,8 +1,9 @@
 //! Throughput of the report-ingestion engine: reports/sec through the
 //! serial path and the sharded path at increasing shard counts, a
 //! micro-bench sweep of the block-transposed OLH support kernel (batched
-//! vs per-report at c ∈ {64, 256, 1024} × batch lengths), plus the wire
-//! decode cost of the two framings.
+//! vs per-report at c ∈ {64, 256, 1024} × batch lengths), the end-to-end
+//! wire→counters cost of the zero-copy cursor path vs decode-to-`Vec`,
+//! plus the wire decode cost of the two framings.
 //!
 //! The headline number is `ingest/shards=K` on the 256-cell grid: the
 //! support-counting pass is O(cells) per report and embarrassingly
@@ -184,6 +185,11 @@ fn bench_epoch_streaming(c: &mut Criterion) {
         })
     });
     group.bench_function("fan_in_merge", |b| {
+        // The CollectorState frame reconstructs its plan from the encoded
+        // (n, d, c, ε, seed), so this leg needs a guideline-consistent
+        // plan — the fixed-geometry override above would fail the frame's
+        // geometry validation on decode.
+        let plan = SessionPlan::new(1_000_000, 2, cells, 1.0, 7).unwrap();
         let halves: Vec<Collector> = reports
             .chunks(n / 2)
             .map(|chunk| {
@@ -202,6 +208,46 @@ fn bench_epoch_streaming(c: &mut Criterion) {
                 merged.merge_state(&mut black_box(frame.clone())).unwrap();
             }
             black_box(merged.report_count())
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end wire stream → fitted counters, both ingestion paths: the
+/// borrowing `FrameCursor` route (what `ingest_stream_sharded` takes for
+/// a contiguous buffer — frames validated in place, `(seed, y)` pairs fed
+/// to the support kernel straight from the wire bytes) vs decoding the
+/// stream to a `Vec<Report>` first (what fragmented buffers pay). The
+/// final state is bit-identical by construction; the gap is the
+/// materialization cost.
+fn bench_wire_ingest(c: &mut Criterion) {
+    let cells = 256usize;
+    let n = 20_000usize;
+    let plan = plan_with_cells(cells);
+    let reports = synthetic_reports(n);
+    let mut wire = bytes::BytesMut::new();
+    for chunk in reports.chunks(10_000) {
+        Batch::new(chunk.to_vec()).encode(&mut wire);
+    }
+    let wire = wire.freeze();
+
+    let mut group = c.benchmark_group(format!("wire_ingest_{cells}cells"));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| {
+            let mut collector = Collector::new(plan.clone()).unwrap();
+            collector
+                .ingest_stream_sharded(black_box(wire.clone()), 1)
+                .unwrap();
+            black_box(collector.report_count())
+        })
+    });
+    group.bench_function("decode_to_vec", |b| {
+        b.iter(|| {
+            let mut collector = Collector::new(plan.clone()).unwrap();
+            let decoded = Batch::decode_stream(black_box(wire.clone())).unwrap();
+            collector.ingest_batch(&decoded, 1).unwrap();
+            black_box(collector.report_count())
         })
     });
     group.finish();
@@ -239,6 +285,7 @@ criterion_group!(
     bench_support_kernel,
     bench_grr_vs_olh_kernel,
     bench_epoch_streaming,
+    bench_wire_ingest,
     bench_wire_decode
 );
 criterion_main!(benches);

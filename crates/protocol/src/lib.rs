@@ -18,6 +18,11 @@
 //!   version-2 frames carrying a [`wire::MechanismTag`] oracle/approach
 //!   discriminant), built on `bytes` (justification for the dependency:
 //!   zero-copy buffer management for the report stream).
+//! * [`cursor`] — zero-copy ingestion: a borrowing [`cursor::FrameCursor`]
+//!   that validates frames exactly like the [`wire`] decoders but yields
+//!   `(seed, y)` pairs straight from the input buffer, so contiguous
+//!   streams reach the support kernel without materializing a
+//!   `Vec<Report>`.
 //! * [`server`] — streaming ingestion: per-group frequency-oracle support
 //!   accumulators that never buffer raw reports, a sharded parallel batch
 //!   path that is bit-identical to serial ingestion, and an
@@ -49,6 +54,7 @@
 //! deployment would be.
 
 pub mod client;
+pub mod cursor;
 pub mod plan;
 pub mod registry;
 pub mod serve;
@@ -58,6 +64,7 @@ pub mod stream;
 pub mod wire;
 
 pub use client::{Client, ClientFactory};
+pub use cursor::{FrameCursor, ReportFrame};
 pub use plan::{GroupTarget, SessionPlan};
 pub use registry::{AnswerCache, CacheStats, PublishReceipt, SnapshotRegistry, Tenant};
 pub use serve::QueryServer;

@@ -30,8 +30,9 @@
 //! batch size or shard count. Property tests in `tests/sharding_prop.rs`
 //! pin down sharded ≡ batched ≡ serial.
 
+use crate::cursor::{FrameCursor, ReportFrame};
 use crate::plan::{GroupTarget, SessionPlan};
-use crate::wire::{self, Report};
+use crate::wire::{self, MechanismTag, Report};
 use crate::ProtocolError;
 use bytes::Buf;
 use privmdr_core::{ApproachKind, Hdg, MechanismConfig, Model, ModelSnapshot, Msw, Tdg};
@@ -54,6 +55,62 @@ fn partition_by_group(reports: &[Report], groups: usize) -> Vec<Vec<(u64, u64)>>
         by_group[r.group as usize].push((r.seed, r.y));
     }
     by_group
+}
+
+/// [`partition_by_group`] over borrowed wire frames: the same count pass +
+/// fill pass, reading groups and `(seed, y)` pairs straight from the frame
+/// bytes instead of from a materialized `Vec<Report>`. Callers must have
+/// validated every group index.
+fn partition_frames_by_group(frames: &[ReportFrame<'_>], groups: usize) -> Vec<Vec<(u64, u64)>> {
+    let mut counts = vec![0usize; groups];
+    for frame in frames {
+        for i in 0..frame.count() {
+            counts[frame.group_at(i) as usize] += 1;
+        }
+    }
+    let mut by_group: Vec<Vec<(u64, u64)>> =
+        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for frame in frames {
+        for i in 0..frame.count() {
+            by_group[frame.group_at(i) as usize].push(frame.pair_at(i));
+        }
+    }
+    by_group
+}
+
+/// Splits the concatenated report sequence of `frames` into at most
+/// `shards` contiguous runs of near-equal report counts, slicing frames at
+/// run boundaries (a frame straddling a boundary contributes a window to
+/// each side). Support counters are sums of commuting `u64` increments, so
+/// any contiguous split merges back to the serial state exactly.
+fn split_frame_runs<'a>(frames: &[ReportFrame<'a>], shards: usize) -> Vec<Vec<ReportFrame<'a>>> {
+    let total: usize = frames.iter().map(|f| f.count()).sum();
+    let shards = shards.max(1).min(total.max(1));
+    let (base, rem) = (total / shards, total % shards);
+    let mut runs = Vec::with_capacity(shards);
+    let (mut frame, mut offset) = (0usize, 0usize);
+    for s in 0..shards {
+        let mut want = base + usize::from(s < rem);
+        let mut run = Vec::new();
+        while want > 0 {
+            let avail = frames[frame].count() - offset;
+            if avail == 0 {
+                frame += 1;
+                offset = 0;
+                continue;
+            }
+            let take = want.min(avail);
+            run.push(frames[frame].slice(offset, take));
+            offset += take;
+            want -= take;
+            if offset == frames[frame].count() {
+                frame += 1;
+                offset = 0;
+            }
+        }
+        runs.push(run);
+    }
+    runs
 }
 
 /// Per-group streaming state: the group's frequency oracle (selected by
@@ -158,11 +215,19 @@ impl Collector {
     /// the session plan — e.g. GRR-randomized reports arriving at an OLH
     /// session — is rejected before any counter is touched (untagged
     /// frames imply OLH/HDG).
+    ///
+    /// Contiguous buffers (`Bytes`, `&[u8]` — every production source)
+    /// take the zero-copy [`FrameCursor`] path ([`Self::ingest_slice_sharded`]);
+    /// fragmented multi-chunk buffers fall back to the decode-to-`Vec`
+    /// path, which `tests/cursor_prop.rs` pins bit-identical.
     pub fn ingest_stream_sharded(
         &mut self,
         buf: impl Buf,
         shards: usize,
     ) -> Result<usize, ProtocolError> {
+        if buf.chunk().len() == buf.remaining() {
+            return self.ingest_slice_sharded(buf.chunk(), shards);
+        }
         let (reports, tag) = wire::decode_any_stream_tagged(buf)?;
         if let Some(tag) = tag {
             if tag != self.plan.mechanism_tag() {
@@ -172,6 +237,95 @@ impl Collector {
             }
         }
         self.ingest_batch(&reports, shards)
+    }
+
+    /// Zero-copy form of [`Self::ingest_stream_sharded`]: walks the wire
+    /// frames with a borrowing [`FrameCursor`] (same validation, same
+    /// errors) and feeds `(seed, y)` pairs to the support kernel straight
+    /// from `bytes` — no intermediate `Vec<Report>`. The whole stream is
+    /// validated (framing, mechanism tag, group indices) before any
+    /// counter moves, so errors leave the collector untouched, exactly
+    /// like the decode-to-`Vec` path.
+    pub fn ingest_slice_sharded(
+        &mut self,
+        bytes: &[u8],
+        shards: usize,
+    ) -> Result<usize, ProtocolError> {
+        let mut cursor = FrameCursor::new(bytes);
+        let mut frames = Vec::new();
+        let mut stream_tag: Option<MechanismTag> = None;
+        while let Some(frame) = cursor.next_frame()? {
+            let tag = frame.tag();
+            if *stream_tag.get_or_insert(tag) != tag {
+                return Err(ProtocolError::Malformed(
+                    "conflicting mechanism tags in stream",
+                ));
+            }
+            frames.push(frame);
+        }
+        if let Some(tag) = stream_tag {
+            if tag != self.plan.mechanism_tag() {
+                return Err(ProtocolError::Malformed(
+                    "stream mechanism tag does not match the session plan",
+                ));
+            }
+        }
+        self.ingest_frames(&frames, shards)
+    }
+
+    /// Ingests borrowed wire frames across `shards` shard accumulators —
+    /// the frame-window counterpart of [`Self::ingest_batch`], with the
+    /// same validate-up-front error contract and the same bit-identity:
+    /// group partitioning reads pairs directly from the frame bytes, and
+    /// the sharded path splits the concatenated frame sequence into
+    /// contiguous runs whose private counters merge by commutative `u64`
+    /// adds.
+    pub(crate) fn ingest_frames(
+        &mut self,
+        frames: &[ReportFrame<'_>],
+        shards: usize,
+    ) -> Result<usize, ProtocolError> {
+        let groups = self.groups.len();
+        for frame in frames {
+            for i in 0..frame.count() {
+                let g = frame.group_at(i);
+                if g as usize >= groups {
+                    return Err(ProtocolError::UnknownGroup(g));
+                }
+            }
+        }
+        let total: usize = frames.iter().map(|f| f.count()).sum();
+        if shards <= 1 || total < 2 {
+            for (g, pairs) in partition_frames_by_group(frames, groups).iter().enumerate() {
+                self.groups[g].ingest_batch(pairs);
+            }
+        } else {
+            let runs = split_frame_runs(frames, shards);
+            let oracles: Vec<AdaptiveOracle> = self.groups.iter().map(|g| g.oracle).collect();
+            let cells: Vec<usize> = self.groups.iter().map(|g| g.supports.len()).collect();
+            let partials = par_map(&runs, |run| {
+                let by_group = partition_frames_by_group(run, oracles.len());
+                let mut supports: Vec<Vec<u64>> =
+                    cells.iter().map(|&cells| vec![0u64; cells]).collect();
+                let counts: Vec<u64> = by_group.iter().map(|p| p.len() as u64).collect();
+                for ((oracle, sup), pairs) in oracles.iter().zip(&mut supports).zip(&by_group) {
+                    oracle.add_support_batch(pairs, sup);
+                }
+                (supports, counts)
+            });
+            for (supports, counts) in partials {
+                for ((acc, shard_supports), count) in
+                    self.groups.iter_mut().zip(supports).zip(counts)
+                {
+                    for (dst, s) in acc.supports.iter_mut().zip(shard_supports) {
+                        *dst += s;
+                    }
+                    acc.reports += count;
+                }
+            }
+        }
+        self.total_reports += total as u64;
+        Ok(total)
     }
 
     /// Ingests a batch of decoded reports across `shards` parallel shard

@@ -342,6 +342,12 @@ impl EpochCollector {
     /// malformed or tag-mismatched frame aborts mid-stream with earlier
     /// frames already ingested and earlier epochs already cut — the
     /// long-lived-service semantics.
+    ///
+    /// Contiguous buffers take the zero-copy [`crate::cursor::FrameCursor`]
+    /// path — frame windows are sliced at epoch boundaries and fed to the
+    /// kernel straight from the buffer; fragmented buffers fall back to
+    /// the decode-to-`Vec` loop, which `tests/cursor_prop.rs` pins
+    /// bit-identical (including the mid-stream-abort semantics).
     pub fn ingest_stream_epochs(
         &mut self,
         mut buf: impl Buf,
@@ -353,6 +359,9 @@ impl EpochCollector {
             return Err(ProtocolError::BadPlan(
                 "epoch size must be at least 1".into(),
             ));
+        }
+        if buf.chunk().len() == buf.remaining() {
+            return self.ingest_slice_epochs(buf.chunk(), shards, epoch_every, on_cut);
         }
         let expected_tag = self.plan().mechanism_tag();
         let mut processed = 0usize;
@@ -380,6 +389,44 @@ impl EpochCollector {
                 }
             }
             processed += reports.len();
+        }
+        Ok(processed)
+    }
+
+    /// Zero-copy form of [`Self::ingest_stream_epochs`] for contiguous
+    /// buffers: each frame is a borrowed window over `bytes`, epoch
+    /// boundaries slice the window exactly where the cut falls, and the
+    /// slices reach the support kernel without a `Vec<Report>` in between.
+    /// Frame-by-frame validation and the mid-stream-abort semantics are
+    /// identical to the fallback loop.
+    fn ingest_slice_epochs(
+        &mut self,
+        bytes: &[u8],
+        shards: usize,
+        epoch_every: u64,
+        mut on_cut: impl FnMut(EpochCut),
+    ) -> Result<usize, ProtocolError> {
+        let expected_tag = self.plan().mechanism_tag();
+        let mut cursor = crate::cursor::FrameCursor::mixed(bytes);
+        let mut processed = 0usize;
+        while let Some(frame) = cursor.next_frame()? {
+            if frame.tag() != expected_tag {
+                return Err(ProtocolError::Malformed(
+                    "stream mechanism tag does not match the session plan",
+                ));
+            }
+            let mut start = 0usize;
+            while start < frame.count() {
+                let room = epoch_every - self.active.report_count();
+                let take = ((frame.count() - start) as u64).min(room) as usize;
+                self.active
+                    .ingest_frames(&[frame.slice(start, take)], shards)?;
+                start += take;
+                if self.active.report_count() == epoch_every {
+                    on_cut(self.cut_epoch()?);
+                }
+            }
+            processed += frame.count();
         }
         Ok(processed)
     }

@@ -1,0 +1,292 @@
+//! Zero-copy cursor ≡ decode-to-`Vec` ingestion bit-identity.
+//!
+//! The collector takes the borrowing `FrameCursor` path for contiguous
+//! buffers and the original decode-to-`Vec` path for fragmented ones.
+//! These suites pin the contract that makes that dispatch invisible: for
+//! every stream — v1/v2/v3 frames, batch or standalone framing, valid,
+//! truncated, or outright garbage — both paths accept/reject identically,
+//! never panic, leave an erroring one-shot collector untouched, and
+//! produce bit-identical counters when they succeed. The epoch path gets
+//! the same treatment, including its mid-stream-abort semantics.
+
+use bytes::{Buf, BytesMut};
+use privmdr_core::ApproachKind;
+use privmdr_protocol::{Batch, Collector, EpochCollector, OraclePolicy, Report, SessionPlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The mechanism shapes that exercise all three wire versions: v1
+/// (default OLH/HDG), v2 narrow-tagged, and v3 wide.
+const MECHANISMS: &[(OraclePolicy, ApproachKind)] = &[
+    (OraclePolicy::Olh, ApproachKind::Hdg),
+    (OraclePolicy::Grr, ApproachKind::Hdg),
+    (OraclePolicy::Auto, ApproachKind::Tdg),
+    (OraclePolicy::Wheel, ApproachKind::Hdg),
+    (OraclePolicy::Sw, ApproachKind::Msw),
+];
+
+fn plan_for(mech: usize, c: usize, seed: u64) -> SessionPlan {
+    let (oracle, approach) = MECHANISMS[mech % MECHANISMS.len()];
+    SessionPlan::with_mechanism(100_000, 3, c, 1.0, seed, oracle, approach).unwrap()
+}
+
+/// Random in-plan reports; `y` is arbitrary within the frame width (wide
+/// oracles occasionally get hostile raw f64 bits — the oracle folds them
+/// deterministically, so equivalence must still hold).
+fn random_reports(plan: &SessionPlan, n: usize, rng: &mut StdRng) -> Vec<Report> {
+    let wide = plan.mechanism_tag().is_wide();
+    (0..n)
+        .map(|_| {
+            let y = if wide {
+                if rng.random_range(0..8) == 0 {
+                    rng.random::<u64>()
+                } else {
+                    rng.random_range(-0.3f64..1.3).to_bits()
+                }
+            } else {
+                u64::from(rng.random::<u32>())
+            };
+            Report {
+                group: rng.random_range(0..plan.group_count() as u32),
+                seed: rng.random(),
+                y,
+            }
+        })
+        .collect()
+}
+
+/// Frames `reports` for the one-shot path: either all batch frames (with
+/// random frame sizes) or all standalone reports — the two framings
+/// `decode_any_stream_tagged` commits to.
+fn encode_stream(
+    plan: &SessionPlan,
+    reports: &[Report],
+    batch_framing: bool,
+    frame_size: usize,
+    rng: &mut StdRng,
+) -> Vec<u8> {
+    let tag = plan.mechanism_tag();
+    let mut buf = BytesMut::new();
+    if batch_framing {
+        let mut rest = reports;
+        while !rest.is_empty() {
+            let take = rng.random_range(1..=frame_size.min(rest.len()).max(1));
+            Batch::tagged(rest[..take].to_vec(), tag).encode(&mut buf);
+            rest = &rest[take..];
+        }
+    } else {
+        for r in reports {
+            r.encode_tagged(&tag, &mut buf);
+        }
+    }
+    buf.to_vec()
+}
+
+fn assert_same_state(a: &Collector, b: &Collector, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.report_count(), b.report_count(), "{}: totals", what);
+    for g in 0..a.plan().group_count() as u32 {
+        let (sa, na) = a.group_state(g).unwrap();
+        let (sb, nb) = b.group_state(g).unwrap();
+        prop_assert_eq!(na, nb, "{}: group {} report count", what, g);
+        prop_assert_eq!(sa, sb, "{}: group {} supports", what, g);
+    }
+    Ok(())
+}
+
+/// A deliberately fragmented `Buf`: the stream cut into small chunks, so
+/// `chunk().len() != remaining()` and the collector cannot take the
+/// zero-copy slice path — this is how the tests force the decode-to-`Vec`
+/// fallback. Overrides `copy_to_slice` to stitch reads across chunk
+/// boundaries (the trait's default assumes a contiguous chunk).
+struct SplitBuf(std::collections::VecDeque<Vec<u8>>);
+
+impl SplitBuf {
+    /// Fragments `bytes` into `chunk_size`-byte pieces (≥ 2 pieces
+    /// whenever the stream is long enough to split).
+    fn new(bytes: &[u8], chunk_size: usize) -> Self {
+        let chunk_size = chunk_size.max(1);
+        SplitBuf(bytes.chunks(chunk_size).map(<[u8]>::to_vec).collect())
+    }
+}
+
+impl Buf for SplitBuf {
+    fn remaining(&self) -> usize {
+        self.0.iter().map(Vec::len).sum()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.0.front().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn advance(&mut self, mut cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        while cnt > 0 {
+            let front = self.0.front_mut().expect("checked remaining");
+            if cnt < front.len() {
+                front.drain(..cnt);
+                return;
+            }
+            cnt -= front.len();
+            self.0.pop_front();
+        }
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let mut at = 0;
+        while at < dst.len() {
+            let chunk = self.chunk();
+            let take = chunk.len().min(dst.len() - at);
+            dst[at..at + take].copy_from_slice(&chunk[..take]);
+            self.advance(take);
+            at += take;
+        }
+    }
+}
+
+proptest! {
+    /// One-shot ingestion: zero-copy slice path ≡ decode-to-`Vec` path ≡
+    /// pre-decoded `ingest_batch`, for every mechanism, framing, shard
+    /// count, and frame-size mix.
+    #[test]
+    fn one_shot_zero_copy_equals_vec_path(
+        mech in 0usize..5,
+        c_pow in 2u32..5,
+        n_reports in 0usize..200,
+        frame_size in 1usize..64,
+        batch_framing in any::<bool>(),
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let plan = plan_for(mech, 1usize << c_pow, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+        let bytes = encode_stream(&plan, &reports, batch_framing, frame_size, &mut rng);
+
+        let mut via_slice = Collector::new(plan.clone()).unwrap();
+        let n_slice = via_slice.ingest_slice_sharded(&bytes, shards).unwrap();
+        prop_assert_eq!(n_slice, reports.len());
+
+        let mut via_vec = Collector::new(plan.clone()).unwrap();
+        let n_vec = via_vec
+            .ingest_stream_sharded(SplitBuf::new(&bytes, 7), shards)
+            .unwrap();
+        prop_assert_eq!(n_vec, reports.len());
+
+        let mut via_batch = Collector::new(plan.clone()).unwrap();
+        via_batch.ingest_batch(&reports, shards).unwrap();
+
+        assert_same_state(&via_slice, &via_vec, "slice vs vec")?;
+        assert_same_state(&via_slice, &via_batch, "slice vs pre-decoded")?;
+    }
+
+    /// Truncating a valid stream anywhere: both paths reject identically
+    /// (or both still accept a frame-aligned prefix, with identical
+    /// state), never panic, and an error leaves the one-shot collector
+    /// untouched.
+    #[test]
+    fn truncation_agrees_and_leaves_collector_untouched(
+        mech in 0usize..5,
+        n_reports in 1usize..40,
+        frame_size in 1usize..16,
+        batch_framing in any::<bool>(),
+        cut_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let plan = plan_for(mech, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+        let bytes = encode_stream(&plan, &reports, batch_framing, frame_size, &mut rng);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut_bytes = &bytes[..cut.min(bytes.len())];
+
+        let mut via_slice = Collector::new(plan.clone()).unwrap();
+        let slice_result = via_slice.ingest_slice_sharded(cut_bytes, 2);
+
+        let mut via_vec = Collector::new(plan.clone()).unwrap();
+        let vec_result = via_vec.ingest_stream_sharded(SplitBuf::new(cut_bytes, 5), 2);
+
+        prop_assert_eq!(&slice_result, &vec_result, "accept/reject must agree");
+        if slice_result.is_err() {
+            prop_assert_eq!(via_slice.report_count(), 0, "error must leave state untouched");
+        }
+        assert_same_state(&via_slice, &via_vec, "truncated stream")?;
+    }
+
+    /// Arbitrary byte soup: both paths agree on accept/reject and state,
+    /// and neither panics.
+    #[test]
+    fn garbage_never_panics_and_paths_agree(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+        shards in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let plan = plan_for(0, 8, seed);
+        let mut via_slice = Collector::new(plan.clone()).unwrap();
+        let slice_result = via_slice.ingest_slice_sharded(&bytes, shards);
+
+        let mut via_vec = Collector::new(plan.clone()).unwrap();
+        let vec_result = via_vec.ingest_stream_sharded(SplitBuf::new(&bytes, 3), shards);
+
+        prop_assert_eq!(&slice_result, &vec_result, "accept/reject must agree");
+        assert_same_state(&via_slice, &via_vec, "garbage stream")?;
+    }
+
+    /// Epoch streaming: zero-copy ≡ decode-to-`Vec`, including cut
+    /// placement, per-cut report counts, cumulative state, and the
+    /// mid-stream-abort semantics when the tail is garbage.
+    #[test]
+    fn epoch_streaming_zero_copy_equals_vec_path(
+        mech in 0usize..5,
+        n_reports in 0usize..160,
+        frame_size in 1usize..32,
+        batch_framing in any::<bool>(),
+        epoch_every in 1u64..60,
+        shards in 1usize..4,
+        corrupt_tail in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let plan = plan_for(mech, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports = random_reports(&plan, n_reports, &mut rng);
+        let mut bytes = encode_stream(&plan, &reports, batch_framing, frame_size, &mut rng);
+        if corrupt_tail {
+            bytes.extend_from_slice(&[0x42, 0x13, 0x37]);
+        }
+
+        let mut via_slice = EpochCollector::new(plan.clone()).unwrap();
+        let mut slice_cuts = Vec::new();
+        let slice_result = via_slice.ingest_stream_epochs(
+            &bytes[..],
+            shards,
+            epoch_every,
+            |cut| slice_cuts.push((cut.epoch, cut.epoch_reports, cut.total_reports)),
+        );
+
+        let mut via_vec = EpochCollector::new(plan.clone()).unwrap();
+        let mut vec_cuts = Vec::new();
+        let vec_result = via_vec.ingest_stream_epochs(
+            SplitBuf::new(&bytes, 11),
+            shards,
+            epoch_every,
+            |cut| vec_cuts.push((cut.epoch, cut.epoch_reports, cut.total_reports)),
+        );
+
+        prop_assert_eq!(&slice_result, &vec_result, "accept/reject must agree");
+        prop_assert_eq!(slice_cuts, vec_cuts, "cuts must fall identically");
+        prop_assert_eq!(via_slice.report_count(), via_vec.report_count());
+        assert_same_state(
+            &via_slice.cumulative().unwrap(),
+            &via_vec.cumulative().unwrap(),
+            "epoch cumulative",
+        )?;
+        if corrupt_tail {
+            prop_assert!(slice_result.is_err(), "garbage tail must abort");
+            // Mid-stream abort: everything before the bad frame ingested.
+            prop_assert_eq!(via_slice.report_count(), reports.len() as u64);
+        } else {
+            prop_assert_eq!(slice_result.unwrap(), reports.len());
+        }
+    }
+}

@@ -46,8 +46,8 @@ pub fn hash_to_domain(seed: u64, value: u64, domain: u64) -> u64 {
 }
 
 /// Batched support-count primitive — the transposed inner loop of exact OLH
-/// aggregation. For a fixed `value`, counts how many `(seed, y)` pairs
-/// satisfy `hash_to_domain(seed, value, domain) == y`.
+/// aggregation, scalar reference form. For a fixed `value`, counts how many
+/// `(seed, y)` pairs satisfy `hash_to_domain(seed, value, domain) == y`.
 ///
 /// Compared with evaluating [`hash_to_domain`] per report, this hoists the
 /// `value · K` premix out of the loop, keeps the count in register
@@ -57,6 +57,10 @@ pub fn hash_to_domain(seed: u64, value: u64, domain: u64) -> u64 {
 /// mix chains so the multiply latency overlaps. Bit-identical to the scalar
 /// path by construction: the same `mix64`/reduction on the same inputs,
 /// folded with exact `u64` adds.
+///
+/// This is the *reference* kernel the lane-parallel production kernel
+/// ([`support_count_lanes`]) is proven bit-identical to; hot paths should
+/// call that one instead.
 #[inline]
 pub fn support_count(pairs: &[(u64, u64)], value: u64, domain: u64) -> u64 {
     debug_assert!(domain > 0);
@@ -73,6 +77,432 @@ pub fn support_count(pairs: &[(u64, u64)], value: u64, domain: u64) -> u64 {
         a0 += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
     }
     (a0 + a1) + (a2 + a3)
+}
+
+/// Lane width of the portable lane-parallel kernel: 8 independent mix
+/// chains per iteration, wide enough for the compiler to autovectorize to
+/// two AVX2 vectors (or one AVX-512 vector) of `u64` lanes.
+pub const SUPPORT_LANES: usize = 8;
+
+/// Which implementation [`support_count_lanes`] dispatches to on this
+/// machine. Detected once at first use and cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Explicit `core::arch::x86_64` AVX-512 path: 8 mix chains per 512-bit
+    /// vector with native 64-bit lane multiplies (`_mm512_mullo_epi64`,
+    /// hence the AVX-512DQ requirement alongside AVX-512F).
+    Avx512,
+    /// Explicit `core::arch::x86_64` AVX2 path: 4 mix chains per 256-bit
+    /// vector, 64-bit multiplies composed from `_mm256_mul_epu32` partials.
+    Avx2,
+    /// Portable fixed-width-lane path ([`SUPPORT_LANES`] scalar chains
+    /// written for autovectorization).
+    Portable,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name, for feature-detect log lines and benchmarks.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Avx512 => "avx512",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Portable => "portable",
+        }
+    }
+}
+
+/// The support-kernel backend selected for this process: AVX-512 when the
+/// CPU reports F+DQ, else AVX2 when present (each checked once via
+/// `is_x86_feature_detected!` and cached), the portable lane kernel
+/// otherwise. Selection never changes after the first call.
+pub fn kernel_backend() -> KernelBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+        *BACKEND.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                KernelBackend::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                KernelBackend::Avx2
+            } else {
+                KernelBackend::Portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        KernelBackend::Portable
+    }
+}
+
+/// Lane-parallel form of [`support_count`] — the production kernel.
+///
+/// Dispatches once-per-process (see [`kernel_backend`]) to the explicit
+/// AVX-512 or AVX2 path on x86-64 machines that have them, and to the
+/// portable [`SUPPORT_LANES`]-chain kernel everywhere else. All paths
+/// evaluate the *same* `mix64` and multiply-shift reduction on the same
+/// inputs and fold the per-pair `0/1` outcomes with exact `u64` adds —
+/// addition commutes, so the result is **bit-identical** to the scalar
+/// reference for every input, including every lane remainder and the empty
+/// batch. Property tests in `crates/util/tests/kernel_prop.rs` pin this
+/// down.
+#[inline]
+pub fn support_count_lanes(pairs: &[(u64, u64)], value: u64, domain: u64) -> u64 {
+    debug_assert!(domain > 0);
+    let mv = premix_value(value);
+    #[cfg(target_arch = "x86_64")]
+    match kernel_backend() {
+        // SAFETY: each SIMD backend is only ever selected after
+        // `is_x86_feature_detected!` confirmed its features on this CPU.
+        KernelBackend::Avx512 => {
+            return unsafe { avx512::support_count_premixed(pairs, mv, domain) }
+        }
+        KernelBackend::Avx2 => return unsafe { avx2::support_count_premixed(pairs, mv, domain) },
+        KernelBackend::Portable => {}
+    }
+    support_count_premixed_portable(pairs, mv, domain)
+}
+
+/// Structure-of-arrays form of [`support_count_lanes`]: the same count
+/// over parallel `seeds`/`ys` slices (`seeds[i]` paired with `ys[i]`).
+///
+/// This is the form the OLH block loop feeds: the block is transposed to
+/// SoA once, then swept `cells` times, so the SIMD backends fill all
+/// lanes with two straight vector loads instead of per-field gathers —
+/// the gather cost would otherwise dominate the whole kernel. Dispatch
+/// and the bit-identity contract are exactly [`support_count_lanes`]'s.
+///
+/// Both slices must have the same length.
+#[inline]
+pub fn support_count_lanes_soa(seeds: &[u64], ys: &[u64], value: u64, domain: u64) -> u64 {
+    debug_assert!(domain > 0);
+    assert_eq!(seeds.len(), ys.len(), "SoA slices must pair up");
+    let mv = premix_value(value);
+    #[cfg(target_arch = "x86_64")]
+    match kernel_backend() {
+        // SAFETY: each SIMD backend is only ever selected after
+        // `is_x86_feature_detected!` confirmed its features on this CPU.
+        KernelBackend::Avx512 => {
+            return unsafe { avx512::support_count_premixed_soa(seeds, ys, mv, domain) }
+        }
+        KernelBackend::Avx2 => {
+            return unsafe { avx2::support_count_premixed_soa(seeds, ys, mv, domain) }
+        }
+        KernelBackend::Portable => {}
+    }
+    support_count_premixed_portable_soa(seeds, ys, mv, domain)
+}
+
+/// Portable lane kernel, exposed so the equivalence tests can exercise it
+/// even on machines where dispatch picks a SIMD backend. Bit-identical to
+/// [`support_count`].
+pub fn support_count_portable(pairs: &[(u64, u64)], value: u64, domain: u64) -> u64 {
+    debug_assert!(domain > 0);
+    support_count_premixed_portable(pairs, premix_value(value), domain)
+}
+
+/// Explicit AVX2 kernel, exposed so the equivalence tests can exercise it
+/// directly; `None` when the CPU lacks AVX2. Bit-identical to
+/// [`support_count`].
+#[cfg(target_arch = "x86_64")]
+pub fn support_count_avx2(pairs: &[(u64, u64)], value: u64, domain: u64) -> Option<u64> {
+    debug_assert!(domain > 0);
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified.
+        Some(unsafe { avx2::support_count_premixed(pairs, premix_value(value), domain) })
+    } else {
+        None
+    }
+}
+
+/// Explicit AVX-512 kernel, exposed so the equivalence tests can exercise
+/// it directly; `None` when the CPU lacks AVX-512F/DQ. Bit-identical to
+/// [`support_count`].
+#[cfg(target_arch = "x86_64")]
+pub fn support_count_avx512(pairs: &[(u64, u64)], value: u64, domain: u64) -> Option<u64> {
+    debug_assert!(domain > 0);
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+    {
+        // SAFETY: AVX-512F and AVX-512DQ presence was just verified.
+        Some(unsafe { avx512::support_count_premixed(pairs, premix_value(value), domain) })
+    } else {
+        None
+    }
+}
+
+/// The portable lane kernel body: [`SUPPORT_LANES`] independent accumulator
+/// chains over `chunks_exact(SUPPORT_LANES)`, scalar tail. Written as a
+/// fixed-width array sweep so LLVM autovectorizes the whole iteration
+/// (loads, mix, reduce, compare, add) without any target-specific code.
+#[inline]
+fn support_count_premixed_portable(pairs: &[(u64, u64)], mv: u64, domain: u64) -> u64 {
+    let mut lanes = [0u64; SUPPORT_LANES];
+    let mut chunks = pairs.chunks_exact(SUPPORT_LANES);
+    for chunk in chunks.by_ref() {
+        for (acc, &(seed, y)) in lanes.iter_mut().zip(chunk) {
+            *acc += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for &(seed, y) in chunks.remainder() {
+        total += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
+    }
+    total
+}
+
+/// SoA twin of [`support_count_premixed_portable`]: the same
+/// [`SUPPORT_LANES`]-chain sweep over parallel slices.
+#[inline]
+fn support_count_premixed_portable_soa(seeds: &[u64], ys: &[u64], mv: u64, domain: u64) -> u64 {
+    let mut lanes = [0u64; SUPPORT_LANES];
+    let mut seed_chunks = seeds.chunks_exact(SUPPORT_LANES);
+    let mut y_chunks = ys.chunks_exact(SUPPORT_LANES);
+    for (sc, yc) in seed_chunks.by_ref().zip(y_chunks.by_ref()) {
+        for ((acc, &seed), &y) in lanes.iter_mut().zip(sc).zip(yc) {
+            *acc += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for (&seed, &y) in seed_chunks.remainder().iter().zip(y_chunks.remainder()) {
+        total += u64::from(reduce_to_domain(mix64(seed ^ mv), domain) == y);
+    }
+    total
+}
+
+/// Explicit AVX2 support kernel: 4 independent mix chains per 256-bit
+/// vector of `u64` lanes.
+///
+/// AVX2 has no 64×64-bit multiply, so the `mix64` multiplies (and the
+/// multiply-shift domain reduction) are composed from `_mm256_mul_epu32`
+/// 32×32→64 partial products: `lo·lo + ((lo·hi + hi·lo) << 32)` — exactly
+/// the low 64 bits of the full product, i.e. exactly `wrapping_mul`. Every
+/// lane therefore computes bit-for-bit the scalar `mix64`/reduction, the
+/// `(h == y)` outcome accumulates as a masked `u64` add
+/// (`acc - cmpeq-mask`), and the final horizontal fold is a sum of exact
+/// `u64` lane counts — commutative, so lane order cannot change the total.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// Low 64 bits of a 64×64-bit lane multiply (`wrapping_mul` per lane).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64_lo(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+            _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// Four-lane `mix64` with the multiplier/increment constants already
+    /// broadcast.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mix64_x4(mut x: __m256i, inc: __m256i, m1: __m256i, m2: __m256i) -> __m256i {
+        x = _mm256_add_epi64(x, inc);
+        x = mul64_lo(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), m1);
+        x = mul64_lo(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), m2);
+        _mm256_xor_si256(x, _mm256_srli_epi64(x, 31))
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support on the running CPU.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn support_count_premixed(pairs: &[(u64, u64)], mv: u64, domain: u64) -> u64 {
+        let vmv = _mm256_set1_epi64x(mv as i64);
+        let inc = _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15_u64 as i64);
+        let m1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let m2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EB_u64 as i64);
+        let dom = _mm256_set1_epi64x(domain as i64);
+        let mut acc = _mm256_setzero_si256();
+        let mut quads = pairs.chunks_exact(4);
+        for q in quads.by_ref() {
+            // Field-indexed gathers keep the load layout-independent of
+            // the tuple's memory representation; LLVM lowers consecutive
+            // pairs to vector loads + unpacks under this target feature.
+            let seeds =
+                _mm256_set_epi64x(q[3].0 as i64, q[2].0 as i64, q[1].0 as i64, q[0].0 as i64);
+            let ys = _mm256_set_epi64x(q[3].1 as i64, q[2].1 as i64, q[1].1 as i64, q[0].1 as i64);
+            let h = mix64_x4(_mm256_xor_si256(seeds, vmv), inc, m1, m2);
+            // reduce_to_domain: ((h >> 32) wrapping_mul domain) >> 32. The
+            // shifted hash has zero high bits, so mul64_lo is the exact
+            // wrapping product for any 64-bit domain.
+            let r = _mm256_srli_epi64(mul64_lo(_mm256_srli_epi64(h, 32), dom), 32);
+            // Matching lanes compare to all-ones (-1): subtracting the mask
+            // adds exactly 1 per match.
+            acc = _mm256_sub_epi64(acc, _mm256_cmpeq_epi64(r, ys));
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), acc);
+        let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &(seed, y) in quads.remainder() {
+            total += u64::from(super::reduce_to_domain(super::mix64(seed ^ mv), domain) == y);
+        }
+        total
+    }
+
+    /// SoA twin of [`support_count_premixed`]: lanes fill with straight
+    /// 256-bit loads from the parallel slices — no per-field gathers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support on the running CPU, and
+    /// `seeds`/`ys` must have equal lengths.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn support_count_premixed_soa(
+        seeds: &[u64],
+        ys: &[u64],
+        mv: u64,
+        domain: u64,
+    ) -> u64 {
+        let vmv = _mm256_set1_epi64x(mv as i64);
+        let inc = _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15_u64 as i64);
+        let m1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let m2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EB_u64 as i64);
+        let dom = _mm256_set1_epi64x(domain as i64);
+        let mut acc = _mm256_setzero_si256();
+        let n = seeds.len().min(ys.len());
+        let quads = n / 4 * 4;
+        let mut i = 0;
+        while i < quads {
+            // SAFETY: i + 4 <= n bounds both 32-byte loads.
+            let s = unsafe { _mm256_loadu_si256(seeds.as_ptr().add(i).cast()) };
+            let y = unsafe { _mm256_loadu_si256(ys.as_ptr().add(i).cast()) };
+            let h = mix64_x4(_mm256_xor_si256(s, vmv), inc, m1, m2);
+            let r = _mm256_srli_epi64(mul64_lo(_mm256_srli_epi64(h, 32), dom), 32);
+            acc = _mm256_sub_epi64(acc, _mm256_cmpeq_epi64(r, y));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), acc);
+        let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for (&seed, &y) in seeds[quads..n].iter().zip(&ys[quads..n]) {
+            total += u64::from(super::reduce_to_domain(super::mix64(seed ^ mv), domain) == y);
+        }
+        total
+    }
+}
+
+/// Explicit AVX-512 support kernel: 8 independent mix chains per 512-bit
+/// vector of `u64` lanes.
+///
+/// Unlike AVX2, AVX-512DQ has a native low-64-bit lane multiply
+/// (`_mm512_mullo_epi64` = `wrapping_mul` per lane), so every `mix64`
+/// multiply and the multiply-shift domain reduction are single
+/// instructions — each lane computes bit-for-bit the scalar
+/// `mix64`/reduction. Matches come back as a `__mmask8` whose popcount
+/// adds exact match counts; the fold is commutative `u64` addition, so
+/// lane order cannot change the total.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// Eight-lane `mix64` with the multiplier/increment constants already
+    /// broadcast.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn mix64_x8(mut x: __m512i, inc: __m512i, m1: __m512i, m2: __m512i) -> __m512i {
+        x = _mm512_add_epi64(x, inc);
+        x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), m1);
+        x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), m2);
+        _mm512_xor_si512(x, _mm512_srli_epi64(x, 31))
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and AVX-512DQ support on the
+    /// running CPU.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn support_count_premixed(pairs: &[(u64, u64)], mv: u64, domain: u64) -> u64 {
+        let vmv = _mm512_set1_epi64(mv as i64);
+        let inc = _mm512_set1_epi64(0x9E37_79B9_7F4A_7C15_u64 as i64);
+        let m1 = _mm512_set1_epi64(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let m2 = _mm512_set1_epi64(0x94D0_49BB_1331_11EB_u64 as i64);
+        let dom = _mm512_set1_epi64(domain as i64);
+        let mut total = 0u64;
+        let mut octets = pairs.chunks_exact(8);
+        for q in octets.by_ref() {
+            // Field-indexed gathers keep the load layout-independent of
+            // the tuple's memory representation (same scheme as the AVX2
+            // path); the arguments run high lane to low.
+            let seeds = _mm512_set_epi64(
+                q[7].0 as i64,
+                q[6].0 as i64,
+                q[5].0 as i64,
+                q[4].0 as i64,
+                q[3].0 as i64,
+                q[2].0 as i64,
+                q[1].0 as i64,
+                q[0].0 as i64,
+            );
+            let ys = _mm512_set_epi64(
+                q[7].1 as i64,
+                q[6].1 as i64,
+                q[5].1 as i64,
+                q[4].1 as i64,
+                q[3].1 as i64,
+                q[2].1 as i64,
+                q[1].1 as i64,
+                q[0].1 as i64,
+            );
+            let h = mix64_x8(_mm512_xor_si512(seeds, vmv), inc, m1, m2);
+            // reduce_to_domain: ((h >> 32) wrapping_mul domain) >> 32 —
+            // mullo is exactly the wrapping product.
+            let r = _mm512_srli_epi64(_mm512_mullo_epi64(_mm512_srli_epi64(h, 32), dom), 32);
+            total += u64::from(_mm512_cmpeq_epi64_mask(r, ys).count_ones());
+        }
+        for &(seed, y) in octets.remainder() {
+            total += u64::from(super::reduce_to_domain(super::mix64(seed ^ mv), domain) == y);
+        }
+        total
+    }
+
+    /// SoA twin of [`support_count_premixed`]: lanes fill with straight
+    /// 512-bit loads from the parallel slices — no per-field gathers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and AVX-512DQ support on the
+    /// running CPU, and `seeds`/`ys` must have equal lengths.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn support_count_premixed_soa(
+        seeds: &[u64],
+        ys: &[u64],
+        mv: u64,
+        domain: u64,
+    ) -> u64 {
+        let vmv = _mm512_set1_epi64(mv as i64);
+        let inc = _mm512_set1_epi64(0x9E37_79B9_7F4A_7C15_u64 as i64);
+        let m1 = _mm512_set1_epi64(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let m2 = _mm512_set1_epi64(0x94D0_49BB_1331_11EB_u64 as i64);
+        let dom = _mm512_set1_epi64(domain as i64);
+        let mut total = 0u64;
+        let n = seeds.len().min(ys.len());
+        let octets = n / 8 * 8;
+        let mut i = 0;
+        while i < octets {
+            // SAFETY: i + 8 <= n bounds both 64-byte loads.
+            let s = unsafe { _mm512_loadu_si512(seeds.as_ptr().add(i).cast()) };
+            let y = unsafe { _mm512_loadu_si512(ys.as_ptr().add(i).cast()) };
+            let h = mix64_x8(_mm512_xor_si512(s, vmv), inc, m1, m2);
+            let r = _mm512_srli_epi64(_mm512_mullo_epi64(_mm512_srli_epi64(h, 32), dom), 32);
+            total += u64::from(_mm512_cmpeq_epi64_mask(r, y).count_ones());
+            i += 8;
+        }
+        for (&seed, &y) in seeds[octets..n].iter().zip(&ys[octets..n]) {
+            total += u64::from(super::reduce_to_domain(super::mix64(seed ^ mv), domain) == y);
+        }
+        total
+    }
 }
 
 /// A member of the OLH hash family: hashes `[c] -> [c']` under a fixed seed.

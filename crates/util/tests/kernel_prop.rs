@@ -1,0 +1,173 @@
+//! Bit-identity property suite for the lane-parallel OLH support kernel.
+//!
+//! The production kernel (`support_count_lanes` and its SoA twin
+//! `support_count_lanes_soa`) dispatches at runtime to an explicit AVX-512
+//! or AVX2 path or a portable 8-chain lane kernel. Every path must produce
+//! *exactly* the scalar reference's count — same `mix64`, same
+//! multiply-shift reduction, outcomes folded with exact `u64` adds — for
+//! any batch length (every lane/unroll remainder, including the empty and
+//! single-pair batches), any domain, and any value. These properties are
+//! what lets the collector swap kernels without perturbing a single
+//! estimate bit.
+
+use privmdr_util::hash::{
+    kernel_backend, support_count, support_count_lanes, support_count_lanes_soa,
+    support_count_portable, KernelBackend, SUPPORT_LANES,
+};
+use privmdr_util::mix64;
+use proptest::prelude::*;
+
+/// A pair stream with realistic structure: seeds well-mixed, `y` values
+/// concentrated in the hash range so matches actually occur.
+fn pairs_strategy(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((any::<u64>(), 0u64..32), 0..max_len)
+}
+
+/// Splits an AoS pair slice into the kernel's SoA form.
+fn soa(pairs: &[(u64, u64)]) -> (Vec<u64>, Vec<u64>) {
+    pairs.iter().copied().unzip()
+}
+
+proptest! {
+    /// Lane kernel ≡ scalar reference, whatever backend dispatch picked,
+    /// in both the AoS and SoA forms.
+    #[test]
+    fn lanes_match_scalar(
+        pairs in pairs_strategy(300),
+        value in any::<u64>(),
+        domain in 1u64..1_000_000,
+    ) {
+        let want = support_count(&pairs, value, domain);
+        prop_assert_eq!(support_count_lanes(&pairs, value, domain), want);
+        let (seeds, ys) = soa(&pairs);
+        prop_assert_eq!(support_count_lanes_soa(&seeds, &ys, value, domain), want);
+    }
+
+    /// Portable lane kernel ≡ scalar reference, even on machines where
+    /// dispatch would pick a SIMD path.
+    #[test]
+    fn portable_matches_scalar(
+        pairs in pairs_strategy(300),
+        value in any::<u64>(),
+        domain in 1u64..1_000_000,
+    ) {
+        prop_assert_eq!(
+            support_count_portable(&pairs, value, domain),
+            support_count(&pairs, value, domain)
+        );
+    }
+
+    /// Explicit AVX2 kernel ≡ scalar reference on CPUs that have it.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_matches_scalar(
+        pairs in pairs_strategy(300),
+        value in any::<u64>(),
+        domain in 1u64..1_000_000,
+    ) {
+        if let Some(got) = privmdr_util::hash::support_count_avx2(&pairs, value, domain) {
+            prop_assert_eq!(got, support_count(&pairs, value, domain));
+        }
+    }
+
+    /// Explicit AVX-512 kernel ≡ scalar reference on CPUs that have it.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_matches_scalar(
+        pairs in pairs_strategy(300),
+        value in any::<u64>(),
+        domain in 1u64..1_000_000,
+    ) {
+        if let Some(got) = privmdr_util::hash::support_count_avx512(&pairs, value, domain) {
+            prop_assert_eq!(got, support_count(&pairs, value, domain));
+        }
+    }
+
+    /// Huge domains exercise the full 64-bit multiply-shift reduction (the
+    /// AVX2 path composes it from 32x32 partial products, AVX-512 uses the
+    /// native lane multiply — both must stay exact out to the top bit).
+    #[test]
+    fn lanes_match_scalar_on_wide_domains(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..100),
+        value in any::<u64>(),
+        domain in 1u64..=u64::MAX,
+    ) {
+        let want = support_count(&pairs, value, domain);
+        prop_assert_eq!(support_count_lanes(&pairs, value, domain), want);
+        prop_assert_eq!(support_count_portable(&pairs, value, domain), want);
+        let (seeds, ys) = soa(&pairs);
+        prop_assert_eq!(support_count_lanes_soa(&seeds, &ys, value, domain), want);
+    }
+}
+
+/// Every remainder class of the 8-wide lane kernels and the ×4 SIMD
+/// unrolls, swept exhaustively: lengths 0..=3·SUPPORT_LANES cover all
+/// `len % 8` and `len % 4` residues several times over, including the
+/// empty and single-pair batches.
+#[test]
+fn every_lane_remainder_is_bit_identical() {
+    let pairs: Vec<(u64, u64)> = (0..(3 * SUPPORT_LANES) as u64)
+        .map(|i| (mix64(i), mix64(i ^ 0xABCD) % 4))
+        .collect();
+    for len in 0..=pairs.len() {
+        let (seeds, ys) = soa(&pairs[..len]);
+        for domain in [1u64, 2, 3, 7, 256, u64::MAX] {
+            for value in 0..6u64 {
+                let want = support_count(&pairs[..len], value, domain);
+                assert_eq!(
+                    support_count_lanes(&pairs[..len], value, domain),
+                    want,
+                    "lanes len={len} domain={domain} value={value}"
+                );
+                assert_eq!(
+                    support_count_lanes_soa(&seeds, &ys, value, domain),
+                    want,
+                    "soa len={len} domain={domain} value={value}"
+                );
+                assert_eq!(
+                    support_count_portable(&pairs[..len], value, domain),
+                    want,
+                    "portable len={len} domain={domain} value={value}"
+                );
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if let Some(got) =
+                        privmdr_util::hash::support_count_avx2(&pairs[..len], value, domain)
+                    {
+                        assert_eq!(got, want, "avx2 len={len} domain={domain} value={value}");
+                    }
+                    if let Some(got) =
+                        privmdr_util::hash::support_count_avx512(&pairs[..len], value, domain)
+                    {
+                        assert_eq!(got, want, "avx512 len={len} domain={domain} value={value}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch is stable (one backend per process) and self-consistent: the
+/// backend the selector reports is reachable and its name round-trips.
+#[test]
+fn backend_selection_is_stable_and_named() {
+    let first = kernel_backend();
+    assert_eq!(kernel_backend(), first);
+    match first {
+        KernelBackend::Avx512 => assert_eq!(first.name(), "avx512"),
+        KernelBackend::Avx2 => assert_eq!(first.name(), "avx2"),
+        KernelBackend::Portable => assert_eq!(first.name(), "portable"),
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // If dispatch claims a SIMD tier, the explicit path must actually
+        // run (and the tiers below it must too — AVX-512 implies AVX2).
+        if first == KernelBackend::Avx512 {
+            assert!(privmdr_util::hash::support_count_avx512(&[(1, 0)], 2, 3).is_some());
+            assert!(privmdr_util::hash::support_count_avx2(&[(1, 0)], 2, 3).is_some());
+        }
+        if first == KernelBackend::Avx2 {
+            assert!(privmdr_util::hash::support_count_avx2(&[(1, 0)], 2, 3).is_some());
+        }
+    }
+}

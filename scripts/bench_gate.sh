@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI perf gate: runs one fresh `privmdr ingest --json` and one fresh
+# `privmdr serve --json` record (best-of-REPEAT, so a single scheduler
+# hiccup cannot fail the build) and compares each against the most
+# recent record of the same shape — (cmd, n, d, c, epsilon, shards,
+# cpus, oracle, approach) — in the trend files BENCH_ingest.json /
+# BENCH_serve.json. Exits non-zero if either fresh throughput is more
+# than THRESHOLD (default 10%) below its baseline. Shapes with no
+# baseline pass with a note; records are only compared here, never
+# appended — use scripts/bench_trend.sh to extend the trend files.
+#
+# Usage: scripts/bench_gate.sh [--selftest]
+#   --selftest: doctor a baseline 10x faster than a fresh smoke-scale
+#   run and assert the gate trips. Proves the comparison can actually
+#   fail CI; exits 0 iff the doctored regression was detected.
+#
+#   Tunables via environment (defaults match scripts/bench_trend.sh):
+#     N=1000000 D=3 C=64 EPS=1.0 SEED=1 QUERIES=10000
+#     SHARDS=        (empty = all available cores)
+#     ORACLE=olh APPROACH=hdg REPEAT=3 THRESHOLD=0.10
+#     INGEST_FILE=BENCH_ingest.json SERVE_FILE=BENCH_serve.json
+#     BIN=           (prebuilt privmdr binary; default: cargo-built release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${N:-1000000}
+D=${D:-3}
+C=${C:-64}
+EPS=${EPS:-1.0}
+SEED=${SEED:-1}
+QUERIES=${QUERIES:-10000}
+SHARDS=${SHARDS:-}
+ORACLE=${ORACLE:-olh}
+APPROACH=${APPROACH:-hdg}
+REPEAT=${REPEAT:-3}
+THRESHOLD=${THRESHOLD:-0.10}
+INGEST_FILE=${INGEST_FILE:-BENCH_ingest.json}
+SERVE_FILE=${SERVE_FILE:-BENCH_serve.json}
+
+# JSON-line field extraction / shape keys / baseline lookup.
+. scripts/bench_lib.sh
+
+# Compares one fresh record against its baseline in FILE on METRIC.
+# Returns 1 on a gated regression, 0 otherwise.
+gate_one() { # gate_one LABEL FRESH_LINE FILE METRIC
+    local label=$1 fresh=$2 file=$3 metric=$4 base fresh_v base_v
+    base=$(last_matching "$file" "$fresh")
+    if [ -z "$base" ]; then
+        echo "perf gate: $label: no same-shape baseline in $file — pass (first record of this shape)"
+        return 0
+    fi
+    fresh_v=$(field "$fresh" "$metric")
+    base_v=$(field "$base" "$metric")
+    if regressed "$fresh_v" "$base_v" "$THRESHOLD"; then
+        echo "perf gate: $label: FAIL — $metric $fresh_v is >$(awk -v t="$THRESHOLD" 'BEGIN{printf "%g", t*100}')% below baseline $base_v" >&2
+        echo "  fresh:    $fresh" >&2
+        echo "  baseline: $base" >&2
+        return 1
+    fi
+    echo "perf gate: $label: ok — $metric $fresh_v vs baseline $base_v"
+}
+
+if [ -z "${BIN:-}" ]; then
+    cargo build --release -p privmdr-cli >&2
+    BIN=target/release/privmdr
+fi
+
+common=(--n "$N" --d "$D" --c "$C" --epsilon "$EPS" --seed "$SEED"
+        --oracle "$ORACLE" --approach "$APPROACH" --repeat "$REPEAT" --json)
+if [ -n "$SHARDS" ]; then
+    common+=(--shards "$SHARDS")
+fi
+
+if [ "${1:-}" = "--selftest" ]; then
+    # Smoke scale: the self-test proves the comparison trips, not the
+    # machine's absolute throughput.
+    common=(--n "${SELFTEST_N:-50000}" --d 3 --c 16 --epsilon 1.0 --seed 1
+            --oracle "$ORACLE" --approach "$APPROACH" --repeat "$REPEAT" --json)
+    fresh=$("$BIN" ingest "${common[@]}")
+    rps=$(field "$fresh" reports_per_sec)
+    doctored=$(printf '%s\n' "$fresh" |
+        sed "s/\"reports_per_sec\":[0-9.eE+-]*/\"reports_per_sec\":$((${rps%%.*} * 10))/")
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    printf '%s\n' "$doctored" > "$tmp"
+    if gate_one "selftest(ingest)" "$fresh" "$tmp" reports_per_sec; then
+        echo "perf gate selftest: FAIL — a 10x-faster doctored baseline did not trip the gate" >&2
+        exit 1
+    fi
+    echo "perf gate selftest: ok — synthetic >10% regression correctly failed"
+    exit 0
+fi
+
+status=0
+fresh_ingest=$("$BIN" ingest "${common[@]}")
+gate_one ingest "$fresh_ingest" "$INGEST_FILE" reports_per_sec || status=1
+fresh_serve=$("$BIN" serve "${common[@]}" --queries "$QUERIES")
+gate_one serve "$fresh_serve" "$SERVE_FILE" queries_per_sec || status=1
+exit "$status"

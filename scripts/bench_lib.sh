@@ -1,0 +1,38 @@
+# Shared helpers for the bench scripts: JSON Lines field extraction,
+# record shape keys, and baseline lookup over the BENCH_*.json trend
+# files. Sourced by bench_trend.sh and bench_gate.sh — not executable
+# on its own. Pure sed/awk so the CI image needs no jq.
+
+field() { # field LINE KEY -> scalar value (string values unquoted)
+    printf '%s\n' "$1" |
+        sed -n "s/.*\"$2\":\(\"[^\"]*\"\|[0-9.eE+-]*\).*/\1/p" | tr -d '"'
+}
+
+# The shape key under which records are comparable. `cpus` is part of
+# the shape: a 1-core record must never gate a multicore run or vice
+# versa.
+shape_of() { # shape_of LINE
+    local line=$1 out="" k
+    for k in cmd n d c epsilon shards cpus oracle approach; do
+        out="$out|$(field "$line" "$k")"
+    done
+    printf '%s\n' "$out"
+}
+
+last_matching() { # last_matching FILE FRESH_LINE -> baseline line (or empty)
+    local file=$1 key line
+    [ -f "$file" ] || return 0
+    key=$(shape_of "$2")
+    tac "$file" | {
+        while IFS= read -r line; do
+            if [ "$(shape_of "$line")" = "$key" ]; then
+                printf '%s\n' "$line"
+                break
+            fi
+        done
+    }
+}
+
+regressed() { # regressed FRESH BASE THRESHOLD -> exit 0 iff fresh < base*(1-t)
+    awk -v f="$1" -v b="$2" -v t="$3" 'BEGIN { exit !(f < b * (1 - t)) }'
+}

@@ -5,7 +5,11 @@
 # throughput can be tracked across PRs. Each record carries a "cpus" field
 # (the parallelism available to the run) next to "shards", so entries from
 # a 1-core box are distinguishable from real multicore runs when reading
-# the trend.
+# the trend, and a "gated" field: true when a same-shape baseline existed
+# and the new record is within the perf-gate threshold of it, false when
+# the record is the first of its shape or would have tripped
+# scripts/bench_gate.sh. The trend records reality either way — the gate
+# script is what fails CI.
 #
 # Usage: scripts/bench_trend.sh
 #   Tunables via environment (defaults match the README headline figures):
@@ -13,6 +17,8 @@
 #     SHARDS=        (empty = all available cores)
 #     ORACLE=olh     (olh|grr|auto|wheel|sw)   APPROACH=hdg (hdg|tdg|msw)
 #     SESSIONS=2     (served tenants) CACHE_CAP=16384 (served LRU capacity)
+#     REPEAT=3       (best-of-K timing for the ingest/serve records)
+#     GATE_THRESHOLD=0.10 (relative drop that flips "gated" to false)
 #     BIN=           (prebuilt privmdr binary; default: cargo-built release)
 #
 # Five records are appended per run: an ingest line to BENCH_ingest.json,
@@ -23,6 +29,7 @@
 # throughput is tracked alongside the default stack.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
 N=${N:-1000000}
 D=${D:-3}
@@ -35,11 +42,39 @@ ORACLE=${ORACLE:-olh}
 APPROACH=${APPROACH:-hdg}
 SESSIONS=${SESSIONS:-2}
 CACHE_CAP=${CACHE_CAP:-16384}
+REPEAT=${REPEAT:-3}
+GATE_THRESHOLD=${GATE_THRESHOLD:-0.10}
+
+if [ "$(nproc 2>/dev/null || echo 1)" -le 1 ]; then
+    cat >&2 <<'EOF'
+################################################################
+# WARNING: only 1 CPU is available to this run.                #
+# Sharded throughput cannot scale here; the records below are  #
+# appended with "cpus":1 and must not be read as multicore     #
+# figures. They gate only against other cpus:1 records.        #
+################################################################
+EOF
+fi
 
 if [ -z "${BIN:-}" ]; then
     cargo build --release -p privmdr-cli >&2
     BIN=target/release/privmdr
 fi
+
+# Reads one record from stdin, annotates it with "gated", echoes it, and
+# appends it to FILE.
+append_gated() { # append_gated FILE METRIC
+    local file=$1 metric=$2 line base g=false
+    IFS= read -r line
+    base=$(last_matching "$file" "$line")
+    if [ -n "$base" ] &&
+        ! regressed "$(field "$line" "$metric")" "$(field "$base" "$metric")" \
+            "$GATE_THRESHOLD"; then
+        g=true
+    fi
+    line="${line%\}},\"gated\":$g}"
+    printf '%s\n' "$line" | tee -a "$file"
+}
 
 common=(--n "$N" --d "$D" --c "$C" --epsilon "$EPS" --seed "$SEED"
         --oracle "$ORACLE" --approach "$APPROACH" --json)
@@ -47,10 +82,14 @@ if [ -n "$SHARDS" ]; then
     common+=(--shards "$SHARDS")
 fi
 
-"$BIN" ingest "${common[@]}" | tee -a BENCH_ingest.json
-"$BIN" serve "${common[@]}" --queries "$QUERIES" | tee -a BENCH_serve.json
+# `--repeat` (best-of-K) only on ingest/serve: `served` has its own
+# --repeat with cache-pass semantics.
+"$BIN" ingest "${common[@]}" --repeat "$REPEAT" |
+    append_gated BENCH_ingest.json reports_per_sec
+"$BIN" serve "${common[@]}" --repeat "$REPEAT" --queries "$QUERIES" |
+    append_gated BENCH_serve.json queries_per_sec
 "$BIN" served "${common[@]}" --sessions "$SESSIONS" --cache-cap "$CACHE_CAP" \
-    --queries "$QUERIES" | tee -a BENCH_serve.json
+    --queries "$QUERIES" | append_gated BENCH_serve.json queries_per_sec
 
 # Wide-mechanism trend rows, pinned to wheel/hdg and sw/msw regardless of
 # ORACLE/APPROACH above.
@@ -58,6 +97,7 @@ wide=(--n "$N" --d "$D" --c "$C" --epsilon "$EPS" --seed "$SEED" --json)
 if [ -n "$SHARDS" ]; then
     wide+=(--shards "$SHARDS")
 fi
-"$BIN" ingest "${wide[@]}" --oracle wheel --approach hdg | tee -a BENCH_ingest.json
-"$BIN" serve "${wide[@]}" --oracle sw --approach msw --queries "$QUERIES" \
-    | tee -a BENCH_serve.json
+"$BIN" ingest "${wide[@]}" --oracle wheel --approach hdg --repeat "$REPEAT" |
+    append_gated BENCH_ingest.json reports_per_sec
+"$BIN" serve "${wide[@]}" --oracle sw --approach msw --repeat "$REPEAT" \
+    --queries "$QUERIES" | append_gated BENCH_serve.json queries_per_sec
