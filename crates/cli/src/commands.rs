@@ -2,7 +2,9 @@
 
 use crate::args::ParsedArgs;
 use bytes::BytesMut;
-use privmdr_core::{ApproachKind, Calm, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni};
+use privmdr_core::{
+    ApproachKind, Calm, EstimatorTelemetry, Hdg, Lhio, Mechanism, MechanismConfig, Msw, Tdg, Uni,
+};
 use privmdr_data::{dataset_from_csv, dataset_to_csv, Dataset, DatasetSpec};
 use privmdr_grid::guideline::{choose_granularities, choose_tdg_granularity, GuidelineParams};
 use privmdr_protocol::stream::{collector_state_to_bytes, decode_collector_state};
@@ -145,6 +147,7 @@ fn bench_json_line(
     unit: (&str, usize),
     secs: f64,
     repeat: usize,
+    extras: &str,
 ) -> String {
     let (what, count) = unit;
     let ReplayParams {
@@ -159,12 +162,38 @@ fn bench_json_line(
     } = params;
     format!(
         "{{\"cmd\":\"{cmd}\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
-         \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
-         \"repeat\":{repeat},\"{what}\":{count},\"secs\":{secs:.6},\
+         \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\"\
+         {extras},\"repeat\":{repeat},\"{what}\":{count},\"secs\":{secs:.6},\
          \"{what}_per_sec\":{:.0}}}\n",
         available_cpus(),
         count as f64 / secs
     )
+}
+
+/// The serve-specific extra JSON fields: the non-default workload λ spec
+/// (part of the record's gate shape — absent for the default mix so the
+/// pre-flag trend history keeps matching) and the estimator telemetry
+/// (per-λ answered-query counts and total Weighted-Update sweeps, flat
+/// string-valued fields so `scripts/bench_lib.sh` field extraction stays
+/// a one-line sed).
+fn serve_extras(lambdas_spec: Option<&str>, telemetry: Option<EstimatorTelemetry>) -> String {
+    let mut extras = String::new();
+    if let Some(spec) = lambdas_spec {
+        extras.push_str(&format!(",\"lambdas\":\"{spec}\""));
+    }
+    if let Some(t) = telemetry {
+        let counts = t
+            .lambda_counts
+            .iter()
+            .map(|(l, n)| format!("{l}:{n}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        extras.push_str(&format!(
+            ",\"lambda_counts\":\"{counts}\",\"wu_sweeps\":{}",
+            t.wu_sweeps
+        ));
+    }
+    extras
 }
 
 /// Shared parameters of the stream-replay subcommands (`ingest`, `serve`):
@@ -328,6 +357,7 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
             ("reports", ingested),
             secs,
             repeat,
+            "",
         ));
     }
     let g = plan.granularities;
@@ -349,15 +379,81 @@ pub fn ingest(args: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
+/// The default workload λ mix: 1..=min(d,3), matching the original
+/// hardwired replay workload.
+fn default_lambdas(d: usize) -> Vec<usize> {
+    (1..=3).filter(|&l| l <= d).collect()
+}
+
+/// Parses a `--lambdas` spec (`"3"`, `"3,4"`, or `"1-3"`) against the
+/// model's `d` attributes. Returns the λ list plus the canonical spec
+/// string **only when it differs from the default mix** — the JSON bench
+/// records carry the field only then, so default-workload records keep
+/// the same shape key as the pre-flag trend history.
+fn parse_lambdas(args: &ParsedArgs, d: usize) -> Result<(Vec<usize>, Option<String>), String> {
+    let Some(spec) = args.get("lambdas") else {
+        return Ok((default_lambdas(d), None));
+    };
+    let mut lambdas = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let range = if let Some((lo, hi)) = part.split_once('-') {
+            let lo: usize = lo.trim().parse().map_err(|_| bad_lambdas(spec))?;
+            let hi: usize = hi.trim().parse().map_err(|_| bad_lambdas(spec))?;
+            lo..=hi
+        } else {
+            let l: usize = part.parse().map_err(|_| bad_lambdas(spec))?;
+            l..=l
+        };
+        for l in range {
+            if !lambdas.contains(&l) {
+                lambdas.push(l);
+            }
+        }
+    }
+    if lambdas.is_empty() {
+        return Err(bad_lambdas(spec));
+    }
+    if let Some(&bad) = lambdas.iter().find(|&&l| l < 1 || l > d) {
+        return Err(format!(
+            "--lambdas: lambda {bad} out of range for a d={d} model (need 1..={d})"
+        ));
+    }
+    // Weighted Update / MaxEntropy cap out at lambda = 20 (z has 2^lambda
+    // entries); reject before the estimator's assert can fire.
+    if let Some(&bad) = lambdas.iter().find(|&&l| l > 20) {
+        return Err(format!(
+            "--lambdas: lambda {bad} exceeds the estimator cap of 20"
+        ));
+    }
+    let canonical = lambdas
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let spec = (lambdas != default_lambdas(d)).then_some(canonical);
+    Ok((lambdas, spec))
+}
+
+fn bad_lambdas(spec: &str) -> String {
+    format!("--lambdas {spec}: expected a comma list of lambdas or ranges, e.g. 3 or 1-3 or 3,4")
+}
+
 /// The mixed-λ workload every replay subcommand shares: `count` queries
-/// split evenly over λ = 1..=min(d,3) at selectivity 0.5, deterministic in
-/// `seed`.
-fn mixed_queries(d: usize, c: usize, seed: u64, count: usize) -> Vec<privmdr_query::RangeQuery> {
+/// split evenly over the requested λ values at selectivity 0.5,
+/// deterministic in `seed`.
+fn mixed_queries(
+    d: usize,
+    c: usize,
+    seed: u64,
+    count: usize,
+    lambdas: &[usize],
+) -> Vec<privmdr_query::RangeQuery> {
+    debug_assert!(!lambdas.is_empty() && lambdas.iter().all(|&l| (1..=d).contains(&l)));
     let wl = WorkloadBuilder::new(d, c, seed);
-    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
     let per = count.div_ceil(lambdas.len());
     let mut queries = Vec::with_capacity(count);
-    for &lambda in &lambdas {
+    for &lambda in lambdas {
         queries.extend(wl.random(lambda, 0.5, per.min(count - queries.len())));
     }
     queries
@@ -378,6 +474,7 @@ struct WorkloadReplay {
 /// workload, frame it into `QueryBatch` requests, answer across the shards
 /// (timed — the figure is server throughput; response decoding happens
 /// after the clock stops), and sanity-check the answers.
+#[allow(clippy::too_many_arguments)]
 fn replay_workload(
     server: &QueryServer,
     d: usize,
@@ -386,10 +483,10 @@ fn replay_workload(
     count: usize,
     batch_size: usize,
     shards: usize,
+    lambdas: &[usize],
 ) -> Result<WorkloadReplay, String> {
     // Client phase: a mixed-λ workload, framed into QueryBatch requests.
-    let lambdas: Vec<usize> = (1..=3).filter(|&l| l <= d).collect();
-    let queries = mixed_queries(d, c, seed, count);
+    let queries = mixed_queries(d, c, seed, count, lambdas);
     let requests: Vec<bytes::Bytes> = queries
         .chunks(batch_size)
         .map(|chunk| QueryBatch::new(c, chunk.to_vec()).to_bytes())
@@ -422,7 +519,7 @@ fn replay_workload(
         return Err(format!("non-finite answer {bad} in served workload"));
     }
     Ok(WorkloadReplay {
-        lambdas,
+        lambdas: lambdas.to_vec(),
         query_count: queries.len(),
         request_frames: requests.len(),
         request_bytes,
@@ -461,6 +558,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     } = params;
     let count: usize = args.number::<usize>("queries")?.unwrap_or(10_000).max(1);
     let batch_size: usize = args.number::<usize>("batch")?.unwrap_or(1_024).max(1);
+    let (lambdas, lambdas_spec) = parse_lambdas(args, d)?;
 
     // Fit once, then detach the model as a snapshot and ship it through the
     // wire frame — the serving process only ever sees these bytes.
@@ -481,9 +579,18 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
     // `--repeat K` replays the same workload K times and keeps the
     // fastest pass — answers are deterministic, so only the clock varies.
     let repeat: usize = args.number::<usize>("repeat")?.unwrap_or(1).max(1);
-    let mut r = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
+    eprintln!(
+        "estimator backend: {}",
+        privmdr_util::hash::kernel_backend().name()
+    );
+    // Telemetry is reported as the delta over exactly one workload pass
+    // (answering is deterministic, so every pass costs the same sweeps) —
+    // `--repeat` must not inflate the per-workload figures.
+    let t0 = server.estimator_telemetry();
+    let mut r = replay_workload(&server, d, c, seed, count, batch_size, shards, &lambdas)?;
+    let telemetry = telemetry_delta(server.estimator_telemetry(), t0);
     for _ in 1..repeat {
-        let pass = replay_workload(&server, d, c, seed, count, batch_size, shards)?;
+        let pass = replay_workload(&server, d, c, seed, count, batch_size, shards, &lambdas)?;
         if pass.secs < r.secs {
             r = pass;
         }
@@ -496,6 +603,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
             ("queries", r.answer_count),
             r.secs,
             repeat,
+            &serve_extras(lambdas_spec.as_deref(), telemetry.clone()),
         ));
     }
     let g = snap.granularities;
@@ -504,7 +612,7 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
          (g1={}, g2={}x{}) -- {} bytes over the wire\n\
          workload: {} queries (lambda in {:?}) in {} request frames ({} bytes)\n\
          served {} answers with {shards} shard(s) in {:.3}s -- {:.0} queries/sec\n\
-         full-domain sanity answer: {:.4} (expect ~1)\n",
+         {}full-domain sanity answer: {:.4} (expect ~1)\n",
         g.g1,
         g.g2,
         g.g2,
@@ -516,8 +624,57 @@ pub fn serve(args: &ParsedArgs) -> Result<String, String> {
         r.answer_count,
         r.secs,
         r.answer_count as f64 / r.secs,
+        telemetry_text(telemetry),
         r.sanity,
     ))
+}
+
+/// Component-wise `after - before` of two telemetry readings, so a single
+/// workload pass can be isolated from a server's cumulative counters.
+fn telemetry_delta(
+    after: Option<EstimatorTelemetry>,
+    before: Option<EstimatorTelemetry>,
+) -> Option<EstimatorTelemetry> {
+    let after = after?;
+    let Some(before) = before else {
+        return Some(after);
+    };
+    let earlier = |l: usize| {
+        before
+            .lambda_counts
+            .iter()
+            .find(|&&(bl, _)| bl == l)
+            .map_or(0, |&(_, n)| n)
+    };
+    Some(EstimatorTelemetry {
+        lambda_counts: after
+            .lambda_counts
+            .iter()
+            .map(|&(l, n)| (l, n - earlier(l)))
+            .filter(|&(_, n)| n > 0)
+            .collect(),
+        wu_sweeps: after.wu_sweeps - before.wu_sweeps,
+    })
+}
+
+/// Human-readable estimator telemetry line (empty for models without an
+/// estimator, e.g. MSW).
+fn telemetry_text(telemetry: Option<EstimatorTelemetry>) -> String {
+    match telemetry {
+        Some(t) => {
+            let counts = t
+                .lambda_counts
+                .iter()
+                .map(|(l, n)| format!("lambda={l}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "estimator: {counts} -- {} weighted-update sweeps\n",
+                t.wu_sweeps
+            )
+        }
+        None => String::new(),
+    }
 }
 
 /// The `--snapshot FILE` mode of `privmdr serve`: restore a wire-framed
@@ -537,14 +694,17 @@ fn serve_snapshot(args: &ParsedArgs, path: &str) -> Result<String, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let snap = decode_snapshot(&mut &bytes[..]).map_err(|e| format!("{path}: {e}"))?;
     let server = QueryServer::new(&snap).map_err(|e| e.to_string())?;
+    let (lambdas, _) = parse_lambdas(args, snap.d)?;
 
-    let r = replay_workload(&server, snap.d, snap.c, seed, count, batch_size, shards)?;
+    let r = replay_workload(
+        &server, snap.d, snap.c, seed, count, batch_size, shards, &lambdas,
+    )?;
     let g = snap.granularities;
     Ok(format!(
         "restored snapshot from {path}: d={} c={} approach={} (g1={}, g2={}x{}) -- {} bytes\n\
          workload: {} queries (lambda in {:?}) in {} request frames ({} bytes)\n\
          served {} answers with {shards} shard(s) in {:.3}s -- {:.0} queries/sec\n\
-         full-domain sanity answer: {:.4} (expect ~1)\n",
+         {}full-domain sanity answer: {:.4} (expect ~1)\n",
         snap.d,
         snap.c,
         snap.approach,
@@ -559,6 +719,7 @@ fn serve_snapshot(args: &ParsedArgs, path: &str) -> Result<String, String> {
         r.answer_count,
         r.secs,
         r.answer_count as f64 / r.secs,
+        telemetry_text(server.estimator_telemetry()),
         r.sanity,
     ))
 }
@@ -773,6 +934,7 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
         approach,
     } = params;
     let sessions: usize = args.number::<usize>("sessions")?.unwrap_or(2).max(1);
+    let (lambdas, lambdas_spec) = parse_lambdas(args, d)?;
 
     // K tenants with distinct mechanism settings: ε scales per session and
     // the oracle/approach rotate starting from the requested pair, so the
@@ -806,7 +968,7 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
         }
         .map_err(|e| e.to_string())?;
         encode_session_open(session, &snap, &mut opens);
-        let queries = mixed_queries(d, c, seed ^ session, count);
+        let queries = mixed_queries(d, c, seed ^ session, count, &lambdas);
         encode_session_route(session, &QueryBatch::new(c, queries), &mut round);
     }
     let (opens, round) = (opens.freeze(), round.freeze());
@@ -830,16 +992,21 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
     let warm_qps = warm_answers as f64 / warm_secs;
     let unc_qps = unc_answers as f64 / unc_secs;
 
+    // Estimator telemetry across the cached node's whole run: warm passes
+    // hit the LRU cache, so these totals show the estimator work the cache
+    // actually saved (compare against `repeat` x one pass's sweeps).
+    let telemetry = node.registry().estimator_telemetry_total();
     if args.flag("json") {
         return Ok(format!(
             "{{\"cmd\":\"served\",\"n\":{n},\"d\":{d},\"c\":{c},\"epsilon\":{epsilon},\
-             \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\",\
+             \"shards\":{shards},\"cpus\":{},\"oracle\":\"{oracle}\",\"approach\":\"{approach}\"{},\
              \"sessions\":{sessions},\"cache_cap\":{cache_cap},\
              \"queries\":{warm_answers},\"secs\":{warm_secs:.6},\
              \"queries_per_sec\":{warm_qps:.0},\"cold_queries_per_sec\":{cold_qps:.0},\
              \"uncached_queries_per_sec\":{unc_qps:.0},\
              \"cache_hits\":{},\"cache_misses\":{}}}\n",
             available_cpus(),
+            serve_extras(lambdas_spec.as_deref(), telemetry),
             totals.hits,
             totals.misses,
         ));
@@ -852,8 +1019,12 @@ pub fn served(args: &ParsedArgs) -> Result<String, String> {
          cold:     {cold_answers} answers in {cold_secs:.3}s -- {cold_qps:.0} queries/sec\n\
          warm:     {warm_answers} answers in {warm_secs:.3}s -- {warm_qps:.0} queries/sec \
          ({} hits / {} misses / {} evictions)\n\
-         uncached: {unc_answers} answers in {unc_secs:.3}s -- {unc_qps:.0} queries/sec\n",
-        totals.hits, totals.misses, totals.evictions,
+         uncached: {unc_answers} answers in {unc_secs:.3}s -- {unc_qps:.0} queries/sec\n\
+         {}",
+        totals.hits,
+        totals.misses,
+        totals.evictions,
+        telemetry_text(node.registry().estimator_telemetry_total()),
     ))
 }
 
@@ -900,7 +1071,7 @@ fn served_files(
         let (d, c) = (epoch.snapshot.d, epoch.snapshot.c);
         encode_session_route(
             s,
-            &QueryBatch::new(c, mixed_queries(d, c, seed ^ s, count)),
+            &QueryBatch::new(c, mixed_queries(d, c, seed ^ s, count, &default_lambdas(d))),
             &mut round,
         );
     }

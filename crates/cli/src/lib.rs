@@ -88,9 +88,10 @@ COMMANDS:
                   --n N --d D --c C --epsilon E [--spec S] [--rho R]
                   [--oracle olh|grr|auto|wheel|sw] [--approach hdg|tdg|msw]
                   [--seed S] [--queries Q] [--batch B] [--shards K] [--json]
-                  [--repeat K]
+                  [--repeat K] [--lambdas L]
                 or restore a collect/merge snapshot instead of fitting:
                   --snapshot FILE [--queries Q] [--batch B] [--shards K]
+                  [--lambdas L]
     served      multi-tenant daemon: sessions -> hot-swapped snapshots ->
                 per-tenant LRU-cached answers (cold/warm/uncached rates)
                   <FRAMES>... [--seed S] [--shards K]
@@ -99,6 +100,7 @@ COMMANDS:
                   --sessions K --n N --d D --c C --epsilon E [--spec S]
                   [--oracle O] [--approach A] [--seed S] [--shards K]
                   [--cache-cap N] [--queries Q] [--repeat R] [--json]
+                  [--lambdas L]
 
 --oracle picks the per-group frequency oracle (auto applies the paper's
 variance rule per group domain; wheel and sw are the wide, float-reporting
@@ -115,9 +117,16 @@ result. Every path is bit-identical to the one-shot fit. With `collect
 frame, ready for `served FILE` to replay as hot-swapped epochs of one
 tenant session.
 
+--lambdas picks the serve/served workload's query dimensionalities as a
+comma list of values or ranges (\"3\", \"1-3\", \"3,4\"); the default mix is
+1-3 capped at d. serve and served report estimator telemetry alongside
+throughput: per-lambda answered-query counts and the total number of
+Weighted-Update sweeps (Algorithm 2 iterations) the workload cost.
+
 --json makes ingest/serve/served emit one machine-readable line (throughput, n, d,
-c, shards, available cpus, oracle, approach) suitable for appending to a
-BENCH_*.json trend file (see scripts/bench_trend.sh).
+c, shards, available cpus, oracle, approach, and for serve the workload
+lambda spec when non-default plus the estimator telemetry) suitable for
+appending to a BENCH_*.json trend file (see scripts/bench_trend.sh).
 
 Query workload files take one query per line, either form:
     a0 in [3, 40] AND a2 in [1, 5]

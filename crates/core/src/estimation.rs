@@ -10,6 +10,35 @@
 //! answer, until the total change per sweep falls below a threshold. The
 //! final answer is `z[11…1]`.
 //!
+//! # The subcube enumeration
+//!
+//! The entries a pair `(i, j)` touches — masks with `mask & both == both`
+//! where `both = 2^i | 2^j` — form a subcube: `{both | s}` for every subset
+//! `s` of `free = (2^λ − 1) ^ both`. Instead of scanning all `2^λ` entries
+//! with a branch (the textbook form, kept as
+//! [`weighted_update_reference`]), the production path enumerates the
+//! `2^{λ−2}` members directly with the standard increasing-subset stepper
+//! `s ← (s − free) & free`. `both` and `s` are disjoint, so `both | s`
+//! increases with `s` and the subcube is visited in exactly the order the
+//! filtered scan visits it — the f64 accumulation order is unchanged and
+//! the result is **bit-identical**, 4× less work and branch-free.
+//!
+//! # The lane-parallel batch kernel
+//!
+//! [`weighted_update_batch`] runs Algorithm 2 for up to [`EST_LANES`]
+//! same-shape queries at once: the z-vectors are transposed into SoA
+//! layout (`zt[mask · LANES + lane]`, one lane per query) and every sweep
+//! updates all lanes with element-wise f64 vector arithmetic — explicit
+//! AVX-512 / AVX2 paths with a portable fallback, dispatched once per
+//! process through the same feature detection as the OLH support kernel
+//! (`privmdr_util::hash::kernel_backend`). Per-lane convergence masks
+//! freeze finished lanes (a frozen lane's entries are never written
+//! again), so each lane performs exactly the f64 operation sequence the
+//! scalar path would: IEEE-754 lane arithmetic is identical to scalar
+//! arithmetic, hence the batch answers are bit-identical to
+//! [`weighted_update`]'s. `crates/core/tests/estimator_prop.rs` pins all
+//! of this down against the reference at every lane remainder.
+//!
 //! The appendix's Maximum-Entropy alternative constrains all four
 //! sign-combinations per pair (deriving the complements from 1-D answers)
 //! plus global normalization; it converges to the max-entropy distribution
@@ -42,12 +71,75 @@ pub fn weighted_update(
 }
 
 /// [`weighted_update`] with a per-sweep convergence observer.
+///
+/// This is the production scalar path: per pair it walks the `2^{λ−2}`
+/// subcube directly (see the module docs) instead of branching over all
+/// `2^λ` entries. Same accumulation order, bit-identical results.
 pub fn weighted_update_observed(
     lambda: usize,
     pair_answers: &[PairAnswer],
     threshold: f64,
     max_iters: usize,
     mut observer: Option<SweepObserver<'_>>,
+) -> Vec<f64> {
+    assert!((2..=20).contains(&lambda), "lambda out of range");
+    let size = 1usize << lambda;
+    let full = size - 1;
+    for pa in pair_answers {
+        assert!(pa.i < lambda && pa.j < lambda, "pair position out of range");
+    }
+    let mut z = vec![1.0 / size as f64; size];
+    let mut change = f64::INFINITY;
+    let mut sweep = 0usize;
+    while sweep < max_iters.max(1) && change >= threshold {
+        change = 0.0;
+        for pa in pair_answers {
+            let both = (1usize << pa.i) | (1usize << pa.j);
+            let free = full ^ both;
+            // y = sum over the subcube, in increasing-mask order.
+            let mut y = 0.0;
+            let mut s = 0usize;
+            loop {
+                y += z[both | s];
+                s = s.wrapping_sub(free) & free;
+                if s == 0 {
+                    break;
+                }
+            }
+            if y == 0.0 {
+                continue; // Algorithm 2 line 6
+            }
+            let factor = pa.f / y;
+            let mut s = 0usize;
+            loop {
+                let v = &mut z[both | s];
+                let new = *v * factor;
+                change += (new - *v).abs();
+                *v = new;
+                s = s.wrapping_sub(free) & free;
+                if s == 0 {
+                    break;
+                }
+            }
+        }
+        sweep += 1;
+        if let Some(obs) = observer.as_mut() {
+            obs(sweep, change);
+        }
+    }
+    z
+}
+
+/// The textbook form of Algorithm 2: a filtered scan over all `2^λ`
+/// entries per pair. Kept as the reference implementation the optimized
+/// subcube / lane-parallel paths are proven bit-identical to
+/// (`tests/estimator_prop.rs`) — hot paths should call
+/// [`weighted_update`] or [`weighted_update_batch`] instead.
+pub fn weighted_update_reference(
+    lambda: usize,
+    pair_answers: &[PairAnswer],
+    threshold: f64,
+    max_iters: usize,
 ) -> Vec<f64> {
     assert!((2..=20).contains(&lambda), "lambda out of range");
     let size = 1usize << lambda;
@@ -65,7 +157,7 @@ pub fn weighted_update_observed(
                 }
             }
             if y == 0.0 {
-                continue; // Algorithm 2 line 6
+                continue;
             }
             let factor = pa.f / y;
             for (mask, v) in z.iter_mut().enumerate() {
@@ -77,9 +169,6 @@ pub fn weighted_update_observed(
             }
         }
         sweep += 1;
-        if let Some(obs) = observer.as_mut() {
-            obs(sweep, change);
-        }
     }
     z
 }
@@ -93,6 +182,420 @@ pub fn estimate_lambda_answer(
 ) -> f64 {
     let z = weighted_update(lambda, pair_answers, threshold, max_iters);
     z[(1usize << lambda) - 1]
+}
+
+/// Lane width of the batch estimator: 8 queries per block, one f64 lane
+/// each — one AVX-512 vector, or two AVX2 vectors, per element-wise step.
+pub const EST_LANES: usize = 8;
+
+/// The result of a [`weighted_update_batch`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEstimate {
+    /// Per query, the λ-D answer `z[11…1]` — bit-identical to
+    /// [`estimate_lambda_answer`] on the query's own pair answers.
+    pub answers: Vec<f64>,
+    /// Per query, the number of Weighted-Update sweeps it ran before
+    /// converging (or hitting `max_iters`) — identical to the scalar
+    /// path's sweep count, for estimator telemetry.
+    pub sweeps: Vec<u64>,
+}
+
+/// Lane-parallel Weighted Update over a batch of same-shape queries.
+///
+/// All queries share `lambda` and the pair-position list `pairs` (the
+/// planner groups by λ, and `SplitModel` always emits pairs in the same
+/// `i < j` lexicographic order); `fs` holds each query's measured 2-D
+/// answers row-major (`fs[q · pairs.len() + p]`). Queries are processed
+/// in blocks of [`EST_LANES`] lanes; the per-pair subcube index lists are
+/// materialized once per call (they depend only on the `(λ, pair-set)`
+/// shape) and reused by every block and sweep.
+///
+/// Dispatches to AVX-512/AVX2/portable once per process via
+/// `privmdr_util::hash::kernel_backend()`. Every backend performs the
+/// same per-lane f64 operation sequence, so the answers are
+/// **bit-identical** to running [`weighted_update`] per query.
+pub fn weighted_update_batch(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    threshold: f64,
+    max_iters: usize,
+) -> BatchEstimate {
+    batch_run(lambda, pairs, fs, threshold, max_iters, dispatch_block)
+}
+
+/// [`weighted_update_batch`] pinned to the portable lane kernel, exposed
+/// so the equivalence tests can exercise it even where dispatch picks a
+/// SIMD backend.
+pub fn weighted_update_batch_portable(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    threshold: f64,
+    max_iters: usize,
+) -> BatchEstimate {
+    batch_run(lambda, pairs, fs, threshold, max_iters, wu_block_portable)
+}
+
+/// [`weighted_update_batch`] pinned to the explicit AVX2 kernel; `None`
+/// when the CPU lacks AVX2.
+#[cfg(target_arch = "x86_64")]
+pub fn weighted_update_batch_avx2(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    threshold: f64,
+    max_iters: usize,
+) -> Option<BatchEstimate> {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified; the block fn is only
+        // invoked from this dispatch.
+        Some(batch_run(
+            lambda,
+            pairs,
+            fs,
+            threshold,
+            max_iters,
+            |b| unsafe { avx2::wu_block(b) },
+        ))
+    } else {
+        None
+    }
+}
+
+/// [`weighted_update_batch`] pinned to the explicit AVX-512 kernel;
+/// `None` when the CPU lacks AVX-512F/DQ.
+#[cfg(target_arch = "x86_64")]
+pub fn weighted_update_batch_avx512(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    threshold: f64,
+    max_iters: usize,
+) -> Option<BatchEstimate> {
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+    {
+        // SAFETY: AVX-512F and AVX-512DQ presence was just verified.
+        Some(batch_run(
+            lambda,
+            pairs,
+            fs,
+            threshold,
+            max_iters,
+            |b| unsafe { avx512::wu_block(b) },
+        ))
+    } else {
+        None
+    }
+}
+
+/// One block's worth of state, shared by every backend: the per-pair
+/// subcube index lists, the SoA-transposed per-pair answers and z-vector,
+/// and the convergence settings.
+struct WuBlock<'a> {
+    /// Per pair, the `2^{λ−2}` subcube member masks in increasing order.
+    idx: &'a [Vec<u32>],
+    /// Per-pair target answers, SoA: `fsb[p · EST_LANES + lane]`.
+    fsb: &'a [f64],
+    /// Transposed z: `zt[mask · EST_LANES + lane]`, pre-initialized to
+    /// `1 / 2^λ` in every live lane.
+    zt: &'a mut [f64],
+    /// Number of live lanes (1..=EST_LANES); higher lanes are padding.
+    nq: usize,
+    threshold: f64,
+    max_iters: usize,
+    /// Out: per-lane executed sweep counts.
+    sweeps: [u64; EST_LANES],
+}
+
+/// Dispatched block kernel (the production path of
+/// [`weighted_update_batch`]).
+fn dispatch_block(block: &mut WuBlock<'_>) {
+    #[cfg(target_arch = "x86_64")]
+    match privmdr_util::hash::kernel_backend() {
+        // SAFETY: each SIMD backend is only ever selected after
+        // `is_x86_feature_detected!` confirmed its features on this CPU.
+        privmdr_util::hash::KernelBackend::Avx512 => return unsafe { avx512::wu_block(block) },
+        privmdr_util::hash::KernelBackend::Avx2 => return unsafe { avx2::wu_block(block) },
+        privmdr_util::hash::KernelBackend::Portable => {}
+    }
+    wu_block_portable(block)
+}
+
+/// The backend-independent batch driver: validates the shape, builds the
+/// per-pair subcube index lists once, and runs `block_fn` over each
+/// [`EST_LANES`]-lane block of queries.
+fn batch_run(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    threshold: f64,
+    max_iters: usize,
+    mut block_fn: impl FnMut(&mut WuBlock<'_>),
+) -> BatchEstimate {
+    assert!((2..=20).contains(&lambda), "lambda out of range");
+    assert!(!pairs.is_empty(), "batch needs at least one pair per query");
+    assert!(
+        fs.len().is_multiple_of(pairs.len()),
+        "fs must hold pairs.len() answers per query"
+    );
+    let npairs = pairs.len();
+    let n = fs.len() / npairs;
+    let size = 1usize << lambda;
+    let full = size - 1;
+
+    // Per-pair subcube index lists, increasing order — computed once per
+    // (λ, pair-set) shape and reused by every block and sweep.
+    let idx: Vec<Vec<u32>> = pairs
+        .iter()
+        .map(|&(i, j)| {
+            assert!(i < lambda && j < lambda, "pair position out of range");
+            let both = (1usize << i) | (1usize << j);
+            let free = full ^ both;
+            let mut members = Vec::with_capacity(1usize << (lambda - 2));
+            let mut s = 0usize;
+            loop {
+                members.push((both | s) as u32);
+                s = s.wrapping_sub(free) & free;
+                if s == 0 {
+                    break;
+                }
+            }
+            members
+        })
+        .collect();
+
+    let mut answers = Vec::with_capacity(n);
+    let mut sweeps = Vec::with_capacity(n);
+    let mut zt = vec![0.0f64; size * EST_LANES];
+    let mut fsb = vec![0.0f64; npairs * EST_LANES];
+    let init = 1.0 / size as f64;
+    for block_start in (0..n).step_by(EST_LANES) {
+        let nq = EST_LANES.min(n - block_start);
+        zt.fill(init);
+        // Transpose this block's pair answers to SoA; padding lanes get
+        // 0.0 targets but are masked off from the first sweep anyway.
+        fsb.fill(0.0);
+        for (lane, q) in (block_start..block_start + nq).enumerate() {
+            for p in 0..npairs {
+                fsb[p * EST_LANES + lane] = fs[q * npairs + p];
+            }
+        }
+        let mut block = WuBlock {
+            idx: &idx,
+            fsb: &fsb,
+            zt: &mut zt,
+            nq,
+            threshold,
+            max_iters,
+            sweeps: [0; EST_LANES],
+        };
+        block_fn(&mut block);
+        let block_sweeps = block.sweeps;
+        for lane in 0..nq {
+            answers.push(zt[full * EST_LANES + lane]);
+            sweeps.push(block_sweeps[lane]);
+        }
+    }
+    BatchEstimate { answers, sweeps }
+}
+
+/// Portable lane kernel: fixed [`EST_LANES`]-wide array sweeps written for
+/// autovectorization. Each lane replays the scalar op sequence exactly
+/// (same subcube order, same mul/div/add/abs), with a per-lane update
+/// mask standing in for the scalar `y == 0` skip and convergence exit.
+fn wu_block_portable(block: &mut WuBlock<'_>) {
+    const L: usize = EST_LANES;
+    let mut active = [false; L];
+    active[..block.nq].iter_mut().for_each(|a| *a = true);
+    let mut sweep = 0usize;
+    while sweep < block.max_iters.max(1) && active.iter().any(|&a| a) {
+        let mut change = [0.0f64; L];
+        for (masks, f) in block.idx.iter().zip(block.fsb.chunks_exact(L)) {
+            let mut y = [0.0f64; L];
+            for &m in masks {
+                let row = &block.zt[m as usize * L..m as usize * L + L];
+                for l in 0..L {
+                    y[l] += row[l];
+                }
+            }
+            // The scalar path skips the pair when y == 0 (and a frozen
+            // lane must not move at all): mask the store and the change
+            // accumulation per lane.
+            let mut upd = [false; L];
+            let mut factor = [0.0f64; L];
+            for l in 0..L {
+                upd[l] = active[l] && y[l] != 0.0;
+                factor[l] = f[l] / y[l];
+            }
+            for &m in masks {
+                let row = &mut block.zt[m as usize * L..m as usize * L + L];
+                for l in 0..L {
+                    if upd[l] {
+                        let new = row[l] * factor[l];
+                        change[l] += (new - row[l]).abs();
+                        row[l] = new;
+                    }
+                }
+            }
+        }
+        sweep += 1;
+        for l in 0..L {
+            if active[l] {
+                block.sweeps[l] += 1;
+                // NaN-safe freeze: the scalar loop continues only while
+                // `change >= threshold`, so freeze on the negation —
+                // `change < threshold` would differ for a NaN change.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(change[l] >= block.threshold) {
+                    active[l] = false;
+                }
+            }
+        }
+    }
+}
+
+/// Explicit AVX2 batch kernel: the 8 lanes as two 256-bit vectors of f64.
+///
+/// All arithmetic is element-wise IEEE-754 (`vaddpd`/`vmulpd`/`vdivpd`,
+/// abs as a sign-bit clear), so each lane computes bit-for-bit the scalar
+/// sequence. The update mask (`active && y != 0`) is carried as a full-
+/// width f64 mask: stores blend through it and change accumulates
+/// `and(|new−old|, mask)` — exactly `+0.0` for masked lanes, which cannot
+/// move a non-negative change accumulator.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{WuBlock, EST_LANES};
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support on the running CPU.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn wu_block(block: &mut WuBlock<'_>) {
+        const L: usize = EST_LANES;
+        let thr = _mm256_set1_pd(block.threshold);
+        let zero = _mm256_setzero_pd();
+        let absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(i64::MAX));
+        // Live-lane masks: all-ones for lanes < nq.
+        let lane_live = |base: usize| {
+            let mut m = [0i64; 4];
+            for (l, v) in m.iter_mut().enumerate() {
+                *v = if base + l < block.nq { -1 } else { 0 };
+            }
+            _mm256_castsi256_pd(_mm256_setr_epi64x(m[0], m[1], m[2], m[3]))
+        };
+        let mut active = [lane_live(0), lane_live(4)];
+        let mut sweep = 0usize;
+        while sweep < block.max_iters.max(1)
+            && (_mm256_movemask_pd(active[0]) | _mm256_movemask_pd(active[1])) != 0
+        {
+            let mut change = [zero, zero];
+            for (masks, f) in block.idx.iter().zip(block.fsb.chunks_exact(L)) {
+                let fv = [
+                    _mm256_loadu_pd(f.as_ptr()),
+                    _mm256_loadu_pd(f.as_ptr().add(4)),
+                ];
+                let mut y = [zero, zero];
+                for &m in masks {
+                    let row = block.zt.as_ptr().add(m as usize * L);
+                    y[0] = _mm256_add_pd(y[0], _mm256_loadu_pd(row));
+                    y[1] = _mm256_add_pd(y[1], _mm256_loadu_pd(row.add(4)));
+                }
+                let mut upd = [zero, zero];
+                let mut factor = [zero, zero];
+                for h in 0..2 {
+                    // NEQ_UQ: NaN y counts as != 0, matching the scalar
+                    // `y == 0.0` skip condition's negation.
+                    upd[h] = _mm256_and_pd(active[h], _mm256_cmp_pd::<_CMP_NEQ_UQ>(y[h], zero));
+                    factor[h] = _mm256_div_pd(fv[h], y[h]);
+                }
+                for &m in masks {
+                    let row = block.zt.as_mut_ptr().add(m as usize * L);
+                    for h in 0..2 {
+                        let old = _mm256_loadu_pd(row.add(h * 4));
+                        let new = _mm256_blendv_pd(old, _mm256_mul_pd(old, factor[h]), upd[h]);
+                        let diff =
+                            _mm256_and_pd(_mm256_and_pd(_mm256_sub_pd(new, old), absmask), upd[h]);
+                        change[h] = _mm256_add_pd(change[h], diff);
+                        _mm256_storeu_pd(row.add(h * 4), new);
+                    }
+                }
+            }
+            sweep += 1;
+            for h in 0..2 {
+                let live = _mm256_movemask_pd(active[h]);
+                for l in 0..4 {
+                    if live & (1 << l) != 0 {
+                        block.sweeps[h * 4 + l] += 1;
+                    }
+                }
+                // GE_OQ is false for NaN change — the NaN-safe freeze.
+                active[h] = _mm256_and_pd(active[h], _mm256_cmp_pd::<_CMP_GE_OQ>(change[h], thr));
+            }
+        }
+    }
+}
+
+/// Explicit AVX-512 batch kernel: the 8 lanes as one 512-bit vector of
+/// f64, with update/convergence masks in `__mmask8` registers and masked
+/// multiply/add doing the blending in one instruction.
+///
+/// Same bit-identity argument as the AVX2 path: element-wise IEEE-754
+/// arithmetic per lane, masked lanes keep their old value and contribute
+/// nothing to the change accumulator.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::{WuBlock, EST_LANES};
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and AVX-512DQ support on
+    /// the running CPU.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn wu_block(block: &mut WuBlock<'_>) {
+        const L: usize = EST_LANES;
+        let thr = _mm512_set1_pd(block.threshold);
+        let zero = _mm512_setzero_pd();
+        let mut active: __mmask8 = if block.nq >= 8 {
+            0xFF
+        } else {
+            (1u8 << block.nq) - 1
+        };
+        let mut sweep = 0usize;
+        while sweep < block.max_iters.max(1) && active != 0 {
+            let mut change = zero;
+            for (masks, f) in block.idx.iter().zip(block.fsb.chunks_exact(L)) {
+                let fv = _mm512_loadu_pd(f.as_ptr());
+                let mut y = zero;
+                for &m in masks {
+                    y = _mm512_add_pd(y, _mm512_loadu_pd(block.zt.as_ptr().add(m as usize * L)));
+                }
+                // NEQ_UQ: NaN y counts as != 0 (scalar skip negated).
+                let upd = active & _mm512_cmp_pd_mask::<_CMP_NEQ_UQ>(y, zero);
+                let factor = _mm512_div_pd(fv, y);
+                for &m in masks {
+                    let row = block.zt.as_mut_ptr().add(m as usize * L);
+                    let old = _mm512_loadu_pd(row);
+                    // Masked multiply: frozen / y==0 lanes keep `old`.
+                    let new = _mm512_mask_mul_pd(old, upd, old, factor);
+                    let diff = _mm512_abs_pd(_mm512_sub_pd(new, old));
+                    change = _mm512_mask_add_pd(change, upd, change, diff);
+                    _mm512_storeu_pd(row, new);
+                }
+            }
+            sweep += 1;
+            for l in 0..L {
+                if active & (1 << l) != 0 {
+                    block.sweeps[l] += 1;
+                }
+            }
+            // GE_OQ is false for NaN change — the NaN-safe freeze.
+            active &= _mm512_cmp_pd_mask::<_CMP_GE_OQ>(change, thr);
+        }
+    }
 }
 
 /// Appendix A.8: maximum-entropy estimation by iterative scaling.
@@ -236,6 +739,45 @@ mod tests {
             last < first,
             "change must decay: first {first}, last {last}"
         );
+    }
+
+    #[test]
+    fn subcube_path_matches_reference_bits() {
+        // The dedicated sweep lives in tests/estimator_prop.rs; this is
+        // the quick in-crate anchor.
+        for lambda in 2..=6usize {
+            let f: Vec<f64> = (0..lambda).map(|i| 0.3 + 0.1 * i as f64).collect();
+            let pairs = independent_pairs(&f);
+            let a = weighted_update(lambda, &pairs, 1e-9, 100);
+            let b = weighted_update_reference(lambda, &pairs, 1e-9, 100);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "lambda {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bits() {
+        let lambda = 4usize;
+        let pair_pos: Vec<(usize, usize)> = (0..lambda)
+            .flat_map(|i| ((i + 1)..lambda).map(move |j| (i, j)))
+            .collect();
+        // 11 queries: every lane remainder of one full block plus change.
+        let mut fs = Vec::new();
+        let mut scalar = Vec::new();
+        for q in 0..11usize {
+            let f: Vec<f64> = (0..lambda)
+                .map(|i| 0.2 + 0.07 * ((q + i) % 9) as f64)
+                .collect();
+            let pairs = independent_pairs(&f);
+            fs.extend(pairs.iter().map(|pa| pa.f));
+            scalar.push(estimate_lambda_answer(lambda, &pairs, 1e-9, 100));
+        }
+        let batch = weighted_update_batch(lambda, &pair_pos, &fs, 1e-9, 100);
+        assert_eq!(batch.answers.len(), 11);
+        for (a, b) in batch.answers.iter().zip(&scalar) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //! boundary from the response matrix — replacing TDG's uniformity
 //! assumption with the 1-D grids' finer distribution information.
 //!
-//! Response matrices are built lazily per pair and cached: a d=6, c=1024
-//! model would otherwise eagerly hold 15 × 8 MB of matrices even if only a
-//! few pairs are ever queried.
+//! Response matrices for all `(d choose 2)` pairs are built **eagerly**
+//! when the model is constructed (fit or snapshot restore) and stored in
+//! an immutable indexed `Vec`, so the answer path is lock-free: a query
+//! thread indexes straight into its pair's cache with no mutex, no
+//! `Arc` bump, and no cold-pair hiccup. The Algorithm-1 cost lands at
+//! publish/restore time — where ingestion already pays milliseconds and a
+//! hostile snapshot fails fast before it can serve — instead of on the
+//! first unlucky query. Snapshot caps (`crate::snapshot`) bound the total
+//! at the same ceiling the lazy cache eventually reached anyway under
+//! mixed workloads, which touch every pair.
 
 use crate::config::MechanismConfig;
-use crate::pair_model::{PairAnswerer, SplitModel};
+use crate::pair_model::{PairAnswerer, Rect2d, SplitModel};
 use crate::{Mechanism, MechanismError, Model};
 use privmdr_data::Dataset;
 use privmdr_grid::consistency::post_process;
@@ -24,9 +31,6 @@ use privmdr_grid::response_matrix::{build_response_matrix, ResponseMatrix};
 use privmdr_grid::{Grid1d, Grid2d, PrefixSum2d};
 use privmdr_oracles::partition::{partition_users, proportional_sizes};
 use privmdr_util::rng::derive_rng;
-use privmdr_util::sync::lock_unpoisoned;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// The HDG mechanism.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,7 +53,7 @@ impl Hdg {
     }
 }
 
-/// Lazily-built per-pair answering state.
+/// Per-pair answering state, built eagerly at model construction.
 struct PairCache {
     /// Prefix sums over the pair's `g2 × g2` grid frequencies.
     grid_prefix: PrefixSum2d,
@@ -62,58 +66,50 @@ struct HdgAnswerer {
     c: usize,
     one_d: Vec<Grid1d>,
     two_d: Vec<Grid2d>,
-    rm_threshold: f64,
-    rm_max_iters: usize,
-    caches: Mutex<HashMap<usize, Arc<PairCache>>>,
+    /// One [`PairCache`] per pair, indexed by `pair_index` — immutable
+    /// after construction, so answering never takes a lock.
+    caches: Vec<PairCache>,
 }
 
 impl HdgAnswerer {
-    fn pair_cache(&self, pair_idx: usize) -> Arc<PairCache> {
-        // Entries are deterministic and insert-only, so a map poisoned by a
-        // panicking query thread is still valid — recover it rather than
-        // letting one caught panic wedge every later query on the model.
-        if let Some(cache) = lock_unpoisoned(&self.caches).get(&pair_idx) {
-            return Arc::clone(cache);
+    /// Runs Algorithm 1 for every pair and assembles the lock-free
+    /// answerer. Shared by the fit and snapshot-restore paths.
+    fn build(
+        d: usize,
+        c: usize,
+        one_d: Vec<Grid1d>,
+        two_d: Vec<Grid2d>,
+        rm_threshold: f64,
+        rm_max_iters: usize,
+    ) -> Self {
+        let caches = two_d
+            .iter()
+            .map(|grid| {
+                let (j, k) = grid.attrs();
+                let matrix =
+                    build_response_matrix(&one_d[j], &one_d[k], grid, rm_threshold, rm_max_iters);
+                let g2 = grid.granularity();
+                PairCache {
+                    grid_prefix: PrefixSum2d::build(&grid.freqs, g2, g2),
+                    matrix,
+                }
+            })
+            .collect();
+        HdgAnswerer {
+            d,
+            c,
+            one_d,
+            two_d,
+            caches,
         }
-        // Build outside the lock: Algorithm 1 can take milliseconds at
-        // large c and answer() may be called from several threads.
-        let grid = &self.two_d[pair_idx];
-        let (j, k) = grid.attrs();
-        let matrix = build_response_matrix(
-            &self.one_d[j],
-            &self.one_d[k],
-            grid,
-            self.rm_threshold,
-            self.rm_max_iters,
-        );
-        let g2 = grid.granularity();
-        let cache = Arc::new(PairCache {
-            grid_prefix: PrefixSum2d::build(&grid.freqs, g2, g2),
-            matrix,
-        });
-        lock_unpoisoned(&self.caches)
-            .entry(pair_idx)
-            .or_insert(cache)
-            .clone()
-    }
-}
-
-impl PairAnswerer for HdgAnswerer {
-    fn domain(&self) -> usize {
-        self.c
     }
 
-    /// Phase 3 for a 2-D query: fully-covered cells from the grid,
-    /// partially-covered boundary from the response matrix.
-    fn answer_2d(
-        &self,
-        (j, k): (usize, usize),
-        rect @ ((lo_j, hi_j), (lo_k, hi_k)): ((usize, usize), (usize, usize)),
+    /// Phase 3 for one rectangle against an already-fetched pair cache.
+    fn answer_2d_cached(
+        cache: &PairCache,
+        w: usize,
+        rect @ ((lo_j, hi_j), (lo_k, hi_k)): Rect2d,
     ) -> f64 {
-        let pair_idx = pair_index(j, k, self.d);
-        let cache = self.pair_cache(pair_idx);
-        let w = self.two_d[pair_idx].cell_width();
-
         // Fully-covered cell block [a0, a1] × [b0, b1] (possibly empty).
         let a0 = lo_j.div_ceil(w);
         let a1 = (hi_j + 1) / w; // exclusive cell end
@@ -127,6 +123,33 @@ impl PairAnswerer for HdgAnswerer {
         // Boundary frame = query rect minus the inner value rectangle.
         let inner = ((a0 * w, a1 * w - 1), (b0 * w, b1 * w - 1));
         grid_part + cache.matrix.rect_sum(rect) - cache.matrix.rect_sum(inner)
+    }
+}
+
+impl PairAnswerer for HdgAnswerer {
+    fn domain(&self) -> usize {
+        self.c
+    }
+
+    /// Phase 3 for a 2-D query: fully-covered cells from the grid,
+    /// partially-covered boundary from the response matrix.
+    fn answer_2d(&self, (j, k): (usize, usize), rect: Rect2d) -> f64 {
+        let pair_idx = pair_index(j, k, self.d);
+        let w = self.two_d[pair_idx].cell_width();
+        Self::answer_2d_cached(&self.caches[pair_idx], w, rect)
+    }
+
+    /// Batch form: the pair's cache and cell width are fetched once for
+    /// the whole rectangle group instead of once per rectangle.
+    fn answer_2d_batch(&self, (j, k): (usize, usize), rects: &[Rect2d], out: &mut Vec<f64>) {
+        let pair_idx = pair_index(j, k, self.d);
+        let cache = &self.caches[pair_idx];
+        let w = self.two_d[pair_idx].cell_width();
+        out.extend(
+            rects
+                .iter()
+                .map(|&rect| Self::answer_2d_cached(cache, w, rect)),
+        );
     }
 
     fn answer_1d(&self, attr: usize, (lo, hi): (usize, usize)) -> f64 {
@@ -216,15 +239,14 @@ impl Hdg {
     ) -> Result<Box<dyn Model>, MechanismError> {
         let (d, c) = validate_grid_set(&one_d, &two_d)?;
         Ok(Box::new(SplitModel::new(
-            HdgAnswerer {
+            HdgAnswerer::build(
                 d,
                 c,
                 one_d,
                 two_d,
-                rm_threshold: self.config.rm_threshold,
-                rm_max_iters: self.config.rm_max_iters,
-                caches: Mutex::new(HashMap::new()),
-            },
+                self.config.rm_threshold,
+                self.config.rm_max_iters,
+            ),
             &self.config,
         )))
     }
@@ -239,15 +261,14 @@ impl Mechanism for Hdg {
         let (d, c) = (ds.dims(), ds.domain());
         let (one_d, two_d) = fit_hdg_grids(ds, epsilon, seed, &self.config)?;
         Ok(Box::new(SplitModel::new(
-            HdgAnswerer {
+            HdgAnswerer::build(
                 d,
                 c,
                 one_d,
                 two_d,
-                rm_threshold: self.config.rm_threshold,
-                rm_max_iters: self.config.rm_max_iters,
-                caches: Mutex::new(HashMap::new()),
-            },
+                self.config.rm_threshold,
+                self.config.rm_max_iters,
+            ),
             &self.config,
         )))
     }

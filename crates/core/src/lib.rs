@@ -92,6 +92,21 @@ impl From<privmdr_hierarchy::HierarchyError> for MechanismError {
     }
 }
 
+/// A snapshot of a model's estimator counters: how many queries were
+/// answered per λ, and how many Weighted-Update sweeps (Algorithm 2
+/// iterations) they cost in total. Serving benchmarks record this next to
+/// queries/sec so throughput figures are comparable across workload
+/// mixes — a λ=3-heavy workload legitimately runs orders of magnitude
+/// more estimator work per query than a 1-D one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EstimatorTelemetry {
+    /// `(lambda, queries answered)` pairs, ascending λ, zero counts
+    /// omitted.
+    pub lambda_counts: Vec<(usize, u64)>,
+    /// Total Weighted-Update sweeps executed across all λ ≥ 3 answers.
+    pub wu_sweeps: u64,
+}
+
 /// A fitted mechanism: answers arbitrary range queries without further
 /// access to raw data (everything private happened during `fit`).
 pub trait Model: Send + Sync {
@@ -101,6 +116,13 @@ pub trait Model: Send + Sync {
     /// Answers a whole workload (hook for batch optimizations).
     fn answer_all(&self, queries: &[RangeQuery]) -> Vec<f64> {
         queries.iter().map(|q| self.answer(q)).collect()
+    }
+
+    /// Cumulative estimator telemetry since the model was built; `None`
+    /// for models without a λ-estimation stage (e.g. MSW's closed-form
+    /// product answers).
+    fn estimator_telemetry(&self) -> Option<EstimatorTelemetry> {
+        None
     }
 }
 

@@ -7,9 +7,20 @@
 //! provides the two primitive answers.
 
 use crate::config::{EstimatorKind, MechanismConfig};
-use crate::estimation::{estimate_lambda_answer, max_entropy, PairAnswer};
-use crate::Model;
+use crate::estimation::{max_entropy, weighted_update_batch, weighted_update_observed, PairAnswer};
+use crate::{EstimatorTelemetry, Model};
 use privmdr_query::RangeQuery;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// λ values above this collapse into the last telemetry bucket (queries
+/// can in principle carry as many predicates as the model has attributes,
+/// but the estimator itself caps at 20 — see `estimation`).
+const TELEMETRY_LAMBDA_CAP: usize = 64;
+
+/// A 2-D range rectangle: the two attributes' inclusive index intervals,
+/// `((lo_j, hi_j), (lo_k, hi_k))`.
+pub type Rect2d = ((usize, usize), (usize, usize));
 
 /// The two primitive answers a pairwise mechanism provides.
 pub trait PairAnswerer: Send + Sync {
@@ -17,7 +28,16 @@ pub trait PairAnswerer: Send + Sync {
     fn domain(&self) -> usize;
 
     /// Answer of the 2-D range query `rect` over the ordered pair `(j, k)`.
-    fn answer_2d(&self, pair: (usize, usize), rect: ((usize, usize), (usize, usize))) -> f64;
+    fn answer_2d(&self, pair: (usize, usize), rect: Rect2d) -> f64;
+
+    /// Answers many rectangles over the same attribute pair at once (the
+    /// batch planner groups requests per pair exactly so implementations
+    /// can hoist the per-pair lookup — response matrix, prefix sums — out
+    /// of the loop). Must equal mapping [`PairAnswerer::answer_2d`], which
+    /// is the default.
+    fn answer_2d_batch(&self, pair: (usize, usize), rects: &[Rect2d], out: &mut Vec<f64>) {
+        out.extend(rects.iter().map(|&rect| self.answer_2d(pair, rect)));
+    }
 
     /// Answer of a 1-D range query on `attr`.
     fn answer_1d(&self, attr: usize, interval: (usize, usize)) -> f64;
@@ -29,6 +49,10 @@ pub struct SplitModel<A> {
     estimator: EstimatorKind,
     est_threshold: f64,
     est_max_iters: usize,
+    /// Per-λ answered-query counters (relaxed atomics: counters only, no
+    /// ordering dependencies) plus total Weighted-Update sweeps.
+    lambda_counts: Vec<AtomicU64>,
+    wu_sweeps: AtomicU64,
 }
 
 impl<A: PairAnswerer> SplitModel<A> {
@@ -39,7 +63,16 @@ impl<A: PairAnswerer> SplitModel<A> {
             estimator: cfg.estimator,
             est_threshold: cfg.est_threshold,
             est_max_iters: cfg.est_max_iters,
+            lambda_counts: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(TELEMETRY_LAMBDA_CAP + 1)
+                .collect(),
+            wu_sweeps: AtomicU64::new(0),
         }
+    }
+
+    /// Records one answered query of the given λ.
+    fn count_lambda(&self, lambda: usize) {
+        self.lambda_counts[lambda.min(TELEMETRY_LAMBDA_CAP)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Access to the wrapped answerer (tests, diagnostics).
@@ -70,6 +103,7 @@ impl<A: PairAnswerer> SplitModel<A> {
 impl<A: PairAnswerer> Model for SplitModel<A> {
     fn answer(&self, query: &RangeQuery) -> f64 {
         let preds = query.predicates();
+        self.count_lambda(preds.len());
         match preds.len() {
             1 => self
                 .answerer
@@ -81,12 +115,19 @@ impl<A: PairAnswerer> Model for SplitModel<A> {
             lambda => {
                 let pairs = self.pair_answers(query);
                 match self.estimator {
-                    EstimatorKind::WeightedUpdate => estimate_lambda_answer(
-                        lambda,
-                        &pairs,
-                        self.est_threshold,
-                        self.est_max_iters,
-                    ),
+                    EstimatorKind::WeightedUpdate => {
+                        let mut sweeps = 0usize;
+                        let mut obs = |s: usize, _: f64| sweeps = s;
+                        let z = weighted_update_observed(
+                            lambda,
+                            &pairs,
+                            self.est_threshold,
+                            self.est_max_iters,
+                            Some(&mut obs),
+                        );
+                        self.wu_sweeps.fetch_add(sweeps as u64, Ordering::Relaxed);
+                        z[(1usize << lambda) - 1]
+                    }
                     EstimatorKind::MaxEntropy => {
                         let one_d: Vec<f64> = preds
                             .iter()
@@ -109,6 +150,146 @@ impl<A: PairAnswerer> Model for SplitModel<A> {
             }
         }
     }
+
+    /// The batch query planner (ISSUE 10 tentpole): answers a whole batch
+    /// with the work regrouped by shape instead of query-by-query.
+    ///
+    /// 1. Every needed 2-D rectangle — the λ=2 query itself, or the
+    ///    `(λ choose 2)` associated rectangles of a λ≥3 query — is bucketed
+    ///    by attribute pair and answered through
+    ///    [`PairAnswerer::answer_2d_batch`], so per-pair state (response
+    ///    matrix, prefix sums) is fetched once per pair instead of once
+    ///    per rectangle.
+    /// 2. λ≥3 Weighted-Update queries are grouped by λ and fed to the
+    ///    lane-parallel [`weighted_update_batch`] kernel, up to
+    ///    `EST_LANES` queries per SIMD block.
+    /// 3. Answers scatter back to their original batch positions.
+    ///
+    /// Every rectangle gets the same arguments and every estimator run
+    /// the same clamped inputs as the per-query path, and the batch
+    /// kernel is bit-identical to the scalar estimator, so this returns
+    /// exactly what mapping [`Model::answer`] would — pinned down by
+    /// `serving_prop.rs` (plan invariance) and the golden suites.
+    fn answer_all(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        if queries.len() < 2 {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+        let mut answers = vec![0.0f64; queries.len()];
+        // Phase 1: bucket every needed rectangle by attribute pair.
+        // `pair_f[qi]` collects the query's raw 2-D answers in pair-slot
+        // order (the i<j lexicographic order `pair_answers` uses).
+        #[allow(clippy::type_complexity)]
+        let mut by_pair: HashMap<(usize, usize), (Vec<Rect2d>, Vec<(usize, usize)>)> =
+            HashMap::new();
+        let mut pair_f: Vec<Vec<f64>> = Vec::with_capacity(queries.len());
+        for (qi, query) in queries.iter().enumerate() {
+            let preds = query.predicates();
+            self.count_lambda(preds.len());
+            if preds.len() == 1 {
+                answers[qi] = self
+                    .answerer
+                    .answer_1d(preds[0].attr, (preds[0].lo, preds[0].hi));
+                pair_f.push(Vec::new());
+                continue;
+            }
+            let mut slot = 0usize;
+            for i in 0..preds.len() {
+                for j in (i + 1)..preds.len() {
+                    let (pi, pj) = (preds[i], preds[j]);
+                    let bucket = by_pair.entry((pi.attr, pj.attr)).or_default();
+                    bucket.0.push(((pi.lo, pi.hi), (pj.lo, pj.hi)));
+                    bucket.1.push((qi, slot));
+                    slot += 1;
+                }
+            }
+            pair_f.push(vec![0.0; slot]);
+        }
+        // Phase 2: answer the rectangles pair-grouped and scatter them
+        // into each query's slot vector. Bucket order does not matter:
+        // answering is pure and every value lands at its (qi, slot).
+        let mut buf = Vec::new();
+        for (&pair, (rects, targets)) in &by_pair {
+            buf.clear();
+            self.answerer.answer_2d_batch(pair, rects, &mut buf);
+            debug_assert_eq!(buf.len(), rects.len());
+            for (&(qi, slot), &f) in targets.iter().zip(&buf) {
+                pair_f[qi][slot] = f;
+            }
+        }
+        // Phase 3: λ=2 queries pass their rectangle through raw; λ≥3
+        // queries group by λ for the lane-parallel estimator.
+        let mut wu_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (qi, query) in queries.iter().enumerate() {
+            let lambda = query.predicates().len();
+            match lambda {
+                1 => {}
+                2 => answers[qi] = pair_f[qi][0],
+                _ => match self.estimator {
+                    EstimatorKind::WeightedUpdate => {
+                        wu_groups.entry(lambda).or_default().push(qi);
+                    }
+                    EstimatorKind::MaxEntropy => {
+                        let preds = query.predicates();
+                        let pairs: Vec<PairAnswer> = (0..lambda)
+                            .flat_map(|i| ((i + 1)..lambda).map(move |j| (i, j)))
+                            .zip(&pair_f[qi])
+                            .map(|((i, j), &f)| PairAnswer {
+                                i,
+                                j,
+                                f: f.clamp(0.0, 1.0),
+                            })
+                            .collect();
+                        let one_d: Vec<f64> = preds
+                            .iter()
+                            .map(|p| {
+                                self.answerer
+                                    .answer_1d(p.attr, (p.lo, p.hi))
+                                    .clamp(0.0, 1.0)
+                            })
+                            .collect();
+                        let z = max_entropy(
+                            lambda,
+                            &pairs,
+                            &one_d,
+                            self.est_threshold,
+                            self.est_max_iters,
+                        );
+                        answers[qi] = z[(1usize << lambda) - 1];
+                    }
+                },
+            }
+        }
+        for (&lambda, qis) in &wu_groups {
+            let pairs: Vec<(usize, usize)> = (0..lambda)
+                .flat_map(|i| ((i + 1)..lambda).map(move |j| (i, j)))
+                .collect();
+            let mut fs = Vec::with_capacity(qis.len() * pairs.len());
+            for &qi in qis {
+                fs.extend(pair_f[qi].iter().map(|f| f.clamp(0.0, 1.0)));
+            }
+            let batch =
+                weighted_update_batch(lambda, &pairs, &fs, self.est_threshold, self.est_max_iters);
+            for (k, &qi) in qis.iter().enumerate() {
+                answers[qi] = batch.answers[k];
+            }
+            self.wu_sweeps
+                .fetch_add(batch.sweeps.iter().sum::<u64>(), Ordering::Relaxed);
+        }
+        answers
+    }
+
+    fn estimator_telemetry(&self) -> Option<EstimatorTelemetry> {
+        Some(EstimatorTelemetry {
+            lambda_counts: self
+                .lambda_counts
+                .iter()
+                .enumerate()
+                .map(|(l, n)| (l, n.load(Ordering::Relaxed)))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
+            wu_sweeps: self.wu_sweeps.load(Ordering::Relaxed),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -126,11 +307,7 @@ mod tests {
         fn domain(&self) -> usize {
             self.c
         }
-        fn answer_2d(
-            &self,
-            (j, k): (usize, usize),
-            ((lo_j, hi_j), (lo_k, hi_k)): ((usize, usize), (usize, usize)),
-        ) -> f64 {
+        fn answer_2d(&self, (j, k): (usize, usize), ((lo_j, hi_j), (lo_k, hi_k)): Rect2d) -> f64 {
             let a: f64 = self.marginals[j][lo_j..=hi_j].iter().sum();
             let b: f64 = self.marginals[k][lo_k..=hi_k].iter().sum();
             a * b

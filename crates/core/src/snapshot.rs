@@ -29,10 +29,11 @@ use privmdr_grid::{Grid1d, Grid2d};
 /// shape arrives from an untrusted wire buffer.
 pub const MAX_SNAPSHOT_DIMS: usize = 64;
 /// Largest domain size a snapshot may declare. The paper evaluates c ≤ 1024;
-/// the cap additionally bounds the `c × c` response matrix a restored
-/// answerer builds per queried pair (4096² f64 = 128 MiB), so an untrusted
-/// snapshot cannot declare an allocation bomb that only detonates at query
-/// time.
+/// the cap additionally bounds the `c × c` response matrices a restored
+/// answerer builds per pair (4096² f64 = 128 MiB each). Restoration builds
+/// all `(d choose 2)` of them eagerly, so an untrusted snapshot's full
+/// allocation cost is paid — and bounded by these caps — up front at
+/// restore time, before the model can serve a single query.
 pub const MAX_SNAPSHOT_DOMAIN: usize = 4096;
 /// Largest Algorithm-1/2 iteration cap a snapshot may declare. Restored
 /// settings drive per-query loops, so a hostile frame must not be able to

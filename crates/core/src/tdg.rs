@@ -10,7 +10,7 @@
 //! non-uniformity error HDG later removes with 1-D grids.
 
 use crate::config::MechanismConfig;
-use crate::pair_model::{PairAnswerer, SplitModel};
+use crate::pair_model::{PairAnswerer, Rect2d, SplitModel};
 use crate::{Mechanism, MechanismError, Model};
 use privmdr_data::Dataset;
 use privmdr_grid::consistency::post_process;
@@ -54,8 +54,15 @@ impl PairAnswerer for TdgAnswerer {
         self.c
     }
 
-    fn answer_2d(&self, (j, k): (usize, usize), rect: ((usize, usize), (usize, usize))) -> f64 {
+    fn answer_2d(&self, (j, k): (usize, usize), rect: Rect2d) -> f64 {
         self.grids[pair_index(j, k, self.d)].answer_uniform(rect)
+    }
+
+    fn answer_2d_batch(&self, (j, k): (usize, usize), rects: &[Rect2d], out: &mut Vec<f64>) {
+        // The batch planner guarantees one pair per call: resolve the grid
+        // once for the whole rectangle group.
+        let grid = &self.grids[pair_index(j, k, self.d)];
+        out.extend(rects.iter().map(|&rect| grid.answer_uniform(rect)));
     }
 
     fn answer_1d(&self, attr: usize, (lo, hi): (usize, usize)) -> f64 {

@@ -1,0 +1,350 @@
+//! Bit-identity of the optimized Weighted-Update paths (ISSUE 10).
+//!
+//! [`weighted_update_reference`] is the textbook Algorithm 2: a filtered
+//! scan over all `2^λ` z-entries per pair. Both production paths — the
+//! scalar subcube enumeration behind [`weighted_update`] and the
+//! lane-parallel [`weighted_update_batch`] kernel behind the batch query
+//! planner — must reproduce it **bit for bit**, in answers and in sweep
+//! counts, or the repo-wide determinism contract (golden suites, sharded
+//! ≡ serial, replicas answering identically) silently breaks.
+//!
+//! The sweep here covers: λ from 2 through 8, every lane remainder of the
+//! 8-wide blocks (batch sizes 1..=17), lanes that converge at different
+//! sweep counts sharing one block, the `y == 0` skip path, and the
+//! explicit portable/AVX2/AVX-512 kernel entry points (SIMD ones where
+//! the CPU has them). Runs in both debug and release in CI.
+
+use privmdr_core::estimation::{
+    estimate_lambda_answer, weighted_update, weighted_update_batch, weighted_update_batch_portable,
+    weighted_update_observed, weighted_update_reference, BatchEstimate, PairAnswer, EST_LANES,
+};
+#[cfg(target_arch = "x86_64")]
+use privmdr_core::estimation::{weighted_update_batch_avx2, weighted_update_batch_avx512};
+
+const THRESHOLD: f64 = 1e-9;
+const MAX_ITERS: usize = 100;
+
+/// Deterministic pseudo-random f64 in (0, 1) without pulling in an RNG:
+/// splitmix-style avalanche of the call-site coordinates.
+fn noise(a: u64, b: u64, c: u64) -> f64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The `i < j` lexicographic pair-position list the planner uses.
+fn all_pairs(lambda: usize) -> Vec<(usize, usize)> {
+    (0..lambda)
+        .flat_map(|i| ((i + 1)..lambda).map(move |j| (i, j)))
+        .collect()
+}
+
+/// A varied batch of per-query pair answers for `n` queries at `lambda`:
+/// mixes near-independent, strongly correlated, and tiny targets so
+/// different queries converge after different sweep counts.
+fn batch_inputs(lambda: usize, n: usize, salt: u64) -> Vec<f64> {
+    let npairs = lambda * (lambda - 1) / 2;
+    let mut fs = Vec::with_capacity(n * npairs);
+    for q in 0..n {
+        let scale = match q % 3 {
+            0 => 1.0,
+            1 => 0.1,
+            _ => 0.6,
+        };
+        for p in 0..npairs {
+            fs.push(scale * noise(salt, q as u64, p as u64));
+        }
+    }
+    fs
+}
+
+fn to_pair_answers(pairs: &[(usize, usize)], fs: &[f64]) -> Vec<PairAnswer> {
+    pairs
+        .iter()
+        .zip(fs)
+        .map(|(&(i, j), &f)| PairAnswer { i, j, f })
+        .collect()
+}
+
+/// Scalar sweep count for one query, via the observer.
+fn scalar_sweeps(lambda: usize, pa: &[PairAnswer]) -> u64 {
+    let mut sweeps = 0usize;
+    let mut obs = |s: usize, _: f64| sweeps = s;
+    let _ = weighted_update_observed(lambda, pa, THRESHOLD, MAX_ITERS, Some(&mut obs));
+    sweeps as u64
+}
+
+#[test]
+fn subcube_enumeration_matches_reference_bit_for_bit() {
+    for lambda in 2..=8usize {
+        let pairs = all_pairs(lambda);
+        for salt in 0..4u64 {
+            let fs = batch_inputs(lambda, 1, 1000 + salt);
+            let pa = to_pair_answers(&pairs, &fs);
+            let fast = weighted_update(lambda, &pa, THRESHOLD, MAX_ITERS);
+            let slow = weighted_update_reference(lambda, &pa, THRESHOLD, MAX_ITERS);
+            assert_eq!(fast.len(), slow.len());
+            for (m, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "lambda {lambda} salt {salt} entry {m}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn subcube_enumeration_matches_reference_on_sparse_pair_sets() {
+    // Not every pair need be present: the planner always sends the full
+    // set, but the API accepts any subset (and repeats).
+    let lambda = 5usize;
+    let subsets: [&[(usize, usize)]; 3] = [
+        &[(0, 4)],
+        &[(0, 1), (2, 3), (0, 1)],
+        &[(1, 3), (0, 2), (2, 4), (1, 2)],
+    ];
+    for (k, pairs) in subsets.iter().enumerate() {
+        let fs: Vec<f64> = (0..pairs.len())
+            .map(|p| noise(7, k as u64, p as u64))
+            .collect();
+        let pa = to_pair_answers(pairs, &fs);
+        let fast = weighted_update(lambda, &pa, THRESHOLD, MAX_ITERS);
+        let slow = weighted_update_reference(lambda, &pa, THRESHOLD, MAX_ITERS);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits(), "subset {k}");
+        }
+    }
+}
+
+/// Asserts one batch result equals running the scalar path per query, bit
+/// for bit, including the sweep counts.
+fn assert_batch_matches_scalar(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    batch: &BatchEstimate,
+    label: &str,
+) {
+    let npairs = pairs.len();
+    let n = fs.len() / npairs;
+    assert_eq!(batch.answers.len(), n, "{label}: answer count");
+    assert_eq!(batch.sweeps.len(), n, "{label}: sweep count");
+    for q in 0..n {
+        let pa = to_pair_answers(pairs, &fs[q * npairs..(q + 1) * npairs]);
+        let want = estimate_lambda_answer(lambda, &pa, THRESHOLD, MAX_ITERS);
+        assert_eq!(
+            batch.answers[q].to_bits(),
+            want.to_bits(),
+            "{label}: query {q}/{n} lambda {lambda}: {} vs {want}",
+            batch.answers[q]
+        );
+        assert_eq!(
+            batch.sweeps[q],
+            scalar_sweeps(lambda, &pa),
+            "{label}: query {q} sweep count"
+        );
+    }
+}
+
+#[test]
+fn batch_kernel_matches_scalar_every_lane_remainder() {
+    // Block sizes 1..=2*EST_LANES+1 hit every remainder of the 8-lane
+    // blocks: a lone query, a partial block, exactly one block, one block
+    // plus each partial tail, and two-plus blocks.
+    for lambda in [3usize, 4, 6] {
+        let pairs = all_pairs(lambda);
+        for n in 1..=(2 * EST_LANES + 1) {
+            let fs = batch_inputs(lambda, n, 40 + n as u64);
+            let batch = weighted_update_batch(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS);
+            assert_batch_matches_scalar(lambda, &pairs, &fs, &batch, "dispatched");
+        }
+    }
+}
+
+#[test]
+fn batch_kernel_matches_scalar_lambda_sweep() {
+    for lambda in 2..=8usize {
+        let pairs = all_pairs(lambda);
+        let n = EST_LANES + 3;
+        let fs = batch_inputs(lambda, n, 90 + lambda as u64);
+        let batch = weighted_update_batch(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS);
+        assert_batch_matches_scalar(lambda, &pairs, &fs, &batch, "lambda sweep");
+    }
+}
+
+#[test]
+fn lanes_converging_at_different_sweeps_stay_frozen() {
+    // One block mixing a hard (correlated, slow-converging) query with
+    // near-trivial ones: the easy lanes freeze early and must not drift
+    // while the hard lane keeps sweeping.
+    let lambda = 4usize;
+    let pairs = all_pairs(lambda);
+    let npairs = pairs.len();
+    let mut fs = vec![0.0f64; EST_LANES * npairs];
+    for (q, row) in fs.chunks_exact_mut(npairs).enumerate() {
+        match q % 3 {
+            // Consistent independent targets: converges almost at once.
+            0 => {
+                let m = [0.5, 0.5, 0.5, 0.5];
+                for (p, &(i, j)) in pairs.iter().enumerate() {
+                    row[p] = m[i] * m[j];
+                }
+            }
+            // Perfectly correlated: the inconsistent constraint set makes
+            // Weighted Update grind toward the sweep cap.
+            1 => row.fill(0.5),
+            // Mildly noisy independent.
+            _ => {
+                for (p, &(i, j)) in pairs.iter().enumerate() {
+                    row[p] = (0.3 + 0.1 * i as f64) * (0.3 + 0.1 * j as f64)
+                        + 0.01 * noise(3, q as u64, p as u64);
+                }
+            }
+        }
+    }
+    let batch = weighted_update_batch(lambda, &pairs, &fs, 1e-6, 200);
+    let npairs = pairs.len();
+    for q in 0..EST_LANES {
+        let pa = to_pair_answers(&pairs, &fs[q * npairs..(q + 1) * npairs]);
+        let want = {
+            let z = weighted_update(lambda, &pa, 1e-6, 200);
+            z[(1usize << lambda) - 1]
+        };
+        assert_eq!(batch.answers[q].to_bits(), want.to_bits(), "lane {q}");
+        let mut sweeps = 0usize;
+        let mut obs = |s: usize, _: f64| sweeps = s;
+        let _ = weighted_update_observed(lambda, &pa, 1e-6, 200, Some(&mut obs));
+        assert_eq!(batch.sweeps[q], sweeps as u64, "lane {q} sweeps");
+    }
+    // The mix really does exercise unequal freeze points.
+    let min = batch.sweeps.iter().min().unwrap();
+    let max = batch.sweeps.iter().max().unwrap();
+    assert!(min < max, "sweep counts should differ: {:?}", batch.sweeps);
+}
+
+#[test]
+fn zero_y_rows_are_skipped_like_the_scalar_path() {
+    // All-zero targets drive every z-entry to 0 after sweep 1; sweep 2
+    // then hits the y == 0 skip in every pair. The batch kernel must take
+    // the same masked path. Mix zero and nonzero lanes in one block.
+    let lambda = 3usize;
+    let pairs = all_pairs(lambda);
+    let npairs = pairs.len();
+    let n = 6usize;
+    let mut fs = batch_inputs(lambda, n, 77);
+    for q in [0usize, 3, 5] {
+        fs[q * npairs..(q + 1) * npairs].fill(0.0);
+    }
+    // A generous threshold of 0 never converges: both paths must still
+    // terminate via max_iters with the zero rows skipping harmlessly.
+    let batch = weighted_update_batch(lambda, &pairs, &fs, 0.0, 8);
+    for q in 0..n {
+        let pa = to_pair_answers(&pairs, &fs[q * npairs..(q + 1) * npairs]);
+        let z = weighted_update(lambda, &pa, 0.0, 8);
+        assert_eq!(
+            batch.answers[q].to_bits(),
+            z[(1usize << lambda) - 1].to_bits(),
+            "query {q}"
+        );
+    }
+}
+
+#[test]
+fn max_iters_zero_still_runs_one_sweep() {
+    // The scalar loop clamps max_iters to at least 1; the batch kernel
+    // must do the same.
+    let lambda = 3usize;
+    let pairs = all_pairs(lambda);
+    let fs = batch_inputs(lambda, 3, 11);
+    let batch = weighted_update_batch(lambda, &pairs, &fs, 1e-9, 0);
+    assert_batch_matches_scalar_iters(lambda, &pairs, &fs, &batch, 0);
+    assert!(batch.sweeps.iter().all(|&s| s == 1));
+}
+
+fn assert_batch_matches_scalar_iters(
+    lambda: usize,
+    pairs: &[(usize, usize)],
+    fs: &[f64],
+    batch: &BatchEstimate,
+    max_iters: usize,
+) {
+    let npairs = pairs.len();
+    for q in 0..fs.len() / npairs {
+        let pa = to_pair_answers(pairs, &fs[q * npairs..(q + 1) * npairs]);
+        let z = weighted_update(lambda, &pa, 1e-9, max_iters);
+        assert_eq!(
+            batch.answers[q].to_bits(),
+            z[(1usize << lambda) - 1].to_bits(),
+            "query {q}"
+        );
+    }
+}
+
+#[test]
+fn portable_kernel_matches_scalar() {
+    for lambda in [3usize, 5, 7] {
+        let pairs = all_pairs(lambda);
+        for n in [1usize, EST_LANES - 1, EST_LANES, EST_LANES + 5] {
+            let fs = batch_inputs(lambda, n, 200 + n as u64);
+            let batch = weighted_update_batch_portable(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS);
+            assert_batch_matches_scalar(lambda, &pairs, &fs, &batch, "portable");
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_kernel_matches_portable_where_supported() {
+    for lambda in [3usize, 5, 7] {
+        let pairs = all_pairs(lambda);
+        for n in [1usize, EST_LANES - 1, EST_LANES, EST_LANES + 5] {
+            let fs = batch_inputs(lambda, n, 300 + n as u64);
+            let Some(batch) = weighted_update_batch_avx2(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS)
+            else {
+                eprintln!("skipping: CPU lacks AVX2");
+                return;
+            };
+            assert_batch_matches_scalar(lambda, &pairs, &fs, &batch, "avx2");
+            let portable =
+                weighted_update_batch_portable(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS);
+            assert_eq!(batch, portable, "avx2 vs portable");
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx512_kernel_matches_portable_where_supported() {
+    for lambda in [3usize, 5, 7] {
+        let pairs = all_pairs(lambda);
+        for n in [1usize, EST_LANES - 1, EST_LANES, EST_LANES + 5] {
+            let fs = batch_inputs(lambda, n, 400 + n as u64);
+            let Some(batch) =
+                weighted_update_batch_avx512(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS)
+            else {
+                eprintln!("skipping: CPU lacks AVX-512F/DQ");
+                return;
+            };
+            assert_batch_matches_scalar(lambda, &pairs, &fs, &batch, "avx512");
+            let portable =
+                weighted_update_batch_portable(lambda, &pairs, &fs, THRESHOLD, MAX_ITERS);
+            assert_eq!(batch, portable, "avx512 vs portable");
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    let batch = weighted_update_batch(3, &all_pairs(3), &[], THRESHOLD, MAX_ITERS);
+    assert!(batch.answers.is_empty());
+    assert!(batch.sweeps.is_empty());
+}

@@ -1,12 +1,12 @@
-//! Thread-safety of the HDG answerer's lazily-built response-matrix cache.
+//! Thread-safety of the HDG answerer's shared response-matrix caches.
 //!
 //! The query server shards workloads across threads against *one* shared
-//! model, so the `PairCache` `Mutex` in `privmdr_core::hdg` is load-bearing:
-//! many threads race to build the same pair's response matrix, and
-//! whichever insert wins must leave every thread answering identically.
-//! This suite pins that down before anything relies on it: concurrent
-//! answers must be bit-identical to a serial pass on a fresh (cold-cache)
-//! model, regardless of thread count or query interleaving.
+//! model. The per-pair caches are built eagerly at model construction and
+//! immutable afterwards (the answer path takes no lock), so the contract
+//! this suite pins down is that concurrent answering over the shared
+//! state is bit-identical to a serial pass on a fresh model, regardless
+//! of thread count or query interleaving — and that a caught panic in one
+//! query thread cannot corrupt or wedge the model for the others.
 
 use privmdr_core::{Hdg, Mechanism};
 use privmdr_data::DatasetSpec;
@@ -30,14 +30,13 @@ fn concurrent_answers_match_serial_bit_for_bit() {
     let ds = DatasetSpec::Normal { rho: 0.7 }.generate(25_000, d, c, 13);
     let hdg = Hdg::default();
 
-    // Serial reference on its own model: a cold cache built by one thread.
+    // Serial reference on its own, independently constructed model.
     let serial_model = hdg.fit(&ds, 1.0, 9).unwrap();
     let queries = workload(d, c);
     let reference: Vec<f64> = serial_model.answer_all(&queries);
 
     // Shared model answered by many threads at once, repeated a few times
-    // so the cold-cache race (all threads building all pairs) and the
-    // warm-cache steady state are both exercised.
+    // with different interleavings.
     for round in 0..3 {
         let shared = hdg.fit(&ds, 1.0, 9).unwrap();
         let threads = 8;
@@ -48,7 +47,7 @@ fn concurrent_answers_match_serial_bit_for_bit() {
                     let queries = &queries;
                     scope.spawn(move || {
                         // Each thread starts at a different offset so the
-                        // cache is populated in different orders.
+                        // shared state is read in different orders.
                         let mut answers = vec![0.0; queries.len()];
                         for i in 0..queries.len() {
                             let idx = (i + t * 13) % queries.len();
@@ -102,9 +101,9 @@ fn caught_panic_in_one_thread_does_not_wedge_the_model() {
             assert!(caught.is_err(), "out-of-range attribute should panic");
         });
         assert!(panicker.join().is_ok());
-        // Both a thread that raced the panic and threads started after it
-        // must keep answering; a poisoned-and-propagated cache lock would
-        // panic every one of them.
+        // Threads running after the caught panic must keep answering
+        // bit-identically: the answer path holds no lock a panic could
+        // poison and mutates no shared state a panic could half-write.
         for _ in 0..4 {
             let shared = &shared;
             let queries = &queries;

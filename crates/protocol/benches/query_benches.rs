@@ -25,7 +25,13 @@ use std::hint::black_box;
 /// A deterministic snapshot with a fixed geometry (no fitting in the bench
 /// path): skewed but consistent product-ish frequencies over d=4, c=64.
 fn bench_snapshot() -> ModelSnapshot {
-    let (d, c, g1, g2) = (4usize, 64usize, 16usize, 4usize);
+    bench_snapshot_dims(4)
+}
+
+/// [`bench_snapshot`] generalized over the attribute count, for the
+/// high-λ estimator sweep.
+fn bench_snapshot_dims(d: usize) -> ModelSnapshot {
+    let (c, g1, g2) = (64usize, 16usize, 4usize);
     let marginal = |t: usize, i: usize| -> f64 {
         // Distinct skew per attribute, normalized over g1 cells.
         let w = (1.0 + ((i * (t + 2)) % g1) as f64) / g1 as f64;
@@ -79,8 +85,8 @@ fn bench_sharded_serving(c: &mut Criterion) {
         let server = QueryServer::new(&snap).unwrap();
         let queries =
             WorkloadBuilder::new(snap.d, snap.c, 31 + lambda as u64).random(lambda, 0.5, n_queries);
-        // Populate the lazily-built response-matrix caches outside the
-        // timed loop: steady-state serving is what the bench measures.
+        // One short warm-up pass outside the timed loop: steady-state
+        // serving is what the bench measures.
         black_box(server.answer_workload(&queries[..1.max(queries.len() / 100)], 1));
 
         let mut group = c.benchmark_group(format!("serve/lambda={lambda}"));
@@ -142,9 +148,8 @@ fn bench_served_tier(c: &mut Criterion) {
         let mut open = BytesMut::new();
         encode_session_open(9, &snap, &mut open);
         node.serve_stream(open.freeze(), |_, _| {}).unwrap();
-        // One pass outside the clock: populates the lazily-built
-        // response-matrix caches (both modes) and fills the answer cache
-        // (cached mode), so the loop measures steady state.
+        // One pass outside the clock: fills the answer cache (cached
+        // mode), so the loop measures steady state.
         node.serve_stream(round.clone(), |_, _| {}).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -158,10 +163,48 @@ fn bench_served_tier(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE-10 estimator micro-sweep: planned batch answering (pair-
+/// grouped rectangles + lane-parallel Weighted Update) versus the
+/// per-query scalar path, across λ and batch size on a d=6 snapshot.
+/// `planned` should pull ahead of `per_query` from batch size 8 (one full
+/// SIMD block) onward and the gap should widen with λ; at batch size 1
+/// the two paths coincide (the planner falls back to per-query).
+fn bench_estimator_planner(c: &mut Criterion) {
+    let snap = bench_snapshot_dims(6);
+    let server = QueryServer::new(&snap).unwrap();
+    for lambda in [3usize, 4, 5, 6] {
+        let mut group = c.benchmark_group(format!("estimator/lambda={lambda}"));
+        for batch in [1usize, 8, 64, 512] {
+            let queries =
+                WorkloadBuilder::new(snap.d, snap.c, 91 + lambda as u64).random(lambda, 0.5, batch);
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new("planned", batch),
+                &queries,
+                |b, queries| b.iter(|| black_box(server.answer_workload(black_box(queries), 1))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("per_query", batch),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        queries
+                            .iter()
+                            .map(|q| server.model().answer(black_box(q)))
+                            .collect::<Vec<f64>>()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_sharded_serving,
     bench_serving_wire,
-    bench_served_tier
+    bench_served_tier,
+    bench_estimator_planner
 );
 criterion_main!(benches);

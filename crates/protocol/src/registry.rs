@@ -40,7 +40,7 @@ use crate::serve::QueryServer;
 use crate::wire::{AnswerBatch, QueryBatch};
 use crate::ProtocolError;
 use bytes::{Buf, Bytes};
-use privmdr_core::ModelSnapshot;
+use privmdr_core::{EstimatorTelemetry, ModelSnapshot};
 use privmdr_query::RangeQuery;
 use privmdr_util::sync::lock_unpoisoned;
 use std::collections::hash_map::Entry;
@@ -169,8 +169,11 @@ pub struct CacheStats {
 /// A bounded LRU of `canonical-key → answer`, safe to share across query
 /// threads (one `Mutex` around the whole structure, recovered rather than
 /// propagated on poison — entries are deterministic, so a map a panicking
-/// thread abandoned is still valid; the `PairCache` in `core/src/hdg.rs`
-/// set the template). Batch probes and inserts each take the lock once.
+/// thread abandoned is still valid). With the HDG pair caches now built
+/// eagerly and lock-free, this cache and the registry's tenant map hold
+/// the serving tier's only remaining locks, so the poisoning-recovery
+/// regression test lives here. Batch probes and inserts each take the
+/// lock once.
 #[derive(Debug)]
 pub struct AnswerCache {
     inner: Mutex<LruInner>,
@@ -514,6 +517,32 @@ impl SnapshotRegistry {
         }
         total
     }
+
+    /// Summed estimator telemetry across every tenant's *current* epoch
+    /// server; `None` when no open session has an estimator stage (e.g.
+    /// all-MSW rotations). Counters reset with each epoch swap — the
+    /// telemetry belongs to the restored model, not the tenant.
+    pub fn estimator_telemetry_total(&self) -> Option<EstimatorTelemetry> {
+        let epochs: Vec<Arc<PublishedEpoch>> = lock_unpoisoned(&self.tenants)
+            .values()
+            .map(|t| t.current())
+            .collect();
+        let mut total: Option<EstimatorTelemetry> = None;
+        for epoch in epochs {
+            let Some(t) = epoch.server.estimator_telemetry() else {
+                continue;
+            };
+            let total = total.get_or_insert_with(EstimatorTelemetry::default);
+            total.wu_sweeps += t.wu_sweeps;
+            for (l, n) in t.lambda_counts {
+                match total.lambda_counts.binary_search_by_key(&l, |&(bl, _)| bl) {
+                    Ok(i) => total.lambda_counts[i].1 += n,
+                    Err(i) => total.lambda_counts.insert(i, (l, n)),
+                }
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -653,6 +682,44 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
         }
+    }
+
+    #[test]
+    fn poisoned_cache_lock_is_recovered_not_propagated() {
+        // The serving tier's remaining locks are the answer cache and the
+        // registry's tenant/current maps; a request thread that panics
+        // while holding one (caught by a daemon's per-request isolation)
+        // must not wedge every later request. `lock_unpoisoned` recovers
+        // the guard; this regression test pins that the cached serving
+        // path still answers bit-identically after a poisoning panic.
+        let snap = snapshot(11);
+        let registry = SnapshotRegistry::new(32);
+        registry.publish(5, &snap).unwrap();
+        let tenant = registry.get(5).unwrap();
+        let queries = WorkloadBuilder::new(3, 16, 6).random(2, 0.5, 8);
+        let want = tenant.answer_cached(&queries, 1);
+
+        // Poison the cache mutex: panic while holding the guard.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = tenant.cache().inner.lock().unwrap();
+            panic!("poison the answer-cache lock");
+        }));
+        assert!(caught.is_err());
+        assert!(
+            tenant.cache().inner.is_poisoned(),
+            "lock should be poisoned"
+        );
+
+        // Probes, inserts, stats, swaps, and cached answering all still
+        // work — and still return the same bits.
+        let got = tenant.answer_cached(&queries, 1);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert!(tenant.cache().stats().hits >= 8);
+        let receipt = registry.publish(5, &snapshot(12)).unwrap();
+        assert!(receipt.swapped);
+        assert!(registry.estimator_telemetry_total().is_some());
     }
 
     #[test]

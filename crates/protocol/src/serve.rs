@@ -13,17 +13,20 @@
 //! and touches no per-user state). Shards are contiguous chunks of the
 //! batch ([`split_chunks`]), answered independently and concatenated in
 //! order, so the output vector is a permutation-free reassembly of the
-//! serial pass. The only shared mutable state is the HDG answerer's
-//! lazily-built response-matrix cache; Algorithm 1 is deterministic in the
-//! snapshot's grids, so whichever thread populates a pair's entry stores
-//! the same bits every other thread would have. The serving property suite
-//! (`tests/serving_prop.rs`) pins this down for arbitrary snapshots,
-//! workloads, and shard counts.
+//! serial pass. All per-pair answering state (response matrices, prefix
+//! sums) is built eagerly when the snapshot is restored and immutable
+//! afterwards, so the hot path holds no lock and shares only read-only
+//! data; the telemetry counters are relaxed atomics. Within each shard
+//! the model's batch planner regroups the chunk by shape (pair-grouped
+//! rectangles, λ-grouped lane-parallel estimation) — an execution
+//! strategy proven answer-preserving, never a semantic change. The
+//! serving property suite (`tests/serving_prop.rs`) pins all of this down
+//! for arbitrary snapshots, workloads, plans, and shard counts.
 
 use crate::wire::{AnswerBatch, QueryBatch};
 use crate::ProtocolError;
 use bytes::{Buf, Bytes};
-use privmdr_core::{ApproachKind, Model, ModelSnapshot};
+use privmdr_core::{ApproachKind, EstimatorTelemetry, Model, ModelSnapshot};
 use privmdr_query::RangeQuery;
 use privmdr_util::par::{par_map, split_chunks};
 
@@ -70,6 +73,13 @@ impl QueryServer {
     /// Direct access to the restored model (diagnostics, tests).
     pub fn model(&self) -> &dyn Model {
         self.model.as_ref()
+    }
+
+    /// Cumulative estimator telemetry of the restored model (per-λ query
+    /// counts and Weighted-Update sweeps); `None` for models without a
+    /// λ-estimation stage.
+    pub fn estimator_telemetry(&self) -> Option<EstimatorTelemetry> {
+        self.model.estimator_telemetry()
     }
 
     /// Validates that every query fits the model's schema (domain `c`

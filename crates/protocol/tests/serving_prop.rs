@@ -60,8 +60,8 @@ fn mixed_workload(d: usize, c: usize, seed: u64, per_lambda: usize) -> Vec<Range
 
 proptest! {
     /// Sharded answering ≡ serial answering, bit for bit, for shard counts
-    /// {1, 2, 3, 7, max} over one shared server (one shared lazily-built
-    /// pair cache).
+    /// {1, 2, 3, 7, max} over one shared server (one shared set of
+    /// eagerly built pair caches).
     #[test]
     fn sharded_answering_equals_serial(
         d in 2usize..5,
@@ -124,6 +124,66 @@ proptest! {
         prop_assert_eq!(reference.len(), served.len());
         for (i, (a, b)) in reference.iter().zip(&served).enumerate() {
             prop_assert_eq!(a.to_bits(), b.to_bits(), "query {} diverges", i);
+        }
+    }
+
+    /// Plan invariance (ISSUE 10): the batch planner behind `answer_all` —
+    /// pair-grouped rectangles, λ-grouped lane-parallel estimation —
+    /// returns exactly what answering each query alone would, for random
+    /// snapshots, both estimators, and any workload order. Batching is an
+    /// execution strategy, never a semantic one.
+    #[test]
+    fn planned_batch_equals_per_query_answers(
+        d in 2usize..5,
+        c_pow in 2u32..5,
+        max_entropy in any::<bool>(),
+        per_lambda in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let estimator = if max_entropy {
+            EstimatorKind::MaxEntropy
+        } else {
+            EstimatorKind::WeightedUpdate
+        };
+        let snap = random_snapshot(d, c_pow, estimator, seed);
+        let server = QueryServer::new(&snap).unwrap();
+        let queries = mixed_workload(d, snap.c, seed ^ 0xA7, per_lambda);
+
+        // Per-query reference: one query per call bypasses the planner.
+        let reference: Vec<f64> =
+            queries.iter().map(|q| server.model().answer(q)).collect();
+        let planned = server.answer_workload(&queries, 1);
+        prop_assert_eq!(reference.len(), planned.len());
+        for (i, (a, b)) in reference.iter().zip(&planned).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "query {} diverges", i);
+        }
+    }
+
+    /// Reordering the workload permutes the answers with it: the planner's
+    /// grouping must scatter every answer back to its own query slot.
+    #[test]
+    fn planned_answers_follow_their_queries_under_reorder(
+        d in 2usize..4,
+        per_lambda in 1usize..10,
+        rot in 0usize..37,
+        seed in any::<u64>(),
+    ) {
+        let snap = random_snapshot(d, 3, EstimatorKind::WeightedUpdate, seed);
+        let server = QueryServer::new(&snap).unwrap();
+        let queries = mixed_workload(d, snap.c, seed ^ 0xB3, per_lambda);
+        let in_order = server.answer_workload(&queries, 1);
+
+        let rot = rot % queries.len().max(1);
+        let mut rotated = queries.clone();
+        rotated.rotate_left(rot);
+        let answers = server.answer_workload(&rotated, 1);
+        for (i, a) in answers.iter().enumerate() {
+            let orig = (i + rot) % queries.len();
+            prop_assert_eq!(
+                a.to_bits(),
+                in_order[orig].to_bits(),
+                "rotated query {} diverges from original {}", i, orig
+            );
         }
     }
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# CI perf gate: runs one fresh `privmdr ingest --json` and one fresh
-# `privmdr serve --json` record (best-of-REPEAT, so a single scheduler
-# hiccup cannot fail the build) and compares each against the most
-# recent record of the same shape — (cmd, n, d, c, epsilon, shards,
-# cpus, oracle, approach) — in the trend files BENCH_ingest.json /
-# BENCH_serve.json. Exits non-zero if either fresh throughput is more
+# CI perf gate: runs one fresh `privmdr ingest --json` plus two fresh
+# `privmdr serve --json` records — the default mixed-λ workload and a
+# λ=D-only estimator-heavy one — (each best-of-REPEAT, so a single
+# scheduler hiccup cannot fail the build) and compares each against the
+# most recent record of the same shape — (cmd, n, d, c, epsilon, shards,
+# cpus, oracle, approach, lambdas) — in the trend files
+# BENCH_ingest.json / BENCH_serve.json. Exits non-zero if either fresh throughput is more
 # than THRESHOLD (default 10%) below its baseline. Shapes with no
 # baseline pass with a note; records are only compared here, never
 # appended — use scripts/bench_trend.sh to extend the trend files.
@@ -96,4 +97,8 @@ fresh_ingest=$("$BIN" ingest "${common[@]}")
 gate_one ingest "$fresh_ingest" "$INGEST_FILE" reports_per_sec || status=1
 fresh_serve=$("$BIN" serve "${common[@]}" --queries "$QUERIES")
 gate_one serve "$fresh_serve" "$SERVE_FILE" queries_per_sec || status=1
+# λ=D-only serve: every query pays the Weighted-Update estimation loop,
+# gating the lane-parallel batch estimator specifically.
+fresh_lambda=$("$BIN" serve "${common[@]}" --queries "$QUERIES" --lambdas "$D")
+gate_one "serve(lambdas=$D)" "$fresh_lambda" "$SERVE_FILE" queries_per_sec || status=1
 exit "$status"

@@ -10,10 +10,12 @@ field() { # field LINE KEY -> scalar value (string values unquoted)
 
 # The shape key under which records are comparable. `cpus` is part of
 # the shape: a 1-core record must never gate a multicore run or vice
-# versa.
+# versa. `lambdas` (the serve workload's query-dimensionality spec) is
+# only emitted when non-default, so pre-existing default-mix records
+# keep their shape and λ-heavy records form shapes of their own.
 shape_of() { # shape_of LINE
     local line=$1 out="" k
-    for k in cmd n d c epsilon shards cpus oracle approach; do
+    for k in cmd n d c epsilon shards cpus oracle approach lambdas; do
         out="$out|$(field "$line" "$k")"
     done
     printf '%s\n' "$out"

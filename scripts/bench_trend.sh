@@ -21,12 +21,15 @@
 #     GATE_THRESHOLD=0.10 (relative drop that flips "gated" to false)
 #     BIN=           (prebuilt privmdr binary; default: cargo-built release)
 #
-# Five records are appended per run: an ingest line to BENCH_ingest.json,
+# Six records are appended per run: an ingest line to BENCH_ingest.json,
 # a serve (uncached single-tenant) plus a served (multi-tenant daemon,
 # warm-cache queries_per_sec with cold/uncached figures alongside) line to
-# BENCH_serve.json, and two fixed wide-mechanism rows — a Wheel ingest
-# record and an MSW (SW-substrate) serve record — so the wide paths'
-# throughput is tracked alongside the default stack.
+# BENCH_serve.json, a λ=3-only serve record (every query pays the
+# Weighted-Update estimation loop — the lane-parallel estimator's
+# workload, carrying a "lambdas":"3" shape field), and two fixed
+# wide-mechanism rows — a Wheel ingest record and an MSW (SW-substrate)
+# serve record — so the wide paths' throughput is tracked alongside the
+# default stack.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/bench_lib.sh
@@ -90,6 +93,11 @@ fi
     append_gated BENCH_serve.json queries_per_sec
 "$BIN" served "${common[@]}" --sessions "$SESSIONS" --cache-cap "$CACHE_CAP" \
     --queries "$QUERIES" | append_gated BENCH_serve.json queries_per_sec
+
+# Estimator-heavy serve row: λ=3-only, so every query runs Algorithm 2
+# through the lane-parallel batch kernel (the ISSUE-10 hot path).
+"$BIN" serve "${common[@]}" --repeat "$REPEAT" --queries "$QUERIES" \
+    --lambdas "$D" | append_gated BENCH_serve.json queries_per_sec
 
 # Wide-mechanism trend rows, pinned to wheel/hdg and sw/msw regardless of
 # ORACLE/APPROACH above.
